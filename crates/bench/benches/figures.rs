@@ -1,0 +1,57 @@
+//! Criterion benches for the figure-regeneration paths (E1, E2, E3) and
+//! the end-to-end pipeline (E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delin_bench::experiments::{fig3_source, fig5_problem};
+use delin_core::algorithm::{delinearize, DelinConfig};
+use delin_corpus::census::census;
+use delin_corpus::riceps::{all_benchmarks, generate_scaled};
+use delin_frontend::parse_program;
+use delin_numeric::Assumptions;
+use delin_vic::pipeline::{run_pipeline, PipelineConfig};
+use std::hint::black_box;
+
+fn fig1_census(c: &mut Criterion) {
+    let programs: Vec<_> = all_benchmarks()
+        .iter()
+        .map(|s| parse_program(&generate_scaled(s, 400)).expect("parses"))
+        .collect();
+    c.bench_function("fig1_census_corpus", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for p in &programs {
+                total += census(black_box(p), &Assumptions::new()).linearized_nests;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn fig3_table(c: &mut Criterion) {
+    c.bench_function("fig3_dependence_analysis", |b| {
+        b.iter(|| {
+            black_box(
+                run_pipeline(black_box(fig3_source()), &PipelineConfig::default()).unwrap(),
+            )
+        })
+    });
+}
+
+fn fig5_trace(c: &mut Criterion) {
+    let p = fig5_problem();
+    let config = DelinConfig { collect_trace: true, ..DelinConfig::default() };
+    c.bench_function("fig5_delinearize_with_trace", |b| {
+        b.iter(|| black_box(delinearize(black_box(&p), 0, &config)))
+    });
+}
+
+fn vectorize_end_to_end(c: &mut Criterion) {
+    let spec = all_benchmarks().into_iter().find(|s| s.name == "QCD").unwrap();
+    let src = generate_scaled(&spec, 150);
+    c.bench_function("vectorize_qcd_150_lines", |b| {
+        b.iter(|| black_box(run_pipeline(black_box(&src), &PipelineConfig::default()).unwrap()))
+    });
+}
+
+criterion_group!(benches, fig1_census, fig3_table, fig5_trace, vectorize_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for E4/E8: per-technique cost on the motivating
+//! example and throughput on the random linearized family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delin_bench::experiments::motivating_problem;
+use delin_core::DelinearizationTest;
+use delin_corpus::workload::{linearized_problem, LinearizedSpec};
+use delin_dep::banerjee::BanerjeeTest;
+use delin_dep::exact::ExactSolver;
+use delin_dep::fourier::FourierMotzkin;
+use delin_dep::gcd::GcdTest;
+use delin_dep::lambda::LambdaTest;
+use delin_dep::shostak::ShostakTest;
+use delin_dep::verdict::DependenceTest;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn intro_example(c: &mut Criterion) {
+    let p = motivating_problem();
+    let mut group = c.benchmark_group("intro_example");
+    group.bench_function("delinearization", |b| {
+        let t = DelinearizationTest::default();
+        b.iter(|| black_box(DependenceTest::<i128>::test(&t, black_box(&p))))
+    });
+    group.bench_function("gcd", |b| b.iter(|| black_box(GcdTest.test(black_box(&p)))));
+    group.bench_function("banerjee", |b| {
+        b.iter(|| black_box(BanerjeeTest.test(black_box(&p))))
+    });
+    group.bench_function("lambda", |b| b.iter(|| black_box(LambdaTest.test(black_box(&p)))));
+    group.bench_function("shostak", |b| {
+        let t = ShostakTest::default();
+        b.iter(|| black_box(t.test(black_box(&p))))
+    });
+    group.bench_function("fourier-motzkin-real", |b| {
+        let t = FourierMotzkin::real();
+        b.iter(|| black_box(t.test(black_box(&p))))
+    });
+    group.bench_function("fourier-motzkin-tighten", |b| {
+        let t = FourierMotzkin::tightened();
+        b.iter(|| black_box(t.test(black_box(&p))))
+    });
+    group.bench_function("exact", |b| {
+        let t = ExactSolver::default();
+        b.iter(|| black_box(t.test(black_box(&p))))
+    });
+    group.finish();
+}
+
+fn precision_family(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let spec = LinearizedSpec::default();
+    let problems: Vec<_> = (0..64).map(|_| linearized_problem(&mut rng, &spec)).collect();
+    let mut group = c.benchmark_group("linearized_family_64");
+    for (name, f) in [
+        (
+            "delinearization",
+            Box::new(|p: &_| DependenceTest::<i128>::test(&DelinearizationTest::default(), p))
+                as Box<dyn Fn(&delin_dep::problem::DependenceProblem<i128>) -> _>,
+        ),
+        ("banerjee", Box::new(|p: &_| BanerjeeTest.test(p))),
+        ("fourier-motzkin-tighten", Box::new(|p: &_| FourierMotzkin::tightened().test(p))),
+        ("exact", Box::new(|p: &_| ExactSolver::default().test(p))),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &problems, |b, ps| {
+            b.iter(|| {
+                let mut n = 0;
+                for p in ps {
+                    if f(black_box(p)).is_independent() {
+                        n += 1;
+                    }
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, intro_example, precision_family);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! E1 / Fig. 1: the RiCEPS linearized-reference census.
+//!
+//! Pass `--full` to generate the corpus at the paper's reported line
+//! counts (slower); the default uses size-reduced programs with identical
+//! linearized-nest counts.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    println!("E1 / Figure 1: loop nests containing linearized references (RiCEPS, synthetic)");
+    println!();
+    print!("{}", delin_bench::render_table(&delin_bench::experiments::fig1_rows(full)));
+    if !full {
+        println!();
+        println!("(size-reduced corpus; run with --full for the reported line counts)");
+    }
+}

@@ -1,0 +1,7 @@
+//! E2 / Fig. 3: dependences of the Allen–Kennedy example program.
+
+fn main() {
+    println!("E2 / Figure 3: dependences of the AK87 example program");
+    println!("{}", delin_bench::experiments::fig3_source());
+    print!("{}", delin_bench::render_table(&delin_bench::experiments::fig3_rows()));
+}

@@ -1,0 +1,8 @@
+//! E3 / Fig. 5: the delinearization algorithm trace on
+//! `100k1 - 100k2 + 10j1 - 10i2 + i1 - j2 - 110 = 0`.
+
+fn main() {
+    println!("E3 / Figure 5: delinearization trace");
+    println!();
+    print!("{}", delin_bench::experiments::fig5_trace_text());
+}

@@ -1,0 +1,7 @@
+//! E5: the MHL91 distance-vector example; delinearization recovers (2, 0).
+
+fn main() {
+    println!("E5: distance vectors for A(10i+j) = A(10(i+2)+j) + 7");
+    println!();
+    print!("{}", delin_bench::render_table(&delin_bench::experiments::distance_rows()));
+}

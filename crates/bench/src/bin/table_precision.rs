@@ -1,0 +1,14 @@
+//! E8: precision of each technique on the random linearized family.
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1000);
+    println!("E8: precision on {samples} random linearized dependence problems");
+    println!();
+    print!(
+        "{}",
+        delin_bench::render_table(&delin_bench::experiments::precision_rows(samples, 20260704))
+    );
+}

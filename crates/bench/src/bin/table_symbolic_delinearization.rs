@@ -1,0 +1,8 @@
+//! E6: symbolic delinearization of the Section 4 example.
+
+fn main() {
+    println!("E6: symbolic delinearization of A(N*N*k + N*j + i) vs A(N*N*k + j + N*i + N*N + N)");
+    println!("    (N >= 2; i,k in [0, N-2], j in [0, N-1])");
+    println!();
+    print!("{}", delin_bench::experiments::symbolic_trace_text());
+}

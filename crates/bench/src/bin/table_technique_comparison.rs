@@ -1,0 +1,8 @@
+//! E4: every implemented dependence test's verdict on the paper's
+//! motivating example `C(i + 10j)` vs `C(i + 10j + 5)`.
+
+fn main() {
+    println!("E4: technique comparison on i1 + 10j1 - i2 - 10j2 - 5 = 0, i in [0,4], j in [0,9]");
+    println!();
+    print!("{}", delin_bench::render_table(&delin_bench::experiments::technique_rows()));
+}

@@ -1,0 +1,15 @@
+//! E9: end-to-end vectorization of the synthetic corpus with and without
+//! delinearization.
+
+fn main() {
+    let lines: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    println!("E9: VIC pipeline on the synthetic corpus (scaled to ~{lines} lines/program)");
+    println!();
+    print!(
+        "{}",
+        delin_bench::render_table(&delin_bench::experiments::vectorizer_rows(lines))
+    );
+}

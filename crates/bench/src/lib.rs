@@ -1,0 +1,14 @@
+//! Experiment harness: the code behind every table and figure of the
+//! reproduction (see `DESIGN.md` for the experiment index E1–E9).
+//!
+//! Each experiment is a plain function returning structured rows so the
+//! same code backs the printing binaries in `src/bin/` and the Criterion
+//! benchmarks in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::render_table;

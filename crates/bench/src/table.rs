@@ -1,0 +1,61 @@
+//! Minimal aligned-table rendering for the experiment binaries.
+
+/// Renders rows (first row = header) as an aligned text table.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, r) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, cell) in r.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}", w = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let rows = vec![
+            vec!["name".to_string(), "count".to_string()],
+            vec!["a".to_string(), "1".to_string()],
+            vec!["long-name".to_string(), "10000".to_string()],
+        ];
+        let t = render_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "count" starts at the same offset everywhere.
+        let off = lines[0].find("count").unwrap();
+        assert_eq!(lines[2].len().min(off), off.min(lines[2].len()));
+        assert!(lines[3].contains("10000"));
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(render_table(&[]), "");
+    }
+}

@@ -1,0 +1,51 @@
+//! Delinearization: breaking multiloop dependence equations into
+//! independently solvable per-dimension equations.
+//!
+//! This crate is the reproduction of the central contribution of
+//! *Maslov, "Delinearization: an Efficient Way to Break Multiloop
+//! Dependence Equations", PLDI 1992*:
+//!
+//! * [`theorem`] — the separation theorem (the paper's Section 3 theorem)
+//!   as a checkable predicate, plus a brute-force verifier used by the
+//!   property tests;
+//! * [`algorithm`] — the delinearization algorithm of Fig. 4: order the
+//!   coefficients by magnitude, scan from small to large maintaining the
+//!   running prefix range `[smin, smax]` and the suffix gcds `gk`, and
+//!   separate a dimension whenever `max(|smin+r|, |smax+r|) < gk`;
+//!   performs the GCD test and per-dimension Banerjee checks *on the fly*
+//!   and computes per-dimension direction vectors with exact
+//!   small-equation solvers;
+//! * [`trace`] — the per-iteration trace that regenerates the paper's
+//!   Fig. 5 table;
+//! * [`test_impl`] — [`DelinearizationTest`], plugging the algorithm into
+//!   the `delin-dep` testing framework.
+//!
+//! # Example: the paper's motivating question
+//!
+//! Are `C(i1 + 10*j1)` and `C(i2 + 10*j2 + 5)` independent for
+//! `i ∈ [0,4]`, `j ∈ [0,9]`?
+//!
+//! ```
+//! use delin_core::DelinearizationTest;
+//! use delin_dep::{DependenceProblem, DependenceTest};
+//!
+//! let p = DependenceProblem::single_equation(
+//!     -5,
+//!     vec![1, 10, -1, -10],
+//!     vec![4, 9, 4, 9],
+//! );
+//! assert!(DelinearizationTest::default().test(&p).is_independent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod test_impl;
+pub mod theorem;
+pub mod trace;
+
+pub use algorithm::{delinearize, DelinConfig, DelinOutcome, Dimension, Separation};
+pub use test_impl::DelinearizationTest;
+pub use theorem::separation_condition;
+pub use trace::TraceRow;

@@ -1,0 +1,237 @@
+//! The separation theorem (paper Section 3).
+//!
+//! > **Theorem.** The set of solutions of the constrained equation
+//! > `c0 + c1·z1 + … + cn·zn = 0`, `zk ∈ [0, Zk]`, coincides with the
+//! > Cartesian product of the solution sets of
+//! > `d0 + c1·z1 + … + cm·zm = 0` (over `z1..zm`) and
+//! > `D0 + c_{m+1}·z_{m+1} + … + cn·zn = 0` (over the rest), provided
+//! > `c0 = d0 + D0` and
+//! > `gcd(D0, c_{m+1}, …, cn) > max(|d0 + Σ_{k≤m} ck⁻·Zk|,
+//! >                                |d0 + Σ_{k≤m} ck⁺·Zk|)`.
+//!
+//! [`separation_condition`] evaluates the premise (three-valued, to support
+//! symbolic coefficients); [`check_cartesian_product`] brute-force-verifies
+//! the conclusion for concrete instances and is used by the property tests.
+
+use delin_numeric::{Assumptions, Coeff, Trilean};
+
+/// Evaluates the theorem's premise for a split after position `m` (i.e.
+/// `prefix = (c, Z)` pairs `1..=m`, `suffix = (c, Z)` pairs `m+1..=n`) and
+/// constant decomposition `c0 = d0 + big_d0`.
+///
+/// Returns [`Trilean::True`] when the premise provably holds under the
+/// assumptions, [`Trilean::False`] when it provably fails, and
+/// [`Trilean::Unknown`] when a symbolic quantity cannot be decided.
+pub fn separation_condition<C: Coeff>(
+    prefix: &[(C, C)],
+    suffix: &[(C, C)],
+    d0: &C,
+    big_d0: &C,
+    assumptions: &Assumptions,
+) -> Trilean {
+    // G = gcd(D0, c_{m+1}, ..., cn)
+    let g = suffix.iter().fold(big_d0.clone(), |acc, (c, _)| acc.gcd(c));
+    if g.is_zero() {
+        // Empty suffix with D0 = 0: gcd is 0, never greater than a
+        // non-negative maximum.
+        return Trilean::False;
+    }
+    // cmin = d0 + Σ ck⁻ Zk ; cmax = d0 + Σ ck⁺ Zk.
+    let mut cmin = d0.clone();
+    let mut cmax = d0.clone();
+    for (c, z) in prefix {
+        let (Some(neg), Some(pos)) = (c.neg_part(assumptions), c.pos_part(assumptions)) else {
+            return Trilean::Unknown;
+        };
+        let (Ok(lo), Ok(hi)) = (neg.checked_mul(z), pos.checked_mul(z)) else {
+            return Trilean::Unknown;
+        };
+        let (Ok(nmin), Ok(nmax)) = (cmin.checked_add(&lo), cmax.checked_add(&hi)) else {
+            return Trilean::Unknown;
+        };
+        cmin = nmin;
+        cmax = nmax;
+    }
+    // max(|cmin|, |cmax|) < G  ⇔  -G < cmin ∧ cmax < G  (G > 0).
+    let (Ok(g_plus_cmin), Ok(g_minus_cmax)) = (g.checked_add(&cmin), g.checked_sub(&cmax))
+    else {
+        return Trilean::Unknown;
+    };
+    g_plus_cmin.is_pos(assumptions).and(g_minus_cmax.is_pos(assumptions))
+}
+
+/// Brute-force check of the theorem's conclusion for concrete data: the
+/// solution set of the whole equation equals the Cartesian product of the
+/// sub-equations' solution sets. Returns `false` if they differ (which
+/// would falsify the theorem — used as a property-test oracle).
+///
+/// All bounds must be small enough to enumerate.
+pub fn check_cartesian_product(
+    prefix: &[(i128, i128)],
+    suffix: &[(i128, i128)],
+    d0: i128,
+    big_d0: i128,
+) -> bool {
+    let full_solutions = enumerate(
+        d0 + big_d0,
+        &prefix.iter().chain(suffix).copied().collect::<Vec<_>>(),
+    );
+    let pre = enumerate(d0, prefix);
+    let suf = enumerate(big_d0, suffix);
+    let mut product = Vec::new();
+    for a in &pre {
+        for b in &suf {
+            let mut v = a.clone();
+            v.extend_from_slice(b);
+            product.push(v);
+        }
+    }
+    let mut full = full_solutions;
+    full.sort();
+    product.sort();
+    full == product
+}
+
+/// All solutions of `c0 + Σ ck·zk = 0` with `zk ∈ [0, Zk]` by enumeration.
+fn enumerate(c0: i128, terms: &[(i128, i128)]) -> Vec<Vec<i128>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0i128; terms.len()];
+    fn rec(
+        terms: &[(i128, i128)],
+        k: usize,
+        acc: i128,
+        cur: &mut Vec<i128>,
+        out: &mut Vec<Vec<i128>>,
+    ) {
+        if k == terms.len() {
+            if acc == 0 {
+                out.push(cur.clone());
+            }
+            return;
+        }
+        let (c, z) = terms[k];
+        for v in 0..=z.max(-1) {
+            cur[k] = v;
+            rec(terms, k + 1, acc + c * v, cur, out);
+        }
+    }
+    rec(terms, 0, c0, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_intro_split_satisfies_condition() {
+        // i1 + 10 j1 - i2 - 10 j2 - 5 = 0 splits as
+        //   prefix (i's): i1 - i2 - 5 = 0 (d0 = -5)
+        //   suffix (j's): 10 j1 - 10 j2 = 0 (D0 = 0)
+        // Condition: gcd(0, 10, 10) = 10 > max(|-5 + (-1)*4|, |-5 + 1*4|)
+        //          = max(9, 1) = 9. Holds.
+        let prefix = [(1i128, 4i128), (-1, 4)];
+        let suffix = [(10i128, 9i128), (-10, 9)];
+        let cond =
+            separation_condition(&prefix, &suffix, &-5, &0, &Assumptions::new());
+        assert!(cond.is_true());
+        assert!(check_cartesian_product(&prefix, &suffix, -5, 0));
+    }
+
+    #[test]
+    fn violated_condition_detected() {
+        // Make the prefix range too wide: i in [0, 20].
+        let prefix = [(1i128, 20i128), (-1, 20)];
+        let suffix = [(10i128, 9i128), (-10, 9)];
+        let cond =
+            separation_condition(&prefix, &suffix, &-5, &0, &Assumptions::new());
+        assert!(cond.is_false());
+        // And indeed the Cartesian-product property fails here: e.g.
+        // i1 - i2 = 15 with 10(j1 - j2) = -10 solves the whole equation but
+        // the prefix equation i1 - i2 - 5 = 0 does not contain it.
+        assert!(!check_cartesian_product(&prefix, &suffix, -5, 0));
+    }
+
+    #[test]
+    fn symbolic_condition() {
+        use delin_numeric::SymPoly;
+        // Section 4 example, first separation: prefix {i} with Z = N-1,
+        // suffix {j: N, k: N²} and D0 = N² + N − ... simplified check:
+        // gcd(N·…) = N > max over prefix |i| ≤ N-1 with d0 = 0.
+        let n = SymPoly::symbol("N");
+        let nm1 = n.checked_sub(&SymPoly::one()).unwrap();
+        let n2 = n.checked_mul(&n).unwrap();
+        let prefix = [(SymPoly::one(), nm1.clone())];
+        let suffix = [(n.clone(), nm1.clone()), (n2.clone(), nm1.clone())];
+        let mut a = Assumptions::new();
+        a.set_lower_bound("N", 2);
+        let cond = separation_condition(
+            &prefix,
+            &suffix,
+            &SymPoly::zero(),
+            &SymPoly::zero(),
+            &a,
+        );
+        // gcd(0, N, N²) = N > max(0, N-1): N - (N-1) = 1 > 0. True.
+        assert!(cond.is_true());
+        // Without assumptions (N possibly 0) it cannot be decided.
+        let cond = separation_condition(
+            &prefix,
+            &suffix,
+            &SymPoly::zero(),
+            &SymPoly::zero(),
+            &Assumptions::new(),
+        );
+        assert!(cond.is_unknown());
+    }
+
+    #[test]
+    fn empty_suffix_with_zero_d0_is_false() {
+        let prefix = [(1i128, 4i128)];
+        let cond =
+            separation_condition::<i128>(&prefix, &[], &0, &0, &Assumptions::new());
+        assert!(cond.is_false());
+    }
+
+    proptest! {
+        /// The theorem itself: whenever the premise holds on concrete data,
+        /// the solution set factors as a Cartesian product.
+        #[test]
+        fn theorem_holds(
+            pc in prop::collection::vec((-4i128..=4, 0i128..=4), 1..3),
+            scale in 5i128..40,
+            sc in prop::collection::vec((-3i128..=3, 0i128..=4), 1..3),
+            d0 in -6i128..=6,
+            big_mul in -3i128..=3,
+        ) {
+            // Build a suffix whose coefficients are multiples of `scale` so
+            // the premise has a chance of holding.
+            let suffix: Vec<(i128, i128)> =
+                sc.iter().map(|&(c, z)| (c * scale, z)).collect();
+            let g = suffix.iter().fold(0i128, |g, &(c, _)| delin_numeric::gcd(g, c));
+            let big_d0 = big_mul * if g == 0 { scale } else { g };
+            let cond = separation_condition(
+                &pc, &suffix, &d0, &big_d0, &Assumptions::new());
+            if cond.is_true() {
+                prop_assert!(check_cartesian_product(&pc, &suffix, d0, big_d0));
+            }
+        }
+
+        /// The premise evaluator agrees with a direct computation.
+        #[test]
+        fn condition_matches_direct(
+            pc in prop::collection::vec((-5i128..=5, 0i128..=5), 0..3),
+            sc in prop::collection::vec((-30i128..=30, 0i128..=5), 0..3),
+            d0 in -10i128..=10,
+            big_d0 in -30i128..=30,
+        ) {
+            let g = sc.iter().fold(big_d0, |g, &(c, _)| delin_numeric::gcd(g, c));
+            let cmin: i128 = d0 + pc.iter().map(|&(c, z)| c.min(0) * z).sum::<i128>();
+            let cmax: i128 = d0 + pc.iter().map(|&(c, z)| c.max(0) * z).sum::<i128>();
+            let expect = g > 0 && cmin.abs().max(cmax.abs()) < g;
+            let got = separation_condition(&pc, &sc, &d0, &big_d0, &Assumptions::new());
+            prop_assert_eq!(got.is_true(), expect);
+        }
+    }
+}

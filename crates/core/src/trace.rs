@@ -1,0 +1,120 @@
+//! The per-iteration trace of the delinearization algorithm.
+//!
+//! The paper's Fig. 5 tabulates, for each iteration `k` of the scan, the
+//! current coefficient `c_Ik`, the running prefix range `[smin, smax]`, the
+//! running constant `c0`, the suffix gcd `gk`, and the equation separated
+//! at that iteration (if any). [`TraceRow`] captures exactly those columns
+//! and [`render_trace`] prints the table.
+
+use delin_numeric::Coeff;
+use std::fmt::Write as _;
+
+/// One row of the algorithm trace (one iteration of the Fig. 4 loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow<C> {
+    /// Iteration index `k` (1-based position in the sorted coefficient
+    /// order; the final row is `n + 1`).
+    pub k: usize,
+    /// The coefficient `c_Ik` examined after this iteration's separation
+    /// check (`None` on the final, always-separating iteration).
+    pub coeff: Option<C>,
+    /// Running prefix minimum before the check.
+    pub smin: Option<C>,
+    /// Running prefix maximum before the check.
+    pub smax: Option<C>,
+    /// Running constant `c0` at the time of the check.
+    pub c0: C,
+    /// The suffix gcd `gk` (`None` represents `g_{n+1} = ∞`).
+    pub g: Option<C>,
+    /// The remainder `r` used for the check, when computable.
+    pub r: Option<C>,
+    /// Rendered separated equation, when this iteration separated one.
+    pub separated: Option<String>,
+}
+
+/// Renders trace rows as an aligned table in the style of the paper's
+/// Fig. 5.
+pub fn render_trace<C: Coeff>(rows: &[TraceRow<C>]) -> String {
+    let mut table: Vec<[String; 7]> = Vec::with_capacity(rows.len() + 1);
+    table.push([
+        "k".into(),
+        "c_Ik".into(),
+        "smin".into(),
+        "smax".into(),
+        "c0".into(),
+        "gk".into(),
+        "separated equation".into(),
+    ]);
+    let fmt_opt = |v: &Option<C>| v.as_ref().map_or("-".to_string(), |c| c.to_string());
+    for row in rows {
+        table.push([
+            row.k.to_string(),
+            fmt_opt(&row.coeff),
+            fmt_opt(&row.smin),
+            fmt_opt(&row.smax),
+            row.c0.to_string(),
+            row.g.as_ref().map_or("inf".to_string(), |g| g.to_string()),
+            row.separated.clone().unwrap_or_default(),
+        ]);
+    }
+    let mut widths = [0usize; 7];
+    for r in &table {
+        for (w, cell) in widths.iter_mut().zip(r.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for r in &table {
+        for (i, (w, cell)) in widths.iter().zip(r.iter()).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = *w);
+        }
+        // Trim right padding of the last column.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let rows = vec![
+            TraceRow::<i128> {
+                k: 1,
+                coeff: Some(-1),
+                smin: Some(0),
+                smax: Some(0),
+                c0: -110,
+                g: Some(1),
+                r: Some(0),
+                separated: Some("0 = 0".into()),
+            },
+            TraceRow::<i128> {
+                k: 7,
+                coeff: None,
+                smin: Some(-800),
+                smax: Some(800),
+                c0: -100,
+                g: None,
+                r: Some(-100),
+                separated: Some("100*k1 - 100*k2 - 100 = 0".into()),
+            },
+        ];
+        let s = render_trace(&rows);
+        assert!(s.contains("gk"));
+        assert!(s.contains("inf"));
+        assert!(s.contains("100*k1 - 100*k2 - 100 = 0"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header columns aligned with data columns.
+        assert!(lines[0].contains("smin"));
+    }
+}

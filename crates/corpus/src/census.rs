@@ -1,0 +1,175 @@
+//! Linearized-reference census (the measurement behind Fig. 1).
+//!
+//! A reference is *linearized* when a single subscript dimension is an
+//! affine function of two or more loop variables whose coefficients have
+//! different magnitudes (the paper's "different order contributions"), or
+//! has symbolic (run-time dimensioning) coefficients. The census counts
+//! the outermost loop nests containing at least one such reference,
+//! exactly the quantity Fig. 1 tabulates for RiCEPS.
+
+use delin_frontend::access::{collect_accesses, Subscript};
+use delin_frontend::ast::Program;
+use delin_frontend::induction::substitute_inductions;
+use delin_numeric::Assumptions;
+use std::collections::BTreeSet;
+
+/// Census outcome for one program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CensusResult {
+    /// Outermost loop nests containing at least one linearized reference.
+    pub linearized_nests: usize,
+    /// All outermost loop nests.
+    pub total_nests: usize,
+    /// Individual linearized references.
+    pub linearized_refs: usize,
+    /// References whose linearization came from an induction variable
+    /// (detected only after substitution).
+    pub induction_variables: usize,
+}
+
+/// Is this subscript a linearized index?
+fn is_linearized(sub: &Subscript) -> bool {
+    let Subscript::Affine(a) = sub else {
+        return false;
+    };
+    if a.num_vars() < 2 {
+        return false;
+    }
+    // Different orders of contribution: coefficient magnitudes differ, or
+    // some coefficient is symbolic (run-time dimensioning).
+    let mut mags = BTreeSet::new();
+    for (_, c) in a.terms() {
+        match c.as_constant() {
+            Some(v) => {
+                mags.insert(v.unsigned_abs());
+            }
+            None => return true, // symbolic stride
+        }
+    }
+    mags.len() >= 2
+}
+
+/// Runs the census on a program. Induction variables are substituted first
+/// (the paper counts the BOAST `IB` pattern as a linearized reference).
+pub fn census(program: &Program, assumptions: &Assumptions) -> CensusResult {
+    let (substituted, reports) = substitute_inductions(program);
+    let sites = collect_accesses(&substituted, assumptions);
+    let mut result = CensusResult {
+        induction_variables: reports.len(),
+        ..CensusResult::default()
+    };
+    let mut linearized_nest_ids: BTreeSet<u32> = BTreeSet::new();
+    let mut all_nest_ids: BTreeSet<u32> = BTreeSet::new();
+    for site in &sites {
+        let Some(outer) = site.loops.first() else {
+            continue;
+        };
+        all_nest_ids.insert(outer.uid);
+        // A reference counts when it has exactly one dimension carrying a
+        // linearized index (multi-dimensional arrays may also have one
+        // linearized dimension after partial linearization).
+        if site.subscripts.iter().any(is_linearized) {
+            result.linearized_refs += 1;
+            linearized_nest_ids.insert(outer.uid);
+        }
+    }
+    result.linearized_nests = linearized_nest_ids.len();
+    result.total_nests = all_nest_ids.len();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delin_frontend::parse_program;
+
+    fn run(src: &str) -> CensusResult {
+        census(&parse_program(src).unwrap(), &Assumptions::new())
+    }
+
+    #[test]
+    fn detects_hand_linearized_nest() {
+        let r = run("
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+        1   C(i + 10*j) = C(i + 10*j + 5)
+            END
+        ");
+        assert_eq!(r.linearized_nests, 1);
+        assert_eq!(r.total_nests, 1);
+        assert_eq!(r.linearized_refs, 2);
+    }
+
+    #[test]
+    fn multidimensional_references_not_counted() {
+        let r = run("
+            REAL A(0:9, 0:9)
+            DO 1 i = 0, 9
+            DO 1 j = 0, 9
+        1   A(i, j) = A(i, j) + 1
+            END
+        ");
+        assert_eq!(r.linearized_nests, 0);
+        assert_eq!(r.total_nests, 1);
+    }
+
+    #[test]
+    fn unit_stride_combinations_not_counted() {
+        // i + j has equal coefficient magnitudes: a diagonal access, not a
+        // linearized multidimensional one.
+        let r = run("
+            REAL A(0:99)
+            DO 1 i = 0, 9
+            DO 1 j = 0, 9
+        1   A(i + j) = 0
+            END
+        ");
+        assert_eq!(r.linearized_nests, 0);
+    }
+
+    #[test]
+    fn symbolic_run_time_dimensioning_counted() {
+        let r = run("
+            REAL A(0:NX*NY - 1)
+            DO 1 j = 0, NY - 1
+            DO 1 i = 0, NX - 1
+        1   A(i + NX*j) = 0
+            END
+        ");
+        assert_eq!(r.linearized_nests, 1);
+    }
+
+    #[test]
+    fn induction_variable_nests_counted() {
+        let r = run("
+            REAL B(0:999)
+            IB = -1
+            DO 1 I = 0, 9
+            DO 1 J = 0, 9
+            DO 1 K = 0, 9
+              IB = IB + 1
+        1   B(IB) = B(IB) + 1
+            END
+        ");
+        assert_eq!(r.induction_variables, 1);
+        assert_eq!(r.linearized_nests, 1);
+    }
+
+    #[test]
+    fn counts_nests_not_references() {
+        let r = run("
+            REAL A(0:99), B(0:99)
+            DO 1 i = 0, 9
+            DO 1 j = 0, 9
+              A(i + 10*j) = 1
+        1   B(i + 10*j) = 2
+            DO 2 i = 0, 9
+        2   A(i) = 3
+            END
+        ");
+        assert_eq!(r.linearized_refs, 2);
+        assert_eq!(r.linearized_nests, 1);
+        assert_eq!(r.total_nests, 2);
+    }
+}

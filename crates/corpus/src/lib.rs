@@ -1,0 +1,21 @@
+//! Synthetic benchmark corpus and workload generators.
+//!
+//! The paper's only external artifact is the RiCEPS benchmark suite
+//! (Fig. 1), which is not publicly available. [`riceps`] generates a
+//! *synthetic* mini-FORTRAN stand-in for each of the eight programs,
+//! matching the paper's reported size and number of loop nests containing
+//! linearized references; [`census`] implements the detector that measures
+//! those counts (reproducing Fig. 1 as experiment E1). [`workload`]
+//! generates the random linearized dependence problems used by the
+//! precision (E8) and scaling (E7) experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod riceps;
+pub mod workload;
+
+pub use census::{census, CensusResult};
+pub use riceps::{all_benchmarks, BenchmarkSpec, ExpectedCount};
+pub use workload::{linearized_problem, scaling_problem, LinearizedSpec};

@@ -1,0 +1,186 @@
+//! Random dependence-problem workloads for the precision and scaling
+//! experiments.
+//!
+//! [`linearized_problem`] draws random *linearized* pair equations — the
+//! family the paper's technique targets: a reference `A(Σ ck·xk + off1)`
+//! against `A(Σ ck·xk + off2)` where the strides `ck` are products of
+//! dimension extents. [`scaling_problem`] produces the same family with a
+//! controlled number of loop variables for the O(n) scaling study (E7).
+
+use delin_dep::problem::DependenceProblem;
+use rand::Rng;
+
+/// Parameters of the random linearized family.
+#[derive(Debug, Clone)]
+pub struct LinearizedSpec {
+    /// Number of loops per reference (the equation has `2·loops` vars).
+    pub loops: usize,
+    /// Inclusive range of per-dimension extents.
+    pub extent_range: (i128, i128),
+    /// Inclusive range of the constant offset between the two references.
+    pub offset_range: (i128, i128),
+    /// Probability that a loop's iteration range covers only part of the
+    /// dimension (making independence more likely).
+    pub partial_range_prob: f64,
+}
+
+impl Default for LinearizedSpec {
+    fn default() -> Self {
+        LinearizedSpec {
+            loops: 2,
+            extent_range: (4, 12),
+            offset_range: (-30, 30),
+            partial_range_prob: 0.5,
+        }
+    }
+}
+
+/// Draws one random linearized dependence problem
+/// (`Σ ck·x1k − Σ ck·x2k + off = 0`).
+pub fn linearized_problem<R: Rng>(rng: &mut R, spec: &LinearizedSpec) -> DependenceProblem<i128> {
+    let n = spec.loops;
+    // Dimension extents and the resulting strides (column-major).
+    let mut extents = Vec::with_capacity(n);
+    for _ in 0..n {
+        extents.push(rng.gen_range(spec.extent_range.0..=spec.extent_range.1));
+    }
+    let mut strides = Vec::with_capacity(n);
+    let mut s = 1i128;
+    for e in &extents {
+        strides.push(s);
+        s *= e;
+    }
+    // Loop bounds: full or partial dimension coverage.
+    let mut uppers = Vec::with_capacity(n);
+    for e in &extents {
+        if rng.gen_bool(spec.partial_range_prob) {
+            uppers.push(rng.gen_range(1..=(e - 1).max(1)));
+        } else {
+            uppers.push(e - 1);
+        }
+    }
+    let offset = rng.gen_range(spec.offset_range.0..=spec.offset_range.1);
+    // Equation over (x1..., x2...): Σ s_k x1k − Σ s_k x2k − offset = 0.
+    let mut coeffs = Vec::with_capacity(2 * n);
+    coeffs.extend(strides.iter().copied());
+    coeffs.extend(strides.iter().map(|s| -s));
+    let mut bounds = Vec::with_capacity(2 * n);
+    bounds.extend(uppers.iter().copied());
+    bounds.extend(uppers.iter().copied());
+
+    let mut b = DependenceProblem::<i128>::builder();
+    let mut src = Vec::new();
+    let mut snk = Vec::new();
+    for (k, u) in bounds.iter().enumerate() {
+        let side = if k < n { 1 } else { 2 };
+        let idx = b.var(format!("x{side}_{}", k % n), *u);
+        if k < n {
+            src.push(idx);
+        } else {
+            snk.push(idx);
+        }
+    }
+    for k in 0..n {
+        b.common_pair(src[k], snk[k]);
+    }
+    b.equation(-offset, coeffs);
+    b.build()
+}
+
+/// A deterministic linearized problem with `loops` loop variables per side
+/// and geometric strides — the scaling workload: the paper's motivating
+/// example generalized to `loops` dimensions. Strides are `base^k`; every
+/// variable ranges over `[0, base/2 − 1]` and the constant offset is
+/// `base/2`, so the lowest dimension can never supply a residue of
+/// `±base/2` and the problem is always independent (every technique does
+/// full work).
+///
+/// # Panics
+///
+/// Panics unless `base` is even and at least 4.
+pub fn scaling_problem(loops: usize, base: i128) -> DependenceProblem<i128> {
+    assert!(base >= 4 && base % 2 == 0, "base must be even and >= 4");
+    let half = base / 2;
+    let mut coeffs = Vec::with_capacity(2 * loops);
+    let mut bounds = Vec::with_capacity(2 * loops);
+    let mut s = 1i128;
+    for _ in 0..loops {
+        coeffs.push(s);
+        bounds.push(half - 1);
+        s = s.saturating_mul(base);
+    }
+    let strides: Vec<i128> = coeffs.clone();
+    coeffs.extend(strides.iter().map(|c| -c));
+    bounds.extend_from_within(..loops);
+    DependenceProblem::single_equation(-half, coeffs, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delin_core::DelinearizationTest;
+    use delin_dep::exact::{ExactSolver, SolveOutcome};
+    use delin_dep::verdict::DependenceTest;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linearized_problems_are_well_formed() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let spec = LinearizedSpec::default();
+        for _ in 0..50 {
+            let p = linearized_problem(&mut rng, &spec);
+            assert_eq!(p.num_vars(), 4);
+            assert_eq!(p.equations().len(), 1);
+            assert_eq!(p.common_loops().len(), 2);
+            assert!(p.is_concrete());
+            // Strides mirror between the two sides.
+            let eq = &p.equations()[0];
+            for k in 0..2 {
+                assert_eq!(eq.coeffs[k], -eq.coeffs[k + 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_problem_is_always_independent() {
+        let solver = ExactSolver::default();
+        for loops in 1..=6 {
+            let p = scaling_problem(loops, 10);
+            assert_eq!(p.num_vars(), 2 * loops);
+            assert_eq!(solver.solve(&p), SolveOutcome::NoSolution, "loops={loops}");
+            assert!(
+                DelinearizationTest::default().test(&p).is_independent(),
+                "loops={loops}"
+            );
+        }
+    }
+
+    #[test]
+    fn delinearization_sound_on_the_random_family() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let spec = LinearizedSpec::default();
+        let solver = ExactSolver::default();
+        let t = DelinearizationTest::default();
+        let mut independents = 0;
+        for _ in 0..300 {
+            let p = linearized_problem(&mut rng, &spec);
+            let truth = solver.solve(&p);
+            let got = t.test(&p);
+            match truth {
+                SolveOutcome::Solution(_) => {
+                    assert!(got.is_dependent(), "unsound on {p}");
+                }
+                SolveOutcome::NoSolution => {
+                    if got.is_independent() {
+                        independents += 1;
+                    }
+                }
+                SolveOutcome::LimitExceeded => {}
+            }
+        }
+        // The family is linearized, so delinearization should prove many
+        // independences.
+        assert!(independents > 10, "only {independents} proven independent");
+    }
+}

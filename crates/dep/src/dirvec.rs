@@ -1,0 +1,467 @@
+//! Direction vectors, distance vectors, and their algebra.
+//!
+//! A *direction vector* (paper Section 2, after Wolfe) records, per common
+//! loop, the relation between the source iteration `α` and sink iteration
+//! `β` of a dependence: `<` when `α < β`, `=` when equal, `>` when `α > β`,
+//! plus the summary relations `≤, ≥, ≠, *`. A *distance vector* records the
+//! exact difference `β − α` when it is constant; a *distance-direction
+//! vector* mixes the two, using a distance where one exists and a direction
+//! elsewhere.
+
+use std::fmt;
+
+/// A per-loop direction relation between source and sink iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Source iteration strictly before sink (`α < β`).
+    Lt,
+    /// Same iteration.
+    Eq,
+    /// Source iteration strictly after sink.
+    Gt,
+    /// `≤` (summary of `<` and `=`).
+    Le,
+    /// `≥` (summary of `>` and `=`).
+    Ge,
+    /// `≠` (summary of `<` and `>`).
+    Ne,
+    /// `*`: any relation.
+    Any,
+}
+
+impl Dir {
+    /// The atomic relations (`<`, `=`, `>`) covered by this direction.
+    pub fn atoms(self) -> &'static [Dir] {
+        match self {
+            Dir::Lt => &[Dir::Lt],
+            Dir::Eq => &[Dir::Eq],
+            Dir::Gt => &[Dir::Gt],
+            Dir::Le => &[Dir::Lt, Dir::Eq],
+            Dir::Ge => &[Dir::Gt, Dir::Eq],
+            Dir::Ne => &[Dir::Lt, Dir::Gt],
+            Dir::Any => &[Dir::Lt, Dir::Eq, Dir::Gt],
+        }
+    }
+
+    /// Rebuilds a direction from a set of atoms; `None` for the empty set.
+    pub fn from_atoms(lt: bool, eq: bool, gt: bool) -> Option<Dir> {
+        match (lt, eq, gt) {
+            (false, false, false) => None,
+            (true, false, false) => Some(Dir::Lt),
+            (false, true, false) => Some(Dir::Eq),
+            (false, false, true) => Some(Dir::Gt),
+            (true, true, false) => Some(Dir::Le),
+            (false, true, true) => Some(Dir::Ge),
+            (true, false, true) => Some(Dir::Ne),
+            (true, true, true) => Some(Dir::Any),
+        }
+    }
+
+    /// `true` when this direction is one of the atoms `<`, `=`, `>`.
+    pub fn is_atomic(self) -> bool {
+        matches!(self, Dir::Lt | Dir::Eq | Dir::Gt)
+    }
+
+    /// Set intersection of the atom sets; `None` when disjoint.
+    pub fn meet(self, other: Dir) -> Option<Dir> {
+        let mine = self.atoms();
+        let theirs = other.atoms();
+        let lt = mine.contains(&Dir::Lt) && theirs.contains(&Dir::Lt);
+        let eq = mine.contains(&Dir::Eq) && theirs.contains(&Dir::Eq);
+        let gt = mine.contains(&Dir::Gt) && theirs.contains(&Dir::Gt);
+        Dir::from_atoms(lt, eq, gt)
+    }
+
+    /// Set union of the atom sets.
+    pub fn join(self, other: Dir) -> Dir {
+        let mine = self.atoms();
+        let theirs = other.atoms();
+        let lt = mine.contains(&Dir::Lt) || theirs.contains(&Dir::Lt);
+        let eq = mine.contains(&Dir::Eq) || theirs.contains(&Dir::Eq);
+        let gt = mine.contains(&Dir::Gt) || theirs.contains(&Dir::Gt);
+        Dir::from_atoms(lt, eq, gt).expect("union of nonempty sets is nonempty")
+    }
+
+    /// `true` when `self`'s atoms are a subset of `other`'s.
+    pub fn subsumed_by(self, other: Dir) -> bool {
+        self.atoms().iter().all(|a| other.atoms().contains(a))
+    }
+
+    /// The direction with `<` and `>` swapped (dependence reversal).
+    pub fn reverse(self) -> Dir {
+        match self {
+            Dir::Lt => Dir::Gt,
+            Dir::Gt => Dir::Lt,
+            Dir::Le => Dir::Ge,
+            Dir::Ge => Dir::Le,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::Lt => "<",
+            Dir::Eq => "=",
+            Dir::Gt => ">",
+            Dir::Le => "<=",
+            Dir::Ge => ">=",
+            Dir::Ne => "!=",
+            Dir::Any => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A direction vector: one [`Dir`] per common loop, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirVec(pub Vec<Dir>);
+
+impl DirVec {
+    /// The all-`*` vector of the given length — "no information yet".
+    pub fn any(len: usize) -> DirVec {
+        DirVec(vec![Dir::Any; len])
+    }
+
+    /// Vector length (number of common loops).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty vector (no common loops).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component-wise meet; `None` when any component is disjoint
+    /// (the paper's `dv ⊓ nv ≠ ∅` filter in Fig. 4).
+    pub fn meet(&self, other: &DirVec) -> Option<DirVec> {
+        debug_assert_eq!(self.len(), other.len());
+        let mut out = Vec::with_capacity(self.len());
+        for (&a, &b) in self.0.iter().zip(&other.0) {
+            out.push(a.meet(b)?);
+        }
+        Some(DirVec(out))
+    }
+
+    /// `true` when every component of `self` is subsumed by `other`.
+    pub fn subsumed_by(&self, other: &DirVec) -> bool {
+        self.len() == other.len()
+            && self.0.iter().zip(&other.0).all(|(&a, &b)| a.subsumed_by(b))
+    }
+
+    /// Enumerates all atomic decompositions (Cartesian product of atoms).
+    pub fn atomic_decompositions(&self) -> Vec<DirVec> {
+        let mut acc = vec![Vec::new()];
+        for &d in &self.0 {
+            let mut next = Vec::new();
+            for prefix in &acc {
+                for &a in d.atoms() {
+                    let mut v = prefix.clone();
+                    v.push(a);
+                    next.push(v);
+                }
+            }
+            acc = next;
+        }
+        acc.into_iter().map(DirVec).collect()
+    }
+
+    /// The reversed vector (for normalizing `>`-leading dependences).
+    pub fn reverse(&self) -> DirVec {
+        DirVec(self.0.iter().map(|d| d.reverse()).collect())
+    }
+
+    /// `true` when the leftmost non-`=` atom can only be `>` — i.e. the
+    /// "dependence" actually flows backwards and should be reversed.
+    pub fn is_backward(&self) -> bool {
+        for &d in &self.0 {
+            match d {
+                Dir::Eq => continue,
+                Dir::Gt => return true,
+                _ => return false,
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for DirVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One element of a distance-direction vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistDir {
+    /// A constant distance `β − α`.
+    Dist(i128),
+    /// No constant distance; fall back to a direction.
+    Dir(Dir),
+}
+
+impl DistDir {
+    /// The direction implied by this element.
+    pub fn dir(&self) -> Dir {
+        match *self {
+            DistDir::Dist(d) => {
+                if d > 0 {
+                    Dir::Lt
+                } else if d == 0 {
+                    Dir::Eq
+                } else {
+                    Dir::Gt
+                }
+            }
+            DistDir::Dir(d) => d,
+        }
+    }
+}
+
+impl fmt::Display for DistDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistDir::Dist(d) => write!(f, "{d}"),
+            DistDir::Dir(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// A distance-direction vector: exact distances where they exist,
+/// directions elsewhere (paper Section 2, "Distance-direction vectors").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DistDirVec(pub Vec<DistDir>);
+
+impl DistDirVec {
+    /// The direction vector obtained by forgetting distances.
+    pub fn to_dir_vec(&self) -> DirVec {
+        DirVec(self.0.iter().map(DistDir::dir).collect())
+    }
+
+    /// `Some` when every element is a constant distance.
+    pub fn as_distance_vector(&self) -> Option<Vec<i128>> {
+        self.0
+            .iter()
+            .map(|e| match e {
+                DistDir::Dist(d) => Some(*d),
+                DistDir::Dir(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for DistDirVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Summarizes a set of direction vectors without losing precision (paper
+/// Section 2): two vectors merge when they differ in at most one position,
+/// because then the merged vector's atomic decompositions are exactly the
+/// union of the operands' decompositions. `(<,=)` and `(=,<)` therefore do
+/// **not** merge (they differ in two positions), matching the paper's
+/// warning.
+///
+/// ```
+/// use delin_dep::dirvec::{summarize, Dir, DirVec};
+/// let v = summarize(vec![
+///     DirVec(vec![Dir::Eq, Dir::Lt]),
+///     DirVec(vec![Dir::Eq, Dir::Eq]),
+/// ]);
+/// assert_eq!(v, vec![DirVec(vec![Dir::Eq, Dir::Le])]);
+/// ```
+pub fn summarize(mut vecs: Vec<DirVec>) -> Vec<DirVec> {
+    vecs.sort();
+    vecs.dedup();
+    // Drop vectors already subsumed by another.
+    let mut kept: Vec<DirVec> = Vec::new();
+    for v in vecs {
+        if !kept.iter().any(|k| v.subsumed_by(k)) {
+            kept.retain(|k| !k.subsumed_by(&v));
+            kept.push(v);
+        }
+    }
+    // Fixpoint pairwise merging of vectors differing in exactly one slot.
+    loop {
+        let mut merged = false;
+        'outer: for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                if let Some(m) = try_merge(&kept[i], &kept[j]) {
+                    kept.swap_remove(j);
+                    kept.swap_remove(i);
+                    kept.push(m);
+                    merged = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged {
+            kept.sort();
+            return kept;
+        }
+    }
+}
+
+fn try_merge(a: &DirVec, b: &DirVec) -> Option<DirVec> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut diff = None;
+    for (k, (&x, &y)) in a.0.iter().zip(&b.0).enumerate() {
+        if x != y {
+            if diff.is_some() {
+                return None;
+            }
+            diff = Some(k);
+        }
+    }
+    let k = diff?; // identical vectors were deduped already
+    let mut out = a.clone();
+    out.0[k] = a.0[k].join(b.0[k]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_roundtrip() {
+        for d in [Dir::Lt, Dir::Eq, Dir::Gt, Dir::Le, Dir::Ge, Dir::Ne, Dir::Any] {
+            let atoms = d.atoms();
+            let lt = atoms.contains(&Dir::Lt);
+            let eq = atoms.contains(&Dir::Eq);
+            let gt = atoms.contains(&Dir::Gt);
+            assert_eq!(Dir::from_atoms(lt, eq, gt), Some(d));
+        }
+        assert_eq!(Dir::from_atoms(false, false, false), None);
+    }
+
+    #[test]
+    fn meet_join() {
+        assert_eq!(Dir::Le.meet(Dir::Ge), Some(Dir::Eq));
+        assert_eq!(Dir::Lt.meet(Dir::Gt), None);
+        assert_eq!(Dir::Any.meet(Dir::Ne), Some(Dir::Ne));
+        assert_eq!(Dir::Lt.join(Dir::Eq), Dir::Le);
+        assert_eq!(Dir::Lt.join(Dir::Gt), Dir::Ne);
+        assert_eq!(Dir::Le.join(Dir::Ge), Dir::Any);
+        assert!(Dir::Lt.subsumed_by(Dir::Le));
+        assert!(!Dir::Le.subsumed_by(Dir::Lt));
+        assert!(Dir::Lt.is_atomic());
+        assert!(!Dir::Le.is_atomic());
+    }
+
+    #[test]
+    fn reverse() {
+        assert_eq!(Dir::Lt.reverse(), Dir::Gt);
+        assert_eq!(Dir::Le.reverse(), Dir::Ge);
+        assert_eq!(Dir::Eq.reverse(), Dir::Eq);
+        assert_eq!(Dir::Ne.reverse(), Dir::Ne);
+        let v = DirVec(vec![Dir::Gt, Dir::Eq]);
+        assert!(v.is_backward());
+        assert_eq!(v.reverse(), DirVec(vec![Dir::Lt, Dir::Eq]));
+        assert!(!DirVec(vec![Dir::Eq, Dir::Lt]).is_backward());
+        assert!(!DirVec(vec![Dir::Eq, Dir::Eq]).is_backward());
+        assert!(!DirVec(vec![Dir::Any]).is_backward());
+    }
+
+    #[test]
+    fn vector_meet_and_decompose() {
+        let a = DirVec(vec![Dir::Any, Dir::Le]);
+        let b = DirVec(vec![Dir::Lt, Dir::Ge]);
+        assert_eq!(a.meet(&b), Some(DirVec(vec![Dir::Lt, Dir::Eq])));
+        let c = DirVec(vec![Dir::Lt, Dir::Gt]);
+        let d = DirVec(vec![Dir::Lt, Dir::Eq]);
+        assert_eq!(c.meet(&d), None);
+        let decomp = a.atomic_decompositions();
+        assert_eq!(decomp.len(), 6);
+        assert!(decomp.contains(&DirVec(vec![Dir::Gt, Dir::Eq])));
+        assert_eq!(DirVec::any(2).atomic_decompositions().len(), 9);
+    }
+
+    #[test]
+    fn summarize_paper_rules() {
+        // (>) + (=) = (>=)
+        let v = summarize(vec![DirVec(vec![Dir::Gt]), DirVec(vec![Dir::Eq])]);
+        assert_eq!(v, vec![DirVec(vec![Dir::Ge])]);
+        // (>) + (<) = (!=)
+        let v = summarize(vec![DirVec(vec![Dir::Gt]), DirVec(vec![Dir::Lt])]);
+        assert_eq!(v, vec![DirVec(vec![Dir::Ne])]);
+        // (<) + (=) + (>) = (*)
+        let v = summarize(vec![
+            DirVec(vec![Dir::Lt]),
+            DirVec(vec![Dir::Eq]),
+            DirVec(vec![Dir::Gt]),
+        ]);
+        assert_eq!(v, vec![DirVec(vec![Dir::Any])]);
+        // (<,=) and (=,<) must NOT merge
+        let v = summarize(vec![
+            DirVec(vec![Dir::Lt, Dir::Eq]),
+            DirVec(vec![Dir::Eq, Dir::Lt]),
+        ]);
+        assert_eq!(v.len(), 2);
+        // subsumed vectors are dropped
+        let v = summarize(vec![DirVec(vec![Dir::Lt]), DirVec(vec![Dir::Le])]);
+        assert_eq!(v, vec![DirVec(vec![Dir::Le])]);
+        // duplicates collapse
+        let v = summarize(vec![DirVec(vec![Dir::Lt]), DirVec(vec![Dir::Lt])]);
+        assert_eq!(v, vec![DirVec(vec![Dir::Lt])]);
+    }
+
+    #[test]
+    fn summarize_preserves_atom_sets() {
+        // Whatever merging happens, the union of atomic decompositions must
+        // be exactly preserved.
+        let input = vec![
+            DirVec(vec![Dir::Lt, Dir::Eq]),
+            DirVec(vec![Dir::Lt, Dir::Lt]),
+            DirVec(vec![Dir::Eq, Dir::Gt]),
+        ];
+        let mut before: Vec<DirVec> =
+            input.iter().flat_map(|v| v.atomic_decompositions()).collect();
+        before.sort();
+        before.dedup();
+        let out = summarize(input);
+        let mut after: Vec<DirVec> = out.iter().flat_map(|v| v.atomic_decompositions()).collect();
+        after.sort();
+        after.dedup();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn distdir() {
+        let v = DistDirVec(vec![DistDir::Dist(2), DistDir::Dist(0)]);
+        assert_eq!(v.to_dir_vec(), DirVec(vec![Dir::Lt, Dir::Eq]));
+        assert_eq!(v.as_distance_vector(), Some(vec![2, 0]));
+        assert_eq!(v.to_string(), "(2, 0)");
+        let w = DistDirVec(vec![DistDir::Dir(Dir::Le), DistDir::Dist(1)]);
+        assert_eq!(w.as_distance_vector(), None);
+        assert_eq!(w.to_string(), "(<=, 1)");
+        assert_eq!(DistDir::Dist(-3).dir(), Dir::Gt);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(DirVec(vec![Dir::Any, Dir::Lt]).to_string(), "(*, <)");
+        assert_eq!(Dir::Ne.to_string(), "!=");
+        assert_eq!(DirVec::any(0).to_string(), "()");
+        assert!(DirVec::any(0).is_empty());
+    }
+}

@@ -1,0 +1,478 @@
+//! Exact integer feasibility for dependence problems.
+//!
+//! The paper (after Maydan–Hennessy–Lam) notes that deciding a dependence
+//! system exactly is integer programming. For the problem sizes dependence
+//! analysis produces (a handful of variables with modest bounds) an
+//! interval- and divisibility-pruned depth-first search with first-fail
+//! variable ordering is exact and fast; we use it as the *ground truth*
+//! against which every approximate test — and delinearization itself — is
+//! validated.
+
+use crate::problem::DependenceProblem;
+use crate::verdict::{DependenceInfo, DependenceTest, Verdict};
+use delin_numeric::{gcd, Interval};
+
+/// The outcome of an exact solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The system has no integer solution.
+    NoSolution,
+    /// A witness assignment (one value per problem variable).
+    Solution(Vec<i128>),
+    /// The search exceeded its node budget.
+    LimitExceeded,
+}
+
+impl SolveOutcome {
+    /// `true` when a witness was found.
+    pub fn is_solution(&self) -> bool {
+        matches!(self, SolveOutcome::Solution(_))
+    }
+}
+
+/// Exact solver with a configurable node budget.
+#[derive(Debug, Clone)]
+pub struct ExactSolver {
+    /// Maximum number of search nodes before giving up.
+    pub node_limit: u64,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver { node_limit: 5_000_000 }
+    }
+}
+
+struct Search<'a> {
+    problem: &'a DependenceProblem<i128>,
+    assignment: Vec<i128>,
+    assigned: Vec<bool>,
+    nodes: u64,
+    limit: u64,
+}
+
+/// Propagation rounds are capped: bounds consistency can converge slowly
+/// (shrinking an interval by one element per round), and the cap keeps the
+/// solver sound — propagation only narrows optional information.
+const MAX_PROPAGATION_ROUNDS: usize = 64;
+
+impl ExactSolver {
+    /// Creates a solver with the given node budget.
+    pub fn with_limit(node_limit: u64) -> ExactSolver {
+        ExactSolver { node_limit }
+    }
+
+    /// Solves the problem exactly.
+    ///
+    /// Bounds, equations, and inequality constraints are all honoured.
+    /// Problems with any empty variable range (`upper < 0`, a zero-trip
+    /// loop) have no solution by definition.
+    pub fn solve(&self, problem: &DependenceProblem<i128>) -> SolveOutcome {
+        let n = problem.num_vars();
+        if problem.vars().iter().any(|v| v.upper < 0) {
+            return SolveOutcome::NoSolution;
+        }
+        for eq in problem.equations() {
+            if equation_obviously_infeasible(problem, eq) {
+                return SolveOutcome::NoSolution;
+            }
+        }
+        let mut search = Search {
+            problem,
+            assignment: vec![0; n],
+            assigned: vec![false; n],
+            nodes: 0,
+            limit: self.node_limit,
+        };
+        let domains: Vec<Interval> =
+            problem.vars().iter().map(|v| Interval::new(0, v.upper)).collect();
+        match search.dfs(domains) {
+            Some(true) => SolveOutcome::Solution(search.assignment),
+            Some(false) => SolveOutcome::NoSolution,
+            None => SolveOutcome::LimitExceeded,
+        }
+    }
+}
+
+/// Cheap whole-equation screen: value interval must contain zero and the
+/// gcd of the coefficients must divide the constant.
+fn equation_obviously_infeasible(
+    problem: &DependenceProblem<i128>,
+    eq: &crate::problem::LinEq<i128>,
+) -> bool {
+    let mut iv = Interval::point(eq.c0);
+    for (k, &c) in eq.coeffs.iter().enumerate() {
+        let Ok(scaled) = Interval::of_scaled_var(c, problem.vars()[k].upper) else {
+            return false; // overflow: cannot conclude anything
+        };
+        let Ok(next) = iv.checked_add(&scaled) else {
+            return false;
+        };
+        iv = next;
+    }
+    if !iv.contains_zero() {
+        return true;
+    }
+    let g = eq.coeffs.iter().fold(0i128, |g, &c| gcd(g, c));
+    if g == 0 {
+        return eq.c0 != 0;
+    }
+    eq.c0 % g != 0
+}
+
+impl Search<'_> {
+    /// Returns `Some(true)` on success, `Some(false)` on exhaustion,
+    /// `None` on node-limit breach.
+    fn dfs(&mut self, mut domains: Vec<Interval>) -> Option<bool> {
+        self.nodes += 1;
+        if self.nodes > self.limit {
+            return None;
+        }
+        let n = self.problem.num_vars();
+        // Bounds-consistency propagation to (capped) fixpoint: narrow every
+        // unassigned variable's domain against every constraint. This keeps
+        // infeasibility proofs polynomial when contradictions sit between
+        // variables the branching order would otherwise reach late.
+        for _round in 0..MAX_PROPAGATION_ROUNDS {
+            let mut changed = false;
+            for var in 0..n {
+                if self.assigned[var] {
+                    continue;
+                }
+                let range = self.feasible_range(var, &domains).unwrap_or(domains[var]);
+                if range.is_empty() {
+                    return Some(false);
+                }
+                if range != domains[var] {
+                    domains[var] = range;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // First-fail: branch on the unassigned variable with the smallest
+        // domain.
+        let mut pick: Option<usize> = None;
+        for var in 0..n {
+            if self.assigned[var] {
+                continue;
+            }
+            let better = match pick {
+                None => true,
+                Some(best) => {
+                    domains[var].len().unwrap_or(i128::MAX)
+                        < domains[best].len().unwrap_or(i128::MAX)
+                }
+            };
+            if better {
+                pick = Some(var);
+            }
+        }
+        let Some(var) = pick else {
+            return Some(self.check_full());
+        };
+        // Divisibility prune over the partially-assigned equations.
+        if self.divisibility_prune() {
+            return Some(false);
+        }
+        let range = domains[var];
+        self.assigned[var] = true;
+        for v in range.lo..=range.hi {
+            self.assignment[var] = v;
+            match self.dfs(domains.clone()) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        self.assigned[var] = false;
+        self.assignment[var] = 0;
+        Some(false)
+    }
+
+    fn check_full(&self) -> bool {
+        self.problem.is_solution(&self.assignment).unwrap_or(false)
+    }
+
+    /// The interval of values for `var` consistent with every constraint
+    /// given the current partial assignment and the other variables'
+    /// current domains. `None` on arithmetic overflow (callers fall back
+    /// to the current domain).
+    fn feasible_range(&self, var: usize, domains: &[Interval]) -> Option<Interval> {
+        let mut range = domains[var];
+        for eq in self.problem.equations() {
+            range =
+                range.intersect(&self.constraint_range(eq.c0, &eq.coeffs, var, true, domains)?);
+            if range.is_empty() {
+                return Some(range);
+            }
+        }
+        for iq in self.problem.inequalities() {
+            range = range
+                .intersect(&self.constraint_range(iq.c0, &iq.coeffs, var, false, domains)?);
+            if range.is_empty() {
+                return Some(range);
+            }
+        }
+        Some(range)
+    }
+
+    /// For constraint `c0 + Σ ck·zk (= | ≥) 0`, the interval of `var`
+    /// values that keep it satisfiable given the other variables'
+    /// intervals.
+    fn constraint_range(
+        &self,
+        c0: i128,
+        coeffs: &[i128],
+        var: usize,
+        is_equation: bool,
+        domains: &[Interval],
+    ) -> Option<Interval> {
+        let c_var = coeffs[var];
+        let full = domains[var];
+        if c_var == 0 {
+            return Some(full);
+        }
+        // rest = c0 + assigned terms + interval of other unassigned terms
+        let mut rest = Interval::point(c0);
+        for (k, &c) in coeffs.iter().enumerate() {
+            if k == var || c == 0 {
+                continue;
+            }
+            let contrib = if self.assigned[k] {
+                Interval::point(c.checked_mul(self.assignment[k])?)
+            } else {
+                domains[k].checked_scale(c).ok()?
+            };
+            rest = rest.checked_add(&contrib).ok()?;
+        }
+        // Equation: need c_var·v ∈ [-rest.hi, -rest.lo].
+        // Inequality (≥ 0): need c_var·v ≥ -rest.hi, i.e. c_var·v ∈
+        // [-rest.hi, +∞) regardless of the sign of c_var (the sign only
+        // affects the conversion to bounds on v below).
+        let (lo, hi) = if is_equation {
+            (-rest.hi, -rest.lo)
+        } else {
+            (-rest.hi, i128::MAX / 2)
+        };
+        // v ∈ [ceil(lo/c), floor(hi/c)] for c>0; reversed for c<0.
+        let (vlo, vhi) = if c_var > 0 {
+            (
+                delin_numeric::int::ceil_div(lo, c_var).ok()?,
+                delin_numeric::int::floor_div(hi, c_var).ok()?,
+            )
+        } else {
+            (
+                delin_numeric::int::ceil_div(hi, c_var).ok()?,
+                delin_numeric::int::floor_div(lo, c_var).ok()?,
+            )
+        };
+        Some(full.intersect(&Interval::new(vlo, vhi)))
+    }
+
+    /// `true` when some equation's fixed residual cannot be matched by the
+    /// remaining terms for divisibility reasons.
+    fn divisibility_prune(&self) -> bool {
+        'eqs: for eq in self.problem.equations() {
+            let mut fixed = eq.c0;
+            let mut g = 0i128;
+            for (k, &c) in eq.coeffs.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if self.assigned[k] {
+                    let Some(t) = c.checked_mul(self.assignment[k]) else {
+                        continue 'eqs;
+                    };
+                    let Some(f) = fixed.checked_add(t) else {
+                        continue 'eqs;
+                    };
+                    fixed = f;
+                } else {
+                    g = gcd(g, c);
+                }
+            }
+            if g == 0 {
+                if fixed != 0 {
+                    return true;
+                }
+            } else if fixed % g != 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl DependenceTest<i128> for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn test(&self, problem: &DependenceProblem<i128>) -> Verdict {
+        match self.solve(problem) {
+            SolveOutcome::NoSolution => Verdict::Independent,
+            SolveOutcome::Solution(w) => Verdict::Dependent {
+                exact: true,
+                info: DependenceInfo { witness: Some(w), ..DependenceInfo::default() },
+            },
+            SolveOutcome::LimitExceeded => Verdict::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirvec::Dir;
+    use crate::problem::DependenceProblem;
+
+    fn motivating() -> DependenceProblem<i128> {
+        // i1 + 10 j1 - i2 - 10 j2 - 5 = 0
+        DependenceProblem::single_equation(-5, vec![1, 10, -1, -10], vec![4, 9, 4, 9])
+    }
+
+    #[test]
+    fn motivating_example_has_no_solution() {
+        assert_eq!(ExactSolver::default().solve(&motivating()), SolveOutcome::NoSolution);
+    }
+
+    #[test]
+    fn intro_dependent_example() {
+        // D(i+1) = D(i): i1 + 1 - i2 = 0, i in [0,8] — dependent.
+        let p = DependenceProblem::single_equation(1, vec![1, -1], vec![8, 8]);
+        let out = ExactSolver::default().solve(&p);
+        match out {
+            SolveOutcome::Solution(w) => {
+                assert!(p.is_solution(&w).unwrap());
+            }
+            other => panic!("expected a solution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intro_independent_example() {
+        // D(i) = D(i+5): i1 - i2 - 5 = 0, i in [0,4] — independent.
+        let p = DependenceProblem::single_equation(-5, vec![1, -1], vec![4, 4]);
+        assert_eq!(ExactSolver::default().solve(&p), SolveOutcome::NoSolution);
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        let p = DependenceProblem::single_equation(0, vec![1, -1], vec![-1, 4]);
+        assert_eq!(ExactSolver::default().solve(&p), SolveOutcome::NoSolution);
+    }
+
+    #[test]
+    fn honors_inequalities_and_directions() {
+        // i1 - i2 = 0 with direction `<` is infeasible; with `=` feasible.
+        let mut b = DependenceProblem::<i128>::builder();
+        let x = b.var("i1", 8);
+        let y = b.var("i2", 8);
+        b.equation(0, vec![1, -1]);
+        b.common_pair(x, y);
+        let p = b.build();
+        let lt = p.with_direction(0, Dir::Lt).unwrap();
+        assert_eq!(ExactSolver::default().solve(&lt), SolveOutcome::NoSolution);
+        let eq = p.with_direction(0, Dir::Eq).unwrap();
+        assert!(ExactSolver::default().solve(&eq).is_solution());
+    }
+
+    #[test]
+    fn multi_equation_system() {
+        // x = 3, y = x, y + z = 5 over [0,10]^3
+        let mut b = DependenceProblem::<i128>::builder();
+        b.var("x", 10);
+        b.var("y", 10);
+        b.var("z", 10);
+        b.equation(-3, vec![1, 0, 0]);
+        b.equation(0, vec![1, -1, 0]);
+        b.equation(-5, vec![0, 1, 1]);
+        let p = b.build();
+        match ExactSolver::default().solve(&p) {
+            SolveOutcome::Solution(w) => assert_eq!(w, vec![3, 3, 2]),
+            other => panic!("expected solution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gcd_screen() {
+        // 2x - 4y = 1 is infeasible by divisibility alone, with huge bounds.
+        let p = DependenceProblem::single_equation(1, vec![2, -4], vec![1_000_000, 1_000_000]);
+        assert_eq!(ExactSolver::default().solve(&p), SolveOutcome::NoSolution);
+    }
+
+    #[test]
+    fn divisibility_prune_with_partial_assignment() {
+        // x + 2y + 4z = 3 over small bounds: solutions exist (x=1, y=1);
+        // and x + 2y = 1, 4z = 2-ish cases get pruned by divisibility.
+        let p = DependenceProblem::single_equation(-3, vec![1, 2, 4], vec![1, 1, 1]);
+        assert!(ExactSolver::default().solve(&p).is_solution());
+        let p = DependenceProblem::single_equation(-1, vec![2, 4, 8], vec![5, 5, 5]);
+        assert_eq!(ExactSolver::default().solve(&p), SolveOutcome::NoSolution);
+    }
+
+    #[test]
+    fn node_limit_reports_unknown() {
+        // Many variables, a constraint structure the prunes cannot collapse:
+        // Σ xi - Σ yi = 0 admits huge search with a tiny budget.
+        let n = 10;
+        let mut coeffs = vec![1i128; n];
+        coeffs.extend(vec![-1i128; n]);
+        let p = DependenceProblem::single_equation(-1, coeffs, vec![9; 2 * n]);
+        let tiny = ExactSolver::with_limit(2);
+        assert_eq!(tiny.solve(&p), SolveOutcome::LimitExceeded);
+        assert!(DependenceTest::test(&tiny, &p).is_unknown());
+    }
+
+    #[test]
+    fn free_variables_cost_nothing() {
+        // A contradiction between j1/j2 with two completely free i's: the
+        // first-fail ordering must detect it without enumerating the i's.
+        let mut b = DependenceProblem::<i128>::builder();
+        let i1 = b.var("i1", 1_000_000);
+        let j1 = b.var("j1", 97);
+        let i2 = b.var("i2", 1_000_000);
+        let j2 = b.var("j2", 97);
+        b.common_pair(i1, i2).common_pair(j1, j2);
+        b.equation(0, vec![0, 1, 0, -1]); // j1 = j2
+        let p = b
+            .build()
+            .with_direction(1, Dir::Gt) // j1 >= j2 + 1: contradiction
+            .unwrap();
+        let quick = ExactSolver::with_limit(10_000);
+        assert_eq!(quick.solve(&p), SolveOutcome::NoSolution);
+    }
+
+    #[test]
+    fn verdict_mapping() {
+        let s = ExactSolver::default();
+        assert_eq!(s.name(), "exact");
+        assert!(DependenceTest::test(&s, &motivating()).is_independent());
+        let dep = DependenceProblem::single_equation(1, vec![1, -1], vec![8, 8]);
+        let v = DependenceTest::test(&s, &dep);
+        assert!(matches!(v, Verdict::Dependent { exact: true, .. }));
+        assert!(v.info().unwrap().witness.is_some());
+    }
+
+    #[test]
+    fn brute_force_agreement_small() {
+        // Exhaustive cross-check on a family of small random-ish systems.
+        let mut cases = Vec::new();
+        for c0 in -6i128..=6 {
+            for a in [-3i128, -1, 2, 5] {
+                for b in [-2i128, 1, 4] {
+                    cases.push((c0, a, b));
+                }
+            }
+        }
+        for (c0, a, b) in cases {
+            let p = DependenceProblem::single_equation(c0, vec![a, b], vec![3, 4]);
+            let brute = (0..=3).any(|x| (0..=4).any(|y| c0 + a * x + b * y == 0));
+            let got = ExactSolver::default().solve(&p).is_solution();
+            assert_eq!(got, brute, "c0={c0} a={a} b={b}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The λ-test (Li–Yew–Zhu 1989) for coupled multidimensional subscripts.
+//!
+//! When a dependence system has several equations sharing variables
+//! (coupled subscripts), per-equation Banerjee bounds miss the coupling.
+//! The λ-test examines *linear combinations* `λ1·eq1 + λ2·eq2` chosen to
+//! cancel one variable and applies the Banerjee bounds to each combination:
+//! if any combined hyperplane misses the iteration box, the intersection
+//! of the original hyperplanes misses it too, proving independence. Like
+//! Banerjee, the test is real-valued, so it cannot disprove the paper's
+//! motivating (single-equation) example — and on single-equation systems
+//! it degenerates to Banerjee exactly.
+
+use crate::banerjee::{equation_range, EquationRange};
+use crate::problem::{DependenceProblem, LinEq};
+use crate::verdict::{DependenceTest, Verdict};
+use delin_numeric::Coeff;
+
+/// The λ-test.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LambdaTest;
+
+/// Builds `λ1·a + λ2·b` for two equations.
+fn combine<C: Coeff>(a: &LinEq<C>, l1: &C, b: &LinEq<C>, l2: &C) -> Option<LinEq<C>> {
+    let c0 = a.c0.checked_mul(l1).ok()?.checked_add(&b.c0.checked_mul(l2).ok()?).ok()?;
+    let mut coeffs = Vec::with_capacity(a.coeffs.len());
+    for (x, y) in a.coeffs.iter().zip(&b.coeffs) {
+        coeffs
+            .push(x.checked_mul(l1).ok()?.checked_add(&y.checked_mul(l2).ok()?).ok()?);
+    }
+    Some(LinEq { c0, coeffs })
+}
+
+impl<C: Coeff> DependenceTest<C> for LambdaTest {
+    fn name(&self) -> &'static str {
+        "lambda"
+    }
+
+    fn test(&self, problem: &DependenceProblem<C>) -> Verdict {
+        let a = problem.assumptions();
+        for v in problem.vars() {
+            if v.upper.is_nonneg(a).is_false() {
+                return Verdict::Independent;
+            }
+        }
+        // Candidate combinations: every original equation, plus for every
+        // pair of equations and every shared variable, the combination
+        // canceling that variable.
+        let eqs = problem.equations();
+        let mut candidates: Vec<LinEq<C>> = eqs.to_vec();
+        for i in 0..eqs.len() {
+            for j in (i + 1)..eqs.len() {
+                for k in 0..problem.num_vars() {
+                    let ci = &eqs[i].coeffs[k];
+                    let cj = &eqs[j].coeffs[k];
+                    if ci.is_zero() || cj.is_zero() {
+                        continue;
+                    }
+                    // λ1 = cj, λ2 = -ci cancels variable k.
+                    let Ok(neg_ci) = ci.checked_neg() else { continue };
+                    if let Some(comb) = combine(&eqs[i], cj, &eqs[j], &neg_ci) {
+                        candidates.push(comb);
+                    }
+                }
+            }
+        }
+        let mut decided_all = true;
+        for eq in &candidates {
+            match equation_range(problem, eq, &[]) {
+                Some(EquationRange::EmptyRegion) => return Verdict::Independent,
+                Some(EquationRange::Range(r)) => {
+                    if r.min_positive(a) || r.max_negative(a) {
+                        return Verdict::Independent;
+                    }
+                    if !r.signs_known(a) {
+                        decided_all = false;
+                    }
+                }
+                None => decided_all = false,
+            }
+        }
+        if decided_all {
+            Verdict::maybe_dependent()
+        } else {
+            Verdict::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banerjee::BanerjeeTest;
+
+    #[test]
+    fn degenerates_to_banerjee_on_single_equation() {
+        let cases = [
+            (-5i128, vec![1i128, 10, -1, -10], vec![4i128, 9, 4, 9]),
+            (-100, vec![1, -1, 0, 0], vec![4, 4, 4, 4]),
+            (0, vec![1, -1, 0, 0], vec![4, 4, 4, 4]),
+        ];
+        for (c0, coeffs, uppers) in cases {
+            let p = DependenceProblem::single_equation(c0, coeffs, uppers);
+            let lam = LambdaTest.test(&p);
+            let ban = BanerjeeTest.test(&p);
+            assert_eq!(lam.is_independent(), ban.is_independent());
+        }
+    }
+
+    #[test]
+    fn catches_coupled_subscripts() {
+        // Coupled subscripts with i in [0,8], j in [0,22]:
+        //   eq1: i - j = 0, eq2: i + j - 30 = 0.
+        // Each hyperplane crosses the box (eq1 obviously; eq2 at e.g.
+        // (8,22)), but their intersection is i = j = 15, outside i's range.
+        // The combination canceling j, eq1 + eq2 = 2i - 30, ranges over
+        // [-30, -14] on the box: independent.
+        let mut b = DependenceProblem::<i128>::builder();
+        b.var("i", 8);
+        b.var("j", 22);
+        b.equation(0, vec![1, -1]);
+        b.equation(-30, vec![1, 1]);
+        let p = b.build();
+        assert!(BanerjeeTest.test(&p).is_dependent(), "per-equation Banerjee misses this");
+        assert!(LambdaTest.test(&p).is_independent());
+    }
+
+    #[test]
+    fn coupled_but_feasible() {
+        // eq1: i - j = 0, eq2: i + j - 8 = 0 => i = j = 4 inside the box.
+        let mut b = DependenceProblem::<i128>::builder();
+        b.var("i", 8);
+        b.var("j", 8);
+        b.equation(0, vec![1, -1]);
+        b.equation(-8, vec![1, 1]);
+        let p = b.build();
+        assert!(LambdaTest.test(&p).is_dependent());
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        let p = DependenceProblem::single_equation(0, vec![1], vec![-1]);
+        assert!(LambdaTest.test(&p).is_independent());
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(DependenceTest::<i128>::name(&LambdaTest), "lambda");
+    }
+}

@@ -1,0 +1,48 @@
+//! Dependence-analysis framework and baseline dependence tests.
+//!
+//! This crate provides the machinery a parallelizing compiler needs to
+//! decide whether two array references in a loop nest may touch the same
+//! memory location (paper Section 2):
+//!
+//! * [`problem`] — the constrained linear Diophantine system form of a
+//!   dependence question: equations over normalized loop variables
+//!   `z ∈ [0, Z]`, plus optional inequality constraints;
+//! * [`dirvec`] — direction vectors, distance vectors, and their merge and
+//!   summarization rules;
+//! * [`verdict`] — the three-valued answer of a dependence test and the
+//!   [`DependenceTest`] trait;
+//! * the baseline tests the paper compares delinearization against:
+//!   [`gcd`] (GCD test), [`banerjee`] (Banerjee inequalities, with
+//!   direction-vector constraints), [`siv`] (the exact ZIV/SIV tests of
+//!   Goff–Kennedy–Tseng), [`svpc`] (Single Variable Per Constraint),
+//!   [`acyclic`] (Acyclic test), [`residue`] (Simple Loop Residue),
+//!   [`shostak`] (Shostak's loop residues), [`fourier`] (Fourier–Motzkin
+//!   elimination, real and integer-tightened), [`lambda`] (the λ-test);
+//! * [`exact`] — an exact integer solver used as ground truth;
+//! * [`hierarchy`] — direction-vector hierarchy refinement and
+//!   distance-direction vector computation.
+//!
+//! The delinearization algorithm itself lives in the `delin-core` crate and
+//! plugs into this framework through [`DependenceTest`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acyclic;
+pub mod banerjee;
+pub mod dirvec;
+pub mod exact;
+pub mod fourier;
+pub mod gcd;
+pub mod hierarchy;
+pub mod lambda;
+pub mod problem;
+pub mod residue;
+pub mod shostak;
+pub mod siv;
+pub mod svpc;
+pub mod verdict;
+
+pub use dirvec::{Dir, DirVec, DistDir, DistDirVec};
+pub use problem::{DependenceProblem, LinEq, LinIneq, ProblemBuilder, VarInfo};
+pub use verdict::{DependenceTest, Verdict};

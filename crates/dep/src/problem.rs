@@ -1,0 +1,510 @@
+//! The constrained-equation form of a dependence question.
+//!
+//! Following the paper's Section 2, a dependence between two references
+//! `A(f1(x̄), …, fl(x̄))` and `A(g1(ȳ), …, gl(ȳ))` exists iff there are
+//! integers `αi ∈ [0, Xi]`, `βj ∈ [0, Yj]` with `fi(ᾱ) = gi(β̄)` for every
+//! dimension `i`. After moving everything to one side, each dimension
+//! yields one *linear equation* `c0 + Σ ck·zk = 0` over the combined
+//! variable list `z̄ = (x̄, ȳ)`, each variable normalized to `[0, Zk]`.
+//!
+//! [`DependenceProblem`] holds that system, the pairing between source and
+//! sink variables of *common* loops (needed for direction vectors), and
+//! optional inequality constraints used to impose direction predicates.
+
+use crate::dirvec::Dir;
+use delin_numeric::{Affine, Assumptions, Coeff, NumericError, VarId};
+use std::fmt;
+
+/// One variable of a dependence problem: a normalized loop variable ranging
+/// over `[0, upper]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo<C> {
+    /// Human-readable name (e.g. `i1`, `j2`).
+    pub name: String,
+    /// Inclusive upper bound; the lower bound is always `0`.
+    pub upper: C,
+}
+
+/// A linear equation `c0 + Σ coeffs[k]·z_k = 0` over the problem variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinEq<C> {
+    /// The constant term.
+    pub c0: C,
+    /// One coefficient per problem variable (dense; zeros allowed).
+    pub coeffs: Vec<C>,
+}
+
+impl<C: Coeff> LinEq<C> {
+    /// Number of variables with a nonzero coefficient.
+    pub fn num_active_vars(&self) -> usize {
+        self.coeffs.iter().filter(|c| !c.is_zero()).count()
+    }
+
+    /// Indices of variables with a nonzero coefficient.
+    pub fn active_vars(&self) -> impl Iterator<Item = usize> + '_ {
+        self.coeffs.iter().enumerate().filter(|(_, c)| !c.is_zero()).map(|(k, _)| k)
+    }
+
+    /// Evaluates `c0 + Σ coeffs[k]·vals[k]`.
+    pub fn eval(&self, vals: &[C]) -> Result<C, NumericError> {
+        let mut acc = self.c0.clone();
+        for (c, v) in self.coeffs.iter().zip(vals) {
+            acc = acc.checked_add(&c.checked_mul(v)?)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// A linear inequality `c0 + Σ coeffs[k]·z_k ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinIneq<C> {
+    /// The constant term.
+    pub c0: C,
+    /// One coefficient per problem variable (dense; zeros allowed).
+    pub coeffs: Vec<C>,
+}
+
+impl<C: Coeff> LinIneq<C> {
+    /// Evaluates the left-hand side `c0 + Σ coeffs[k]·vals[k]`.
+    pub fn eval(&self, vals: &[C]) -> Result<C, NumericError> {
+        LinEq { c0: self.c0.clone(), coeffs: self.coeffs.clone() }.eval(vals)
+    }
+}
+
+/// A dependence question in constrained-equation form.
+///
+/// Construct through [`ProblemBuilder`] or the convenience constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependenceProblem<C> {
+    vars: Vec<VarInfo<C>>,
+    equations: Vec<LinEq<C>>,
+    inequalities: Vec<LinIneq<C>>,
+    /// Per common loop, the (source-variable, sink-variable) index pair.
+    common: Vec<(usize, usize)>,
+    assumptions: Assumptions,
+}
+
+impl<C: Coeff> DependenceProblem<C> {
+    /// Starts building a problem.
+    pub fn builder() -> ProblemBuilder<C> {
+        ProblemBuilder::new()
+    }
+
+    /// Convenience: a single-equation problem `c0 + Σ ck·zk = 0` with
+    /// `zk ∈ [0, Zk]` and no common-loop pairing — the exact shape used
+    /// throughout the paper's examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs` and `uppers` have different lengths.
+    pub fn single_equation(c0: C, coeffs: Vec<C>, uppers: Vec<C>) -> DependenceProblem<C> {
+        assert_eq!(coeffs.len(), uppers.len(), "coefficient/bound length mismatch");
+        let vars = uppers
+            .into_iter()
+            .enumerate()
+            .map(|(k, u)| VarInfo { name: format!("z{}", k + 1), upper: u })
+            .collect();
+        DependenceProblem {
+            vars,
+            equations: vec![LinEq { c0, coeffs }],
+            inequalities: Vec::new(),
+            common: Vec::new(),
+            assumptions: Assumptions::new(),
+        }
+    }
+
+    /// The problem variables.
+    pub fn vars(&self) -> &[VarInfo<C>] {
+        &self.vars
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The equations of the system.
+    pub fn equations(&self) -> &[LinEq<C>] {
+        &self.equations
+    }
+
+    /// The inequality constraints (each `… ≥ 0`).
+    pub fn inequalities(&self) -> &[LinIneq<C>] {
+        &self.inequalities
+    }
+
+    /// The common-loop pairing: for loop level `l` (0-based), the indices of
+    /// the source and sink variables.
+    pub fn common_loops(&self) -> &[(usize, usize)] {
+        &self.common
+    }
+
+    /// Symbolic assumptions in force for this problem.
+    pub fn assumptions(&self) -> &Assumptions {
+        &self.assumptions
+    }
+
+    /// `true` when every coefficient, constant, and bound is a concrete
+    /// integer.
+    pub fn is_concrete(&self) -> bool {
+        self.vars.iter().all(|v| v.upper.as_i128().is_some())
+            && self.equations.iter().all(|e| {
+                e.c0.as_i128().is_some() && e.coeffs.iter().all(|c| c.as_i128().is_some())
+            })
+            && self.inequalities.iter().all(|e| {
+                e.c0.as_i128().is_some() && e.coeffs.iter().all(|c| c.as_i128().is_some())
+            })
+    }
+
+    /// Returns a copy with a direction predicate imposed on common loop
+    /// `level` as inequality/equation constraints:
+    ///
+    /// * `<` adds `y − x − 1 ≥ 0`;
+    /// * `=` adds the equation `x − y = 0`;
+    /// * `>` adds `x − y − 1 ≥ 0`;
+    /// * `≤`, `≥`, `≠`, `*` likewise (`≠` is not convex and is rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `≠` (callers should split it into `<` and `>`)
+    /// or when arithmetic overflows.
+    pub fn with_direction(&self, level: usize, dir: Dir) -> Result<DependenceProblem<C>, NumericError> {
+        let (x, y) = self.common[level];
+        let n = self.num_vars();
+        let mut out = self.clone();
+        let coeffs_xy = |cx: i128, cy: i128| {
+            let mut v: Vec<C> = (0..n).map(|_| C::zero()).collect();
+            v[x] = C::from_i128(cx);
+            v[y] = C::from_i128(cy);
+            v
+        };
+        match dir {
+            Dir::Any => {}
+            Dir::Lt => out
+                .inequalities
+                .push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(-1, 1) }),
+            Dir::Le => out.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(-1, 1) }),
+            Dir::Eq => out.equations.push(LinEq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
+            Dir::Ge => out.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
+            Dir::Gt => out
+                .inequalities
+                .push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(1, -1) }),
+            Dir::Ne => {
+                return Err(NumericError::NotConcrete {
+                    what: "direction `!=` cannot be imposed as a convex constraint".into(),
+                })
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy with all direction predicates of a vector imposed
+    /// (element `l` applies to common loop `l`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`DependenceProblem::with_direction`].
+    pub fn with_directions(&self, dirs: &[Dir]) -> Result<DependenceProblem<C>, NumericError> {
+        let mut p = self.clone();
+        for (l, &d) in dirs.iter().enumerate() {
+            p = p.with_direction(l, d)?;
+        }
+        Ok(p)
+    }
+
+    /// Returns a copy with one extra inequality `c0 + Σ coeffs[k]·z_k ≥ 0`
+    /// (zero-extended to the variable count).
+    pub fn with_inequality(&self, c0: C, mut coeffs: Vec<C>) -> DependenceProblem<C> {
+        let mut out = self.clone();
+        coeffs.resize_with(self.num_vars(), C::zero);
+        out.inequalities.push(LinIneq { c0, coeffs });
+        out
+    }
+
+    /// Checks a concrete assignment against all equations, inequalities and
+    /// bounds; used by tests and the exact solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when evaluation overflows.
+    pub fn is_solution(&self, vals: &[C]) -> Result<bool, NumericError> {
+        let a = &self.assumptions;
+        for (v, val) in self.vars.iter().zip(vals) {
+            if !val.is_nonneg(a).is_true() {
+                return Ok(false);
+            }
+            if !val.le(&v.upper, a).is_true() {
+                return Ok(false);
+            }
+        }
+        for eq in &self.equations {
+            if !eq.eval(vals)?.is_zero() {
+                return Ok(false);
+            }
+        }
+        for ineq in &self.inequalities {
+            if !ineq.eval(vals)?.is_nonneg(a).is_true() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Incremental builder for [`DependenceProblem`].
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder<C> {
+    vars: Vec<VarInfo<C>>,
+    equations: Vec<LinEq<C>>,
+    inequalities: Vec<LinIneq<C>>,
+    common: Vec<(usize, usize)>,
+    assumptions: Assumptions,
+}
+
+impl<C: Coeff> Default for ProblemBuilder<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: Coeff> ProblemBuilder<C> {
+    /// An empty builder.
+    pub fn new() -> ProblemBuilder<C> {
+        ProblemBuilder {
+            vars: Vec::new(),
+            equations: Vec::new(),
+            inequalities: Vec::new(),
+            common: Vec::new(),
+            assumptions: Assumptions::new(),
+        }
+    }
+
+    /// Adds a variable with range `[0, upper]`; returns its index.
+    pub fn var(&mut self, name: impl Into<String>, upper: C) -> usize {
+        self.vars.push(VarInfo { name: name.into(), upper });
+        self.vars.len() - 1
+    }
+
+    /// Adds the equation `c0 + Σ coeffs[k]·z_k = 0`. Shorter coefficient
+    /// vectors are zero-extended to the final variable count at build time.
+    pub fn equation(&mut self, c0: C, coeffs: Vec<C>) -> &mut Self {
+        self.equations.push(LinEq { c0, coeffs });
+        self
+    }
+
+    /// Adds the inequality `c0 + Σ coeffs[k]·z_k ≥ 0` (zero-extended like
+    /// equations).
+    pub fn inequality(&mut self, c0: C, coeffs: Vec<C>) -> &mut Self {
+        self.inequalities.push(LinIneq { c0, coeffs });
+        self
+    }
+
+    /// Declares that source variable `x` and sink variable `y` instantiate
+    /// the same common loop (order of calls = loop nesting order).
+    pub fn common_pair(&mut self, x: usize, y: usize) -> &mut Self {
+        self.common.push((x, y));
+        self
+    }
+
+    /// Installs symbolic assumptions.
+    pub fn assumptions(&mut self, a: Assumptions) -> &mut Self {
+        self.assumptions = a;
+        self
+    }
+
+    /// Builds an equation from the difference of two affine subscripts,
+    /// where `src` is expressed over variables `src_map[k] = problem var` and
+    /// `snk` likewise: the equation is `src(x̄) − snk(ȳ) = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on arithmetic overflow.
+    pub fn equation_from_subscripts(
+        &mut self,
+        src: &Affine<C>,
+        src_map: &[usize],
+        snk: &Affine<C>,
+        snk_map: &[usize],
+    ) -> Result<&mut Self, NumericError> {
+        let n = self.vars.len();
+        let mut coeffs: Vec<C> = (0..n).map(|_| C::zero()).collect();
+        let c0 = src.constant_part().checked_sub(snk.constant_part())?;
+        // Guard against maps that don't cover the subscript variables.
+        for (v, c) in src.terms() {
+            let VarId(idx) = v;
+            let slot = *src_map.get(idx as usize).ok_or_else(|| NumericError::NotConcrete {
+                what: format!("source subscript variable {v} has no problem mapping"),
+            })?;
+            coeffs[slot] = coeffs[slot].checked_add(c)?;
+        }
+        for (v, c) in snk.terms() {
+            let VarId(idx) = v;
+            let slot = *snk_map.get(idx as usize).ok_or_else(|| NumericError::NotConcrete {
+                what: format!("sink subscript variable {v} has no problem mapping"),
+            })?;
+            coeffs[slot] = coeffs[slot].checked_sub(c)?;
+        }
+        self.equations.push(LinEq { c0, coeffs });
+        Ok(self)
+    }
+
+    /// Finalizes the problem, zero-extending all coefficient vectors.
+    pub fn build(&mut self) -> DependenceProblem<C> {
+        let n = self.vars.len();
+        for eq in &mut self.equations {
+            eq.coeffs.resize_with(n, C::zero);
+        }
+        for ineq in &mut self.inequalities {
+            ineq.coeffs.resize_with(n, C::zero);
+        }
+        DependenceProblem {
+            vars: std::mem::take(&mut self.vars),
+            equations: std::mem::take(&mut self.equations),
+            inequalities: std::mem::take(&mut self.inequalities),
+            common: std::mem::take(&mut self.common),
+            assumptions: std::mem::take(&mut self.assumptions),
+        }
+    }
+}
+
+impl<C: Coeff> fmt::Display for DependenceProblem<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for eq in &self.equations {
+            write!(f, "0 = {}", eq.c0)?;
+            for (k, c) in eq.coeffs.iter().enumerate() {
+                if !c.is_zero() {
+                    write!(f, " + {}*{}", c, self.vars[k].name)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        for ineq in &self.inequalities {
+            write!(f, "0 <= {}", ineq.c0)?;
+            for (k, c) in ineq.coeffs.iter().enumerate() {
+                if !c.is_zero() {
+                    write!(f, " + {}*{}", c, self.vars[k].name)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        for v in &self.vars {
+            writeln!(f, "{} in [0, {}]", v.name, v.upper)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's motivating equation:
+    /// `i1 + 10 j1 − i2 − 10 j2 − 5 = 0`, `i ∈ [0,4]`, `j ∈ [0,9]`.
+    pub fn motivating() -> DependenceProblem<i128> {
+        DependenceProblem::single_equation(
+            -5,
+            vec![1, 10, -1, -10],
+            vec![4, 9, 4, 9],
+        )
+    }
+
+    #[test]
+    fn single_equation_shape() {
+        let p = motivating();
+        assert_eq!(p.num_vars(), 4);
+        assert_eq!(p.equations().len(), 1);
+        assert_eq!(p.equations()[0].num_active_vars(), 4);
+        assert!(p.is_concrete());
+        assert!(p.inequalities().is_empty());
+        assert_eq!(p.vars()[0].name, "z1");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn single_equation_validates() {
+        let _ = DependenceProblem::single_equation(0i128, vec![1], vec![1, 2]);
+    }
+
+    #[test]
+    fn builder_and_directions() {
+        let mut b = DependenceProblem::<i128>::builder();
+        let x = b.var("i1", 8);
+        let y = b.var("i2", 8);
+        b.equation(-1, vec![1, -1]); // i1 - i2 = 1
+        b.common_pair(x, y);
+        let p = b.build();
+        assert_eq!(p.common_loops(), &[(0, 1)]);
+
+        // i1 > i2 is consistent with i1 - i2 = 1
+        let gt = p.with_direction(0, Dir::Gt).unwrap();
+        assert!(gt.is_solution(&[1, 0]).unwrap());
+        // i1 < i2 is not
+        let lt = p.with_direction(0, Dir::Lt).unwrap();
+        assert!(!lt.is_solution(&[1, 0]).unwrap());
+        // = adds an equation making it infeasible together with i1-i2=1
+        let eq = p.with_direction(0, Dir::Eq).unwrap();
+        assert_eq!(eq.equations().len(), 2);
+        assert!(!eq.is_solution(&[1, 0]).unwrap());
+        // Ne is rejected
+        assert!(p.with_direction(0, Dir::Ne).is_err());
+        // Any leaves the problem unchanged
+        let any = p.with_direction(0, Dir::Any).unwrap();
+        assert_eq!(any, p);
+        // with_directions applies element-wise
+        let le = p.with_directions(&[Dir::Le]).unwrap();
+        assert_eq!(le.inequalities().len(), 1);
+    }
+
+    #[test]
+    fn is_solution_checks_everything() {
+        let p = motivating();
+        // i1=0..4, j1, i2, j2: equation has no integer solutions at all,
+        // but is_solution only checks a given point.
+        assert!(!p.is_solution(&[0, 0, 0, 0]).unwrap());
+        // out-of-bounds rejected even if the equation holds:
+        // 5 + 0 - 0 - 0 - 5 = 0 but i1=5 > 4.
+        assert!(!p.is_solution(&[5, 0, 0, 0]).unwrap());
+        // negative rejected
+        assert!(!p.is_solution(&[-5, 1, 0, 1]).unwrap());
+    }
+
+    #[test]
+    fn equation_from_subscripts() {
+        use delin_numeric::Affine;
+        // src: i + 10*j ; snk: i + 10*j + 5 over separate variable spaces
+        let i = VarId(0);
+        let j = VarId(1);
+        let src = Affine::<i128>::var(i)
+            .checked_add(&Affine::var_scaled(j, 10))
+            .unwrap();
+        let snk = src.checked_add(&Affine::constant(5)).unwrap();
+        let mut b = DependenceProblem::<i128>::builder();
+        let i1 = b.var("i1", 4);
+        let j1 = b.var("j1", 9);
+        let i2 = b.var("i2", 4);
+        let j2 = b.var("j2", 9);
+        b.common_pair(i1, i2).common_pair(j1, j2);
+        b.equation_from_subscripts(&src, &[i1, j1], &snk, &[i2, j2]).unwrap();
+        let p = b.build();
+        let eq = &p.equations()[0];
+        assert_eq!(eq.c0, -5);
+        assert_eq!(eq.coeffs, vec![1, 10, -1, -10]);
+    }
+
+    #[test]
+    fn display_contains_structure() {
+        let p = motivating();
+        let s = p.to_string();
+        assert!(s.contains("0 = -5"));
+        assert!(s.contains("z1 in [0, 4]"));
+    }
+
+    #[test]
+    fn lineq_eval_and_active() {
+        let eq = LinEq { c0: -5i128, coeffs: vec![1, 10, -1, -10] };
+        assert_eq!(eq.eval(&[5, 1, 0, 1]).unwrap(), 0);
+        assert_eq!(eq.active_vars().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let ineq = LinIneq { c0: -1i128, coeffs: vec![1, 0, 0, 0] };
+        assert_eq!(ineq.eval(&[3, 0, 0, 0]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Test verdicts and the dependence-test trait.
+
+use crate::dirvec::{DirVec, DistDirVec};
+use crate::problem::DependenceProblem;
+use delin_numeric::Coeff;
+use std::fmt;
+
+/// Detailed information attached to a (possible) dependence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DependenceInfo {
+    /// The direction vectors under which the dependence may hold (empty
+    /// means the test produced no direction information — callers should
+    /// assume all-`*`).
+    pub dir_vecs: Vec<DirVec>,
+    /// Distance-direction vectors, when the test computed them.
+    pub dist_dirs: Vec<DistDirVec>,
+    /// A witness solution (values for all problem variables), when the test
+    /// found a concrete one.
+    pub witness: Option<Vec<i128>>,
+}
+
+/// The answer of a dependence test.
+///
+/// Inexact-but-conservative tests answer [`Verdict::Independent`] only when
+/// they have a proof, and [`Verdict::Dependent`] with `exact: false` when
+/// they merely failed to disprove the dependence. The exact solver answers
+/// with `exact: true` and a witness. [`Verdict::Unknown`] means the test is
+/// not applicable to the problem's shape (e.g. SVPC on a multi-variable
+/// equation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The references are proven independent.
+    Independent,
+    /// A dependence may (or, when `exact`, does) exist.
+    Dependent {
+        /// `true` when a concrete solution is known to exist.
+        exact: bool,
+        /// Direction/distance information.
+        info: DependenceInfo,
+    },
+    /// The test cannot handle this problem.
+    Unknown,
+}
+
+impl Verdict {
+    /// A "maybe dependent" verdict with no further information.
+    pub fn maybe_dependent() -> Verdict {
+        Verdict::Dependent { exact: false, info: DependenceInfo::default() }
+    }
+
+    /// A "maybe dependent" verdict carrying direction vectors.
+    pub fn dependent_with_dirs(dir_vecs: Vec<DirVec>) -> Verdict {
+        Verdict::Dependent {
+            exact: false,
+            info: DependenceInfo { dir_vecs, ..DependenceInfo::default() },
+        }
+    }
+
+    /// `true` for [`Verdict::Independent`].
+    pub fn is_independent(&self) -> bool {
+        matches!(self, Verdict::Independent)
+    }
+
+    /// `true` for any [`Verdict::Dependent`].
+    pub fn is_dependent(&self) -> bool {
+        matches!(self, Verdict::Dependent { .. })
+    }
+
+    /// `true` for [`Verdict::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown)
+    }
+
+    /// The attached info, for dependent verdicts.
+    pub fn info(&self) -> Option<&DependenceInfo> {
+        match self {
+            Verdict::Dependent { info, .. } => Some(info),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Independent => write!(f, "independent"),
+            Verdict::Dependent { exact: true, .. } => write!(f, "dependent"),
+            Verdict::Dependent { exact: false, .. } => write!(f, "maybe dependent"),
+            Verdict::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// A dependence test over coefficient ring `C`.
+///
+/// Implementations must be *sound*: [`Verdict::Independent`] may be
+/// returned only when the problem truly has no solution, and
+/// `Verdict::Dependent { exact: true, .. }` only when it truly has one.
+pub trait DependenceTest<C: Coeff> {
+    /// A short stable name for reports ("gcd", "banerjee", …).
+    fn name(&self) -> &'static str;
+
+    /// Tests the problem.
+    fn test(&self, problem: &DependenceProblem<C>) -> Verdict;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirvec::Dir;
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Independent.is_independent());
+        assert!(Verdict::maybe_dependent().is_dependent());
+        assert!(Verdict::Unknown.is_unknown());
+        assert!(Verdict::Independent.info().is_none());
+        let v = Verdict::dependent_with_dirs(vec![DirVec(vec![Dir::Lt])]);
+        assert_eq!(v.info().unwrap().dir_vecs.len(), 1);
+        assert_eq!(v.to_string(), "maybe dependent");
+        assert_eq!(Verdict::Independent.to_string(), "independent");
+        assert_eq!(
+            Verdict::Dependent { exact: true, info: DependenceInfo::default() }.to_string(),
+            "dependent"
+        );
+        assert_eq!(Verdict::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,470 @@
+//! Affine subscript extraction and loop normalization.
+//!
+//! Subscript functions are restricted to the paper's class: linear
+//! functions of the loop variables whose coefficients are loop-invariant
+//! integer expressions (Section 2 and Section 4). Everything else —
+//! function calls like `IFUN(10)`, products of two loop variables — is
+//! *opaque* and analyzed conservatively.
+//!
+//! Loops are normalized to run from `0` by step `1` (Section 2): the loop
+//! `DO i = L, U, s` contributes the substitution `i := L + s·i'` with
+//! `i' ∈ [0, (U − L)/s]`. Non-rectangular bounds (inner bounds referencing
+//! outer variables) are widened to their rectangular extension, the
+//! trade-off of the paper's footnote 1.
+
+use crate::ast::{BinOp, Expr};
+use delin_numeric::{Affine, Assumptions, Sign, Sym, SymPoly, VarId};
+
+/// An affine form over normalized loop variables with symbolic
+/// coefficients.
+pub type SymAffine = Affine<SymPoly>;
+
+/// Evaluates a loop-invariant expression to a polynomial over symbolic
+/// parameters. `None` when the expression mentions a loop variable, an
+/// array element / function call, or an inexact division.
+pub fn expr_to_sympoly(e: &Expr, loop_vars: &[String]) -> Option<SymPoly> {
+    match e {
+        Expr::Int(v) => Some(SymPoly::constant(*v)),
+        Expr::Var(name) => {
+            if loop_vars.iter().any(|v| v == name) {
+                None
+            } else {
+                Some(SymPoly::symbol(Sym::new(name)))
+            }
+        }
+        Expr::Index(..) => None,
+        Expr::Neg(a) => expr_to_sympoly(a, loop_vars)?.checked_neg().ok(),
+        Expr::Bin(op, a, b) => {
+            let x = expr_to_sympoly(a, loop_vars)?;
+            let y = expr_to_sympoly(b, loop_vars)?;
+            match op {
+                BinOp::Add => x.checked_add(&y).ok(),
+                BinOp::Sub => x.checked_sub(&y).ok(),
+                BinOp::Mul => x.checked_mul(&y).ok(),
+                BinOp::Div => x.try_div_exact(&y),
+            }
+        }
+    }
+}
+
+/// Extracts an affine function of the loop variables (`loop_vars[k]` maps
+/// to `VarId(k)`). `None` for non-affine expressions.
+///
+/// ```
+/// use delin_frontend::ast::Expr;
+/// use delin_frontend::affine::expr_to_affine;
+/// use delin_numeric::VarId;
+/// // i + 10*j + 5
+/// let e = Expr::add(
+///     Expr::add(Expr::var("I"), Expr::mul(Expr::int(10), Expr::var("J"))),
+///     Expr::int(5),
+/// );
+/// let a = expr_to_affine(&e, &["I".into(), "J".into()]).unwrap();
+/// assert_eq!(a.coeff(VarId(0)).as_constant(), Some(1));
+/// assert_eq!(a.coeff(VarId(1)).as_constant(), Some(10));
+/// ```
+pub fn expr_to_affine(e: &Expr, loop_vars: &[String]) -> Option<SymAffine> {
+    match e {
+        Expr::Int(v) => Some(Affine::constant(SymPoly::constant(*v))),
+        Expr::Var(name) => match loop_vars.iter().position(|v| v == name) {
+            Some(k) => Some(Affine::var(VarId(k as u32))),
+            None => Some(Affine::constant(SymPoly::symbol(Sym::new(name)))),
+        },
+        Expr::Index(..) => None,
+        Expr::Neg(a) => expr_to_affine(a, loop_vars)?.checked_neg().ok(),
+        Expr::Bin(op, a, b) => {
+            let x = expr_to_affine(a, loop_vars)?;
+            let y = expr_to_affine(b, loop_vars)?;
+            match op {
+                BinOp::Add => x.checked_add(&y).ok(),
+                BinOp::Sub => x.checked_sub(&y).ok(),
+                BinOp::Mul => {
+                    // One side must be loop-invariant.
+                    if x.is_constant() {
+                        y.checked_scale(x.constant_part()).ok()
+                    } else if y.is_constant() {
+                        x.checked_scale(y.constant_part()).ok()
+                    } else {
+                        None
+                    }
+                }
+                BinOp::Div => {
+                    // Only loop-invariant exact division.
+                    if x.is_constant() && y.is_constant() {
+                        let q = x.constant_part().try_div_exact(y.constant_part())?;
+                        Some(Affine::constant(q))
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One normalized loop of a nest: the variable runs over `[0, upper]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedLoop {
+    /// Unique loop identity within the program walk (preorder index).
+    pub uid: u32,
+    /// Original loop-variable name.
+    pub var: String,
+    /// Rectangularized inclusive upper bound of the normalized variable.
+    pub upper: SymPoly,
+}
+
+/// A raw (pre-normalization) description of one loop of a nest.
+#[derive(Debug, Clone)]
+pub struct RawLoop {
+    /// Unique loop identity.
+    pub uid: u32,
+    /// Loop variable name.
+    pub var: String,
+    /// Lower bound expression.
+    pub lower: Expr,
+    /// Upper bound expression.
+    pub upper: Expr,
+    /// Step expression (`None` = 1).
+    pub step: Option<Expr>,
+}
+
+/// The result of normalizing a nest: normalized loops plus the
+/// substitutions `original_var := lower + step·normalized_var` needed to
+/// renormalize subscript functions.
+#[derive(Debug, Clone)]
+pub struct NormalizedNest {
+    /// Normalized loops, outermost first.
+    pub loops: Vec<NormalizedLoop>,
+    /// Per-loop substitution as an affine form over the *normalized*
+    /// variables (`VarId(k)` = loop `k`).
+    substitutions: Vec<SymAffine>,
+}
+
+impl NormalizedNest {
+    /// The loop-variable names, outermost first.
+    pub fn var_names(&self) -> Vec<String> {
+        self.loops.iter().map(|l| l.var.clone()).collect()
+    }
+
+    /// Renormalizes a subscript expressed over the *original* loop
+    /// variables into one over the normalized variables.
+    pub fn apply(&self, subscript: &SymAffine) -> Option<SymAffine> {
+        let mut out = Affine::constant(subscript.constant_part().clone());
+        for (v, c) in subscript.terms() {
+            let VarId(k) = v;
+            let repl = self.substitutions.get(k as usize)?;
+            out = out.checked_add(&repl.checked_scale(c).ok()?).ok()?;
+        }
+        Some(out)
+    }
+}
+
+/// Normalizes a nest of loops (outermost first). Returns `None` when a
+/// bound or step is not analyzable (non-affine, zero or symbolic step, or
+/// an undecidable sign during rectangularization).
+pub fn normalize_nest(loops: &[RawLoop], assumptions: &Assumptions) -> Option<NormalizedNest> {
+    let names: Vec<String> = loops.iter().map(|l| l.var.clone()).collect();
+    let mut substitutions: Vec<SymAffine> = Vec::with_capacity(loops.len());
+    let mut normalized: Vec<NormalizedLoop> = Vec::with_capacity(loops.len());
+    for (k, l) in loops.iter().enumerate() {
+        // Bounds may reference outer loop variables (triangular nests).
+        let lower_raw = expr_to_affine(&l.lower, &names)?;
+        let upper_raw = expr_to_affine(&l.upper, &names)?;
+        // Outer variables appearing in the bounds refer to *original*
+        // variables; rewrite them over normalized ones first.
+        let lower = apply_prefix(&lower_raw, &substitutions, k)?;
+        let upper = apply_prefix(&upper_raw, &substitutions, k)?;
+        let step = match &l.step {
+            None => 1i128,
+            Some(e) => expr_to_sympoly(e, &names)?.as_constant()?,
+        };
+        if step == 0 {
+            return None;
+        }
+        // Trip count - 1: (upper - lower) / step, exact or rectangular.
+        // Iteration always starts at the lower-bound expression (FORTRAN
+        // `DO i = L, U, s` starts at L even for negative s).
+        let base = lower.clone();
+        let span = if step > 0 {
+            upper.checked_sub(&lower).ok()?
+        } else {
+            lower.checked_sub(&upper).ok()?
+        };
+        let span = if step.abs() == 1 {
+            span
+        } else {
+            exact_or_truncated_div(&span, step.abs())?
+        };
+        // Rectangularize: maximize the span over the outer normalized
+        // rectangles (paper footnote 1).
+        let trip_upper = rectangular_max(&span, &normalized, assumptions)?;
+        // original var = base + step·normalized_var.
+        let step_poly = SymPoly::constant(step);
+        let repl = base
+            .checked_add(&Affine::var_scaled(VarId(k as u32), step_poly))
+            .ok()?;
+        substitutions.push(repl);
+        normalized.push(NormalizedLoop { uid: l.uid, var: l.var.clone(), upper: trip_upper });
+    }
+    Some(NormalizedNest { loops: normalized, substitutions })
+}
+
+/// Rewrites an affine form over original variables `0..k` using the
+/// already-computed substitutions.
+fn apply_prefix(a: &SymAffine, substitutions: &[SymAffine], k: usize) -> Option<SymAffine> {
+    let mut out = Affine::constant(a.constant_part().clone());
+    for (v, c) in a.terms() {
+        let VarId(idx) = v;
+        if idx as usize >= k {
+            // A bound referencing the loop's own (or an inner) variable is
+            // not analyzable.
+            return None;
+        }
+        let repl = &substitutions[idx as usize];
+        out = out.checked_add(&repl.checked_scale(c).ok()?).ok()?;
+    }
+    Some(out)
+}
+
+/// `(span)/s` by exact polynomial division, or, for constants, floor
+/// division (the rectangular trip count for constant bounds).
+fn exact_or_truncated_div(span: &SymAffine, s: i128) -> Option<SymAffine> {
+    let divisor = SymPoly::constant(s);
+    let mut out = Affine::constant(match span.constant_part().try_div_exact(&divisor) {
+        Some(q) => q,
+        None => {
+            let c = span.constant_part().as_constant()?;
+            SymPoly::constant(delin_numeric::int::floor_div(c, s).ok()?)
+        }
+    });
+    for (v, c) in span.terms() {
+        let q = c.try_div_exact(&divisor)?;
+        out = out.checked_add(&Affine::var_scaled(v, q)).ok()?;
+    }
+    Some(out)
+}
+
+/// Infers symbol lower bounds from the loop bounds of a program, under the
+/// standard vectorizer premise that every loop executes at least once: a
+/// loop `DO i = L, U` contributes `U − L ≥ 0`. When that difference has
+/// the shape `s − k` for a single symbol `s`, the assumption `s ≥ k` is
+/// recorded (this is the paper's "translator has to be able to keep and
+/// process predicates" in its simplest useful form).
+///
+/// The inference is *safe for vectorization*: if a loop actually executes
+/// zero times, the generated vector statement covers an empty section and
+/// is a no-op.
+pub fn infer_bound_assumptions(
+    program: &crate::ast::Program,
+    base: &Assumptions,
+) -> Assumptions {
+    let mut out = base.clone();
+    fn walk(stmts: &[crate::ast::Stmt], out: &mut Assumptions) {
+        for s in stmts {
+            if let crate::ast::Stmt::Loop(l) = s {
+                if let (Some(lo), Some(hi)) =
+                    (expr_to_sympoly(&l.lower, &[]), expr_to_sympoly(&l.upper, &[]))
+                {
+                    if let Ok(span) = hi.checked_sub(&lo) {
+                        // span = s - k  =>  s >= k.
+                        let syms = span.symbols();
+                        if syms.len() == 1 {
+                            let sym = &syms[0];
+                            let linear = span
+                                .checked_sub(&SymPoly::symbol(sym.clone()))
+                                .ok()
+                                .and_then(|rest| rest.as_constant());
+                            if let Some(neg_k) = linear {
+                                out.set_lower_bound(sym.clone(), -neg_k);
+                            }
+                        }
+                    }
+                }
+                walk(&l.body, out);
+            }
+        }
+    }
+    walk(&program.body, &mut out);
+    out
+}
+
+/// The maximum of an affine form over the rectangle of the (normalized)
+/// outer loops: substitute each variable by `0` or its upper bound
+/// according to the sign of its coefficient.
+fn rectangular_max(
+    a: &SymAffine,
+    outer: &[NormalizedLoop],
+    assumptions: &Assumptions,
+) -> Option<SymPoly> {
+    let mut acc = a.constant_part().clone();
+    for (v, c) in a.terms() {
+        let VarId(k) = v;
+        let upper = &outer.get(k as usize)?.upper;
+        match c.sign(assumptions)? {
+            Sign::Positive => acc = acc.checked_add(&c.checked_mul(upper).ok()?).ok()?,
+            Sign::Zero | Sign::Negative => {} // max at variable = 0
+        }
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+
+    fn raw(uid: u32, var: &str, lower: Expr, upper: Expr) -> RawLoop {
+        RawLoop { uid, var: var.into(), lower, upper, step: None }
+    }
+
+    #[test]
+    fn simple_normalization() {
+        // DO i = 1, 100  =>  i' in [0, 99], i = 1 + i'.
+        let nest = normalize_nest(
+            &[raw(0, "I", Expr::int(1), Expr::int(100))],
+            &Assumptions::new(),
+        )
+        .unwrap();
+        assert_eq!(nest.loops[0].upper, SymPoly::constant(99));
+        // subscript i + 1 over original vars becomes i' + 2.
+        let sub = expr_to_affine(
+            &Expr::add(Expr::var("I"), Expr::int(1)),
+            &["I".to_string()],
+        )
+        .unwrap();
+        let norm = nest.apply(&sub).unwrap();
+        assert_eq!(norm.constant_part().as_constant(), Some(2));
+        assert_eq!(norm.coeff(VarId(0)).as_constant(), Some(1));
+    }
+
+    #[test]
+    fn symbolic_bounds() {
+        // DO i = 0, N-2: upper N-2 symbolic.
+        let n_minus_2 = Expr::sub(Expr::var("N"), Expr::int(2));
+        let nest =
+            normalize_nest(&[raw(0, "I", Expr::int(0), n_minus_2)], &Assumptions::new())
+                .unwrap();
+        let n = SymPoly::symbol("N");
+        assert_eq!(nest.loops[0].upper, n.checked_sub(&SymPoly::constant(2)).unwrap());
+    }
+
+    #[test]
+    fn triangular_nest_is_rectangularized() {
+        // DO i = 0, 9 ; DO j = 0, i: j's bound widens to [0, 9].
+        let nest = normalize_nest(
+            &[
+                raw(0, "I", Expr::int(0), Expr::int(9)),
+                raw(1, "J", Expr::int(0), Expr::var("I")),
+            ],
+            &Assumptions::new(),
+        )
+        .unwrap();
+        assert_eq!(nest.loops[1].upper, SymPoly::constant(9));
+    }
+
+    #[test]
+    fn negative_step() {
+        // DO i = 10, 1, -1: i = 10 - i', i' in [0, 9].
+        let nest = normalize_nest(
+            &[RawLoop {
+                uid: 0,
+                var: "I".into(),
+                lower: Expr::int(10),
+                upper: Expr::int(1),
+                step: Some(Expr::Neg(Box::new(Expr::int(1)))),
+            }],
+            &Assumptions::new(),
+        )
+        .unwrap();
+        assert_eq!(nest.loops[0].upper, SymPoly::constant(9));
+        let sub = expr_to_affine(&Expr::var("I"), &["I".to_string()]).unwrap();
+        let norm = nest.apply(&sub).unwrap();
+        assert_eq!(norm.constant_part().as_constant(), Some(10));
+        assert_eq!(norm.coeff(VarId(0)).as_constant(), Some(-1));
+    }
+
+    #[test]
+    fn step_two() {
+        // DO i = 0, 9, 2: 5 iterations, i = 2 i', i' in [0, 4] (floor(9/2)).
+        let nest = normalize_nest(
+            &[RawLoop {
+                uid: 0,
+                var: "I".into(),
+                lower: Expr::int(0),
+                upper: Expr::int(9),
+                step: Some(Expr::int(2)),
+            }],
+            &Assumptions::new(),
+        )
+        .unwrap();
+        assert_eq!(nest.loops[0].upper, SymPoly::constant(4));
+    }
+
+    #[test]
+    fn rejects_non_affine() {
+        assert!(expr_to_affine(
+            &Expr::mul(Expr::var("I"), Expr::var("I")),
+            &["I".to_string()]
+        )
+        .is_none());
+        assert!(expr_to_affine(
+            &Expr::Index("IFUN".into(), vec![Expr::int(10)]),
+            &[]
+        )
+        .is_none());
+        // zero step
+        assert!(normalize_nest(
+            &[RawLoop {
+                uid: 0,
+                var: "I".into(),
+                lower: Expr::int(0),
+                upper: Expr::int(9),
+                step: Some(Expr::int(0)),
+            }],
+            &Assumptions::new()
+        )
+        .is_none());
+        // bound referencing own variable
+        assert!(normalize_nest(
+            &[raw(0, "I", Expr::int(0), Expr::var("I"))],
+            &Assumptions::new()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn symbolic_coefficients() {
+        // N*N*k + N*j + i over loops (k, j, i).
+        let e = Expr::add(
+            Expr::add(
+                Expr::mul(Expr::mul(Expr::var("N"), Expr::var("N")), Expr::var("K")),
+                Expr::mul(Expr::var("N"), Expr::var("J")),
+            ),
+            Expr::var("I"),
+        );
+        let vars = vec!["K".to_string(), "J".to_string(), "I".to_string()];
+        let a = expr_to_affine(&e, &vars).unwrap();
+        let n = SymPoly::symbol("N");
+        assert_eq!(a.coeff(VarId(0)), n.checked_mul(&n).unwrap());
+        assert_eq!(a.coeff(VarId(1)), n);
+        assert_eq!(a.coeff(VarId(2)).as_constant(), Some(1));
+    }
+
+    #[test]
+    fn sympoly_eval_of_invariants() {
+        let e = Expr::Bin(
+            BinOp::Div,
+            Box::new(Expr::mul(Expr::var("N"), Expr::int(4))),
+            Box::new(Expr::int(2)),
+        );
+        let p = expr_to_sympoly(&e, &[]).unwrap();
+        assert_eq!(p, SymPoly::symbol("N").checked_scale(2).unwrap());
+        // inexact division is rejected
+        let e = Expr::Bin(
+            BinOp::Div,
+            Box::new(Expr::var("N")),
+            Box::new(Expr::int(2)),
+        );
+        assert!(expr_to_sympoly(&e, &[]).is_none());
+    }
+}

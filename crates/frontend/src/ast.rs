@@ -1,0 +1,273 @@
+//! The mini-FORTRAN abstract syntax tree.
+
+use std::fmt;
+
+/// A unique statement identity, assigned by the parser in source order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i128),
+    /// Scalar variable or symbolic parameter reference.
+    Var(String),
+    /// Array element or function call (`A(i, j)` — FORTRAN syntax does not
+    /// distinguish; the declarations do).
+    Index(String, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (used only in loop-invariant expressions).
+    Div,
+}
+
+impl Expr {
+    /// Integer literal helper.
+    pub fn int(v: i128) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Variable helper.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// All identifiers mentioned anywhere in the expression.
+    pub fn idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Int(_) => {}
+            Expr::Var(v) => out.push(v),
+            Expr::Index(name, subs) => {
+                out.push(name);
+                for s in subs {
+                    s.collect_idents(out);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::Neg(a) => a.collect_idents(out),
+        }
+    }
+
+    /// Structural substitution of variable `name` by `replacement`.
+    pub fn substitute_var(&self, name: &str, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Int(_) => self.clone(),
+            Expr::Var(v) => {
+                if v == name {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Index(n, subs) => Expr::Index(
+                n.clone(),
+                subs.iter().map(|s| s.substitute_var(name, replacement)).collect(),
+            ),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.substitute_var(name, replacement)),
+                Box::new(b.substitute_var(name, replacement)),
+            ),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.substitute_var(name, replacement))),
+        }
+    }
+}
+
+/// A dimension declarator `lower : upper` (FORTRAN defaults lower to 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimBound {
+    /// Lower bound (inclusive).
+    pub lower: Expr,
+    /// Upper bound (inclusive).
+    pub upper: Expr,
+}
+
+/// An array declaration from a type statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Dimension bounds (column-major, FORTRAN order).
+    pub dims: Vec<DimBound>,
+}
+
+/// An assignment statement `lhs = rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// Statement identity.
+    pub id: StmtId,
+    /// Left-hand side (array element or scalar).
+    pub lhs: Expr,
+    /// Right-hand side.
+    pub rhs: Expr,
+    /// FORTRAN statement label, if any.
+    pub label: Option<u32>,
+}
+
+/// A `DO` loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Loop variable name.
+    pub var: String,
+    /// Lower bound expression.
+    pub lower: Expr,
+    /// Upper bound expression.
+    pub upper: Expr,
+    /// Step (defaults to 1).
+    pub step: Option<Expr>,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// A `DO` loop.
+    Loop(Loop),
+    /// An assignment.
+    Assign(Assign),
+}
+
+impl Stmt {
+    /// Depth-first visit of all assignments.
+    pub fn visit_assigns<'a>(&'a self, f: &mut impl FnMut(&'a Assign)) {
+        match self {
+            Stmt::Loop(l) => {
+                for s in &l.body {
+                    s.visit_assigns(f);
+                }
+            }
+            Stmt::Assign(a) => f(a),
+        }
+    }
+}
+
+/// A whole program unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Program name, when given.
+    pub name: Option<String>,
+    /// Declared arrays.
+    pub decls: Vec<ArrayDecl>,
+    /// `EQUIVALENCE` pairs (by array name).
+    pub equivalences: Vec<(String, String)>,
+    /// Executable statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Looks up an array declaration by (case-insensitive) name.
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.decls.iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    }
+
+    /// `true` when `name` is a declared array.
+    pub fn is_array(&self, name: &str) -> bool {
+        self.array(name).is_some()
+    }
+
+    /// Visits every assignment in source order.
+    pub fn visit_assigns<'a>(&'a self, f: &mut impl FnMut(&'a Assign)) {
+        for s in &self.body {
+            s.visit_assigns(f);
+        }
+    }
+
+    /// Total number of assignment statements.
+    pub fn num_assigns(&self) -> usize {
+        let mut n = 0;
+        self.visit_assigns(&mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders_and_idents() {
+        let e = Expr::add(Expr::var("i"), Expr::mul(Expr::int(10), Expr::var("j")));
+        assert_eq!(e.idents(), vec!["i", "j"]);
+        let idx = Expr::Index("A".into(), vec![e.clone()]);
+        assert_eq!(idx.idents(), vec!["A", "i", "j"]);
+        let neg = Expr::Neg(Box::new(Expr::var("k")));
+        assert_eq!(neg.idents(), vec!["k"]);
+    }
+
+    #[test]
+    fn substitution() {
+        let e = Expr::add(Expr::var("IB"), Expr::int(1));
+        let s = e.substitute_var("IB", &Expr::var("K"));
+        assert_eq!(s, Expr::add(Expr::var("K"), Expr::int(1)));
+        // Inside indexes too.
+        let idx = Expr::Index("B".into(), vec![Expr::var("IB")]);
+        let s = idx.substitute_var("IB", &Expr::int(7));
+        assert_eq!(s, Expr::Index("B".into(), vec![Expr::int(7)]));
+    }
+
+    #[test]
+    fn program_queries() {
+        let p = Program {
+            name: Some("T".into()),
+            decls: vec![ArrayDecl {
+                name: "A".into(),
+                dims: vec![DimBound { lower: Expr::int(0), upper: Expr::int(9) }],
+            }],
+            equivalences: vec![],
+            body: vec![Stmt::Assign(Assign {
+                id: StmtId(0),
+                lhs: Expr::Index("A".into(), vec![Expr::var("i")]),
+                rhs: Expr::int(0),
+                label: None,
+            })],
+        };
+        assert!(p.is_array("a"));
+        assert!(!p.is_array("B"));
+        assert_eq!(p.num_assigns(), 1);
+    }
+}

@@ -1,0 +1,583 @@
+//! A tiny C front end for the paper's pointer-loop example.
+//!
+//! The paper argues that precise dependence testing for C requires
+//! treating pointers that traverse arrays as indices into the linearized
+//! array:
+//!
+//! ```c
+//! float d[100];
+//! float *i, *j;
+//! for (j = d; j <= d + 90; j += 10)
+//!   for (i = j; i < j + 5; i++)
+//!     *i = *(i + 5);
+//! ```
+//!
+//! becomes
+//!
+//! ```c
+//! for (j = 0; j < 10; j++)
+//!   for (i = 0; i < 5; i++)
+//!     d[j*10 + i] = d[j*10 + i + 5];
+//! ```
+//!
+//! [`translate_c`] parses the subset, performs the pointer-to-index
+//! rewriting, and lowers to the same [`Program`] AST the FORTRAN front end
+//! produces (so delinearization and vectorization apply unchanged).
+
+use crate::ast::{ArrayDecl, Assign, DimBound, Expr, Loop, Program, Stmt, StmtId};
+use crate::linearize::simplify;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A translation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTranslateError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for CTranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c translation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CTranslateError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, CTranslateError> {
+    Err(CTranslateError { message: m.into() })
+}
+
+/// Tokens of the C subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CTok {
+    Ident(String),
+    Int(i128),
+    Sym(String), // operators and punctuation
+}
+
+fn c_tokenize(src: &str) -> Result<Vec<CTok>, CTranslateError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '0'..='9' => {
+                let mut v = 0i128;
+                while let Some(&d) = chars.peek() {
+                    if let Some(x) = d.to_digit(10) {
+                        v = v * 10 + x as i128;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(CTok::Int(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(CTok::Ident(s));
+            }
+            _ => {
+                // Multi-character operators first.
+                let mut op = String::new();
+                op.push(c);
+                chars.next();
+                if let Some(&n) = chars.peek() {
+                    let two: String = [c, n].iter().collect();
+                    if matches!(
+                        two.as_str(),
+                        "<=" | ">=" | "==" | "!=" | "++" | "--" | "+=" | "-=" | "*="
+                    ) {
+                        op = two;
+                        chars.next();
+                    }
+                }
+                match op.as_str() {
+                    "(" | ")" | "[" | "]" | "{" | "}" | ";" | "," | "=" | "+" | "-" | "*"
+                    | "/" | "<" | ">" | "<=" | ">=" | "==" | "!=" | "++" | "--" | "+=" | "-="
+                    | "*=" => out.push(CTok::Sym(op)),
+                    other => return err(format!("unexpected character sequence `{other}`")),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// What a pointer variable currently denotes: `base[offset + stride·k]`
+/// where `k` is the loop variable it was bound in.
+#[derive(Debug, Clone)]
+struct PointerBinding {
+    /// The underlying declared array.
+    base: String,
+    /// Index expression (in terms of enclosing loop variables).
+    index: Expr,
+}
+
+struct CParser {
+    toks: Vec<CTok>,
+    pos: usize,
+    arrays: Vec<ArrayDecl>,
+    pointers: Vec<String>,
+    bindings: HashMap<String, PointerBinding>,
+    loop_stack: Vec<String>,
+    next_id: u32,
+}
+
+impl CParser {
+    fn peek(&self) -> Option<&CTok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<CTok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), CTranslateError> {
+        match self.bump() {
+            Some(CTok::Sym(x)) if x == s => Ok(()),
+            other => err(format!("expected `{s}`, found {other:?}")),
+        }
+    }
+
+    fn is_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(CTok::Sym(x)) if x == s)
+    }
+
+    fn fresh_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn program(&mut self) -> Result<Program, CTranslateError> {
+        // Declarations: `float d[100];` and `float *i, *j;` (also int).
+        while matches!(self.peek(), Some(CTok::Ident(k)) if k == "float" || k == "int" || k == "double")
+        {
+            self.bump();
+            loop {
+                let is_ptr = self.is_sym("*");
+                if is_ptr {
+                    self.bump();
+                }
+                let name = match self.bump() {
+                    Some(CTok::Ident(n)) => n.to_ascii_uppercase(),
+                    other => return err(format!("expected declarator, found {other:?}")),
+                };
+                if is_ptr {
+                    self.pointers.push(name);
+                } else if self.is_sym("[") {
+                    self.bump();
+                    let size = self.expr()?;
+                    self.eat_sym("]")?;
+                    self.arrays.push(ArrayDecl {
+                        name,
+                        dims: vec![DimBound {
+                            lower: Expr::int(0),
+                            upper: simplify(&Expr::sub(size, Expr::int(1))),
+                        }],
+                    });
+                }
+                if self.is_sym(",") {
+                    self.bump();
+                    continue;
+                }
+                self.eat_sym(";")?;
+                break;
+            }
+        }
+        let body = self.stmt_block()?;
+        Ok(Program {
+            name: None,
+            decls: std::mem::take(&mut self.arrays),
+            equivalences: Vec::new(),
+            body,
+        })
+    }
+
+    fn stmt_block(&mut self) -> Result<Vec<Stmt>, CTranslateError> {
+        let mut out = Vec::new();
+        while self.peek().is_some() && !self.is_sym("}") {
+            out.push(self.statement()?);
+        }
+        Ok(out)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CTranslateError> {
+        if matches!(self.peek(), Some(CTok::Ident(k)) if k == "for") {
+            return self.for_loop();
+        }
+        // Assignment: `*lhs = rhs;` or `arr[e] = rhs;`
+        let lhs = self.lvalue()?;
+        self.eat_sym("=")?;
+        let rhs = self.expr()?;
+        self.eat_sym(";")?;
+        Ok(Stmt::Assign(Assign { id: self.fresh_id(), lhs, rhs, label: None }))
+    }
+
+    /// `for (v = init; v REL bound; v UPDATE) body`
+    fn for_loop(&mut self) -> Result<Stmt, CTranslateError> {
+        self.bump(); // for
+        self.eat_sym("(")?;
+        let var = match self.bump() {
+            Some(CTok::Ident(v)) => v.to_ascii_uppercase(),
+            other => return err(format!("expected loop variable, found {other:?}")),
+        };
+        self.eat_sym("=")?;
+        let init = self.expr()?;
+        self.eat_sym(";")?;
+        let cond_var = match self.bump() {
+            Some(CTok::Ident(v)) => v.to_ascii_uppercase(),
+            other => return err(format!("expected condition variable, found {other:?}")),
+        };
+        if cond_var != var {
+            return err("loop condition must test the loop variable");
+        }
+        let strict = if self.is_sym("<") {
+            self.bump();
+            true
+        } else if self.is_sym("<=") {
+            self.bump();
+            false
+        } else {
+            return err("loop condition must be `<` or `<=`");
+        };
+        let bound = self.expr()?;
+        self.eat_sym(";")?;
+        // Update: v++, v += c.
+        let upd_var = match self.bump() {
+            Some(CTok::Ident(v)) => v.to_ascii_uppercase(),
+            other => return err(format!("expected update variable, found {other:?}")),
+        };
+        if upd_var != var {
+            return err("loop update must step the loop variable");
+        }
+        let step: i128 = if self.is_sym("++") {
+            self.bump();
+            1
+        } else if self.is_sym("+=") {
+            self.bump();
+            match self.bump() {
+                Some(CTok::Int(v)) => v,
+                other => return err(format!("expected constant step, found {other:?}")),
+            }
+        } else {
+            return err("loop update must be `++` or `+= const`");
+        };
+        self.eat_sym(")")?;
+
+        // Pointer loop or integer loop?
+        let is_pointer = self.pointers.contains(&var);
+        let (lower, upper, saved_binding) = if is_pointer {
+            // init must resolve to base[index]; bound to base[index'].
+            let init_b = self.resolve_pointer_expr(&init)?;
+            let bound_b = self.resolve_pointer_expr(&bound)?;
+            if init_b.base != bound_b.base {
+                return err("pointer loop bounds traverse different arrays");
+            }
+            // Trip count: (bound_index - init_index [- 1 if strict]) / step.
+            let span = Expr::sub(bound_b.index.clone(), init_b.index.clone());
+            let span = if strict { Expr::sub(span, Expr::int(1)) } else { span };
+            let upper = self.fold_loop_invariant(&Expr::Bin(
+                crate::ast::BinOp::Div,
+                Box::new(span),
+                Box::new(Expr::int(step)),
+            ));
+            // Bind: var -> base[init_index + step·var] with var in [0, upper].
+            let binding = PointerBinding {
+                base: init_b.base.clone(),
+                index: simplify(&Expr::add(
+                    init_b.index.clone(),
+                    Expr::mul(Expr::int(step), Expr::var(&var)),
+                )),
+            };
+            let saved = self.bindings.insert(var.clone(), binding);
+            (Expr::int(0), upper, saved)
+        } else {
+            // Integer loop: inclusive upper bound.
+            let upper = if strict {
+                simplify(&Expr::sub(bound, Expr::int(1)))
+            } else {
+                bound
+            };
+            if step != 1 {
+                return err("integer loops must step by 1 in this subset");
+            }
+            (init, upper, None)
+        };
+
+        self.loop_stack.push(var.clone());
+        let body = if self.is_sym("{") {
+            self.bump();
+            let b = self.stmt_block()?;
+            self.eat_sym("}")?;
+            b
+        } else {
+            vec![self.statement()?]
+        };
+        self.loop_stack.pop();
+
+        if is_pointer {
+            self.bindings.remove(&var);
+            if let Some(b) = saved_binding {
+                self.bindings.insert(var.clone(), b);
+            }
+        }
+        Ok(Stmt::Loop(Loop { var, lower, upper, step: None, body }))
+    }
+
+    /// Folds a loop-invariant-with-respect-to-inner-loops expression into
+    /// affine normal form when possible (cancels `10*J + 5 - 10*J` style
+    /// bounds produced by pointer rewriting).
+    fn fold_loop_invariant(&self, e: &Expr) -> Expr {
+        match crate::affine::expr_to_affine(e, &self.loop_stack) {
+            Some(a) => crate::linearize::affine_to_expr(&a, &self.loop_stack),
+            None => simplify(e),
+        }
+    }
+
+    /// Resolves an expression made of pointers/arrays/ints into
+    /// `base[index]`.
+    fn resolve_pointer_expr(&self, e: &Expr) -> Result<PointerBinding, CTranslateError> {
+        match e {
+            Expr::Var(name) => {
+                if let Some(b) = self.bindings.get(name) {
+                    Ok(b.clone())
+                } else if self.arrays.iter().any(|a| &a.name == name) {
+                    Ok(PointerBinding { base: name.clone(), index: Expr::int(0) })
+                } else {
+                    err(format!("`{name}` is not a bound pointer or array"))
+                }
+            }
+            Expr::Bin(crate::ast::BinOp::Add, a, b) => {
+                // pointer + int-expr (either order).
+                if let Ok(base) = self.resolve_pointer_expr(a) {
+                    Ok(PointerBinding {
+                        base: base.base,
+                        index: simplify(&Expr::add(base.index, (**b).clone())),
+                    })
+                } else {
+                    let base = self.resolve_pointer_expr(b)?;
+                    Ok(PointerBinding {
+                        base: base.base,
+                        index: simplify(&Expr::add(base.index, (**a).clone())),
+                    })
+                }
+            }
+            Expr::Bin(crate::ast::BinOp::Sub, a, b) => {
+                let base = self.resolve_pointer_expr(a)?;
+                Ok(PointerBinding {
+                    base: base.base,
+                    index: simplify(&Expr::sub(base.index, (**b).clone())),
+                })
+            }
+            _ => err("unsupported pointer expression"),
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<Expr, CTranslateError> {
+        if self.is_sym("*") {
+            self.bump();
+            let inner = self.unary_operand()?;
+            let b = self.resolve_pointer_expr(&inner)?;
+            return Ok(Expr::Index(b.base, vec![b.index]));
+        }
+        // arr[expr]
+        match self.bump() {
+            Some(CTok::Ident(name)) => {
+                let name = name.to_ascii_uppercase();
+                if self.is_sym("[") {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_sym("]")?;
+                    Ok(Expr::Index(name, vec![idx]))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => err(format!("expected lvalue, found {other:?}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CTranslateError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.is_sym("+") {
+                self.bump();
+                lhs = Expr::add(lhs, self.term()?);
+            } else if self.is_sym("-") {
+                self.bump();
+                lhs = Expr::sub(lhs, self.term()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, CTranslateError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.is_sym("*") {
+                self.bump();
+                lhs = Expr::mul(lhs, self.unary()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CTranslateError> {
+        if self.is_sym("*") {
+            // Pointer dereference: *p or *(p + k).
+            self.bump();
+            let inner = self.unary_operand()?;
+            let b = self.resolve_pointer_expr(&inner)?;
+            return Ok(Expr::Index(b.base, vec![b.index]));
+        }
+        if self.is_sym("-") {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.unary_operand()
+    }
+
+    fn unary_operand(&mut self) -> Result<Expr, CTranslateError> {
+        match self.bump() {
+            Some(CTok::Int(v)) => Ok(Expr::int(v)),
+            Some(CTok::Ident(name)) => {
+                let name = name.to_ascii_uppercase();
+                if self.is_sym("[") {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_sym("]")?;
+                    Ok(Expr::Index(name, vec![idx]))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(CTok::Sym(s)) if s == "(" => {
+                let e = self.expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            other => err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+/// Translates the C subset into the common [`Program`] AST, rewriting
+/// array-traversing pointers into indices (the paper's Section 1 C
+/// discussion).
+///
+/// # Errors
+///
+/// Returns a [`CTranslateError`] describing the first unsupported
+/// construct.
+pub fn translate_c(src: &str) -> Result<Program, CTranslateError> {
+    let toks = c_tokenize(src)?;
+    let mut p = CParser {
+        toks,
+        pos: 0,
+        arrays: Vec::new(),
+        pointers: Vec::new(),
+        bindings: HashMap::new(),
+        loop_stack: Vec::new(),
+        next_id: 0,
+    };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::program_to_string;
+
+    #[test]
+    fn paper_pointer_example() {
+        let src = "
+            float d[100];
+            float *i, *j;
+            for (j = d; j <= d + 90; j += 10)
+              for (i = j; i < j + 5; i++)
+                *i = *(i + 5);
+        ";
+        let p = translate_c(src).unwrap();
+        let text = program_to_string(&p);
+        // d[j*10 + i] = d[j*10 + i + 5] modulo spelling.
+        assert!(text.contains("REAL D(0:99)"), "{text}");
+        assert!(text.contains("DO J = 0, 9"), "{text}");
+        assert!(text.contains("DO I = 0, 4"), "{text}");
+        assert!(text.contains("D(10 * J + I) = D(10 * J + I + 5)"), "{text}");
+    }
+
+    #[test]
+    fn translated_program_delinearizes() {
+        use crate::delinearize_src::delinearize_array;
+        use delin_numeric::Assumptions;
+        let src = "
+            float d[100];
+            float *i, *j;
+            for (j = d; j <= d + 90; j += 10)
+              for (i = j; i < j + 5; i++)
+                *i = *(i + 5);
+        ";
+        let p = translate_c(src).unwrap();
+        let (out, report) = delinearize_array(&p, "D", &Assumptions::new()).unwrap();
+        assert_eq!(report.extents, vec!["10", "10"]);
+        let text = program_to_string(&out);
+        // The paper's final form: d[j][i] = d[j][i+5] (column-major here).
+        assert!(text.contains("D(I, J) = D(I + 5, J)"), "{text}");
+    }
+
+    #[test]
+    fn plain_index_loops() {
+        let src = "
+            float a[50];
+            int k;
+            for (k = 0; k < 49; k++)
+              a[k] = a[k + 1];
+        ";
+        let p = translate_c(src).unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("DO K = 0, 48"), "{text}");
+        assert!(text.contains("A(K) = A(K + 1)"), "{text}");
+    }
+
+    #[test]
+    fn braced_bodies_and_nesting() {
+        let src = "
+            float a[100];
+            int i, j;
+            for (i = 0; i < 10; i++) {
+              for (j = 0; j < 10; j++) {
+                a[10*i + j] = a[10*i + j] + 1;
+              }
+            }
+        ";
+        let p = translate_c(src).unwrap();
+        assert_eq!(p.num_assigns(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(translate_c("float a[10]; for (x = 0; x < 1; x++) a[x] = a[x] ^ 2;").is_err());
+        assert!(translate_c("float *p; for (p = q; p < q + 5; p++) *p = 0;").is_err());
+        let e = translate_c("float a[10]; a[0] = ;").unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! Wrap-around induction-variable recognition and substitution.
+//!
+//! The paper's BOAST-derived example:
+//!
+//! ```fortran
+//! IB = -1
+//! DO 1 I = 0, II-1
+//! DO 1 J = 0, JJ-1
+//! DO 1 K = 0, KK-1
+//!   IB = IB + 1
+//!   C(J) = C(J) + 1
+//! 1 B(IB) = B(IB) + Q
+//! ```
+//!
+//! `IB` is an induction variable controlled by all three loops, but a
+//! syntactic analysis sees only the innermost one. Replacing `IB` with its
+//! closed form `K + J*KK + I*KK*JJ` (for the uses after the increment)
+//! turns `B(IB)` into a *linearized reference* that delinearization can
+//! analyze, enabling parallelization of the `B` statement over all three
+//! loops — exactly the motivation given in the paper's introduction.
+
+use crate::ast::{Assign, Expr, Loop, Program, Stmt};
+
+/// Report of one substituted induction variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InductionReport {
+    /// The scalar that was recognized.
+    pub var: String,
+    /// Rendered closed form substituted for uses after the increment.
+    pub closed_form: String,
+}
+
+/// Recognizes and substitutes multi-loop induction variables.
+///
+/// A scalar `S` qualifies when: it is written exactly twice — once at top
+/// level (`S = init`, the initialization) and once inside a loop nest as
+/// `S = S + c` (or `S = S - c`) with loop-invariant `c` — the increment is
+/// *directly* inside the innermost loop of a nest whose loops all have
+/// step 1, and every other use of `S` is inside that same innermost body.
+///
+/// Uses after the increment become `init + c + c·position`, uses before it
+/// become `init + c·position`, where `position` is the linearized
+/// iteration number `(K−lk) + (J−lj)·TK + (I−li)·TK·TJ` (trip counts `T`
+/// from the enclosing loops). The increment statement itself is removed.
+pub fn substitute_inductions(program: &Program) -> (Program, Vec<InductionReport>) {
+    let mut out = program.clone();
+    let mut reports = Vec::new();
+    // Iterate: substituting one variable may expose another.
+    loop {
+        let Some(report) = substitute_one(&mut out) else {
+            break;
+        };
+        reports.push(report);
+    }
+    (out, reports)
+}
+
+struct Candidate {
+    var: String,
+    init: Expr,
+    step: Expr,
+    /// Position of the outermost loop of the increment's nest within the
+    /// top-level body.
+    top_index: usize,
+    /// Position of the (now dead) initialization statement.
+    init_index: usize,
+}
+
+fn substitute_one(program: &mut Program) -> Option<InductionReport> {
+    let cand = find_candidate(program)?;
+    // Rebuild the nest with the substitution applied.
+    let Stmt::Loop(outer) = &program.body[cand.top_index] else {
+        return None;
+    };
+    let mut loops: Vec<Loop> = Vec::new();
+    let mut cur = outer;
+    loop {
+        loops.push(Loop { body: Vec::new(), ..cur.clone() });
+        // All loops must have step 1 to linearize the position.
+        if let Some(step) = &cur.step {
+            if step != &Expr::int(1) {
+                return None;
+            }
+        }
+        match single_inner_loop(&cur.body) {
+            Some(inner) => cur = inner,
+            None => break,
+        }
+    }
+    let innermost_body: &Vec<Stmt> = {
+        let mut b = &outer.body;
+        while let Some(inner) = single_inner_loop(b) {
+            b = &inner.body;
+        }
+        b
+    };
+    // Locate the increment inside the innermost body.
+    let inc_pos = innermost_body.iter().position(|s| is_increment(s, &cand.var))?;
+    // The increment must not be used anywhere outside the innermost body
+    // (checked by find_candidate), and all enclosing loops are step-1.
+    // position = Σ (var_k − lower_k) · Π_{deeper} trip.
+    let mut position = Expr::int(0);
+    for (k, l) in loops.iter().enumerate() {
+        let mut term = Expr::sub(Expr::var(&l.var), l.lower.clone());
+        for deeper in &loops[k + 1..] {
+            let trip = Expr::add(
+                Expr::sub(deeper.upper.clone(), deeper.lower.clone()),
+                Expr::int(1),
+            );
+            term = Expr::mul(term, trip);
+        }
+        position = Expr::add(position, term);
+    }
+    let before = Expr::add(cand.init.clone(), Expr::mul(cand.step.clone(), position.clone()));
+    let after = Expr::add(before.clone(), cand.step.clone());
+    let _ = inc_pos;
+    let rendered = crate::pretty::expr_to_string(&after);
+    // Rebuild the nest, preserving imperfect-nest siblings; only the
+    // innermost body is transformed.
+    let rebuilt = rebuild_nest(outer, &cand.var, &before, &after);
+    program.body[cand.top_index] = Stmt::Loop(rebuilt);
+    // Every use was replaced, so the initialization is dead; drop it.
+    program.body.remove(cand.init_index);
+    Some(InductionReport { var: cand.var, closed_form: rendered })
+}
+
+fn rebuild_nest(l: &Loop, var: &str, before: &Expr, after: &Expr) -> Loop {
+    match single_inner_loop_pos(&l.body) {
+        Some(p) => {
+            let mut body = l.body.clone();
+            let Stmt::Loop(inner) = &l.body[p] else { unreachable!() };
+            body[p] = Stmt::Loop(rebuild_nest(inner, var, before, after));
+            Loop { body, ..l.clone() }
+        }
+        None => {
+            let inc_pos = l
+                .body
+                .iter()
+                .position(|s| is_increment(s, var))
+                .expect("increment located by caller");
+            let body: Vec<Stmt> = l
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != inc_pos)
+                .map(|(i, s)| {
+                    let repl = if i < inc_pos { before } else { after };
+                    substitute_in_stmt(s, var, repl)
+                })
+                .collect();
+            Loop { body, ..l.clone() }
+        }
+    }
+}
+
+fn single_inner_loop_pos(body: &[Stmt]) -> Option<usize> {
+    let mut pos = None;
+    for (i, s) in body.iter().enumerate() {
+        if matches!(s, Stmt::Loop(_)) {
+            if pos.is_some() {
+                return None;
+            }
+            pos = Some(i);
+        }
+    }
+    pos
+}
+
+fn single_inner_loop(body: &[Stmt]) -> Option<&Loop> {
+    // The nest may be imperfect; we descend through the unique inner loop
+    // when there is exactly one.
+    let mut loops = body.iter().filter_map(|s| match s {
+        Stmt::Loop(l) => Some(l),
+        Stmt::Assign(_) => None,
+    });
+    let first = loops.next()?;
+    if loops.next().is_some() {
+        return None;
+    }
+    // Increments next to statements at this level are not supported; the
+    // caller verifies the increment sits in the innermost body.
+    Some(first)
+}
+
+fn is_increment(s: &Stmt, var: &str) -> bool {
+    matches!(increment_step(s, var), Some(_))
+}
+
+/// For `var = var + c` or `var = c + var` or `var = var - c`, the step.
+fn increment_step(s: &Stmt, var: &str) -> Option<Expr> {
+    let Stmt::Assign(Assign { lhs: Expr::Var(l), rhs, .. }) = s else {
+        return None;
+    };
+    if l != var {
+        return None;
+    }
+    match rhs {
+        Expr::Bin(crate::ast::BinOp::Add, a, b) => match (&**a, &**b) {
+            (Expr::Var(v), c) if v == var && !mentions(c, var) => Some(c.clone()),
+            (c, Expr::Var(v)) if v == var && !mentions(c, var) => Some(c.clone()),
+            _ => None,
+        },
+        Expr::Bin(crate::ast::BinOp::Sub, a, b) => match (&**a, &**b) {
+            (Expr::Var(v), c) if v == var && !mentions(c, var) => {
+                Some(Expr::Neg(Box::new(c.clone())))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn mentions(e: &Expr, var: &str) -> bool {
+    e.idents().iter().any(|i| *i == var)
+}
+
+fn substitute_in_stmt(s: &Stmt, var: &str, repl: &Expr) -> Stmt {
+    match s {
+        Stmt::Assign(a) => Stmt::Assign(Assign {
+            id: a.id,
+            lhs: a.lhs.substitute_var(var, repl),
+            rhs: a.rhs.substitute_var(var, repl),
+            label: a.label,
+        }),
+        Stmt::Loop(l) => Stmt::Loop(Loop {
+            var: l.var.clone(),
+            lower: l.lower.substitute_var(var, repl),
+            upper: l.upper.substitute_var(var, repl),
+            step: l.step.clone(),
+            body: l.body.iter().map(|b| substitute_in_stmt(b, var, repl)).collect(),
+        }),
+    }
+}
+
+fn find_candidate(program: &Program) -> Option<Candidate> {
+    // Scalars written at top level.
+    for (top_index, stmt) in program.body.iter().enumerate() {
+        let Stmt::Loop(_) = stmt else { continue };
+        // Look backwards for initializations preceding this nest.
+        for (init_index, prev) in program.body[..top_index].iter().enumerate().rev() {
+            let Stmt::Assign(init_assign) = prev else {
+                continue;
+            };
+            let Assign { lhs: Expr::Var(name), rhs: init, .. } = init_assign else {
+                continue;
+            };
+            if program.is_array(name) {
+                continue;
+            }
+            // Find an increment of `name` inside the nest's innermost body.
+            let Stmt::Loop(outer) = stmt else { unreachable!() };
+            let mut body = &outer.body;
+            while let Some(inner) = single_inner_loop(body) {
+                body = &inner.body;
+            }
+            let Some(step) = body.iter().find_map(|s| increment_step(s, name)) else {
+                continue;
+            };
+            // Validate: exactly one increment; no other writes of `name`
+            // anywhere; all other uses inside that innermost body.
+            if body.iter().filter(|s| is_increment(s, name)).count() != 1 {
+                continue;
+            }
+            if count_writes(program, name) != 2 {
+                continue;
+            }
+            if !uses_confined(program, name, top_index, init_assign) {
+                continue;
+            }
+            // Step must be loop-invariant w.r.t. the nest's variables.
+            let loop_vars = nest_vars(outer);
+            if step.idents().iter().any(|i| loop_vars.iter().any(|v| v == i)) {
+                continue;
+            }
+            if init.idents().iter().any(|i| loop_vars.iter().any(|v| v == i)) {
+                continue;
+            }
+            return Some(Candidate {
+                var: name.clone(),
+                init: init.clone(),
+                step,
+                top_index,
+                init_index,
+            });
+        }
+    }
+    None
+}
+
+fn nest_vars(outer: &Loop) -> Vec<String> {
+    let mut vars = vec![outer.var.clone()];
+    let mut body = &outer.body;
+    while let Some(inner) = single_inner_loop(body) {
+        vars.push(inner.var.clone());
+        body = &inner.body;
+    }
+    vars
+}
+
+fn count_writes(program: &Program, var: &str) -> usize {
+    let mut n = 0;
+    program.visit_assigns(&mut |a| {
+        if matches!(&a.lhs, Expr::Var(v) if v == var) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// All uses of `var` other than the init statement must be inside the
+/// innermost body of the nest at `top_index`.
+fn uses_confined(program: &Program, var: &str, top_index: usize, init_stmt: &Assign) -> bool {
+    for (idx, stmt) in program.body.iter().enumerate() {
+        let ok = match stmt {
+            Stmt::Assign(a) => std::ptr::eq(a, init_stmt) || !stmt_mentions(stmt, var),
+            Stmt::Loop(outer) if idx == top_index => {
+                // Inside the nest: only the innermost body may mention it.
+                let mut body = &outer.body;
+                let mut shell_ok = true;
+                loop {
+                    match single_inner_loop(body) {
+                        Some(inner) => {
+                            for s in body {
+                                if !matches!(s, Stmt::Loop(_)) && stmt_mentions(s, var) {
+                                    shell_ok = false;
+                                }
+                            }
+                            body = &inner.body;
+                        }
+                        None => break,
+                    }
+                }
+                shell_ok
+            }
+            Stmt::Loop(_) => !stmt_mentions(stmt, var),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+fn stmt_mentions(s: &Stmt, var: &str) -> bool {
+    match s {
+        Stmt::Assign(a) => mentions(&a.lhs, var) || mentions(&a.rhs, var),
+        Stmt::Loop(l) => {
+            mentions(&l.lower, var)
+                || mentions(&l.upper, var)
+                || l.step.as_ref().is_some_and(|e| mentions(e, var))
+                || l.body.iter().any(|b| stmt_mentions(b, var))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::pretty::program_to_string;
+
+    #[test]
+    fn boast_example_substituted() {
+        let src = "
+            REAL B(1000), C(100)
+            IB = -1
+            DO 1 I = 0, II-1
+            DO 1 J = 0, JJ-1
+            DO 1 K = 0, KK-1
+              IB = IB + 1
+              C(J) = C(J) + 1
+        1   B(IB) = B(IB) + Q
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (out, reports) = substitute_inductions(&p);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].var, "IB");
+        let text = program_to_string(&out);
+        // The increment is gone and B is now subscripted by a linearized
+        // closed form over K, J, I.
+        assert!(!text.contains("IB = IB + 1"), "{text}");
+        assert!(text.contains("B("), "{text}");
+        assert!(!text.contains("B(IB)"), "{text}");
+        // Closed form mentions all three loop variables.
+        let r = &reports[0].closed_form;
+        assert!(r.contains('K') && r.contains('J') && r.contains('I'), "{r}");
+        // The C statement is untouched.
+        assert!(text.contains("C(J) = C(J) + 1"), "{text}");
+    }
+
+    #[test]
+    fn closed_form_is_correct_numerically() {
+        // Concrete bounds so we can simulate: II=2, JJ=3, KK=4.
+        let src = "
+            REAL B(100)
+            IB = -1
+            DO 1 I = 0, 1
+            DO 1 J = 0, 2
+            DO 1 K = 0, 3
+        1   B(IB + 1) = IB + 1
+            END
+        ";
+        // Note: here IB is never incremented, so it is NOT an induction
+        // variable; nothing should change.
+        let p = parse_program(src).unwrap();
+        let (_, reports) = substitute_inductions(&p);
+        assert!(reports.is_empty());
+
+        // Now the real pattern.
+        let src = "
+            REAL B(100)
+            IB = -1
+            DO 1 I = 0, 1
+            DO 1 J = 0, 2
+            DO 1 K = 0, 3
+              IB = IB + 1
+        1   B(IB) = 0
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (out, reports) = substitute_inductions(&p);
+        assert_eq!(reports.len(), 1);
+        // Simulate both programs and compare the set of B indices written.
+        let orig = simulate_b_indices_original();
+        let new = simulate_b_indices_closed(&out);
+        assert_eq!(orig, new);
+    }
+
+    fn simulate_b_indices_original() -> Vec<i128> {
+        let mut ib = -1i128;
+        let mut out = Vec::new();
+        for _i in 0..2 {
+            for _j in 0..3 {
+                for _k in 0..4 {
+                    ib += 1;
+                    out.push(ib);
+                }
+            }
+        }
+        out
+    }
+
+    fn simulate_b_indices_closed(p: &Program) -> Vec<i128> {
+        // Extract the subscript of B and evaluate it over the nest.
+        use std::collections::HashMap;
+        fn eval(e: &Expr, env: &HashMap<String, i128>) -> i128 {
+            match e {
+                Expr::Int(v) => *v,
+                Expr::Var(v) => env[v],
+                Expr::Neg(a) => -eval(a, env),
+                Expr::Bin(op, a, b) => {
+                    let (x, y) = (eval(a, env), eval(b, env));
+                    match op {
+                        crate::ast::BinOp::Add => x + y,
+                        crate::ast::BinOp::Sub => x - y,
+                        crate::ast::BinOp::Mul => x * y,
+                        crate::ast::BinOp::Div => x / y,
+                    }
+                }
+                Expr::Index(..) => panic!("unexpected index"),
+            }
+        }
+        let mut subscript = None;
+        p.visit_assigns(&mut |a| {
+            if let Expr::Index(name, subs) = &a.lhs {
+                if name == "B" {
+                    subscript = Some(subs[0].clone());
+                }
+            }
+        });
+        let sub = subscript.expect("B subscript");
+        let mut out = Vec::new();
+        for i in 0..2i128 {
+            for j in 0..3i128 {
+                for k in 0..4i128 {
+                    let mut env = HashMap::new();
+                    env.insert("I".to_string(), i);
+                    env.insert("J".to_string(), j);
+                    env.insert("K".to_string(), k);
+                    out.push(eval(&sub, &env));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rejects_when_used_outside_innermost_body() {
+        let src = "
+            REAL B(100)
+            IB = -1
+            DO 1 I = 0, 1
+              X = IB
+              DO 1 K = 0, 3
+                IB = IB + 1
+        1   B(IB) = 0
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (_, reports) = substitute_inductions(&p);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn rejects_multiple_increments() {
+        let src = "
+            REAL B(100)
+            IB = 0
+            DO 1 K = 0, 3
+              IB = IB + 1
+              IB = IB + 1
+        1   B(IB) = 0
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (_, reports) = substitute_inductions(&p);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn decrement_form() {
+        let src = "
+            REAL B(100)
+            IB = 50
+            DO 1 K = 0, 3
+              IB = IB - 2
+        1   B(IB) = 0
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (out, reports) = substitute_inductions(&p);
+        assert_eq!(reports.len(), 1);
+        let text = program_to_string(&out);
+        assert!(!text.contains("IB"), "{text}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Tokenizer for the mini-FORTRAN subset.
+//!
+//! Free-form-ish: statements end at newlines, keywords and identifiers are
+//! case-insensitive, labels are leading integers on a line. Comment lines
+//! start with `C `, `c `, `*`, or `!` (and `!` also starts a trailing
+//! comment).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (uppercased).
+    Ident(String),
+    /// Integer literal.
+    Int(i128),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Equals,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `:`.
+    Colon,
+    /// End of statement (newline).
+    Newline,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Equals => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Colon => write!(f, ":"),
+            Token::Newline => write!(f, "<eol>"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on any character outside the subset.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let line = lineno as u32 + 1;
+        let trimmed = raw_line.trim_start();
+        // Comment lines (FORTRAN fixed-form style or modern `!`).
+        if trimmed.is_empty() {
+            continue;
+        }
+        let first = trimmed.chars().next().unwrap();
+        if first == '!' || first == '*' {
+            continue;
+        }
+        if (first == 'C' || first == 'c')
+            && trimmed.chars().nth(1).is_none_or(|c| c.is_whitespace())
+            && !trimmed.contains('=')
+            && !trimmed.to_ascii_uppercase().starts_with("CONTINUE")
+        {
+            continue;
+        }
+        let mut chars = trimmed.chars().peekable();
+        let mut emitted = false;
+        while let Some(&c) = chars.peek() {
+            match c {
+                '!' => break, // trailing comment
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                '0'..='9' => {
+                    let mut v: i128 = 0;
+                    while let Some(&d) = chars.peek() {
+                        if let Some(digit) = d.to_digit(10) {
+                            v = v * 10 + digit as i128;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Spanned { token: Token::Int(v), line });
+                    emitted = true;
+                }
+                'a'..='z' | 'A'..='Z' | '_' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            s.push(d.to_ascii_uppercase());
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Spanned { token: Token::Ident(s), line });
+                    emitted = true;
+                }
+                _ => {
+                    let tok = match c {
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        ',' => Token::Comma,
+                        '=' => Token::Equals,
+                        '+' => Token::Plus,
+                        '-' => Token::Minus,
+                        '*' => Token::Star,
+                        '/' => Token::Slash,
+                        ':' => Token::Colon,
+                        other => return Err(LexError { ch: other, line }),
+                    };
+                    chars.next();
+                    out.push(Spanned { token: tok, line });
+                    emitted = true;
+                }
+            }
+        }
+        if emitted {
+            out.push(Spanned { token: Token::Newline, line });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        let t = toks("DO 1 i = 0, 4");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("DO".into()),
+                Token::Int(1),
+                Token::Ident("I".into()),
+                Token::Equals,
+                Token::Int(0),
+                Token::Comma,
+                Token::Int(4),
+                Token::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn expressions_and_case() {
+        let t = toks("c(I+10*j) = C(i+10*J+5)");
+        assert!(t.contains(&Token::Ident("C".into())));
+        assert!(t.contains(&Token::Star));
+        assert!(t.contains(&Token::Plus));
+        // identifiers uppercased consistently
+        assert_eq!(t.iter().filter(|x| **x == Token::Ident("C".into())).count(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let t = toks("C this is a comment\n* another\n! modern\n\nX = 1 ! trailing");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("X".into()),
+                Token::Equals,
+                Token::Int(1),
+                Token::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn continue_not_a_comment() {
+        let t = toks("10 CONTINUE");
+        assert_eq!(
+            t,
+            vec![Token::Int(10), Token::Ident("CONTINUE".into()), Token::Newline]
+        );
+    }
+
+    #[test]
+    fn colon_ranges() {
+        let t = toks("REAL A(0:9, 0:9)");
+        assert!(t.contains(&Token::Colon));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        let e = tokenize("X = 1 @ 2").unwrap_err();
+        assert_eq!(e.ch, '@');
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains('@'));
+    }
+
+    #[test]
+    fn c_identifier_starting_line_is_not_comment_if_assignment() {
+        // `C(I) = 1` starts with C but is an assignment, not a comment.
+        let t = toks("C(I) = 1");
+        assert_eq!(t[0], Token::Ident("C".into()));
+    }
+}

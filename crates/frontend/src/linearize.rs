@@ -1,0 +1,487 @@
+//! Array linearization for `EQUIVALENCE`-aliased arrays.
+//!
+//! FORTRAN-77 states that associated arrays are linearized at association
+//! time, so two aliased arrays of *different shape* can only be compared
+//! after rewriting their references into a common linear index space
+//! (paper, "Array aliasing"). The paper also notes that linearizing *more*
+//! dimensions than necessary wastes precision (`IFUN(10)` example): when a
+//! suffix of dimensions has identical extents across the aliased arrays,
+//! only the differing prefix needs linearization. [`linearize_aliased`]
+//! implements exactly that selective scheme (column-major, as FORTRAN
+//! lays out arrays).
+
+use crate::affine::expr_to_sympoly;
+use crate::ast::{ArrayDecl, Assign, DimBound, Expr, Loop, Program, Stmt};
+use delin_numeric::SymPoly;
+use std::fmt;
+
+/// An error during linearization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinearizeError {
+    /// One of the named arrays is not declared.
+    UnknownArray(String),
+    /// A dimension bound is not a loop-invariant integer expression.
+    UnanalyzableBound(String),
+    /// The aliased arrays cover index spaces of different total size.
+    SizeMismatch(String, String),
+    /// A reference to the array has the wrong number of subscripts.
+    RankMismatch(String),
+}
+
+impl fmt::Display for LinearizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizeError::UnknownArray(a) => write!(f, "array `{a}` is not declared"),
+            LinearizeError::UnanalyzableBound(a) => {
+                write!(f, "array `{a}` has a bound that is not loop-invariant affine")
+            }
+            LinearizeError::SizeMismatch(a, b) => {
+                write!(f, "aliased arrays `{a}` and `{b}` have different prefix sizes")
+            }
+            LinearizeError::RankMismatch(a) => {
+                write!(f, "a reference to `{a}` does not match its declared rank")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinearizeError {}
+
+/// Report of one linearization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearizeReport {
+    /// The two aliased arrays.
+    pub arrays: (String, String),
+    /// Name of the common array the references were rewritten to.
+    pub target: String,
+    /// How many leading dimensions of each array were folded into the
+    /// linear index.
+    pub prefix_dims: (usize, usize),
+}
+
+/// The extent (number of elements) of one dimension, symbolically.
+fn extent(d: &DimBound, name: &str) -> Result<SymPoly, LinearizeError> {
+    let lo = expr_to_sympoly(&d.lower, &[])
+        .ok_or_else(|| LinearizeError::UnanalyzableBound(name.to_string()))?;
+    let hi = expr_to_sympoly(&d.upper, &[])
+        .ok_or_else(|| LinearizeError::UnanalyzableBound(name.to_string()))?;
+    hi.checked_sub(&lo)
+        .and_then(|s| s.checked_add(&SymPoly::one()))
+        .map_err(|_| LinearizeError::UnanalyzableBound(name.to_string()))
+}
+
+/// Linearizes the references to a pair of `EQUIVALENCE`-aliased arrays into
+/// a common array, selectively: trailing dimensions whose extents agree
+/// are kept; only the differing prefix is folded into one linear dimension.
+///
+/// # Errors
+///
+/// See [`LinearizeError`].
+pub fn linearize_aliased(
+    program: &Program,
+    a_name: &str,
+    b_name: &str,
+) -> Result<(Program, LinearizeReport), LinearizeError> {
+    let a = program
+        .array(a_name)
+        .ok_or_else(|| LinearizeError::UnknownArray(a_name.to_string()))?
+        .clone();
+    let b = program
+        .array(b_name)
+        .ok_or_else(|| LinearizeError::UnknownArray(b_name.to_string()))?
+        .clone();
+    let a_ext: Vec<SymPoly> =
+        a.dims.iter().map(|d| extent(d, &a.name)).collect::<Result<_, _>>()?;
+    let b_ext: Vec<SymPoly> =
+        b.dims.iter().map(|d| extent(d, &b.name)).collect::<Result<_, _>>()?;
+
+    // Longest common suffix of extents (kept as real dimensions).
+    let mut suffix = 0;
+    while suffix < a_ext.len().min(b_ext.len()) {
+        let ai = &a_ext[a_ext.len() - 1 - suffix];
+        let bi = &b_ext[b_ext.len() - 1 - suffix];
+        if ai != bi {
+            break;
+        }
+        suffix += 1;
+    }
+    // Never linearize zero dimensions: if the shapes are identical there is
+    // nothing to do, but the caller may still want a unified name; fold at
+    // least one dimension.
+    let a_prefix = (a_ext.len() - suffix).max(1);
+    let b_prefix = (b_ext.len() - suffix).max(1);
+    let suffix = a_ext.len() - a_prefix; // recompute in case of max(1)
+    let prod = |ext: &[SymPoly], n: usize| -> SymPoly {
+        ext[..n].iter().fold(SymPoly::one(), |acc, e| {
+            acc.checked_mul(e).unwrap_or_else(|_| SymPoly::one())
+        })
+    };
+    let a_size = prod(&a_ext, a_prefix);
+    let b_size = prod(&b_ext, b_prefix);
+    if a_size != b_size || b_ext.len() - b_prefix != suffix {
+        return Err(LinearizeError::SizeMismatch(a.name.clone(), b.name.clone()));
+    }
+
+    // The new array: LIN prefix dimension plus the common suffix dims.
+    let target = format!("{}_{}", a.name, b.name);
+    let mut dims = vec![DimBound {
+        lower: Expr::int(0),
+        upper: sympoly_to_expr(
+            &a_size.checked_sub(&SymPoly::one()).map_err(|_| {
+                LinearizeError::UnanalyzableBound(a.name.clone())
+            })?,
+        ),
+    }];
+    dims.extend(a.dims[a_prefix..].iter().cloned());
+    let new_decl = ArrayDecl { name: target.clone(), dims };
+
+    // Rewrite references.
+    let mut out = program.clone();
+    out.decls.retain(|d| d.name != a.name && d.name != b.name);
+    out.decls.push(new_decl);
+    out.equivalences.retain(|(x, y)| {
+        !(x == &a.name && y == &b.name || x == &b.name && y == &a.name)
+    });
+    let rewrite = |stmts: &mut Vec<Stmt>| -> Result<(), LinearizeError> {
+        for s in stmts {
+            rewrite_stmt(s, &a, a_prefix, &b, b_prefix, &target)?;
+        }
+        Ok(())
+    };
+    rewrite(&mut out.body)?;
+    Ok((
+        out,
+        LinearizeReport {
+            arrays: (a.name.clone(), b.name.clone()),
+            target,
+            prefix_dims: (a_prefix, b_prefix),
+        },
+    ))
+}
+
+fn rewrite_stmt(
+    s: &mut Stmt,
+    a: &ArrayDecl,
+    a_prefix: usize,
+    b: &ArrayDecl,
+    b_prefix: usize,
+    target: &str,
+) -> Result<(), LinearizeError> {
+    match s {
+        Stmt::Loop(Loop { lower, upper, step, body, .. }) => {
+            *lower = rewrite_expr(lower, a, a_prefix, b, b_prefix, target)?;
+            *upper = rewrite_expr(upper, a, a_prefix, b, b_prefix, target)?;
+            if let Some(e) = step {
+                *e = rewrite_expr(e, a, a_prefix, b, b_prefix, target)?;
+            }
+            for inner in body {
+                rewrite_stmt(inner, a, a_prefix, b, b_prefix, target)?;
+            }
+        }
+        Stmt::Assign(Assign { lhs, rhs, .. }) => {
+            *lhs = rewrite_expr(lhs, a, a_prefix, b, b_prefix, target)?;
+            *rhs = rewrite_expr(rhs, a, a_prefix, b, b_prefix, target)?;
+        }
+    }
+    Ok(())
+}
+
+fn rewrite_expr(
+    e: &Expr,
+    a: &ArrayDecl,
+    a_prefix: usize,
+    b: &ArrayDecl,
+    b_prefix: usize,
+    target: &str,
+) -> Result<Expr, LinearizeError> {
+    Ok(match e {
+        Expr::Int(_) | Expr::Var(_) => e.clone(),
+        Expr::Neg(x) => Expr::Neg(Box::new(rewrite_expr(x, a, a_prefix, b, b_prefix, target)?)),
+        Expr::Bin(op, x, y) => Expr::Bin(
+            *op,
+            Box::new(rewrite_expr(x, a, a_prefix, b, b_prefix, target)?),
+            Box::new(rewrite_expr(y, a, a_prefix, b, b_prefix, target)?),
+        ),
+        Expr::Index(name, subs) => {
+            let subs: Vec<Expr> = subs
+                .iter()
+                .map(|s| rewrite_expr(s, a, a_prefix, b, b_prefix, target))
+                .collect::<Result<_, _>>()?;
+            if name == &a.name {
+                linear_reference(&subs, a, a_prefix, target)?
+            } else if name == &b.name {
+                linear_reference(&subs, b, b_prefix, target)?
+            } else {
+                Expr::Index(name.clone(), subs)
+            }
+        }
+    })
+}
+
+/// Builds `TARGET(lin, trailing…)` from `ARR(s1, …, sn)` by folding the
+/// first `prefix` subscripts column-major:
+/// `lin = Σ_{d<prefix} (s_d − lower_d) · Π_{e<d} extent_e`.
+fn linear_reference(
+    subs: &[Expr],
+    decl: &ArrayDecl,
+    prefix: usize,
+    target: &str,
+) -> Result<Expr, LinearizeError> {
+    if subs.len() != decl.dims.len() {
+        return Err(LinearizeError::RankMismatch(decl.name.clone()));
+    }
+    let mut lin = Expr::int(0);
+    let mut stride = Expr::int(1);
+    for (d, sub) in subs.iter().enumerate().take(prefix) {
+        let shifted = if decl.dims[d].lower == Expr::int(0) {
+            sub.clone()
+        } else {
+            Expr::sub(sub.clone(), decl.dims[d].lower.clone())
+        };
+        let term = if d == 0 { shifted } else { Expr::mul(shifted, stride.clone()) };
+        lin = if d == 0 { term } else { Expr::add(lin, term) };
+        // stride *= extent_d
+        let ext = Expr::add(
+            Expr::sub(decl.dims[d].upper.clone(), decl.dims[d].lower.clone()),
+            Expr::int(1),
+        );
+        stride = if d == 0 { ext } else { Expr::mul(stride, ext) };
+    }
+    let mut new_subs = vec![simplify(&lin)];
+    new_subs.extend(subs[prefix..].iter().cloned());
+    Ok(Expr::Index(target.to_string(), new_subs))
+}
+
+/// Light constant folding so generated subscripts stay readable.
+pub fn simplify(e: &Expr) -> Expr {
+    use crate::ast::BinOp;
+    match e {
+        Expr::Bin(op, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            match (op, &a, &b) {
+                (BinOp::Add, Expr::Int(0), _) => b,
+                (BinOp::Add, _, Expr::Int(0)) => a,
+                (BinOp::Sub, _, Expr::Int(0)) => a,
+                (BinOp::Mul, Expr::Int(1), _) => b,
+                (BinOp::Mul, _, Expr::Int(1)) => a,
+                (BinOp::Mul, Expr::Int(0), _) | (BinOp::Mul, _, Expr::Int(0)) => Expr::int(0),
+                (op, Expr::Int(x), Expr::Int(y)) => match op {
+                    BinOp::Add => Expr::int(x + y),
+                    BinOp::Sub => Expr::int(x - y),
+                    BinOp::Mul => Expr::int(x * y),
+                    BinOp::Div if *y != 0 && x % y == 0 => Expr::int(x / y),
+                    _ => Expr::Bin(*op, Box::new(a), Box::new(b)),
+                },
+                _ => Expr::Bin(*op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Neg(a) => match simplify(a) {
+            Expr::Int(v) => Expr::int(-v),
+            x => Expr::Neg(Box::new(x)),
+        },
+        Expr::Index(n, subs) => {
+            Expr::Index(n.clone(), subs.iter().map(simplify).collect())
+        }
+        _ => e.clone(),
+    }
+}
+
+/// Renders a constant/symbolic polynomial back to an expression (used for
+/// generated dimension bounds and delinearized subscripts). Terms are
+/// emitted highest-degree first and negative terms use subtraction, so
+/// `N - 1` renders as written.
+pub fn sympoly_to_expr(p: &SymPoly) -> Expr {
+    let mut acc: Option<Expr> = None;
+    let terms: Vec<_> = p.iter().map(|(m, c)| (m.clone(), c)).collect();
+    for (m, c) in terms.into_iter().rev() {
+        let mag = c.unsigned_abs() as i128;
+        let mut term: Option<Expr> =
+            if mag == 1 && !m.is_unit() { None } else { Some(Expr::int(mag)) };
+        for (sym, e) in m.iter() {
+            for _ in 0..e {
+                let v = Expr::var(sym.name());
+                term = Some(match term {
+                    None => v,
+                    Some(t) => Expr::mul(t, v),
+                });
+            }
+        }
+        let term = term.unwrap_or_else(|| Expr::int(mag));
+        acc = Some(match acc {
+            None => {
+                if c < 0 {
+                    Expr::Neg(Box::new(term))
+                } else {
+                    term
+                }
+            }
+            Some(t) => {
+                if c < 0 {
+                    Expr::sub(t, term)
+                } else {
+                    Expr::add(t, term)
+                }
+            }
+        });
+    }
+    simplify(&acc.unwrap_or_else(|| Expr::int(0)))
+}
+
+/// Renders an affine form over named loop variables back to an expression
+/// (used by the source transforms to emit readable subscripts).
+pub fn affine_to_expr(a: &delin_numeric::Affine<SymPoly>, names: &[String]) -> Expr {
+    use delin_numeric::VarId;
+    let mut acc: Option<Expr> = None;
+    for (v, c) in a.terms() {
+        let VarId(k) = v;
+        let name = names.get(k as usize).cloned().unwrap_or_else(|| format!("v{k}"));
+        let (neg, mag) = match c.as_constant() {
+            Some(x) if x < 0 => (true, SymPoly::constant(-x)),
+            _ => (false, c.clone()),
+        };
+        let term = if mag.as_constant() == Some(1) {
+            Expr::var(&name)
+        } else {
+            Expr::mul(sympoly_to_expr(&mag), Expr::var(&name))
+        };
+        acc = Some(match acc {
+            None if neg => Expr::Neg(Box::new(term)),
+            None => term,
+            Some(t) if neg => Expr::sub(t, term),
+            Some(t) => Expr::add(t, term),
+        });
+    }
+    let c0 = a.constant_part();
+    let out = match acc {
+        None => sympoly_to_expr(c0),
+        Some(t) => {
+            if c0.is_zero() {
+                t
+            } else if c0.as_constant().is_some_and(|x| x < 0) {
+                Expr::sub(t, sympoly_to_expr(&c0.checked_neg().expect("negation")))
+            } else {
+                Expr::add(t, sympoly_to_expr(c0))
+            }
+        }
+    };
+    simplify(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::pretty::program_to_string;
+
+    #[test]
+    fn paper_equivalence_example() {
+        // REAL A(0:9,0:9); REAL B(0:4,0:19); EQUIVALENCE (A, B)
+        // A(i, j) = B(i, 2*j+1): both fully linearized (no common suffix).
+        let src = "
+            REAL A(0:9,0:9), B(0:4,0:19)
+            EQUIVALENCE (A, B)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+        1   A(i, j) = B(i, 2*j + 1)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (out, report) = linearize_aliased(&p, "A", "B").unwrap();
+        assert_eq!(report.prefix_dims, (2, 2));
+        let text = program_to_string(&out);
+        // A(i,j) -> A_B(i + j*10); B(i,2j+1) -> A_B(i + (2j+1)*5).
+        assert!(text.contains("A_B(I + J * 10)"), "{text}");
+        assert!(text.contains("A_B(I + (2 * J + 1) * 5)"), "{text}");
+        assert!(text.contains("REAL A_B(0:99)"), "{text}");
+        assert!(out.equivalences.is_empty());
+    }
+
+    #[test]
+    fn selective_linearization_keeps_common_suffix() {
+        // The paper's 4-D example: only dims 1-2 differ; k and l survive.
+        let src = "
+            REAL A(0:9,0:9,0:9,0:9), B(0:4,0:19,0:9,0:9)
+            EQUIVALENCE (A, B)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+            DO 1 k = 0, 9
+            DO 1 l = 0, 9
+        1   A(i, j, k, l) = B(i, 2*j + 1, k, l)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (out, report) = linearize_aliased(&p, "A", "B").unwrap();
+        assert_eq!(report.prefix_dims, (2, 2));
+        let text = program_to_string(&out);
+        assert!(text.contains("REAL A_B(0:99, 0:9, 0:9)"), "{text}");
+        assert!(text.contains("A_B(I + J * 10, K, L)"), "{text}");
+        assert!(text.contains("A_B(I + (2 * J + 1) * 5, K, L)"), "{text}");
+    }
+
+    #[test]
+    fn one_based_lower_bounds_shift() {
+        let src = "
+            REAL A(10, 10), B(5, 20)
+            EQUIVALENCE (A, B)
+            DO 1 i = 1, 5
+        1   A(i, 1) = B(i, 2)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let (out, _) = linearize_aliased(&p, "A", "B").unwrap();
+        let text = program_to_string(&out);
+        // A(i,1) -> (i-1) + (1-1)*10 = I - 1.
+        assert!(text.contains("A_B(I - 1)"), "{text}");
+        // B(i,2) -> (i-1) + (2-1)*5 = I - 1 + 5 (shape (I - 1) + 1*5).
+        assert!(text.contains("A_B(I - 1 + 5)") || text.contains("A_B(I + 4)"), "{text}");
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let src = "
+            REAL A(0:9), B(0:4)
+            EQUIVALENCE (A, B)
+            A(0) = B(0)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let e = linearize_aliased(&p, "A", "B").unwrap_err();
+        assert!(matches!(e, LinearizeError::SizeMismatch(..)));
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn unknown_array() {
+        let p = parse_program("X = 1\nEND").unwrap();
+        assert!(matches!(
+            linearize_aliased(&p, "A", "B"),
+            Err(LinearizeError::UnknownArray(_))
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let src = "
+            REAL A(0:9,0:9), B(0:4,0:19)
+            EQUIVALENCE (A, B)
+            A(1) = 0
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        assert!(matches!(
+            linearize_aliased(&p, "A", "B"),
+            Err(LinearizeError::RankMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let e = Expr::add(Expr::mul(Expr::int(2), Expr::int(3)), Expr::int(0));
+        assert_eq!(simplify(&e), Expr::int(6));
+        let e = Expr::mul(Expr::var("I"), Expr::int(1));
+        assert_eq!(simplify(&e), Expr::var("I"));
+        let e = Expr::Neg(Box::new(Expr::int(4)));
+        assert_eq!(simplify(&e), Expr::int(-4));
+    }
+}

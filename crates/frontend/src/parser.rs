@@ -1,0 +1,593 @@
+//! Recursive-descent parser for the mini-FORTRAN subset.
+//!
+//! Supported statements: `PROGRAM name`, `REAL`/`INTEGER`/`DIMENSION`
+//! declarations with `lower:upper` dimension declarators, `EQUIVALENCE
+//! (A, B)`, labelled (`DO 10 i = e1, e2[, e3]` … `10 CONTINUE`) and
+//! `ENDDO`-terminated `DO` loops (including shared terminal labels),
+//! assignments, `CONTINUE`, and `END`.
+
+use crate::ast::{ArrayDecl, Assign, BinOp, DimBound, Expr, Loop, Program, Stmt, StmtId};
+use crate::lexer::{tokenize, LexError, Spanned, Token};
+use std::fmt;
+
+/// A parse (or lexical) error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.to_string(), line: e.line }
+    }
+}
+
+/// Parses a program unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+///
+/// ```
+/// let src = "
+///     REAL C(0:99)
+///     DO 1 i = 0, 4
+///     DO 1 j = 0, 9
+/// 1   C(i + 10*j) = C(i + 10*j + 5)
+///     END
+/// ";
+/// let p = delin_frontend::parse_program(src).unwrap();
+/// assert_eq!(p.num_assigns(), 1);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |s| s.line)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), line: self.line() })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if &t == want => Ok(()),
+            Some(t) => self.err(format!("expected `{want}`, found `{t}`")),
+            None => self.err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn eat_newlines(&mut self) {
+        while self.peek() == Some(&Token::Newline) {
+            self.pos += 1;
+        }
+    }
+
+    fn fresh_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        self.eat_newlines();
+        if self.peek_kw("PROGRAM") {
+            self.bump();
+            match self.bump() {
+                Some(Token::Ident(name)) => prog.name = Some(name),
+                _ => return self.err("expected program name"),
+            }
+            self.expect(&Token::Newline)?;
+        }
+        // Declarations.
+        loop {
+            self.eat_newlines();
+            if self.peek_kw("REAL") || self.peek_kw("INTEGER") || self.peek_kw("DIMENSION") {
+                self.bump();
+                self.decl_list(&mut prog)?;
+            } else if self.peek_kw("EQUIVALENCE") {
+                self.bump();
+                self.equivalence(&mut prog)?;
+            } else {
+                break;
+            }
+        }
+        // Body.
+        let (body, _) = self.stmt_list(&[])?;
+        prog.body = body;
+        self.eat_newlines();
+        Ok(prog)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn decl_list(&mut self, prog: &mut Program) -> Result<(), ParseError> {
+        loop {
+            let name = match self.bump() {
+                Some(Token::Ident(n)) => n,
+                _ => return self.err("expected array name in declaration"),
+            };
+            let mut dims = Vec::new();
+            if self.peek() == Some(&Token::LParen) {
+                self.bump();
+                loop {
+                    let first = self.expr()?;
+                    let bound = if self.peek() == Some(&Token::Colon) {
+                        self.bump();
+                        let upper = self.expr()?;
+                        DimBound { lower: first, upper }
+                    } else {
+                        // FORTRAN default lower bound is 1.
+                        DimBound { lower: Expr::int(1), upper: first }
+                    };
+                    dims.push(bound);
+                    match self.bump() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RParen) => break,
+                        _ => return self.err("expected `,` or `)` in dimension list"),
+                    }
+                }
+            }
+            if !dims.is_empty() {
+                prog.decls.push(ArrayDecl { name, dims });
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&Token::Newline)
+    }
+
+    fn equivalence(&mut self, prog: &mut Program) -> Result<(), ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut names = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Ident(n)) => names.push(n),
+                _ => return self.err("expected array name in EQUIVALENCE"),
+            }
+            // Optional element subscripts are accepted and ignored (the
+            // analyses only use whole-array association).
+            if self.peek() == Some(&Token::LParen) {
+                let mut depth = 0;
+                loop {
+                    match self.bump() {
+                        Some(Token::LParen) => depth += 1,
+                        Some(Token::RParen) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        None => return self.err("unterminated EQUIVALENCE subscript"),
+                        _ => {}
+                    }
+                }
+            }
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                _ => return self.err("expected `,` or `)` in EQUIVALENCE"),
+            }
+        }
+        for pair in names.windows(2) {
+            prog.equivalences.push((pair[0].clone(), pair[1].clone()));
+        }
+        self.expect(&Token::Newline)
+    }
+
+    /// Parses statements until `END`, `ENDDO`, end of input, or a statement
+    /// carrying one of the `terminators` labels. Returns the statements and
+    /// the terminator label that stopped the list (the labelled statement
+    /// itself is included in the list unless it is a `CONTINUE`).
+    fn stmt_list(&mut self, terminators: &[u32]) -> Result<(Vec<Stmt>, Option<u32>), ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.eat_newlines();
+            let Some(tok) = self.peek() else {
+                return Ok((out, None));
+            };
+            // Leading label?
+            let mut label: Option<u32> = None;
+            if let Token::Int(v) = tok {
+                label = Some(*v as u32);
+                self.bump();
+            }
+            if self.peek_kw("END") {
+                self.bump();
+                self.eat_newlines();
+                return Ok((out, None));
+            }
+            if self.peek_kw("ENDDO") {
+                return Ok((out, None));
+            }
+            if self.peek_kw("DO") && !matches!(self.peek2(), Some(Token::Equals)) {
+                let (stmt, hit) = self.do_loop(terminators)?;
+                out.push(stmt);
+                // A shared terminal label closed this list's owner too.
+                if let Some(h) = hit {
+                    if terminators.contains(&h) {
+                        return Ok((out, Some(h)));
+                    }
+                }
+                continue;
+            }
+            if self.peek_kw("CONTINUE") {
+                self.bump();
+                if self.peek() == Some(&Token::Newline) {
+                    self.bump();
+                }
+                if let Some(l) = label {
+                    if terminators.contains(&l) {
+                        return Ok((out, Some(l)));
+                    }
+                }
+                continue;
+            }
+            // Assignment.
+            let assign = self.assignment(label)?;
+            out.push(Stmt::Assign(assign));
+            if let Some(l) = label {
+                if terminators.contains(&l) {
+                    return Ok((out, Some(l)));
+                }
+            }
+        }
+    }
+
+    /// Parses a `DO` loop. `enclosing` carries the terminal labels of
+    /// enclosing labelled loops so shared labels (`DO 1 i … DO 1 j … 1 S`)
+    /// close every loop they terminate. Returns the loop and, when a shared
+    /// label also closes an enclosing loop, that label.
+    fn do_loop(&mut self, enclosing: &[u32]) -> Result<(Stmt, Option<u32>), ParseError> {
+        self.bump(); // DO
+        let mut term_label: Option<u32> = None;
+        if let Some(Token::Int(v)) = self.peek() {
+            term_label = Some(*v as u32);
+            self.bump();
+        }
+        let var = match self.bump() {
+            Some(Token::Ident(v)) => v,
+            _ => return self.err("expected loop variable after DO"),
+        };
+        self.expect(&Token::Equals)?;
+        let lower = self.expr()?;
+        self.expect(&Token::Comma)?;
+        let upper = self.expr()?;
+        let step = if self.peek() == Some(&Token::Comma) {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Token::Newline)?;
+
+        let (body, propagate) = match term_label {
+            None => {
+                // ENDDO-delimited.
+                let (body, _) = self.stmt_list(&[])?;
+                self.eat_newlines();
+                if self.peek_kw("ENDDO") {
+                    self.bump();
+                    if self.peek() == Some(&Token::Newline) {
+                        self.bump();
+                    }
+                } else if self.peek().is_some() {
+                    return self.err("expected ENDDO");
+                }
+                (body, None)
+            }
+            Some(label) => {
+                let mut terms = enclosing.to_vec();
+                terms.push(label);
+                let (body, hit) = self.stmt_list(&terms)?;
+                match hit {
+                    Some(h) if h == label => {
+                        // Our terminator; propagate only if it is shared
+                        // with an enclosing loop.
+                        (body, enclosing.contains(&h).then_some(h))
+                    }
+                    Some(h) => (body, Some(h)),
+                    None => {
+                        return self
+                            .err(format!("missing terminal statement for DO label {label}"))
+                    }
+                }
+            }
+        };
+        Ok((Stmt::Loop(Loop { var, lower, upper, step, body }), propagate))
+    }
+
+    fn assignment(&mut self, label: Option<u32>) -> Result<Assign, ParseError> {
+        let lhs = self.primary()?;
+        if !matches!(lhs, Expr::Var(_) | Expr::Index(..)) {
+            return self.err("left-hand side must be a variable or array element");
+        }
+        self.expect(&Token::Equals)?;
+        let rhs = self.expr()?;
+        if self.peek() == Some(&Token::Newline) {
+            self.bump();
+        }
+        Ok(Assign { id: self.fresh_id(), lhs, rhs, label })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+                }
+                Some(Token::Minus) => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    let rhs = self.factor()?;
+                    lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+                }
+                Some(Token::Slash) => {
+                    self.bump();
+                    let rhs = self.factor()?;
+                    lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.bump();
+            let inner = self.factor()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        if self.peek() == Some(&Token::Plus) {
+            self.bump();
+            return self.factor();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() == Some(&Token::RParen) {
+                        self.bump();
+                        return Ok(Expr::Index(name, args));
+                    }
+                    loop {
+                        args.push(self.expr()?);
+                        match self.bump() {
+                            Some(Token::Comma) => continue,
+                            Some(Token::RParen) => break,
+                            _ => return self.err("expected `,` or `)` in subscript list"),
+                        }
+                    }
+                    Ok(Expr::Index(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(t) => self.err(format!("unexpected token `{t}` in expression")),
+            None => self.err("unexpected end of input in expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_motivating_program() {
+        let src = "
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+        1   C(i + 10*j) = C(i + 10*j + 5)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 1);
+        assert_eq!(p.decls[0].name, "C");
+        let Stmt::Loop(outer) = &p.body[0] else { panic!("expected loop") };
+        assert_eq!(outer.var, "I");
+        assert_eq!(outer.lower, Expr::int(0));
+        assert_eq!(outer.upper, Expr::int(4));
+        let Stmt::Loop(inner) = &outer.body[0] else { panic!("expected inner loop") };
+        assert_eq!(inner.var, "J");
+        assert_eq!(inner.body.len(), 1);
+        let Stmt::Assign(a) = &inner.body[0] else { panic!("expected assignment") };
+        assert_eq!(a.label, Some(1));
+    }
+
+    #[test]
+    fn enddo_form() {
+        let src = "
+            REAL D(0:9)
+            DO i = 0, 8
+              D(i + 1) = D(i)
+            ENDDO
+        ";
+        let p = parse_program(src).unwrap();
+        let Stmt::Loop(l) = &p.body[0] else { panic!() };
+        assert_eq!(l.body.len(), 1);
+    }
+
+    #[test]
+    fn labelled_continue_form() {
+        let src = "
+            REAL A(100)
+            DO 10 i = 1, 100
+              A(i) = A(i) + 1
+        10  CONTINUE
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let Stmt::Loop(l) = &p.body[0] else { panic!() };
+        assert_eq!(l.body.len(), 1);
+    }
+
+    #[test]
+    fn figure3_program_shape() {
+        // The AK87 example of the paper's Fig. 3 (imperfect nest,
+        // shared-label loops).
+        let src = "
+            REAL X(200), Y(200), B(100)
+            REAL A(100,100), C(100,100)
+            DO 30 i = 1, 100
+              X(i) = Y(i) + 10
+              DO 20 j = 1, 99
+                B(j) = A(j, 20)
+                DO 10 k = 1, 100
+                  A(j+1, k) = B(j) + C(j, k)
+        10      CONTINUE
+                Y(i+j) = A(j+1, 20)
+        20    CONTINUE
+        30  CONTINUE
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 5);
+        assert_eq!(p.num_assigns(), 4);
+        // Check the imperfect nesting: outer loop body has X-assign and
+        // the j-loop.
+        let Stmt::Loop(i_loop) = &p.body[0] else { panic!() };
+        assert_eq!(i_loop.body.len(), 2);
+        let Stmt::Loop(j_loop) = &i_loop.body[1] else { panic!("j loop") };
+        assert_eq!(j_loop.body.len(), 3);
+        let Stmt::Loop(k_loop) = &j_loop.body[1] else { panic!("k loop") };
+        assert_eq!(k_loop.body.len(), 1);
+    }
+
+    #[test]
+    fn equivalence_and_multi_decl() {
+        let src = "
+            REAL A(0:9,0:9), B(0:4,0:19)
+            EQUIVALENCE (A, B)
+            DO 1 i = 0, 4
+        1   A(i, 2) = B(i, 5) + 1
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 2);
+        assert_eq!(p.equivalences, vec![("A".to_string(), "B".to_string())]);
+    }
+
+    #[test]
+    fn symbolic_bounds_and_step() {
+        let src = "
+            REAL A(0:N*N*N-1)
+            DO i = 0, N-2, 1
+              A(N*N*i) = A(N*N*i + N)
+            ENDDO
+        ";
+        let p = parse_program(src).unwrap();
+        let Stmt::Loop(l) = &p.body[0] else { panic!() };
+        assert!(l.step.is_some());
+        assert_eq!(l.upper, Expr::sub(Expr::var("N"), Expr::int(2)));
+    }
+
+    #[test]
+    fn default_lower_bound_is_one() {
+        let src = "REAL X(200)\nX(1) = 0\nEND";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls[0].dims[0].lower, Expr::int(1));
+        assert_eq!(p.decls[0].dims[0].upper, Expr::int(200));
+    }
+
+    #[test]
+    fn unary_minus_and_parens() {
+        let src = "X = -(a + b) * 2\nEND";
+        let p = parse_program(src).unwrap();
+        let Stmt::Assign(a) = &p.body[0] else { panic!() };
+        assert!(matches!(a.rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = parse_program("DO = 1, 2").unwrap_err();
+        assert!(e.line >= 1);
+        assert!(!e.to_string().is_empty());
+        assert!(parse_program("X = ").is_err());
+        assert!(parse_program("X = (1").is_err());
+        assert!(parse_program("1 + 2 = 3").is_err());
+    }
+
+    #[test]
+    fn scalar_assignment_with_do_like_name() {
+        // `DO = 5` would be a scalar named DO; our subset treats `DO` with
+        // `=` directly after as assignment.
+        let p = parse_program("DO = 5\nEND").unwrap();
+        assert_eq!(p.num_assigns(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Assumptions about symbolic parameters.
+//!
+//! The paper's Section 4 ("Symbolics handling") notes that a translator must
+//! "keep and process predicates" to delinearize symbolically: e.g. knowing
+//! that `N ≥ 2` (because `A(0 : N*N*N-1)` is a real array) is what lets the
+//! algorithm conclude `N − 1 < N ≤ N²`. We model the predicates that matter
+//! for sign determination as per-symbol integer *lower bounds*.
+
+use crate::sym::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of lower-bound assumptions `s ≥ b` on symbolic parameters.
+///
+/// Symbols without an explicit entry are assumed `≥ default_lower_bound`
+/// (zero unless changed), which matches normalized loop bounds: an upper
+/// bound `N-1` of a loop that executes at least once implies `N ≥ 1`.
+///
+/// ```
+/// use delin_numeric::{Assumptions, Sym};
+/// let mut a = Assumptions::new();
+/// a.set_lower_bound("N", 2);
+/// assert_eq!(a.lower_bound(&Sym::new("N")), 2);
+/// assert_eq!(a.lower_bound(&Sym::new("M")), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Assumptions {
+    bounds: BTreeMap<Sym, i128>,
+    default_lb: i128,
+}
+
+impl Assumptions {
+    /// No assumptions beyond non-negativity of every symbol.
+    pub fn new() -> Assumptions {
+        Assumptions { bounds: BTreeMap::new(), default_lb: 0 }
+    }
+
+    /// Assumptions where every unmentioned symbol is `≥ lb`.
+    pub fn with_default_lower_bound(lb: i128) -> Assumptions {
+        Assumptions { bounds: BTreeMap::new(), default_lb: lb }
+    }
+
+    /// Record `sym ≥ lb`, keeping the strongest bound seen so far.
+    pub fn set_lower_bound(&mut self, sym: impl Into<Sym>, lb: i128) -> &mut Self {
+        let sym = sym.into();
+        let entry = self.bounds.entry(sym).or_insert(lb);
+        if lb > *entry {
+            *entry = lb;
+        }
+        self
+    }
+
+    /// The strongest known lower bound for `sym`.
+    pub fn lower_bound(&self, sym: &Sym) -> i128 {
+        self.bounds.get(sym).copied().unwrap_or(self.default_lb)
+    }
+
+    /// Iterates over the explicitly recorded bounds.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, i128)> {
+        self.bounds.iter().map(|(s, &b)| (s, b))
+    }
+
+    /// Number of explicitly recorded bounds.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` when no explicit bounds are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+}
+
+impl fmt::Display for Assumptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bounds.is_empty() {
+            return write!(f, "{{all symbols >= {}}}", self.default_lb);
+        }
+        write!(f, "{{")?;
+        for (i, (s, b)) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s} >= {b}")?;
+        }
+        write!(f, "; others >= {}}}", self.default_lb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_strongest_bound() {
+        let mut a = Assumptions::new();
+        a.set_lower_bound("N", 1);
+        a.set_lower_bound("N", 3);
+        a.set_lower_bound("N", 2);
+        assert_eq!(a.lower_bound(&Sym::new("N")), 3);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn default_bound() {
+        let a = Assumptions::with_default_lower_bound(1);
+        assert_eq!(a.lower_bound(&Sym::new("Q")), 1);
+        assert!(a.is_empty());
+        assert!(a.to_string().contains(">= 1"));
+    }
+
+    #[test]
+    fn display_lists_bounds() {
+        let mut a = Assumptions::new();
+        a.set_lower_bound("N", 2).set_lower_bound("M", 5);
+        let s = a.to_string();
+        assert!(s.contains("N >= 2"));
+        assert!(s.contains("M >= 5"));
+    }
+}

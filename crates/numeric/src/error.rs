@@ -1,0 +1,70 @@
+//! Error types for exact arithmetic.
+
+use std::fmt;
+
+/// An error produced by an exact arithmetic operation.
+///
+/// All arithmetic in this workspace is checked: an `i128` overflow or a
+/// division by zero is reported as a value of this type instead of wrapping
+/// or panicking, so a dependence test can degrade to "unknown" rather than
+/// produce a wrong answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// An intermediate value did not fit in `i128`.
+    Overflow {
+        /// The operation that overflowed (e.g. `"mul"`).
+        op: &'static str,
+    },
+    /// Division (or remainder) by zero.
+    DivisionByZero,
+    /// An exact division had a nonzero remainder.
+    InexactDivision,
+    /// A symbolic value was used where a concrete integer was required.
+    NotConcrete {
+        /// Human-readable description of the symbolic value.
+        what: String,
+    },
+}
+
+impl NumericError {
+    /// Convenience constructor for overflow errors.
+    pub fn overflow(op: &'static str) -> Self {
+        NumericError::Overflow { op }
+    }
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::Overflow { op } => write!(f, "i128 overflow in `{op}`"),
+            NumericError::DivisionByZero => write!(f, "division by zero"),
+            NumericError::InexactDivision => write!(f, "exact division had a remainder"),
+            NumericError::NotConcrete { what } => {
+                write!(f, "symbolic value `{what}` used where a concrete integer is required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumericError::overflow("mul"),
+            NumericError::DivisionByZero,
+            NumericError::InexactDivision,
+            NumericError::NotConcrete { what: "N".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,842 @@
+//! Multivariate integer polynomials over symbolic parameters.
+//!
+//! The paper's Section 4 extends delinearization to subscripts whose
+//! coefficients are *loop-invariant symbolic expressions* (`N`, `N²`,
+//! `KK*JJ`, …). [`SymPoly`] is the exact representation used for those
+//! coefficients: a multivariate polynomial with `i128` coefficients over
+//! [`Sym`] parameters.
+//!
+//! The operations mirror exactly what the delinearization algorithm needs:
+//! ring arithmetic, a conservative symbolic [gcd](SymPoly::gcd), division
+//! with remainder by a single-term divisor (`(N²+N) mod N = 0` in the
+//! paper's worked example), and sign determination under lower-bound
+//! [`Assumptions`] (`N−1 < N` holds "for any N", `N²−N < N²` likewise).
+
+use crate::assume::Assumptions;
+use crate::error::NumericError;
+use crate::int;
+use crate::sign::{Sign, Trilean};
+use crate::sym::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A power product of symbols, e.g. `N²·KK`. The empty monomial is `1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Monomial(BTreeMap<Sym, u32>);
+
+impl Monomial {
+    /// The unit monomial `1`.
+    pub fn unit() -> Monomial {
+        Monomial::default()
+    }
+
+    /// The monomial consisting of a single symbol.
+    pub fn symbol(sym: impl Into<Sym>) -> Monomial {
+        let mut m = BTreeMap::new();
+        m.insert(sym.into(), 1);
+        Monomial(m)
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// `true` for the unit monomial.
+    pub fn is_unit(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = self.0.clone();
+        for (s, &e) in &other.0 {
+            *out.entry(s.clone()).or_insert(0) += e;
+        }
+        Monomial(out)
+    }
+
+    /// Componentwise minimum: the gcd of two monomials.
+    pub fn gcd(&self, other: &Monomial) -> Monomial {
+        let mut out = BTreeMap::new();
+        for (s, &e) in &self.0 {
+            if let Some(&e2) = other.0.get(s) {
+                out.insert(s.clone(), e.min(e2));
+            }
+        }
+        Monomial(out)
+    }
+
+    /// `self / other` when `other` divides `self`.
+    pub fn try_div(&self, other: &Monomial) -> Option<Monomial> {
+        let mut out = self.0.clone();
+        for (s, &e) in &other.0 {
+            match out.get_mut(s) {
+                Some(cur) if *cur >= e => {
+                    *cur -= e;
+                    if *cur == 0 {
+                        out.remove(s);
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(Monomial(out))
+    }
+
+    /// Iterates `(symbol, exponent)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, u32)> {
+        self.0.iter().map(|(s, &e)| (s, e))
+    }
+}
+
+/// Graded lexicographic order: compare total degree first, then the
+/// symbol/exponent sequence. This gives a deterministic term order for
+/// display and division.
+impl Ord for Monomial {
+    fn cmp(&self, other: &Monomial) -> std::cmp::Ordering {
+        self.degree()
+            .cmp(&other.degree())
+            .then_with(|| self.0.iter().cmp(other.0.iter()))
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Monomial) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, (s, e)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            if *e == 1 {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "{s}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A multivariate polynomial with exact `i128` coefficients over symbolic
+/// parameters.
+///
+/// Zero coefficients are never stored; the zero polynomial has no terms.
+///
+/// ```
+/// use delin_numeric::SymPoly;
+/// let n = SymPoly::symbol("N");
+/// let p = (&n * &n) + &n;            // N² + N
+/// assert_eq!(p.to_string(), "N^2 + N");
+/// assert_eq!(p.div_rem_by(&n).unwrap(), (&n + &SymPoly::constant(1), SymPoly::zero()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SymPoly {
+    terms: BTreeMap<Monomial, i128>,
+}
+
+impl SymPoly {
+    /// The zero polynomial.
+    pub fn zero() -> SymPoly {
+        SymPoly::default()
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> SymPoly {
+        SymPoly::constant(1)
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i128) -> SymPoly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Monomial::unit(), c);
+        }
+        SymPoly { terms }
+    }
+
+    /// The polynomial consisting of a single symbol.
+    pub fn symbol(sym: impl Into<Sym>) -> SymPoly {
+        SymPoly::term(1, Monomial::symbol(sym))
+    }
+
+    /// A single term `c·m`.
+    pub fn term(c: i128, m: Monomial) -> SymPoly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(m, c);
+        }
+        SymPoly { terms }
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `true` when the polynomial is a constant (possibly zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_unit())
+    }
+
+    /// The constant value, if the polynomial is constant.
+    pub fn as_constant(&self) -> Option<i128> {
+        if self.terms.is_empty() {
+            Some(0)
+        } else if self.is_constant() {
+            self.terms.values().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree; `0` for constants (including zero).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Iterates `(monomial, coefficient)` in ascending graded-lex order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, i128)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// The coefficient of a monomial (zero if absent).
+    pub fn coeff_of(&self, m: &Monomial) -> i128 {
+        self.terms.get(m).copied().unwrap_or(0)
+    }
+
+    fn insert_term(&mut self, m: Monomial, c: i128) -> Result<(), NumericError> {
+        use std::collections::btree_map::Entry;
+        match self.terms.entry(m) {
+            Entry::Vacant(v) => {
+                if c != 0 {
+                    v.insert(c);
+                }
+            }
+            Entry::Occupied(mut o) => {
+                let new = int::add(*o.get(), c)?;
+                if new == 0 {
+                    o.remove();
+                } else {
+                    *o.get_mut() = new;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, other: &SymPoly) -> Result<SymPoly, NumericError> {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.insert_term(m.clone(), c)?;
+        }
+        Ok(out)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, other: &SymPoly) -> Result<SymPoly, NumericError> {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.insert_term(m.clone(), c.checked_neg().ok_or_else(|| NumericError::overflow("neg"))?)?;
+        }
+        Ok(out)
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(&self, other: &SymPoly) -> Result<SymPoly, NumericError> {
+        let mut out = SymPoly::zero();
+        for (m1, &c1) in &self.terms {
+            for (m2, &c2) in &other.terms {
+                out.insert_term(m1.mul(m2), int::mul(c1, c2)?)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checked negation.
+    pub fn checked_neg(&self) -> Result<SymPoly, NumericError> {
+        SymPoly::zero().checked_sub(self)
+    }
+
+    /// Multiplies by an integer scalar.
+    pub fn checked_scale(&self, k: i128) -> Result<SymPoly, NumericError> {
+        self.checked_mul(&SymPoly::constant(k))
+    }
+
+    /// The *content*: gcd of all integer coefficients (non-negative; zero
+    /// only for the zero polynomial).
+    pub fn content(&self) -> i128 {
+        int::gcd_slice(&self.terms.values().copied().collect::<Vec<_>>())
+    }
+
+    /// The gcd of all monomials in the polynomial (componentwise min).
+    pub fn monomial_gcd(&self) -> Monomial {
+        let mut it = self.terms.keys();
+        let Some(first) = it.next() else {
+            return Monomial::unit();
+        };
+        it.fold(first.clone(), |acc, m| acc.gcd(m))
+    }
+
+    /// A conservative symbolic gcd: `gcd(contents) · gcd(monomials)`.
+    ///
+    /// This always divides both operands, which is the property the
+    /// delinearization theorem needs; it may be smaller than the true
+    /// polynomial gcd (which would only make the algorithm more
+    /// conservative, never wrong). `gcd(0, p) = ±p` normalized to a
+    /// representative with positive leading coefficient.
+    pub fn gcd(&self, other: &SymPoly) -> SymPoly {
+        if self.is_zero() {
+            return other.normalize_sign();
+        }
+        if other.is_zero() {
+            return self.normalize_sign();
+        }
+        let c = int::gcd(self.content(), other.content());
+        let m = self.monomial_gcd().gcd(&other.monomial_gcd());
+        SymPoly::term(c, m)
+    }
+
+    /// Flips the sign so the leading (graded-lex greatest) coefficient is
+    /// positive. The zero polynomial is returned unchanged.
+    pub fn normalize_sign(&self) -> SymPoly {
+        match self.terms.iter().next_back() {
+            Some((_, &c)) if c < 0 => self.checked_neg().expect("negation of in-range poly"),
+            _ => self.clone(),
+        }
+    }
+
+    /// Exact division: `Some(q)` with `self = q·d` when the division is
+    /// exact, `None` otherwise. Supports arbitrary divisors via multivariate
+    /// long division in graded-lex order.
+    pub fn try_div_exact(&self, d: &SymPoly) -> Option<SymPoly> {
+        if d.is_zero() {
+            return None;
+        }
+        let (lead_m, lead_c) = d.terms.iter().next_back().map(|(m, &c)| (m.clone(), c))?;
+        let mut rem = self.clone();
+        let mut quot = SymPoly::zero();
+        // Repeatedly eliminate the leading term of the remainder.
+        while !rem.is_zero() {
+            let (rm, rc) = rem.terms.iter().next_back().map(|(m, &c)| (m.clone(), c))?;
+            let qm = rm.try_div(&lead_m)?;
+            if rc % lead_c != 0 {
+                return None;
+            }
+            let qc = rc / lead_c;
+            let qterm = SymPoly::term(qc, qm);
+            quot = quot.checked_add(&qterm).ok()?;
+            rem = rem.checked_sub(&qterm.checked_mul(d).ok()?).ok()?;
+        }
+        Some(quot)
+    }
+
+    /// Division with remainder by a *single-term* divisor `t·m`:
+    /// each term of `self` contributes its divisible part to the quotient
+    /// and the rest to the remainder, so `self = q·d + r` exactly, with every
+    /// term of `r` "not divisible" by `d`.
+    ///
+    /// This is the `c0 mod gk` operation of the delinearization algorithm:
+    /// `(N² + N) mod N = 0`, `(N² + 3) mod N = 3`, `110 mod 100 = 10`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DivisionByZero`] if `d` is zero, and
+    /// [`NumericError::NotConcrete`] if `d` has more than one term (such a
+    /// divisor never arises from [`SymPoly::gcd`]).
+    pub fn div_rem_by(&self, d: &SymPoly) -> Result<(SymPoly, SymPoly), NumericError> {
+        if d.is_zero() {
+            return Err(NumericError::DivisionByZero);
+        }
+        if d.terms.len() != 1 {
+            if let Some(q) = self.try_div_exact(d) {
+                return Ok((q, SymPoly::zero()));
+            }
+            return Err(NumericError::NotConcrete { what: format!("multi-term divisor {d}") });
+        }
+        let (dm, &dc) = d.terms.iter().next().expect("single term");
+        let mut q = SymPoly::zero();
+        let mut r = SymPoly::zero();
+        for (m, &c) in &self.terms {
+            match m.try_div(dm) {
+                Some(qm) => {
+                    let qc = int::floor_div(c, dc)?;
+                    let rc = c - qc * dc; // rc in [0, |dc|)
+                    q.insert_term(qm, qc)?;
+                    r.insert_term(m.clone(), rc)?;
+                }
+                None => {
+                    r.insert_term(m.clone(), c)?;
+                }
+            }
+        }
+        Ok((q, r))
+    }
+
+    /// Evaluates the polynomial with concrete symbol values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::NotConcrete`] if a symbol has no value, or an
+    /// overflow error if the result does not fit in `i128`.
+    pub fn eval(&self, values: &BTreeMap<Sym, i128>) -> Result<i128, NumericError> {
+        let mut total = 0i128;
+        for (m, &c) in &self.terms {
+            let mut t = c;
+            for (s, e) in m.iter() {
+                let v = *values
+                    .get(s)
+                    .ok_or_else(|| NumericError::NotConcrete { what: s.name().to_string() })?;
+                for _ in 0..e {
+                    t = int::mul(t, v)?;
+                }
+            }
+            total = int::add(total, t)?;
+        }
+        Ok(total)
+    }
+
+    /// Substitutes `sym := replacement` and expands.
+    pub fn substitute(&self, sym: &Sym, replacement: &SymPoly) -> Result<SymPoly, NumericError> {
+        let mut out = SymPoly::zero();
+        for (m, &c) in &self.terms {
+            let mut factor = SymPoly::constant(c);
+            for (s, e) in m.iter() {
+                let base = if s == sym {
+                    replacement.clone()
+                } else {
+                    SymPoly::symbol(s.clone())
+                };
+                for _ in 0..e {
+                    factor = factor.checked_mul(&base)?;
+                }
+            }
+            out = out.checked_add(&factor)?;
+        }
+        Ok(out)
+    }
+
+    /// The set of symbols occurring in the polynomial.
+    pub fn symbols(&self) -> Vec<Sym> {
+        let mut syms: Vec<Sym> = Vec::new();
+        for m in self.terms.keys() {
+            for (s, _) in m.iter() {
+                if !syms.contains(s) {
+                    syms.push(s.clone());
+                }
+            }
+        }
+        syms
+    }
+
+    /// Shifts every symbol by its assumed lower bound (`s := lb + s`), so
+    /// that in the result every symbol ranges over `[0, ∞)`.
+    fn shift_by_assumptions(&self, a: &Assumptions) -> Result<SymPoly, NumericError> {
+        let mut p = self.clone();
+        for s in self.symbols() {
+            let lb = a.lower_bound(&s);
+            if lb != 0 {
+                let repl = SymPoly::constant(lb).checked_add(&SymPoly::symbol(s.clone()))?;
+                p = p.substitute(&s, &repl)?;
+            }
+        }
+        Ok(p)
+    }
+
+    /// Is the value `≥ 0` for every admissible symbol assignment?
+    ///
+    /// Decision procedure: shift symbols to `[0, ∞)`; if every coefficient
+    /// of the shifted polynomial is `≥ 0` the answer is *true*; if every
+    /// coefficient is `≤ 0` and the polynomial is nonzero the answer is
+    /// *false*; otherwise *unknown*. Sound but (deliberately) incomplete.
+    pub fn is_nonneg(&self, a: &Assumptions) -> Trilean {
+        match self.shift_by_assumptions(a) {
+            Ok(p) => {
+                if p.is_zero() {
+                    return Trilean::True;
+                }
+                if p.terms.values().all(|&c| c >= 0) {
+                    Trilean::True
+                } else if p.terms.values().all(|&c| c <= 0) {
+                    // Strictly negative somewhere only if some admissible
+                    // assignment makes it nonzero; the all-zero assignment
+                    // gives exactly the constant term.
+                    if p.coeff_of(&Monomial::unit()) < 0 {
+                        Trilean::False
+                    } else {
+                        Trilean::Unknown
+                    }
+                } else {
+                    Trilean::Unknown
+                }
+            }
+            Err(_) => Trilean::Unknown,
+        }
+    }
+
+    /// Is the value `> 0` for every admissible symbol assignment?
+    pub fn is_pos(&self, a: &Assumptions) -> Trilean {
+        match self.shift_by_assumptions(a) {
+            Ok(p) => {
+                if p.is_zero() {
+                    return Trilean::False;
+                }
+                let c0 = p.coeff_of(&Monomial::unit());
+                if p.terms.values().all(|&c| c >= 0) && c0 > 0 {
+                    Trilean::True
+                } else if p.terms.values().all(|&c| c <= 0) {
+                    Trilean::False
+                } else {
+                    Trilean::Unknown
+                }
+            }
+            Err(_) => Trilean::Unknown,
+        }
+    }
+
+    /// The definite sign under assumptions, if one can be established.
+    pub fn sign(&self, a: &Assumptions) -> Option<Sign> {
+        if self.is_zero() {
+            return Some(Sign::Zero);
+        }
+        if self.is_pos(a).is_true() {
+            return Some(Sign::Positive);
+        }
+        let neg = self.checked_neg().ok()?;
+        if neg.is_pos(a).is_true() {
+            return Some(Sign::Negative);
+        }
+        None
+    }
+}
+
+impl From<i128> for SymPoly {
+    fn from(c: i128) -> SymPoly {
+        SymPoly::constant(c)
+    }
+}
+
+impl From<Sym> for SymPoly {
+    fn from(s: Sym) -> SymPoly {
+        SymPoly::symbol(s)
+    }
+}
+
+macro_rules! ref_binop {
+    ($trait:ident, $method:ident, $checked:ident, $opname:expr) => {
+        impl $trait for &SymPoly {
+            type Output = SymPoly;
+            /// # Panics
+            ///
+            /// Panics on `i128` overflow; use the `checked_*` method to
+            /// handle overflow as an error.
+            fn $method(self, rhs: &SymPoly) -> SymPoly {
+                self.$checked(rhs).unwrap_or_else(|e| panic!("SymPoly {}: {e}", $opname))
+            }
+        }
+        impl $trait for SymPoly {
+            type Output = SymPoly;
+            fn $method(self, rhs: SymPoly) -> SymPoly {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&SymPoly> for SymPoly {
+            type Output = SymPoly;
+            fn $method(self, rhs: &SymPoly) -> SymPoly {
+                (&self).$method(rhs)
+            }
+        }
+    };
+}
+
+ref_binop!(Add, add, checked_add, "add");
+ref_binop!(Sub, sub, checked_sub, "sub");
+ref_binop!(Mul, mul, checked_mul, "mul");
+
+impl Neg for &SymPoly {
+    type Output = SymPoly;
+    fn neg(self) -> SymPoly {
+        self.checked_neg().expect("SymPoly negation overflow")
+    }
+}
+
+impl Neg for SymPoly {
+    type Output = SymPoly;
+    fn neg(self) -> SymPoly {
+        -&self
+    }
+}
+
+impl fmt::Display for SymPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, &c)) in self.terms.iter().rev().enumerate() {
+            let mag = c.unsigned_abs();
+            if i == 0 {
+                if c < 0 {
+                    write!(f, "-")?;
+                }
+            } else if c < 0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            if m.is_unit() {
+                write!(f, "{mag}")?;
+            } else if mag == 1 {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{mag}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n() -> SymPoly {
+        SymPoly::symbol("N")
+    }
+
+    fn c(x: i128) -> SymPoly {
+        SymPoly::constant(x)
+    }
+
+    #[test]
+    fn construction_and_basics() {
+        assert!(SymPoly::zero().is_zero());
+        assert_eq!(SymPoly::one().as_constant(), Some(1));
+        assert_eq!(c(0), SymPoly::zero());
+        assert!(n().as_constant().is_none());
+        assert_eq!((&n() + &c(0)), n());
+        assert_eq!(n().degree(), 1);
+        assert_eq!((&n() * &n()).degree(), 2);
+        assert_eq!(SymPoly::zero().degree(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = &n() * &n() + &n(); // N² + N
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!((&p - &p), SymPoly::zero());
+        let q = &p * &c(3);
+        assert_eq!(q.content(), 3);
+        assert_eq!((-&n()).to_string(), "-N");
+    }
+
+    #[test]
+    fn display_format() {
+        let p = &(&n() * &n()) + &n() - &c(110);
+        assert_eq!(p.to_string(), "N^2 + N - 110");
+        assert_eq!(SymPoly::zero().to_string(), "0");
+        let m = SymPoly::symbol("KK") * SymPoly::symbol("JJ");
+        assert_eq!(m.to_string(), "JJ*KK");
+        assert_eq!((c(2) * &n() * &n()).to_string(), "2*N^2");
+    }
+
+    #[test]
+    fn gcd_paper_columns() {
+        // Paper Section 4: coefficients 1, N, N² have suffix gcds 1, N, N².
+        let n2 = &n() * &n();
+        assert_eq!(SymPoly::one().gcd(&n()), SymPoly::one());
+        assert_eq!(n().gcd(&n2), n());
+        assert_eq!(n2.gcd(&n2), n2);
+        // gcd with zero normalizes sign
+        assert_eq!(SymPoly::zero().gcd(&(-&n())), n());
+        // concrete contents participate
+        assert_eq!(c(100).gcd(&c(10)), c(10));
+        let p = c(6) * &n();
+        let q = c(4) * &n() * &n();
+        assert_eq!(p.gcd(&q), c(2) * &n());
+    }
+
+    #[test]
+    fn div_rem_paper_examples() {
+        // (N² + N) mod N = 0, quotient N + 1
+        let p = &n() * &n() + &n();
+        let (q, r) = p.div_rem_by(&n()).unwrap();
+        assert_eq!(q, &n() + &c(1));
+        assert!(r.is_zero());
+        // (N² + N) mod N² = N
+        let n2 = &n() * &n();
+        let (q, r) = p.div_rem_by(&n2).unwrap();
+        assert_eq!(q, c(1));
+        assert_eq!(r, n());
+        // constants: 110 mod 100 = 10
+        let (q, r) = c(110).div_rem_by(&c(100)).unwrap();
+        assert_eq!(q, c(1));
+        assert_eq!(r, c(10));
+        // anything mod 1 = 0
+        let (_, r) = p.div_rem_by(&SymPoly::one()).unwrap();
+        assert!(r.is_zero());
+        assert!(p.div_rem_by(&SymPoly::zero()).is_err());
+    }
+
+    #[test]
+    fn exact_division() {
+        let p = (&n() + &c(1)) * (&n() - &c(1)); // N² - 1
+        assert_eq!(p.try_div_exact(&(&n() + &c(1))).unwrap(), &n() - &c(1));
+        assert!(p.try_div_exact(&n()).is_none());
+        assert!(p.try_div_exact(&SymPoly::zero()).is_none());
+    }
+
+    #[test]
+    fn eval_and_substitute() {
+        let p = &n() * &n() + &n() - &c(110);
+        let mut vals = BTreeMap::new();
+        vals.insert(Sym::new("N"), 10);
+        assert_eq!(p.eval(&vals).unwrap(), 0);
+        let vals2 = BTreeMap::new();
+        assert!(p.eval(&vals2).is_err());
+        // substitute N := M + 1
+        let repl = SymPoly::symbol("M") + c(1);
+        let q = p.substitute(&Sym::new("N"), &repl).unwrap();
+        let mut mv = BTreeMap::new();
+        mv.insert(Sym::new("M"), 9);
+        assert_eq!(q.eval(&mv).unwrap(), 0);
+    }
+
+    #[test]
+    fn sign_determination_paper_facts() {
+        let mut a = Assumptions::new();
+        a.set_lower_bound("N", 2);
+        // N - 1 < N  <=>  N - (N-1) = 1 > 0 : trivially positive
+        assert_eq!(c(1).sign(&a), Some(Sign::Positive));
+        // N² - (N² - N) = N > 0 under N >= 2
+        assert_eq!(n().sign(&a), Some(Sign::Positive));
+        // N² + N - N² = N is positive; but N - N² is negative under N >= 2
+        let p = &n() - &(&n() * &n());
+        assert_eq!(p.sign(&a), Some(Sign::Negative));
+        // N - 2 is nonneg under N >= 2 but not strictly positive
+        let q = &n() - &c(2);
+        assert_eq!(q.is_nonneg(&a), Trilean::True);
+        assert_eq!(q.is_pos(&a), Trilean::Unknown);
+        assert_eq!(q.sign(&a), None);
+        // N - 3 under N >= 2 is unknown
+        let r = &n() - &c(3);
+        assert_eq!(r.is_nonneg(&a), Trilean::Unknown);
+        // -(N) under N >= 1: negative
+        let mut a1 = Assumptions::new();
+        a1.set_lower_bound("N", 1);
+        assert_eq!((-&n()).sign(&a1), Some(Sign::Negative));
+        // N under N >= 0 is only nonneg, not positive
+        let a0 = Assumptions::new();
+        assert_eq!(n().is_nonneg(&a0), Trilean::True);
+        assert_eq!(n().is_pos(&a0), Trilean::Unknown);
+        assert_eq!(SymPoly::zero().sign(&a0), Some(Sign::Zero));
+    }
+
+    #[test]
+    fn normalize_sign() {
+        let p = -&(&n() * &n() + &c(3));
+        let q = p.normalize_sign();
+        assert_eq!(q, &n() * &n() + &c(3));
+        assert_eq!(SymPoly::zero().normalize_sign(), SymPoly::zero());
+    }
+
+    fn arb_poly() -> impl Strategy<Value = SymPoly> {
+        prop::collection::vec((0u32..3, 0u32..3, -20i128..20), 0..5).prop_map(|terms| {
+            let mut p = SymPoly::zero();
+            for (en, em, c) in terms {
+                let mut m = Monomial::unit();
+                for _ in 0..en {
+                    m = m.mul(&Monomial::symbol("N"));
+                }
+                for _ in 0..em {
+                    m = m.mul(&Monomial::symbol("M"));
+                }
+                p = p.checked_add(&SymPoly::term(c, m)).unwrap();
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn ring_axioms(a in arb_poly(), b in arb_poly(), d in arb_poly()) {
+            prop_assert_eq!(a.checked_add(&b).unwrap(), b.checked_add(&a).unwrap());
+            prop_assert_eq!(a.checked_mul(&b).unwrap(), b.checked_mul(&a).unwrap());
+            let left = a.checked_mul(&b.checked_add(&d).unwrap()).unwrap();
+            let right = a.checked_mul(&b).unwrap().checked_add(&a.checked_mul(&d).unwrap()).unwrap();
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn gcd_divides_operands(a in arb_poly(), b in arb_poly()) {
+            let g = a.gcd(&b);
+            if !g.is_zero() {
+                prop_assert!(a.try_div_exact(&g).is_some() || a.is_zero());
+                prop_assert!(b.try_div_exact(&g).is_some() || b.is_zero());
+            }
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a in arb_poly(), c in -20i128..20, en in 0u32..3) {
+            prop_assume!(c != 0);
+            let mut m = Monomial::unit();
+            for _ in 0..en { m = m.mul(&Monomial::symbol("N")); }
+            let d = SymPoly::term(c, m);
+            let (q, r) = a.div_rem_by(&d).unwrap();
+            let back = q.checked_mul(&d).unwrap().checked_add(&r).unwrap();
+            prop_assert_eq!(back, a);
+        }
+
+        #[test]
+        fn eval_homomorphism(a in arb_poly(), b in arb_poly(), nv in 0i128..50, mv in 0i128..50) {
+            let mut vals = BTreeMap::new();
+            vals.insert(Sym::new("N"), nv);
+            vals.insert(Sym::new("M"), mv);
+            let sum = a.checked_add(&b).unwrap();
+            prop_assert_eq!(sum.eval(&vals).unwrap(), a.eval(&vals).unwrap() + b.eval(&vals).unwrap());
+            let prod = a.checked_mul(&b).unwrap();
+            prop_assert_eq!(prod.eval(&vals).unwrap(), a.eval(&vals).unwrap() * b.eval(&vals).unwrap());
+        }
+
+        #[test]
+        fn sign_soundness(a in arb_poly(), nv in 0i128..60, mv in 0i128..60, lbn in 0i128..5, lbm in 0i128..5) {
+            // any definite answer must hold at every admissible point
+            prop_assume!(nv >= lbn && mv >= lbm);
+            let mut assume = Assumptions::new();
+            assume.set_lower_bound("N", lbn);
+            assume.set_lower_bound("M", lbm);
+            let mut vals = BTreeMap::new();
+            vals.insert(Sym::new("N"), nv);
+            vals.insert(Sym::new("M"), mv);
+            let v = a.eval(&vals).unwrap();
+            match a.is_nonneg(&assume) {
+                Trilean::True => prop_assert!(v >= 0),
+                Trilean::False => prop_assert!(v < 0),
+                Trilean::Unknown => {}
+            }
+            match a.is_pos(&assume) {
+                Trilean::True => prop_assert!(v > 0),
+                Trilean::False => prop_assert!(v <= 0),
+                Trilean::Unknown => {}
+            }
+            if let Some(s) = a.sign(&assume) {
+                prop_assert_eq!(s, Sign::of(v));
+            }
+        }
+    }
+}

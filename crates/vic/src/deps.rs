@@ -1,0 +1,574 @@
+//! Dependence-graph construction for the vectorizer.
+//!
+//! For every pair of references to the same array (with at least one
+//! write), a Section 2 dependence problem is built over the union of both
+//! statements' normalized loop variables, tested — delinearization first —
+//! and turned into direction-vector-labelled edges. Dependences whose
+//! leftmost non-`=` direction is `>` flow backwards and are reversed;
+//! loop-independent (all-`=`) dependences follow textual order. Edge kinds
+//! (true/anti/output) are assigned *after* testing, as the paper notes.
+
+use delin_core::DelinearizationTest;
+use delin_dep::acyclic::AcyclicTest;
+use delin_dep::banerjee::BanerjeeTest;
+use delin_dep::dirvec::{summarize, Dir, DirVec};
+use delin_dep::gcd::GcdTest;
+use delin_dep::hierarchy;
+use delin_dep::problem::DependenceProblem;
+use delin_dep::residue::LoopResidueTest;
+use delin_dep::siv::SivTest;
+use delin_dep::svpc::SvpcTest;
+use delin_dep::verdict::{DependenceTest, Verdict};
+use delin_frontend::access::{AccessKind, AccessSite, Subscript};
+use delin_frontend::ast::{Program, StmtId};
+use delin_numeric::{Assumptions, SymPoly};
+use std::collections::BTreeMap;
+
+/// The classification of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Write then read (flow).
+    True,
+    /// Read then write.
+    Anti,
+    /// Write then write.
+    Output,
+}
+
+/// One dependence edge of the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source statement.
+    pub src: StmtId,
+    /// Sink statement.
+    pub dst: StmtId,
+    /// Kind (true/anti/output).
+    pub kind: DepKind,
+    /// The involved array (or scalar).
+    pub array: String,
+    /// Direction vectors over the common loops (summarized; all leading
+    /// atoms are `<` or `=` after reversal).
+    pub dir_vecs: Vec<DirVec>,
+    /// Carrying level: 1-based index of the outermost loop that carries the
+    /// dependence; `None` for loop-independent edges.
+    pub level: Option<usize>,
+    /// Which dependence test decided this pair.
+    pub tested_by: &'static str,
+}
+
+/// Statistics from graph construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepStats {
+    /// Reference pairs examined.
+    pub pairs_tested: usize,
+    /// Pairs proven independent.
+    pub proven_independent: usize,
+    /// Pairs proven independent, per deciding test.
+    pub independent_by: BTreeMap<&'static str, usize>,
+    /// Pairs that fell back to the conservative all-`*` answer.
+    pub conservative_pairs: usize,
+}
+
+/// The dependence graph of a program.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// Statements in source order.
+    pub stmts: Vec<StmtId>,
+    /// Edges.
+    pub edges: Vec<DepEdge>,
+    /// Construction statistics.
+    pub stats: DepStats,
+}
+
+impl DepGraph {
+    /// Edges out of a statement.
+    pub fn successors(&self, s: StmtId) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.src == s)
+    }
+
+    /// `true` when some edge connects the pair in either direction.
+    pub fn connected(&self, a: StmtId, b: StmtId) -> bool {
+        self.edges
+            .iter()
+            .any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+    }
+}
+
+/// Which dependence tests drive the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TestChoice {
+    /// Delinearization first; classical battery on `Unknown` (the VIC
+    /// configuration).
+    #[default]
+    DelinearizationFirst,
+    /// Delinearization only.
+    DelinearizationOnly,
+    /// Classical battery only (the ablation baseline: GCD + Banerjee +
+    /// exact single-index tests + SVPC + Acyclic + Loop Residue).
+    BatteryOnly,
+}
+
+/// Builds the dependence graph of a program.
+pub fn build_dependence_graph(
+    program: &Program,
+    assumptions: &Assumptions,
+    choice: TestChoice,
+) -> DepGraph {
+    let sites = delin_frontend::access::collect_accesses(program, assumptions);
+    let mut stmts: Vec<StmtId> = Vec::new();
+    program.visit_assigns(&mut |a| stmts.push(a.id));
+    let mut graph = DepGraph { stmts, ..DepGraph::default() };
+
+    for i in 0..sites.len() {
+        for j in 0..sites.len() {
+            // Each unordered pair once; same-site pairs only for writes
+            // (self output deps are subsumed by the W-W pair of the same
+            // site, which `i == j` covers).
+            if j < i {
+                continue;
+            }
+            let a = &sites[i];
+            let b = &sites[j];
+            if a.array != b.array {
+                continue;
+            }
+            if a.kind != AccessKind::Write && b.kind != AccessKind::Write {
+                continue;
+            }
+            if i == j && a.kind != AccessKind::Write {
+                continue;
+            }
+            graph.stats.pairs_tested += 1;
+            analyze_pair(a, b, assumptions, choice, &mut graph);
+        }
+    }
+    graph
+}
+
+/// Builds the dependence problem for a pair of sites: variables are the
+/// source loops then the sink loops; one equation per array dimension
+/// where both subscripts are affine.
+pub fn pair_problem(a: &AccessSite, b: &AccessSite) -> DependenceProblem<SymPoly> {
+    let mut builder = DependenceProblem::<SymPoly>::builder();
+    let common = a.common_loops_with(b);
+    let src_vars: Vec<usize> = a
+        .loops
+        .iter()
+        .map(|l| builder.var(format!("{}1", l.var), l.upper.clone()))
+        .collect();
+    let snk_vars: Vec<usize> = b
+        .loops
+        .iter()
+        .map(|l| builder.var(format!("{}2", l.var), l.upper.clone()))
+        .collect();
+    for k in 0..common {
+        builder.common_pair(src_vars[k], snk_vars[k]);
+    }
+    for (sa, sb) in a.subscripts.iter().zip(&b.subscripts) {
+        if let (Subscript::Affine(fa), Subscript::Affine(fb)) = (sa, sb) {
+            let _ = builder.equation_from_subscripts(fa, &src_vars, fb, &snk_vars);
+        }
+    }
+    builder.build()
+}
+
+/// Converts a symbolic problem to a concrete one when every quantity is a
+/// known integer.
+pub fn concretize(p: &DependenceProblem<SymPoly>) -> Option<DependenceProblem<i128>> {
+    if !p.is_concrete() {
+        return None;
+    }
+    let mut b = DependenceProblem::<i128>::builder();
+    for v in p.vars() {
+        b.var(v.name.clone(), v.upper.as_constant()?);
+    }
+    for eq in p.equations() {
+        b.equation(
+            eq.c0.as_constant()?,
+            eq.coeffs.iter().map(|c| c.as_constant()).collect::<Option<Vec<_>>>()?,
+        );
+    }
+    for (x, y) in p.common_loops() {
+        b.common_pair(*x, *y);
+    }
+    Some(b.build())
+}
+
+/// Runs the configured tests; returns the verdict and the deciding test's
+/// name.
+fn decide(
+    problem: &DependenceProblem<SymPoly>,
+    assumptions: &Assumptions,
+    choice: TestChoice,
+) -> (Verdict, &'static str) {
+    let mut sym = problem.clone();
+    {
+        // Install assumptions (the builder clears them on build()).
+        let mut b = DependenceProblem::<SymPoly>::builder();
+        for v in sym.vars() {
+            b.var(v.name.clone(), v.upper.clone());
+        }
+        for eq in sym.equations() {
+            b.equation(eq.c0.clone(), eq.coeffs.clone());
+        }
+        for (x, y) in sym.common_loops() {
+            b.common_pair(*x, *y);
+        }
+        b.assumptions(assumptions.clone());
+        sym = b.build();
+    }
+    let concrete = concretize(&sym);
+
+    let delin = DelinearizationTest::default();
+    let run_delin = |name: &'static str| -> (Verdict, &'static str) {
+        match &concrete {
+            Some(c) => (DependenceTest::<i128>::test(&delin, c), name),
+            None => (DependenceTest::<SymPoly>::test(&delin, &sym), name),
+        }
+    };
+    let run_battery = || -> (Verdict, &'static str) {
+        if let Some(c) = &concrete {
+            let tests: Vec<(&'static str, Verdict)> = vec![
+                ("gcd", GcdTest.test(c)),
+                ("siv", SivTest.test(c)),
+                ("svpc", SvpcTest.test(c)),
+                ("acyclic", AcyclicTest.test(c)),
+                ("loop-residue", LoopResidueTest.test(c)),
+                ("banerjee", BanerjeeTest.test(c)),
+            ];
+            for (name, v) in &tests {
+                if v.is_independent() {
+                    return (Verdict::Independent, name);
+                }
+            }
+            // Direction vectors through the Banerjee hierarchy in the
+            // classical mode: exact on single-index equations, real-valued
+            // (the paper's reading) on coupled multi-index equations.
+            let oracle = hierarchy::banerjee_oracle_classical();
+            let dirs = hierarchy::direction_vectors(c, &oracle);
+            if dirs.is_empty() {
+                return (Verdict::Independent, "banerjee");
+            }
+            (Verdict::dependent_with_dirs(dirs), "banerjee")
+        } else {
+            let v = GcdTest.test(&sym);
+            if v.is_independent() {
+                return (Verdict::Independent, "gcd");
+            }
+            let oracle = hierarchy::banerjee_oracle_classical();
+            let dirs = hierarchy::direction_vectors(&sym, &oracle);
+            if dirs.is_empty() {
+                return (Verdict::Independent, "banerjee");
+            }
+            (Verdict::dependent_with_dirs(dirs), "banerjee")
+        }
+    };
+
+    match choice {
+        TestChoice::DelinearizationOnly => run_delin("delinearization"),
+        TestChoice::BatteryOnly => run_battery(),
+        TestChoice::DelinearizationFirst => {
+            let (v, name) = run_delin("delinearization");
+            if v.is_unknown() {
+                run_battery()
+            } else {
+                (v, name)
+            }
+        }
+    }
+}
+
+fn analyze_pair(
+    a: &AccessSite,
+    b: &AccessSite,
+    assumptions: &Assumptions,
+    choice: TestChoice,
+    graph: &mut DepGraph,
+) {
+    let problem = pair_problem(a, b);
+    let common = a.common_loops_with(b);
+    let (verdict, tested_by) = decide(&problem, assumptions, choice);
+    match verdict {
+        Verdict::Independent => {
+            graph.stats.proven_independent += 1;
+            *graph.stats.independent_by.entry(tested_by).or_insert(0) += 1;
+        }
+        Verdict::Dependent { info, .. } => {
+            let dirs = if info.dir_vecs.is_empty() {
+                vec![DirVec::any(common)]
+            } else {
+                info.dir_vecs
+            };
+            emit_edges(a, b, &dirs, tested_by, graph);
+        }
+        Verdict::Unknown => {
+            graph.stats.conservative_pairs += 1;
+            emit_edges(a, b, &[DirVec::any(common)], "conservative", graph);
+        }
+    }
+}
+
+/// Splits direction vectors into atomic forward/backward/loop-independent
+/// classes and emits oriented, classified edges.
+fn emit_edges(
+    a: &AccessSite,
+    b: &AccessSite,
+    dirs: &[DirVec],
+    tested_by: &'static str,
+    graph: &mut DepGraph,
+) {
+    let mut forward: Vec<DirVec> = Vec::new(); // a -> b
+    let mut backward: Vec<DirVec> = Vec::new(); // b -> a (reversed vectors)
+    let mut loop_independent = false;
+    for dv in dirs {
+        for atom in dv.atomic_decompositions() {
+            if atom.0.iter().all(|d| *d == Dir::Eq) {
+                loop_independent = true;
+            } else if atom.is_backward() {
+                backward.push(atom.reverse());
+            } else {
+                forward.push(atom);
+            }
+        }
+    }
+    forward.sort();
+    forward.dedup();
+    backward.sort();
+    backward.dedup();
+
+    let mut push = |src: &AccessSite, dst: &AccessSite, dirs: Vec<DirVec>, level: Option<usize>| {
+        if src.stmt == dst.stmt && level.is_none() {
+            return; // intra-statement, same iteration: not a dependence edge
+        }
+        let kind = match (src.kind, dst.kind) {
+            (AccessKind::Write, AccessKind::Read) => DepKind::True,
+            (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+            (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+            (AccessKind::Read, AccessKind::Read) => return,
+        };
+        graph.edges.push(DepEdge {
+            src: src.stmt,
+            dst: dst.stmt,
+            kind,
+            array: src.array.clone(),
+            dir_vecs: summarize(dirs),
+            level,
+            tested_by,
+        });
+    };
+
+    // Carried dependences, grouped by carrying level.
+    for (vectors, (src, dst)) in [(forward, (a, b)), (backward, (b, a))] {
+        let mut by_level: BTreeMap<usize, Vec<DirVec>> = BTreeMap::new();
+        for v in vectors {
+            let level = v.0.iter().position(|d| *d == Dir::Lt).map(|p| p + 1);
+            if let Some(l) = level {
+                by_level.entry(l).or_default().push(v);
+            }
+        }
+        for (level, vs) in by_level {
+            push(src, dst, vs, Some(level));
+        }
+    }
+    // Loop-independent dependence follows textual order.
+    if loop_independent {
+        let eq = vec![DirVec(vec![Dir::Eq; a.common_loops_with(b)])];
+        if a.stmt <= b.stmt {
+            push(a, b, eq, None);
+        } else {
+            push(b, a, eq, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delin_frontend::parse_program;
+
+    fn graph(src: &str) -> DepGraph {
+        let p = parse_program(src).unwrap();
+        build_dependence_graph(&p, &Assumptions::new(), TestChoice::DelinearizationFirst)
+    }
+
+    #[test]
+    fn intro_dependent_loop() {
+        // D(i+1) = D(i): true dependence carried by the loop, distance 1.
+        let g = graph(
+            "
+            REAL D(0:9)
+            DO 1 i = 0, 8
+        1   D(i + 1) = D(i)
+            END
+        ",
+        );
+        assert_eq!(g.stats.pairs_tested, 2); // W-W and W-R
+        let true_edges: Vec<_> =
+            g.edges.iter().filter(|e| e.kind == DepKind::True).collect();
+        assert_eq!(true_edges.len(), 1);
+        assert_eq!(true_edges[0].level, Some(1));
+        assert_eq!(true_edges[0].dir_vecs, vec![DirVec(vec![Dir::Lt])]);
+        // The W-W pair (same site with itself) is independent:
+        // i1 + 1 = i2 + 1 with i1 != i2 impossible... actually i1 = i2 is
+        // the only solution: loop-independent self-output-dep is dropped.
+        assert!(g
+            .edges
+            .iter()
+            .all(|e| !(e.kind == DepKind::Output && e.src == e.dst)));
+    }
+
+    #[test]
+    fn intro_independent_loop() {
+        // D(i) = D(i+5) over i in [0,4]: no dependence at all.
+        let g = graph(
+            "
+            REAL D(0:9)
+            DO 1 i = 0, 4
+        1   D(i) = D(i + 5)
+            END
+        ",
+        );
+        let array_edges: Vec<_> = g.edges.iter().filter(|e| e.array == "D").collect();
+        assert!(array_edges.iter().all(|e| e.kind == DepKind::Output), "{array_edges:?}");
+        assert!(g.stats.proven_independent >= 1);
+    }
+
+    #[test]
+    fn motivating_example_needs_delinearization() {
+        let src = "
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+        1   C(i + 10*j) = C(i + 10*j + 5)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        // With delinearization: the W-R pair is proven independent.
+        let g = build_dependence_graph(&p, &Assumptions::new(), TestChoice::DelinearizationFirst);
+        assert!(g.edges.iter().all(|e| e.kind != DepKind::True), "{:?}", g.edges);
+        assert_eq!(g.stats.independent_by.get("delinearization"), Some(&1));
+        // Battery only: the pair cannot be disproven; a true or anti edge
+        // appears.
+        let g = build_dependence_graph(&p, &Assumptions::new(), TestChoice::BatteryOnly);
+        assert!(g.edges.iter().any(|e| e.kind != DepKind::Output));
+    }
+
+    #[test]
+    fn backward_vectors_are_reversed() {
+        // A(i) = A(i+1): the write at i touches what iteration i-1 read;
+        // raw direction is '>', so the edge is an anti dependence read->write
+        // with '<'.
+        let g = graph(
+            "
+            REAL A(0:9)
+            DO 1 i = 0, 8
+        1   A(i) = A(i + 1)
+            END
+        ",
+        );
+        let anti: Vec<_> = g.edges.iter().filter(|e| e.kind == DepKind::Anti).collect();
+        assert_eq!(anti.len(), 1);
+        assert_eq!(anti[0].dir_vecs, vec![DirVec(vec![Dir::Lt])]);
+        assert_eq!(anti[0].level, Some(1));
+        assert!(g.edges.iter().all(|e| e.kind != DepKind::True));
+    }
+
+    #[test]
+    fn loop_independent_ordering() {
+        // S1 writes A(i); S2 reads A(i): loop-independent true dep S1->S2.
+        let g = graph(
+            "
+            REAL A(0:9), B(0:9)
+            DO 1 i = 0, 9
+              A(i) = 1
+        1   B(i) = A(i)
+            END
+        ",
+        );
+        let t: Vec<_> = g.edges.iter().filter(|e| e.kind == DepKind::True).collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].level, None);
+        assert!(t[0].src < t[0].dst);
+    }
+
+    #[test]
+    fn scalar_dependences() {
+        // Q accumulates: true, anti, and output deps on Q.
+        let g = graph(
+            "
+            REAL A(0:9)
+            DO 1 i = 0, 9
+        1   Q = Q + A(i)
+            END
+        ",
+        );
+        let kinds: Vec<DepKind> = g
+            .edges
+            .iter()
+            .filter(|e| e.array == "Q")
+            .map(|e| e.kind)
+            .collect();
+        assert!(kinds.contains(&DepKind::True));
+        assert!(kinds.contains(&DepKind::Output));
+    }
+
+    #[test]
+    fn symbolic_bounds_analyzed() {
+        // Independent even with symbolic N (needs N >= 1 to know bounds
+        // behave; without assumptions the conservative answer is kept).
+        let src = "
+            REAL A(0:N + N)
+            DO 1 i = 0, N - 1
+        1   A(i) = A(i + N)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let mut assume = Assumptions::new();
+        assume.set_lower_bound("N", 1);
+        let g = build_dependence_graph(&p, &assume, TestChoice::DelinearizationFirst);
+        // A(i1) = A(i2 + N) requires i1 - i2 = N with i's in [0, N-1]:
+        // Banerjee range [-(N-1) - N, (N-1) - N] = [.., -1] < 0: independent.
+        assert!(g.edges.iter().all(|e| e.kind == DepKind::Output), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn opaque_subscripts_are_conservative() {
+        // Fully opaque subscripts: no equations at all, so every direction
+        // survives and carried edges appear in both orientations.
+        let g = graph(
+            "
+            REAL A(0:9)
+            DO 1 i = 0, 9
+        1   A(IFUN(i)) = A(IFUN(i + 1)) + 1
+            END
+        ",
+        );
+        assert!(g.edges.iter().any(|e| e.level == Some(1)), "{:?}", g.edges);
+        // A second dimension with an affine subscript restores precision:
+        // A(IFUN(i), i) can only collide within an iteration.
+        let g = graph(
+            "
+            REAL A(0:9, 0:9)
+            DO 1 i = 0, 9
+        1   A(IFUN(i), i) = A(IFUN(i + 1), i) + 1
+            END
+        ",
+        );
+        assert!(g.edges.iter().all(|e| e.level.is_none()), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn graph_helpers() {
+        let g = graph(
+            "
+            REAL A(0:9)
+            DO 1 i = 0, 8
+        1   A(i + 1) = A(i)
+            END
+        ",
+        );
+        let s = g.stmts[0];
+        assert!(g.connected(s, s) || !g.edges.is_empty());
+        assert!(g.successors(s).count() >= 1);
+    }
+}

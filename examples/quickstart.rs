@@ -1,0 +1,43 @@
+//! Quickstart: the paper's motivating question, answered three ways.
+//!
+//! Are `C(i1 + 10*j1)` and `C(i2 + 10*j2 + 5)` independent for
+//! `i ∈ [0,4]`, `j ∈ [0,9]`?
+//!
+//! Run with `cargo run --example quickstart`.
+
+use delinearization::core::algorithm::{delinearize, DelinConfig};
+use delinearization::core::trace::render_trace;
+use delinearization::core::DelinearizationTest;
+use delinearization::dep::banerjee::BanerjeeTest;
+use delinearization::dep::exact::ExactSolver;
+use delinearization::dep::gcd::GcdTest;
+use delinearization::dep::problem::DependenceProblem;
+use delinearization::dep::verdict::DependenceTest;
+
+fn main() {
+    // i1 + 10 j1 - i2 - 10 j2 - 5 = 0 over the normalized iteration box.
+    let problem = DependenceProblem::single_equation(
+        -5,
+        vec![1, 10, -1, -10],
+        vec![4, 9, 4, 9],
+    );
+    println!("dependence equation:\n{problem}");
+
+    // The classical tests cannot disprove it...
+    println!("gcd test:       {}", GcdTest.test(&problem));
+    println!("banerjee test:  {}", BanerjeeTest.test(&problem));
+
+    // ...delinearization can, and the exact solver agrees.
+    let delin = DelinearizationTest::default();
+    println!("delinearization: {}", DependenceTest::<i128>::test(&delin, &problem));
+    println!("exact solver:    {}", ExactSolver::default().test(&problem));
+
+    // Look inside: the separation trace (the paper's Fig. 5 format).
+    let config = DelinConfig { collect_trace: true, ..DelinConfig::default() };
+    let outcome = delinearize(&problem, 0, &config);
+    println!("\nalgorithm trace:\n{}", render_trace(&outcome.separation().trace));
+    println!(
+        "independent: {} (the i-dimension equation i1 - i2 - 5 = 0 has range [-9, -1])",
+        outcome.is_independent()
+    );
+}

@@ -1,0 +1,54 @@
+//! Section 4: symbolic delinearization, where coefficients and bounds are
+//! polynomials in the unknown `N` and the algorithm's comparisons are
+//! resolved under the assumption `N >= 2`.
+//!
+//! Run with `cargo run --example symbolic_delinearization`.
+
+use delinearization::core::algorithm::{delinearize, DelinConfig};
+use delinearization::core::trace::render_trace;
+use delinearization::core::DelinearizationTest;
+use delinearization::dep::problem::DependenceProblem;
+use delinearization::dep::verdict::DependenceTest;
+use delinearization::numeric::{Assumptions, SymPoly};
+
+fn main() {
+    // A(N*N*k1 + N*j1 + i1) vs A(N*N*k2 + j2 + N*i2 + N*N + N),
+    // i,k in [0, N-2], j in [0, N-1].
+    let n = SymPoly::symbol("N");
+    let n2 = (&n * &n).clone();
+    let nm1 = &n - &SymPoly::one();
+    let nm2 = &n - &SymPoly::constant(2);
+    let mut b = DependenceProblem::<SymPoly>::builder();
+    let i1 = b.var("i1", nm2.clone());
+    let j1 = b.var("j1", nm1.clone());
+    let k1 = b.var("k1", nm2.clone());
+    let i2 = b.var("i2", nm2.clone());
+    let j2 = b.var("j2", nm1.clone());
+    let k2 = b.var("k2", nm2.clone());
+    b.common_pair(i1, i2).common_pair(j1, j2).common_pair(k1, k2);
+    b.equation(
+        -&(&n2 + &n),
+        vec![SymPoly::one(), n.clone(), n2.clone(), -&n, SymPoly::constant(-1), -&n2],
+    );
+    let mut assume = Assumptions::new();
+    assume.set_lower_bound("N", 2);
+    b.assumptions(assume);
+    let problem = b.build();
+    println!("symbolic dependence equation:\n{problem}");
+
+    let config = DelinConfig { collect_trace: true, ..DelinConfig::default() };
+    let outcome = delinearize(&problem, 0, &config);
+    println!("trace:\n{}", render_trace(&outcome.separation().trace));
+    println!("separated dimensions:");
+    for d in &outcome.separation().dimensions {
+        println!("  {}", d.render(&problem));
+    }
+
+    let verdict = DependenceTest::<SymPoly>::test(&DelinearizationTest::default(), &problem);
+    println!("\nverdict: {verdict}");
+    if let Some(info) = verdict.info() {
+        for dv in &info.dir_vecs {
+            println!("direction vector: {dv}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Facade crate for the delinearization reproduction.
+//!
+//! Re-exports the public API of every workspace crate so that examples,
+//! integration tests, and downstream users can depend on a single crate.
+//! See the individual crates for the full documentation:
+//!
+//! * [`numeric`] — exact integers, rationals, symbolic polynomials;
+//! * [`frontend`] — mini-FORTRAN front end and source-level transforms;
+//! * [`dep`] — dependence framework and baseline tests;
+//! * [`core`] — the delinearization theorem and algorithm (the paper's
+//!   contribution);
+//! * [`vic`] — the VIC-like vectorizer built on top;
+//! * [`corpus`] — synthetic benchmark corpus and workload generators.
+
+#![forbid(unsafe_code)]
+
+pub use delin_core as core;
+pub use delin_corpus as corpus;
+pub use delin_dep as dep;
+pub use delin_frontend as frontend;
+pub use delin_numeric as numeric;
+pub use delin_vic as vic;

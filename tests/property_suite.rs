@@ -1,0 +1,172 @@
+//! Cross-crate property tests: soundness and structural invariants that
+//! must hold on randomized inputs, checked through the facade crate.
+
+use delinearization::core::algorithm::{delinearize, DelinConfig, DelinOutcome};
+use delinearization::core::DelinearizationTest;
+use delinearization::dep::banerjee::BanerjeeTest;
+use delinearization::dep::dirvec::{summarize, Dir, DirVec};
+use delinearization::dep::exact::{ExactSolver, SolveOutcome};
+use delinearization::dep::fourier::FourierMotzkin;
+use delinearization::dep::gcd::GcdTest;
+use delinearization::dep::problem::DependenceProblem;
+use delinearization::dep::verdict::DependenceTest;
+use proptest::prelude::*;
+
+/// A random two-loop linearized problem with mirrored strides.
+fn arb_linearized() -> impl Strategy<Value = DependenceProblem<i128>> {
+    (
+        1i128..=6,   // inner extent-ish bound
+        1i128..=8,   // outer bound
+        2i128..=14,  // stride
+        -40i128..=40, // offset
+        -3i128..=3,  // inner coefficient scale
+    )
+        .prop_map(|(bi, bj, stride, off, ci)| {
+            let ci = if ci == 0 { 1 } else { ci };
+            DependenceProblem::single_equation(
+                off,
+                vec![ci, stride, -ci, -stride],
+                vec![bi, bj, bi, bj],
+            )
+        })
+}
+
+proptest! {
+    /// No test may contradict the exact solver.
+    #[test]
+    fn all_tests_sound(p in arb_linearized()) {
+        let truth = ExactSolver::default().solve(&p);
+        let tests: Vec<(&str, Box<dyn Fn() -> delinearization::dep::Verdict>)> = vec![
+            ("delin", Box::new(|| DependenceTest::<i128>::test(&DelinearizationTest::default(), &p))),
+            ("gcd", Box::new(|| GcdTest.test(&p))),
+            ("banerjee", Box::new(|| BanerjeeTest.test(&p))),
+            ("fm-real", Box::new(|| FourierMotzkin::real().test(&p))),
+            ("fm-tight", Box::new(|| FourierMotzkin::tightened().test(&p))),
+        ];
+        for (name, t) in tests {
+            let v = t();
+            if let SolveOutcome::Solution(_) = truth {
+                prop_assert!(!v.is_independent(), "{name} unsound on {p}");
+            }
+        }
+    }
+
+    /// Delinearization's separation preserves feasibility in both
+    /// directions: the problem is feasible iff every separated dimension is.
+    #[test]
+    fn separation_preserves_feasibility(p in arb_linearized()) {
+        let solver = ExactSolver::default();
+        let truth = solver.solve(&p).is_solution();
+        match delinearize(&p, 0, &DelinConfig::default()) {
+            DelinOutcome::Independent { .. } => prop_assert!(!truth),
+            DelinOutcome::Separated { separation } => {
+                let mut all_dims_feasible = true;
+                for dim in &separation.dimensions {
+                    let (sub, _) =
+                        delinearization::core::algorithm::dimension_subproblem(&p, dim);
+                    if !solver.solve(&sub).is_solution() {
+                        all_dims_feasible = false;
+                    }
+                }
+                prop_assert_eq!(all_dims_feasible, truth, "{}", p);
+            }
+        }
+    }
+
+    /// Summarization of direction vectors never changes the atomic set.
+    #[test]
+    fn summarize_is_lossless(
+        atoms in prop::collection::vec(
+            prop::collection::vec(0usize..3, 2),
+            1..6,
+        )
+    ) {
+        let vecs: Vec<DirVec> = atoms
+            .iter()
+            .map(|v| DirVec(v.iter().map(|&d| [Dir::Lt, Dir::Eq, Dir::Gt][d]).collect()))
+            .collect();
+        let mut before: Vec<DirVec> =
+            vecs.iter().flat_map(|v| v.atomic_decompositions()).collect();
+        before.sort();
+        before.dedup();
+        let out = summarize(vecs);
+        let mut after: Vec<DirVec> =
+            out.iter().flat_map(|v| v.atomic_decompositions()).collect();
+        after.sort();
+        after.dedup();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The exact solver agrees with brute force on small boxes.
+    #[test]
+    fn exact_matches_brute_force(
+        c0 in -20i128..=20,
+        a in -6i128..=6,
+        b in -6i128..=6,
+        c in -6i128..=6,
+        ua in 0i128..=4,
+        ub in 0i128..=4,
+        uc in 0i128..=4,
+    ) {
+        let p = DependenceProblem::single_equation(
+            c0,
+            vec![a, b, c],
+            vec![ua, ub, uc],
+        );
+        let got = ExactSolver::default().solve(&p).is_solution();
+        let mut brute = false;
+        for x in 0..=ua {
+            for y in 0..=ub {
+                for z in 0..=uc {
+                    if c0 + a * x + b * y + c * z == 0 {
+                        brute = true;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got, brute);
+    }
+
+    /// Parser/printer round-trip: printing a parsed program and re-parsing
+    /// yields the same printed form (idempotence).
+    #[test]
+    fn pretty_print_roundtrip(seed in 0u64..500) {
+        use delinearization::frontend::{parse_program, pretty::program_to_string};
+        // Small deterministic program family.
+        let stride = 2 + (seed % 17) as i128;
+        let off = (seed % 7) as i128;
+        let src = format!(
+            "REAL A(0:199)\nDO 1 i = 0, 4\nDO 1 j = 0, 9\n1 A(i + {stride}*j) = A(i + {stride}*j + {off})\nEND\n"
+        );
+        let p1 = parse_program(&src).unwrap();
+        let text1 = program_to_string(&p1);
+        let p2 = parse_program(&text1).unwrap();
+        let text2 = program_to_string(&p2);
+        prop_assert_eq!(text1, text2);
+    }
+}
+
+/// The delinearization theorem end-to-end: on the whole random family the
+/// test agrees with ground truth whenever it answers definitely.
+#[test]
+fn delinearization_never_lies_on_corpus_workload() {
+    use delinearization::corpus::workload::{linearized_problem, LinearizedSpec};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(20260704);
+    let spec = LinearizedSpec::default();
+    let solver = ExactSolver::default();
+    let t = DelinearizationTest::default();
+    for _ in 0..500 {
+        let p = linearized_problem(&mut rng, &spec);
+        let truth = solver.solve(&p);
+        let got = t.test(&p);
+        match truth {
+            SolveOutcome::Solution(_) => assert!(got.is_dependent(), "unsound on {p}"),
+            SolveOutcome::NoSolution => {
+                assert!(got.is_independent(), "missed independence on {p}")
+            }
+            SolveOutcome::LimitExceeded => {}
+        }
+    }
+}
