@@ -30,9 +30,7 @@ fn fig1_census(c: &mut Criterion) {
 fn fig3_table(c: &mut Criterion) {
     c.bench_function("fig3_dependence_analysis", |b| {
         b.iter(|| {
-            black_box(
-                run_pipeline(black_box(fig3_source()), &PipelineConfig::default()).unwrap(),
-            )
+            black_box(run_pipeline(black_box(fig3_source()), &PipelineConfig::default()).unwrap())
         })
     });
 }

@@ -15,28 +15,20 @@ fn scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling");
     for loops in [1usize, 2, 3, 4, 6, 8] {
         let p = scaling_problem(loops, 10);
-        group.bench_with_input(
-            BenchmarkId::new("delinearization", loops),
-            &p,
-            |b, p| {
-                let t = DelinearizationTest::default();
-                b.iter(|| black_box(DependenceTest::<i128>::test(&t, black_box(p))))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("delinearization", loops), &p, |b, p| {
+            let t = DelinearizationTest::default();
+            b.iter(|| black_box(DependenceTest::<i128>::test(&t, black_box(p))))
+        });
         group.bench_with_input(BenchmarkId::new("gcd", loops), &p, |b, p| {
             b.iter(|| black_box(GcdTest.test(black_box(p))))
         });
         group.bench_with_input(BenchmarkId::new("banerjee", loops), &p, |b, p| {
             b.iter(|| black_box(BanerjeeTest.test(black_box(p))))
         });
-        group.bench_with_input(
-            BenchmarkId::new("fourier-motzkin-tighten", loops),
-            &p,
-            |b, p| {
-                let t = FourierMotzkin::tightened();
-                b.iter(|| black_box(t.test(black_box(p))))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fourier-motzkin-tighten", loops), &p, |b, p| {
+            let t = FourierMotzkin::tightened();
+            b.iter(|| black_box(t.test(black_box(p))))
+        });
         if loops <= 6 {
             group.bench_with_input(BenchmarkId::new("exact", loops), &p, |b, p| {
                 let t = ExactSolver::default();

@@ -24,9 +24,7 @@ fn intro_example(c: &mut Criterion) {
         b.iter(|| black_box(DependenceTest::<i128>::test(&t, black_box(&p))))
     });
     group.bench_function("gcd", |b| b.iter(|| black_box(GcdTest.test(black_box(&p)))));
-    group.bench_function("banerjee", |b| {
-        b.iter(|| black_box(BanerjeeTest.test(black_box(&p))))
-    });
+    group.bench_function("banerjee", |b| b.iter(|| black_box(BanerjeeTest.test(black_box(&p)))));
     group.bench_function("lambda", |b| b.iter(|| black_box(LambdaTest.test(black_box(&p)))));
     group.bench_function("shostak", |b| {
         let t = ShostakTest::default();

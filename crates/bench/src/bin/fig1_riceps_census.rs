@@ -4,6 +4,8 @@
 //! counts (slower); the default uses size-reduced programs with identical
 //! linearized-nest counts.
 
+use delin_vic::deps::{EngineConfig, TestChoice};
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     println!("E1 / Figure 1: loop nests containing linearized references (RiCEPS, synthetic)");
@@ -12,5 +14,23 @@ fn main() {
     if !full {
         println!();
         println!("(size-reduced corpus; run with --full for the reported line counts)");
+    }
+
+    // Dependence-engine observability over the same corpus: cache
+    // effectiveness, executed attempts per test, and wall-clock cost.
+    let lines = if full { None } else { Some(400) };
+    let config =
+        EngineConfig { choice: TestChoice::DelinearizationFirst, ..EngineConfig::default() };
+    let stats = delin_bench::experiments::corpus_engine_stats(lines, &config);
+    println!();
+    println!("dependence engine over the corpus ({} workers, cache on):", effective(&config));
+    print!("{}", stats.render_summary());
+}
+
+fn effective(config: &EngineConfig) -> String {
+    if config.workers == 0 {
+        format!("auto={}", config.effective_workers(usize::MAX))
+    } else {
+        config.workers.to_string()
     }
 }

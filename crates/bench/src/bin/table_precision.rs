@@ -1,10 +1,7 @@
 //! E8: precision of each technique on the random linearized family.
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1000);
+    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
     println!("E8: precision on {samples} random linearized dependence problems");
     println!();
     print!(

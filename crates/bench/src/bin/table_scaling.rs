@@ -2,14 +2,8 @@
 //! variables (the paper's O(n) efficiency claim).
 
 fn main() {
-    let max: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8);
+    let max: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
     println!("E7: scaling on the generalized motivating example (always independent)");
     println!();
-    print!(
-        "{}",
-        delin_bench::render_table(&delin_bench::experiments::scaling_rows(max, 25))
-    );
+    print!("{}", delin_bench::render_table(&delin_bench::experiments::scaling_rows(max, 25)));
 }

@@ -1,15 +1,24 @@
 //! E9: end-to-end vectorization of the synthetic corpus with and without
 //! delinearization.
 
+use delin_vic::deps::{EngineConfig, TestChoice};
+
 fn main() {
-    let lines: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(200);
+    let lines: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
     println!("E9: VIC pipeline on the synthetic corpus (scaled to ~{lines} lines/program)");
     println!();
-    print!(
-        "{}",
-        delin_bench::render_table(&delin_bench::experiments::vectorizer_rows(lines))
-    );
+    print!("{}", delin_bench::render_table(&delin_bench::experiments::vectorizer_rows(lines)));
+
+    // Dependence-engine observability for both configurations: how much the
+    // verdict cache saves and where the testing time goes.
+    for (label, choice) in [
+        ("delinearization-first", TestChoice::DelinearizationFirst),
+        ("battery-only", TestChoice::BatteryOnly),
+    ] {
+        let config = EngineConfig { choice, ..EngineConfig::default() };
+        let stats = delin_bench::experiments::corpus_engine_stats(Some(lines), &config);
+        println!();
+        println!("engine stats ({label}):");
+        print!("{}", stats.render_summary());
+    }
 }

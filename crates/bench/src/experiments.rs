@@ -3,9 +3,9 @@
 use delin_core::algorithm::{delinearize, DelinConfig};
 use delin_core::trace::render_trace;
 use delin_core::DelinearizationTest;
+use delin_corpus::census::census;
 use delin_corpus::riceps::{all_benchmarks, generate, generate_scaled};
 use delin_corpus::workload::{linearized_problem, scaling_problem, LinearizedSpec};
-use delin_corpus::census::census;
 use delin_dep::acyclic::AcyclicTest;
 use delin_dep::banerjee::BanerjeeTest;
 use delin_dep::exact::{ExactSolver, SolveOutcome};
@@ -21,7 +21,10 @@ use delin_dep::svpc::SvpcTest;
 use delin_dep::verdict::{DependenceTest, Verdict};
 use delin_frontend::parse_program;
 use delin_numeric::{Assumptions, SymPoly};
-use delin_vic::deps::{build_dependence_graph, concretize, pair_problem, DepKind, TestChoice};
+use delin_vic::deps::{
+    build_dependence_graph, build_dependence_graph_with, concretize, pair_problem, DepKind,
+    DepStats, EngineConfig, TestChoice,
+};
 use delin_vic::pipeline::{run_pipeline, PipelineConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -63,11 +66,7 @@ pub fn fig1_rows(full_size: bool) -> Vec<Vec<String>> {
         "Match".to_string(),
     ]];
     for spec in all_benchmarks() {
-        let src = if full_size {
-            generate(&spec)
-        } else {
-            generate_scaled(&spec, 400)
-        };
+        let src = if full_size { generate(&spec) } else { generate_scaled(&spec, 400) };
         let program = parse_program(&src).expect("corpus program parses");
         let result = census(&program, &Assumptions::new());
         rows.push(vec![
@@ -76,8 +75,7 @@ pub fn fig1_rows(full_size: bool) -> Vec<Vec<String>> {
             src.lines().count().to_string(),
             spec.expected.to_string(),
             result.linearized_nests.to_string(),
-            if spec.expected.matches(result.linearized_nests) { "yes" } else { "NO" }
-                .to_string(),
+            if spec.expected.matches(result.linearized_nests) { "yes" } else { "NO" }.to_string(),
         ]);
     }
     rows
@@ -107,8 +105,7 @@ pub fn fig3_source() -> &'static str {
 pub fn fig3_rows() -> Vec<Vec<String>> {
     let program = parse_program(fig3_source()).expect("fig3 parses");
     let assumptions = Assumptions::new();
-    let graph =
-        build_dependence_graph(&program, &assumptions, TestChoice::DelinearizationFirst);
+    let graph = build_dependence_graph(&program, &assumptions, TestChoice::DelinearizationFirst);
     let mut rows = vec![vec![
         "Pair".to_string(),
         "Kind".to_string(),
@@ -119,12 +116,7 @@ pub fn fig3_rows() -> Vec<Vec<String>> {
     // Recompute exact distance-direction vectors per pair for the table.
     let sites = delin_frontend::access::collect_accesses(&program, &assumptions);
     for e in &graph.edges {
-        let dirs = e
-            .dir_vecs
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join(" ");
+        let dirs = e.dir_vecs.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ");
         // Find the sites of this edge to compute distances.
         let dist = sites
             .iter()
@@ -281,12 +273,7 @@ pub fn symbolic_trace_text() -> String {
     let mut text = render_trace(&out.separation().trace);
     text.push_str(&format!(
         "\nseparated dimensions: {}\n",
-        out.separation()
-            .dimensions
-            .iter()
-            .map(|d| d.render(&p))
-            .collect::<Vec<_>>()
-            .join(" | ")
+        out.separation().dimensions.iter().map(|d| d.render(&p)).collect::<Vec<_>>().join(" | ")
     ));
     let v = DependenceTest::<SymPoly>::test(&DelinearizationTest::default(), &p);
     text.push_str(&format!("symbolic verdict: {v}\n"));
@@ -413,6 +400,28 @@ pub fn precision_rows(samples: usize, seed: u64) -> Vec<Vec<String>> {
         ]);
     }
     rows
+}
+
+/// Aggregate dependence-engine statistics over the synthetic RiCEPS corpus
+/// under one engine configuration: cache hit/miss counts, executed test
+/// attempts, exact-solver nodes, and wall-clock testing time.
+///
+/// `lines` is the per-program scaling target; `None` generates at the
+/// paper's reported line counts.
+pub fn corpus_engine_stats(lines: Option<usize>, config: &EngineConfig) -> DepStats {
+    let mut total = DepStats::default();
+    for spec in all_benchmarks() {
+        let src = match lines {
+            Some(n) => generate_scaled(&spec, n),
+            None => generate(&spec),
+        };
+        let program = parse_program(&src).expect("corpus program parses");
+        let assumptions =
+            delin_frontend::affine::infer_bound_assumptions(&program, &Assumptions::new());
+        let graph = build_dependence_graph_with(&program, &assumptions, config);
+        total.merge(&graph.stats);
+    }
+    total
 }
 
 /// E9: end-to-end vectorization of the (scaled) corpus with and without

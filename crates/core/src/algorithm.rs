@@ -70,10 +70,12 @@ impl<C: Coeff> Dimension<C> {
         let a = problem.assumptions();
         let mut first = true;
         for (var, c) in self.terms.iter().rev() {
-            let (neg, mag) = match c.sign(a) {
-                Some(delin_numeric::Sign::Negative) => {
-                    (true, c.checked_neg().unwrap_or_else(|_| c.clone()))
-                }
+            // A negative coefficient is rendered as a subtraction of its
+            // magnitude — but only when that magnitude is representable
+            // (`-i128::MIN` is not). Otherwise keep the raw value, whose
+            // own sign makes the rendering unambiguous.
+            let (neg, mag) = match (c.sign(a), c.checked_neg()) {
+                (Some(delin_numeric::Sign::Negative), Ok(m)) => (true, m),
                 _ => (false, c.clone()),
             };
             let name = &problem.vars()[*var].name;
@@ -97,9 +99,9 @@ impl<C: Coeff> Dimension<C> {
         if first {
             let _ = write!(s, "{c}");
         } else if !c.is_zero() {
-            match c.sign(a) {
-                Some(delin_numeric::Sign::Negative) => {
-                    let _ = write!(s, " - {}", c.checked_neg().unwrap_or_else(|_| c.clone()));
+            match (c.sign(a), c.checked_neg()) {
+                (Some(delin_numeric::Sign::Negative), Ok(m)) => {
+                    let _ = write!(s, " - {m}");
                 }
                 _ => {
                     let _ = write!(s, " + {c}");
@@ -232,15 +234,22 @@ pub fn delinearize<C: Coeff>(
             None => vec![c0.clone()],
         };
 
-        let mut chosen: Option<C> = None;
+        // A committed separation hands constant `r` to the new dimension
+        // and continues the scan on `c0 − r`; a candidate whose remainder
+        // subtraction overflows therefore cannot be used at all — silently
+        // keeping the old `c0` would change the solution set (unsound).
+        // Rejecting it is conservative: at worst no separation happens here.
+        let mut chosen: Option<(C, C)> = None; // (r, c0 − r)
         for r in candidates {
             let holds = match gk {
                 Some(g) => separation_holds(&smin, &smax, &r, g, a),
                 None => Trilean::True, // g_{n+1} = ∞
             };
             if holds.is_true() {
-                chosen = Some(r);
-                break;
+                if let Ok(next) = c0.checked_sub(&r) {
+                    chosen = Some((r, next));
+                    break;
+                }
             }
         }
 
@@ -250,7 +259,7 @@ pub fn delinearize<C: Coeff>(
         let c0_check = c0.clone();
 
         let mut separated_render: Option<String> = None;
-        if let Some(r) = chosen.clone() {
+        if let Some((r, next)) = chosen.clone() {
             // On-the-fly independence: cmin > 0 or cmax < 0.
             let cminmax = add_r(&smin, &smax, &r);
             if let Some((cmin, cmax)) = &cminmax {
@@ -273,9 +282,7 @@ pub fn delinearize<C: Coeff>(
             smin = Some(C::zero());
             smax = Some(C::zero());
             kbeg = k;
-            if let Ok(next) = c0.checked_sub(&r) {
-                c0 = next;
-            }
+            c0 = next;
         }
 
         if config.collect_trace {
@@ -286,15 +293,13 @@ pub fn delinearize<C: Coeff>(
                 smax: smax_check,
                 c0: c0_check,
                 g: gk.cloned(),
-                r: chosen,
+                r: chosen.map(|(r, _)| r),
                 separated: separated_render,
             });
         }
 
         if independent {
-            return DelinOutcome::Independent {
-                separation: Separation { dimensions, trace },
-            };
+            return DelinOutcome::Independent { separation: Separation { dimensions, trace } };
         }
 
         // Accumulate coefficient k into the running prefix range:
@@ -362,8 +367,7 @@ fn sort_by_abs<C: Coeff>(items: &mut [(usize, C)], a: &delin_numeric::Assumption
             let later = items[j].1.abs(a);
             let swap = match (earlier, later) {
                 (Some(e), Some(l)) => {
-                    l.lt(&e, a).is_true()
-                        || (l.le(&e, a).is_true() && !e.le(&l, a).is_true())
+                    l.lt(&e, a).is_true() || (l.le(&e, a).is_true() && !e.le(&l, a).is_true())
                 }
                 _ => false,
             };
@@ -472,19 +476,15 @@ fn strong_siv_direction<C: Coeff>(
         return None;
     }
     // Orient as (source x, sink y) via the common-loop pairing.
-    let (level, cx, x) = problem
-        .common_loops()
-        .iter()
-        .enumerate()
-        .find_map(|(l, &(px, py))| {
-            if (px, py) == (*va, *vb) {
-                Some((l, ca.clone(), *va))
-            } else if (px, py) == (*vb, *va) {
-                Some((l, cb.clone(), *vb))
-            } else {
-                None
-            }
-        })?;
+    let (level, cx, x) = problem.common_loops().iter().enumerate().find_map(|(l, &(px, py))| {
+        if (px, py) == (*va, *vb) {
+            Some((l, ca.clone(), *va))
+        } else if (px, py) == (*vb, *va) {
+            Some((l, cb.clone(), *vb))
+        } else {
+            None
+        }
+    })?;
     let _ = x;
     // c·x − c·y + r = 0  ⇒  y − x = r / c.
     let d = dim.constant.try_div_exact(&cx)?;
@@ -609,12 +609,8 @@ mod tests {
         assert_eq!(sep.dimensions[2].constant, -100);
         // Trace matches Fig. 5's shape: 7 rows, separations at k = 1, 3, 5, 7.
         assert_eq!(sep.trace.len(), 7);
-        let sep_rows: Vec<usize> = sep
-            .trace
-            .iter()
-            .filter(|r| r.separated.is_some())
-            .map(|r| r.k)
-            .collect();
+        let sep_rows: Vec<usize> =
+            sep.trace.iter().filter(|r| r.separated.is_some()).map(|r| r.k).collect();
         assert_eq!(sep_rows, vec![1, 3, 5, 7]);
         // Row k=5 chose the negative remainder representative, like the
         // paper's FORTRAN mod.
@@ -850,6 +846,55 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_remainder_inhibits_separation() {
+        // K = 2^126, c0 = i128::MAX − 2 = 2^127 − 3. At the prefix {z1, z2}
+        // the suffix gcd is K and the negative remainder representative
+        // r = −3 passes the separation condition — but committing to it
+        // requires c0 − (−3) = 2^127, which overflows i128. The old code
+        // silently kept c0, splitting off a {z1, z2} dimension with
+        // constant −3 while the remainder kept the stale constant: that
+        // factorization declares the (actually dependent) problem
+        // independent. The candidate must instead be rejected, leaving the
+        // whole equation as one conservative dimension.
+        let k = 1i128 << 126;
+        let c0 = i128::MAX - 2;
+        let p = DependenceProblem::single_equation(c0, vec![1, -1, k, -k], vec![10, 10, 10, 10]);
+        // Ground truth: z = (3, 0, 0, 2) solves 3 − 0 + 0 − 2K + c0 =
+        // c0 + 3 − 2^127 = 0, so the problem is dependent.
+        let out = delinearize(&p, 0, &cfg());
+        assert!(!out.is_independent(), "overflow path must stay conservative");
+        let sep = out.separation();
+        // The telescoping invariant: dimension constants sum back to c0.
+        // The unsound split (−3 kept alongside the stale remainder) breaks
+        // it; the conservative whole-equation dimension satisfies it.
+        let mut sum = 0i128;
+        for d in &sep.dimensions {
+            sum = sum.checked_add(d.constant).expect("constants telescope");
+        }
+        assert_eq!(sum, c0, "dimension constants must telescope to c0");
+        // And the separation still covers every variable exactly once.
+        let mut vars: Vec<usize> =
+            sep.dimensions.iter().flat_map(|d| d.terms.iter().map(|t| t.0)).collect();
+        vars.sort_unstable();
+        assert_eq!(vars, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn render_survives_unnegatable_coefficients() {
+        // −i128::MIN is unrepresentable; rendering must not fall back to
+        // printing a minus sign in front of the still-negative raw value.
+        let p = DependenceProblem::single_equation(i128::MIN, vec![i128::MIN, 1], vec![4, 4]);
+        let dim = Dimension { constant: i128::MIN, terms: vec![(0, i128::MIN), (1, 1)] };
+        let s = dim.render(&p);
+        assert!(!s.contains("--"), "double negative in {s:?}");
+        assert!(!s.contains("- -"), "double negative in {s:?}");
+        // The ordinary negative path still renders as a subtraction.
+        let dim = Dimension { constant: -3, terms: vec![(1, 1), (0, -2)] };
+        let s = dim.render(&p);
+        assert_eq!(s, "-2*z1 + z2 - 3 = 0");
+    }
+
+    #[test]
     fn symbolic_section4_example() {
         use delin_numeric::{Assumptions, SymPoly};
         // A(N*N*k1 + N*j1 + i1) vs A(N*N*k2 + j2 + N*i2 + N*N + N):
@@ -861,21 +906,15 @@ mod tests {
         let nm2 = n.checked_sub(&SymPoly::constant(2)).unwrap();
         let c0 = n2.checked_add(&n).unwrap().checked_neg().unwrap();
         let coeffs = vec![
-            SymPoly::one(),                  // i1
-            n.clone(),                       // j1
-            n2.clone(),                      // k1
-            n.checked_neg().unwrap(),        // i2
-            SymPoly::constant(-1),           // j2
-            n2.checked_neg().unwrap(),       // k2
+            SymPoly::one(),            // i1
+            n.clone(),                 // j1
+            n2.clone(),                // k1
+            n.checked_neg().unwrap(),  // i2
+            SymPoly::constant(-1),     // j2
+            n2.checked_neg().unwrap(), // k2
         ];
-        let uppers = vec![
-            nm2.clone(),
-            nm1.clone(),
-            nm2.clone(),
-            nm2.clone(),
-            nm1.clone(),
-            nm2.clone(),
-        ];
+        let uppers =
+            vec![nm2.clone(), nm1.clone(), nm2.clone(), nm2.clone(), nm1.clone(), nm2.clone()];
         let mut builder = DependenceProblem::<SymPoly>::builder();
         for (idx, u) in uppers.iter().enumerate() {
             builder.var(format!("v{idx}"), u.clone());

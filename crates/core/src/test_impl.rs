@@ -101,16 +101,11 @@ fn run<C: Coeff>(
     // feasible by an *exact* oracle factors into a genuinely feasible
     // product (the theorem); multiple equations, extra constraints, or a
     // real-valued (symbolic) oracle are only conservative.
-    let exact = oracle_is_exact
-        && problem.equations().len() == 1
-        && problem.inequalities().is_empty();
+    let exact =
+        oracle_is_exact && problem.equations().len() == 1 && problem.inequalities().is_empty();
     Verdict::Dependent {
         exact: exact && !any_inexact,
-        info: DependenceInfo {
-            dir_vecs: summarize(acc),
-            dist_dirs: Vec::new(),
-            witness: None,
-        },
+        info: DependenceInfo { dir_vecs: summarize(acc), dist_dirs: Vec::new(), witness: None },
     }
 }
 
@@ -256,10 +251,7 @@ mod tests {
         };
         assert!(exact);
         assert_eq!(info.dir_vecs, vec![DirVec(vec![Dir::Gt, Dir::Eq])]);
-        assert_eq!(
-            info.dist_dirs,
-            vec![DistDirVec(vec![DistDir::Dist(-3), DistDir::Dist(0)])]
-        );
+        assert_eq!(info.dist_dirs, vec![DistDirVec(vec![DistDir::Dist(-3), DistDir::Dist(0)])]);
     }
 
     #[test]
@@ -278,10 +270,7 @@ mod tests {
         let p = b.build();
         let v = DelinearizationTest::default().test(&p);
         let info = v.info().expect("dependent");
-        assert_eq!(
-            info.dist_dirs,
-            vec![DistDirVec(vec![DistDir::Dist(2), DistDir::Dist(0)])]
-        );
+        assert_eq!(info.dist_dirs, vec![DistDirVec(vec![DistDir::Dist(2), DistDir::Dist(0)])]);
     }
 
     #[test]

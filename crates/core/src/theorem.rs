@@ -53,8 +53,7 @@ pub fn separation_condition<C: Coeff>(
         cmax = nmax;
     }
     // max(|cmin|, |cmax|) < G  ⇔  -G < cmin ∧ cmax < G  (G > 0).
-    let (Ok(g_plus_cmin), Ok(g_minus_cmax)) = (g.checked_add(&cmin), g.checked_sub(&cmax))
-    else {
+    let (Ok(g_plus_cmin), Ok(g_minus_cmax)) = (g.checked_add(&cmin), g.checked_sub(&cmax)) else {
         return Trilean::Unknown;
     };
     g_plus_cmin.is_pos(assumptions).and(g_minus_cmax.is_pos(assumptions))
@@ -72,10 +71,8 @@ pub fn check_cartesian_product(
     d0: i128,
     big_d0: i128,
 ) -> bool {
-    let full_solutions = enumerate(
-        d0 + big_d0,
-        &prefix.iter().chain(suffix).copied().collect::<Vec<_>>(),
-    );
+    let full_solutions =
+        enumerate(d0 + big_d0, &prefix.iter().chain(suffix).copied().collect::<Vec<_>>());
     let pre = enumerate(d0, prefix);
     let suf = enumerate(big_d0, suffix);
     let mut product = Vec::new();
@@ -133,8 +130,7 @@ mod tests {
         //          = max(9, 1) = 9. Holds.
         let prefix = [(1i128, 4i128), (-1, 4)];
         let suffix = [(10i128, 9i128), (-10, 9)];
-        let cond =
-            separation_condition(&prefix, &suffix, &-5, &0, &Assumptions::new());
+        let cond = separation_condition(&prefix, &suffix, &-5, &0, &Assumptions::new());
         assert!(cond.is_true());
         assert!(check_cartesian_product(&prefix, &suffix, -5, 0));
     }
@@ -144,8 +140,7 @@ mod tests {
         // Make the prefix range too wide: i in [0, 20].
         let prefix = [(1i128, 20i128), (-1, 20)];
         let suffix = [(10i128, 9i128), (-10, 9)];
-        let cond =
-            separation_condition(&prefix, &suffix, &-5, &0, &Assumptions::new());
+        let cond = separation_condition(&prefix, &suffix, &-5, &0, &Assumptions::new());
         assert!(cond.is_false());
         // And indeed the Cartesian-product property fails here: e.g.
         // i1 - i2 = 15 with 10(j1 - j2) = -10 solves the whole equation but
@@ -166,13 +161,7 @@ mod tests {
         let suffix = [(n.clone(), nm1.clone()), (n2.clone(), nm1.clone())];
         let mut a = Assumptions::new();
         a.set_lower_bound("N", 2);
-        let cond = separation_condition(
-            &prefix,
-            &suffix,
-            &SymPoly::zero(),
-            &SymPoly::zero(),
-            &a,
-        );
+        let cond = separation_condition(&prefix, &suffix, &SymPoly::zero(), &SymPoly::zero(), &a);
         // gcd(0, N, N²) = N > max(0, N-1): N - (N-1) = 1 > 0. True.
         assert!(cond.is_true());
         // Without assumptions (N possibly 0) it cannot be decided.
@@ -189,8 +178,7 @@ mod tests {
     #[test]
     fn empty_suffix_with_zero_d0_is_false() {
         let prefix = [(1i128, 4i128)];
-        let cond =
-            separation_condition::<i128>(&prefix, &[], &0, &0, &Assumptions::new());
+        let cond = separation_condition::<i128>(&prefix, &[], &0, &0, &Assumptions::new());
         assert!(cond.is_false());
     }
 

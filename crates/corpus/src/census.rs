@@ -54,10 +54,7 @@ fn is_linearized(sub: &Subscript) -> bool {
 pub fn census(program: &Program, assumptions: &Assumptions) -> CensusResult {
     let (substituted, reports) = substitute_inductions(program);
     let sites = collect_accesses(&substituted, assumptions);
-    let mut result = CensusResult {
-        induction_variables: reports.len(),
-        ..CensusResult::default()
-    };
+    let mut result = CensusResult { induction_variables: reports.len(), ..CensusResult::default() };
     let mut linearized_nest_ids: BTreeSet<u32> = BTreeSet::new();
     let mut all_nest_ids: BTreeSet<u32> = BTreeSet::new();
     for site in &sites {

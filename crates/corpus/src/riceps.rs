@@ -186,19 +186,14 @@ pub fn generate_scaled(spec: &BenchmarkSpec, lines: usize) -> String {
             // within the same J-row (otherwise the dependence is real).
             let _ = writeln!(out, "DO 8{n:03} J = 0, NY - 1");
             let _ = writeln!(out, "DO 8{n:03} I = 0, NX - 1 - {offset}");
-            let _ = writeln!(
-                out,
-                "8{n:03} WORK(I + NX*J) = WORK(I + NX*J + {offset}) + 1"
-            );
+            let _ = writeln!(out, "8{n:03} WORK(I + NX*J) = WORK(I + NX*J + {offset}) + 1");
         } else {
             let stride = [10i128, 16, 100][rng.gen_range(0..3)];
             let ubound = stride - 1 - offset.max(1) as i128;
             let _ = writeln!(out, "DO 8{n:03} J = 0, 9");
             let _ = writeln!(out, "DO 8{n:03} I = 0, {}", ubound.max(1));
-            let _ = writeln!(
-                out,
-                "8{n:03} WORK(I + {stride}*J) = WORK(I + {stride}*J + {offset}) + 1"
-            );
+            let _ =
+                writeln!(out, "8{n:03} WORK(I + {stride}*J) = WORK(I + {stride}*J + {offset}) + 1");
         }
         nests += 1;
         line_estimate += 4;
@@ -275,8 +270,7 @@ mod tests {
     fn generated_programs_parse_and_census_matches_figure1() {
         for spec in all_benchmarks() {
             let src = generate(&spec);
-            let program =
-                parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let program = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             let result = census(&program, &Assumptions::new());
             assert!(
                 spec.expected.matches(result.linearized_nests),

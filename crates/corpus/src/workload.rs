@@ -149,10 +149,7 @@ mod tests {
             let p = scaling_problem(loops, 10);
             assert_eq!(p.num_vars(), 2 * loops);
             assert_eq!(solver.solve(&p), SolveOutcome::NoSolution, "loops={loops}");
-            assert!(
-                DelinearizationTest::default().test(&p).is_independent(),
-                "loops={loops}"
-            );
+            assert!(DelinearizationTest::default().test(&p).is_independent(), "loops={loops}");
         }
     }
 

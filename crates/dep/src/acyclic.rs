@@ -26,7 +26,7 @@ fn applicable(problem: &DependenceProblem<i128>) -> bool {
     // Union-find over variables; a two-variable equation joining two
     // already-connected variables closes a cycle.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

@@ -68,9 +68,7 @@ impl<C: Coeff> CandidateRange<C> {
 
     /// Every maximum candidate is provably `< 0`.
     pub fn max_negative(&self, a: &Assumptions) -> bool {
-        self.max
-            .iter()
-            .all(|c| c.checked_neg().map(|n| n.is_pos(a).is_true()).unwrap_or(false))
+        self.max.iter().all(|c| c.checked_neg().map(|n| n.is_pos(a).is_true()).unwrap_or(false))
     }
 
     /// Every candidate's sign is decidable (used to distinguish a definite
@@ -290,10 +288,7 @@ pub fn equation_range_mode<C: Coeff>(
 
 /// Applies the Banerjee inequalities to every equation under direction
 /// predicates; `Verdict::Independent` when any equation excludes zero.
-pub fn test_with_directions<C: Coeff>(
-    problem: &DependenceProblem<C>,
-    dirs: &[Dir],
-) -> Verdict {
+pub fn test_with_directions<C: Coeff>(problem: &DependenceProblem<C>, dirs: &[Dir]) -> Verdict {
     test_with_directions_mode(problem, dirs, DirectionMode::IntegerSharp)
 }
 

@@ -147,8 +147,7 @@ impl DirVec {
 
     /// `true` when every component of `self` is subsumed by `other`.
     pub fn subsumed_by(&self, other: &DirVec) -> bool {
-        self.len() == other.len()
-            && self.0.iter().zip(&other.0).all(|(&a, &b)| a.subsumed_by(b))
+        self.len() == other.len() && self.0.iter().zip(&other.0).all(|(&a, &b)| a.subsumed_by(b))
     }
 
     /// Enumerates all atomic decompositions (Cartesian product of atoms).
@@ -405,17 +404,11 @@ mod tests {
         let v = summarize(vec![DirVec(vec![Dir::Gt]), DirVec(vec![Dir::Lt])]);
         assert_eq!(v, vec![DirVec(vec![Dir::Ne])]);
         // (<) + (=) + (>) = (*)
-        let v = summarize(vec![
-            DirVec(vec![Dir::Lt]),
-            DirVec(vec![Dir::Eq]),
-            DirVec(vec![Dir::Gt]),
-        ]);
+        let v =
+            summarize(vec![DirVec(vec![Dir::Lt]), DirVec(vec![Dir::Eq]), DirVec(vec![Dir::Gt])]);
         assert_eq!(v, vec![DirVec(vec![Dir::Any])]);
         // (<,=) and (=,<) must NOT merge
-        let v = summarize(vec![
-            DirVec(vec![Dir::Lt, Dir::Eq]),
-            DirVec(vec![Dir::Eq, Dir::Lt]),
-        ]);
+        let v = summarize(vec![DirVec(vec![Dir::Lt, Dir::Eq]), DirVec(vec![Dir::Eq, Dir::Lt])]);
         assert_eq!(v.len(), 2);
         // subsumed vectors are dropped
         let v = summarize(vec![DirVec(vec![Dir::Lt]), DirVec(vec![Dir::Le])]);

@@ -11,6 +11,29 @@
 use crate::problem::DependenceProblem;
 use crate::verdict::{DependenceInfo, DependenceTest, Verdict};
 use delin_numeric::{gcd, Interval};
+use std::cell::Cell;
+
+thread_local! {
+    /// Search nodes explored by [`ExactSolver::solve`] on this thread since
+    /// the last [`take_thread_nodes`] call.
+    static THREAD_NODES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Returns (and resets) the number of exact-solver search nodes explored on
+/// the current thread since the previous call.
+///
+/// Every [`ExactSolver::solve`] adds its node count to a thread-local
+/// accumulator; observability layers bracket a unit of work with two calls
+/// to attribute solver effort to it. Thread-local (rather than global)
+/// accounting keeps the attribution exact under parallel graph
+/// construction.
+pub fn take_thread_nodes() -> u64 {
+    THREAD_NODES.with(|c| c.replace(0))
+}
+
+fn record_nodes(n: u64) {
+    THREAD_NODES.with(|c| c.set(c.get().saturating_add(n)));
+}
 
 /// The outcome of an exact solve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,7 +109,9 @@ impl ExactSolver {
         };
         let domains: Vec<Interval> =
             problem.vars().iter().map(|v| Interval::new(0, v.upper)).collect();
-        match search.dfs(domains) {
+        let result = search.dfs(domains);
+        record_nodes(search.nodes);
+        match result {
             Some(true) => SolveOutcome::Solution(search.assignment),
             Some(false) => SolveOutcome::NoSolution,
             None => SolveOutcome::LimitExceeded,
@@ -203,15 +228,14 @@ impl Search<'_> {
     fn feasible_range(&self, var: usize, domains: &[Interval]) -> Option<Interval> {
         let mut range = domains[var];
         for eq in self.problem.equations() {
-            range =
-                range.intersect(&self.constraint_range(eq.c0, &eq.coeffs, var, true, domains)?);
+            range = range.intersect(&self.constraint_range(eq.c0, &eq.coeffs, var, true, domains)?);
             if range.is_empty() {
                 return Some(range);
             }
         }
         for iq in self.problem.inequalities() {
-            range = range
-                .intersect(&self.constraint_range(iq.c0, &iq.coeffs, var, false, domains)?);
+            range =
+                range.intersect(&self.constraint_range(iq.c0, &iq.coeffs, var, false, domains)?);
             if range.is_empty() {
                 return Some(range);
             }
@@ -252,11 +276,7 @@ impl Search<'_> {
         // Inequality (≥ 0): need c_var·v ≥ -rest.hi, i.e. c_var·v ∈
         // [-rest.hi, +∞) regardless of the sign of c_var (the sign only
         // affects the conversion to bounds on v below).
-        let (lo, hi) = if is_equation {
-            (-rest.hi, -rest.lo)
-        } else {
-            (-rest.hi, i128::MAX / 2)
-        };
+        let (lo, hi) = if is_equation { (-rest.hi, -rest.lo) } else { (-rest.hi, i128::MAX / 2) };
         // v ∈ [ceil(lo/c), floor(hi/c)] for c>0; reversed for c<0.
         let (vlo, vhi) = if c_var > 0 {
             (
@@ -455,6 +475,19 @@ mod tests {
         let v = DependenceTest::test(&s, &dep);
         assert!(matches!(v, Verdict::Dependent { exact: true, .. }));
         assert!(v.info().unwrap().witness.is_some());
+    }
+
+    #[test]
+    fn node_accounting_is_per_thread() {
+        let _ = take_thread_nodes(); // drain whatever earlier tests left
+        assert_eq!(take_thread_nodes(), 0);
+        let _ = ExactSolver::default().solve(&motivating());
+        assert!(take_thread_nodes() > 0);
+        assert_eq!(take_thread_nodes(), 0);
+        // Screened-out problems may cost zero nodes but must not panic.
+        let zero_trip = DependenceProblem::single_equation(0, vec![1, -1], vec![-1, 4]);
+        let _ = ExactSolver::default().solve(&zero_trip);
+        let _ = take_thread_nodes();
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use crate::problem::DependenceProblem;
 use crate::verdict::{DependenceTest, Verdict};
-use delin_numeric::int::floor_div;
 use delin_numeric::gcd;
+use delin_numeric::int::floor_div;
 
 /// Fourier–Motzkin eliminator.
 #[derive(Debug, Clone)]
@@ -98,11 +98,8 @@ impl FourierMotzkin {
             return FmRun { verdict: Verdict::Independent, stats };
         }
         let n = problem.num_vars();
-        let mut eqs: Vec<(Vec<i128>, i128)> = problem
-            .equations()
-            .iter()
-            .map(|eq| (eq.coeffs.clone(), eq.c0))
-            .collect();
+        let mut eqs: Vec<(Vec<i128>, i128)> =
+            problem.equations().iter().map(|eq| (eq.coeffs.clone(), eq.c0)).collect();
         let mut rows: Vec<Row> = Vec::new();
         for iq in problem.inequalities() {
             rows.push(Row { coeffs: iq.coeffs.iter().map(|c| -c).collect(), bound: iq.c0 });
@@ -143,10 +140,7 @@ impl FourierMotzkin {
                 eqs.retain(|(coeffs, _)| coeffs.iter().any(|&c| c != 0));
                 // Find an equality with a unit-coefficient variable.
                 let Some((ei, var)) = eqs.iter().enumerate().find_map(|(ei, (coeffs, _))| {
-                    coeffs
-                        .iter()
-                        .position(|&c| c.abs() == 1)
-                        .map(|var| (ei, var))
+                    coeffs.iter().position(|&c| c.abs() == 1).map(|var| (ei, var))
                 }) else {
                     break;
                 };
@@ -236,8 +230,7 @@ impl FourierMotzkin {
                 .map(|(i, &k)| {
                     let pos = rows.iter().filter(|r| r.coeffs[k] > 0).count();
                     let neg = rows.iter().filter(|r| r.coeffs[k] < 0).count();
-                    let max_abs =
-                        rows.iter().map(|r| r.coeffs[k].abs()).max().unwrap_or(0);
+                    let max_abs = rows.iter().map(|r| r.coeffs[k].abs()).max().unwrap_or(0);
                     (i, (pos * neg, max_abs))
                 })
                 .min_by_key(|&(_, cost)| cost)
@@ -275,9 +268,7 @@ impl FourierMotzkin {
         use std::collections::HashMap;
         let mut best: HashMap<Vec<i128>, i128> = HashMap::new();
         for r in rows.drain(..) {
-            best.entry(r.coeffs)
-                .and_modify(|b| *b = (*b).min(r.bound))
-                .or_insert(r.bound);
+            best.entry(r.coeffs).and_modify(|b| *b = (*b).min(r.bound)).or_insert(r.bound);
         }
         rows.extend(best.into_iter().map(|(coeffs, bound)| Row { coeffs, bound }));
     }
@@ -387,11 +378,7 @@ mod tests {
         for c0 in -25i128..=25 {
             for a in [1i128, 2, 10] {
                 for b in [-10i128, -3, 7] {
-                    let p = DependenceProblem::single_equation(
-                        c0,
-                        vec![a, b, -1],
-                        vec![4, 5, 6],
-                    );
+                    let p = DependenceProblem::single_equation(c0, vec![a, b, -1], vec![4, 5, 6]);
                     let v = FourierMotzkin::tightened().test(&p);
                     if v.is_independent() {
                         assert_eq!(

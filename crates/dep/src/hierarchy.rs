@@ -79,25 +79,16 @@ pub fn banerjee_oracle<C: Coeff>() -> impl Fn(&DependenceProblem<C>, &[Dir]) -> 
 /// inequalities.
 pub fn banerjee_oracle_real<C: Coeff>() -> impl Fn(&DependenceProblem<C>, &[Dir]) -> Verdict {
     |p, dirs| {
-        crate::banerjee::test_with_directions_mode(
-            p,
-            dirs,
-            crate::banerjee::DirectionMode::Real,
-        )
+        crate::banerjee::test_with_directions_mode(p, dirs, crate::banerjee::DirectionMode::Real)
     }
 }
 
 /// A direction oracle reflecting classical practice (exact single-index
 /// handling, real-valued coupled-subscript handling) — the baseline the
 /// vectorizer's no-delinearization configuration uses.
-pub fn banerjee_oracle_classical<C: Coeff>() -> impl Fn(&DependenceProblem<C>, &[Dir]) -> Verdict
-{
+pub fn banerjee_oracle_classical<C: Coeff>() -> impl Fn(&DependenceProblem<C>, &[Dir]) -> Verdict {
     |p, dirs| {
-        crate::banerjee::test_with_directions_mode(
-            p,
-            dirs,
-            crate::banerjee::DirectionMode::Hybrid,
-        )
+        crate::banerjee::test_with_directions_mode(p, dirs, crate::banerjee::DirectionMode::Hybrid)
     }
 }
 
@@ -287,8 +278,10 @@ mod tests {
         let dd = distance_direction_vectors(&p, &ExactSolver::default());
         // Solutions: (0,0) '='-ish distance 0; (1,2) dist 1; ... (4,8).
         // Under '<' the distance is not constant; under '=' it is 0.
-        assert!(dd.contains(&DistDirVec(vec![DistDir::Dist(0)]))
-            || dd.iter().any(|v| matches!(v.0[0], DistDir::Dir(_))));
+        assert!(
+            dd.contains(&DistDirVec(vec![DistDir::Dist(0)]))
+                || dd.iter().any(|v| matches!(v.0[0], DistDir::Dir(_)))
+        );
         // And the direction summary must cover both = and <.
         let oracle = exact_oracle(ExactSolver::default());
         let dirs = direction_vectors(&p, &oracle);

@@ -24,8 +24,7 @@ fn combine<C: Coeff>(a: &LinEq<C>, l1: &C, b: &LinEq<C>, l2: &C) -> Option<LinEq
     let c0 = a.c0.checked_mul(l1).ok()?.checked_add(&b.c0.checked_mul(l2).ok()?).ok()?;
     let mut coeffs = Vec::with_capacity(a.coeffs.len());
     for (x, y) in a.coeffs.iter().zip(&b.coeffs) {
-        coeffs
-            .push(x.checked_mul(l1).ok()?.checked_add(&y.checked_mul(l2).ok()?).ok()?);
+        coeffs.push(x.checked_mul(l1).ok()?.checked_add(&y.checked_mul(l2).ok()?).ok()?);
     }
     Some(LinEq { c0, coeffs })
 }

@@ -148,12 +148,14 @@ impl<C: Coeff> DependenceProblem<C> {
     /// integer.
     pub fn is_concrete(&self) -> bool {
         self.vars.iter().all(|v| v.upper.as_i128().is_some())
-            && self.equations.iter().all(|e| {
-                e.c0.as_i128().is_some() && e.coeffs.iter().all(|c| c.as_i128().is_some())
-            })
-            && self.inequalities.iter().all(|e| {
-                e.c0.as_i128().is_some() && e.coeffs.iter().all(|c| c.as_i128().is_some())
-            })
+            && self
+                .equations
+                .iter()
+                .all(|e| e.c0.as_i128().is_some() && e.coeffs.iter().all(|c| c.as_i128().is_some()))
+            && self
+                .inequalities
+                .iter()
+                .all(|e| e.c0.as_i128().is_some() && e.coeffs.iter().all(|c| c.as_i128().is_some()))
     }
 
     /// Returns a copy with a direction predicate imposed on common loop
@@ -168,7 +170,11 @@ impl<C: Coeff> DependenceProblem<C> {
     ///
     /// Returns an error for `≠` (callers should split it into `<` and `>`)
     /// or when arithmetic overflows.
-    pub fn with_direction(&self, level: usize, dir: Dir) -> Result<DependenceProblem<C>, NumericError> {
+    pub fn with_direction(
+        &self,
+        level: usize,
+        dir: Dir,
+    ) -> Result<DependenceProblem<C>, NumericError> {
         let (x, y) = self.common[level];
         let n = self.num_vars();
         let mut out = self.clone();
@@ -180,15 +186,15 @@ impl<C: Coeff> DependenceProblem<C> {
         };
         match dir {
             Dir::Any => {}
-            Dir::Lt => out
-                .inequalities
-                .push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(-1, 1) }),
+            Dir::Lt => {
+                out.inequalities.push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(-1, 1) })
+            }
             Dir::Le => out.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(-1, 1) }),
             Dir::Eq => out.equations.push(LinEq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
             Dir::Ge => out.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
-            Dir::Gt => out
-                .inequalities
-                .push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(1, -1) }),
+            Dir::Gt => {
+                out.inequalities.push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(1, -1) })
+            }
             Dir::Ne => {
                 return Err(NumericError::NotConcrete {
                     what: "direction `!=` cannot be imposed as a convex constraint".into(),
@@ -401,11 +407,7 @@ mod tests {
     /// The paper's motivating equation:
     /// `i1 + 10 j1 − i2 − 10 j2 − 5 = 0`, `i ∈ [0,4]`, `j ∈ [0,9]`.
     pub fn motivating() -> DependenceProblem<i128> {
-        DependenceProblem::single_equation(
-            -5,
-            vec![1, 10, -1, -10],
-            vec![4, 9, 4, 9],
-        )
+        DependenceProblem::single_equation(-5, vec![1, 10, -1, -10], vec![4, 9, 4, 9])
     }
 
     #[test]
@@ -474,9 +476,7 @@ mod tests {
         // src: i + 10*j ; snk: i + 10*j + 5 over separate variable spaces
         let i = VarId(0);
         let j = VarId(1);
-        let src = Affine::<i128>::var(i)
-            .checked_add(&Affine::var_scaled(j, 10))
-            .unwrap();
+        let src = Affine::<i128>::var(i).checked_add(&Affine::var_scaled(j, 10)).unwrap();
         let snk = src.checked_add(&Affine::constant(5)).unwrap();
         let mut b = DependenceProblem::<i128>::builder();
         let i1 = b.var("i1", 4);

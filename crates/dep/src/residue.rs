@@ -41,12 +41,8 @@ fn difference_edges(problem: &DependenceProblem<i128>) -> Option<Vec<Edge>> {
         edges.push(Edge { from: y, to: x, weight: c });
     };
     let handle = |edges: &mut Vec<Edge>, c0: i128, coeffs: &[i128], is_eq: bool| -> bool {
-        let active: Vec<usize> = coeffs
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0)
-            .map(|(k, _)| k)
-            .collect();
+        let active: Vec<usize> =
+            coeffs.iter().enumerate().filter(|(_, &c)| c != 0).map(|(k, _)| k).collect();
         match active.len() {
             0 => {
                 if is_eq && c0 != 0 {

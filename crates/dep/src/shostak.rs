@@ -60,12 +60,8 @@ fn constraints(problem: &DependenceProblem<i128>) -> Option<(Vec<Constraint>, bo
         out.push(Constraint { x: k, a: -1, y: zero, b: 0, c: 0 });
     }
     let mut add = |c0: i128, coeffs: &[i128], is_eq: bool| -> Option<()> {
-        let active: Vec<usize> = coeffs
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0)
-            .map(|(k, _)| k)
-            .collect();
+        let active: Vec<usize> =
+            coeffs.iter().enumerate().filter(|(_, &c)| c != 0).map(|(k, _)| k).collect();
         // Equation e = 0 splits into Σ c·z ≤ −c0 and Σ −c·z ≤ c0;
         // inequality e ≥ 0 gives Σ −c·z ≤ c0.
         let (x, a, y, b) = match active.len() {
@@ -126,8 +122,7 @@ impl Enumerator<'_> {
             }
             for ci in 0..self.adj[start].len() {
                 let k = self.cons[self.adj[start][ci]];
-                let (sc, ev, ec) =
-                    if k.x == start { (k.a, k.y, k.b) } else { (k.b, k.x, k.a) };
+                let (sc, ev, ec) = if k.x == start { (k.a, k.y, k.b) } else { (k.b, k.x, k.a) };
                 if sc == 0 {
                     continue;
                 }
@@ -163,13 +158,9 @@ impl Enumerator<'_> {
         if chain.cur_vertex == chain.first_vertex {
             let total = chain.first_coeff.checked_add(chain.cur_coeff);
             match total {
-                Some(0) => {
-                    if chain.c < 0 {
-                        self.contradiction = true;
-                    }
-                }
+                Some(0) if chain.c < 0 => self.contradiction = true,
+                Some(0) | None => {}
                 Some(t) => self.derived.push((chain.first_vertex, t, chain.c)),
-                None => {}
             }
             return;
         }
@@ -180,11 +171,7 @@ impl Enumerator<'_> {
         visited[v] = true;
         for ci in 0..self.adj[v].len() {
             let k = self.cons[self.adj[v][ci]];
-            let (a2, other, b2) = if k.x == v {
-                (k.a, k.y, k.b)
-            } else {
-                (k.b, k.x, k.a)
-            };
+            let (a2, other, b2) = if k.x == v { (k.a, k.y, k.b) } else { (k.b, k.x, k.a) };
             // Chain only when the shared variable cancels (opposite signs).
             if a2 == 0 || (a2 > 0) == (chain.cur_coeff > 0) {
                 continue;
@@ -345,12 +332,7 @@ mod tests {
                 for c0 in -30i128..=30 {
                     let p = DependenceProblem::single_equation(c0, vec![a, b], vec![4, 5]);
                     // Real feasibility: min/max of a·x + b·y + c0 over the box.
-                    let vals = [
-                        c0,
-                        c0 + a * 4,
-                        c0 + b * 5,
-                        c0 + a * 4 + b * 5,
-                    ];
+                    let vals = [c0, c0 + a * 4, c0 + b * 5, c0 + a * 4 + b * 5];
                     let feasible =
                         *vals.iter().min().unwrap() <= 0 && *vals.iter().max().unwrap() >= 0;
                     let got = ShostakTest::default().test(&p);

@@ -346,8 +346,7 @@ mod tests {
 
     #[test]
     fn unknown_on_miv() {
-        let p =
-            DependenceProblem::single_equation(-5, vec![1, 10, -1, -10], vec![4, 9, 4, 9]);
+        let p = DependenceProblem::single_equation(-5, vec![1, 10, -1, -10], vec![4, 9, 4, 9]);
         assert!(SivTest.test(&p).is_unknown());
     }
 

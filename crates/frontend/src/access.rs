@@ -67,11 +67,7 @@ impl AccessSite {
     /// Number of common outermost loops shared with another site (matching
     /// by loop identity).
     pub fn common_loops_with(&self, other: &AccessSite) -> usize {
-        self.loops
-            .iter()
-            .zip(&other.loops)
-            .take_while(|(a, b)| a.uid == b.uid)
-            .count()
+        self.loops.iter().zip(&other.loops).take_while(|(a, b)| a.uid == b.uid).count()
     }
 }
 
@@ -238,7 +234,16 @@ fn collect_refs(
             }
             // Subscripts (or call arguments) are themselves reads.
             for s in subs {
-                collect_refs(program, s, AccessKind::Read, stmt, loops, loop_names, normalizer, out);
+                collect_refs(
+                    program,
+                    s,
+                    AccessKind::Read,
+                    stmt,
+                    loops,
+                    loop_names,
+                    normalizer,
+                    out,
+                );
             }
         }
         Expr::Bin(_, a, b) => {
@@ -326,10 +331,7 @@ mod tests {
         // i in [1,99] normalizes to i' in [0,98]; subscript i+1 -> i'+2.
         let w = &sites[0];
         assert_eq!(w.loops[0].upper, SymPoly::constant(98));
-        assert_eq!(
-            w.subscripts[0].as_affine().unwrap().constant_part().as_constant(),
-            Some(2)
-        );
+        assert_eq!(w.subscripts[0].as_affine().unwrap().constant_part().as_constant(), Some(2));
     }
 
     #[test]

@@ -190,19 +190,13 @@ pub fn normalize_nest(loops: &[RawLoop], assumptions: &Assumptions) -> Option<No
         } else {
             lower.checked_sub(&upper).ok()?
         };
-        let span = if step.abs() == 1 {
-            span
-        } else {
-            exact_or_truncated_div(&span, step.abs())?
-        };
+        let span = if step.abs() == 1 { span } else { exact_or_truncated_div(&span, step.abs())? };
         // Rectangularize: maximize the span over the outer normalized
         // rectangles (paper footnote 1).
         let trip_upper = rectangular_max(&span, &normalized, assumptions)?;
         // original var = base + step·normalized_var.
         let step_poly = SymPoly::constant(step);
-        let repl = base
-            .checked_add(&Affine::var_scaled(VarId(k as u32), step_poly))
-            .ok()?;
+        let repl = base.checked_add(&Affine::var_scaled(VarId(k as u32), step_poly)).ok()?;
         substitutions.push(repl);
         normalized.push(NormalizedLoop { uid: l.uid, var: l.var.clone(), upper: trip_upper });
     }
@@ -254,10 +248,7 @@ fn exact_or_truncated_div(span: &SymAffine, s: i128) -> Option<SymAffine> {
 /// The inference is *safe for vectorization*: if a loop actually executes
 /// zero times, the generated vector statement covers an empty section and
 /// is a no-op.
-pub fn infer_bound_assumptions(
-    program: &crate::ast::Program,
-    base: &Assumptions,
-) -> Assumptions {
+pub fn infer_bound_assumptions(program: &crate::ast::Program, base: &Assumptions) -> Assumptions {
     let mut out = base.clone();
     fn walk(stmts: &[crate::ast::Stmt], out: &mut Assumptions) {
         for s in stmts {
@@ -320,18 +311,13 @@ mod tests {
     #[test]
     fn simple_normalization() {
         // DO i = 1, 100  =>  i' in [0, 99], i = 1 + i'.
-        let nest = normalize_nest(
-            &[raw(0, "I", Expr::int(1), Expr::int(100))],
-            &Assumptions::new(),
-        )
-        .unwrap();
+        let nest =
+            normalize_nest(&[raw(0, "I", Expr::int(1), Expr::int(100))], &Assumptions::new())
+                .unwrap();
         assert_eq!(nest.loops[0].upper, SymPoly::constant(99));
         // subscript i + 1 over original vars becomes i' + 2.
-        let sub = expr_to_affine(
-            &Expr::add(Expr::var("I"), Expr::int(1)),
-            &["I".to_string()],
-        )
-        .unwrap();
+        let sub =
+            expr_to_affine(&Expr::add(Expr::var("I"), Expr::int(1)), &["I".to_string()]).unwrap();
         let norm = nest.apply(&sub).unwrap();
         assert_eq!(norm.constant_part().as_constant(), Some(2));
         assert_eq!(norm.coeff(VarId(0)).as_constant(), Some(1));
@@ -342,8 +328,7 @@ mod tests {
         // DO i = 0, N-2: upper N-2 symbolic.
         let n_minus_2 = Expr::sub(Expr::var("N"), Expr::int(2));
         let nest =
-            normalize_nest(&[raw(0, "I", Expr::int(0), n_minus_2)], &Assumptions::new())
-                .unwrap();
+            normalize_nest(&[raw(0, "I", Expr::int(0), n_minus_2)], &Assumptions::new()).unwrap();
         let n = SymPoly::symbol("N");
         assert_eq!(nest.loops[0].upper, n.checked_sub(&SymPoly::constant(2)).unwrap());
     }
@@ -352,10 +337,7 @@ mod tests {
     fn triangular_nest_is_rectangularized() {
         // DO i = 0, 9 ; DO j = 0, i: j's bound widens to [0, 9].
         let nest = normalize_nest(
-            &[
-                raw(0, "I", Expr::int(0), Expr::int(9)),
-                raw(1, "J", Expr::int(0), Expr::var("I")),
-            ],
+            &[raw(0, "I", Expr::int(0), Expr::int(9)), raw(1, "J", Expr::int(0), Expr::var("I"))],
             &Assumptions::new(),
         )
         .unwrap();
@@ -402,16 +384,9 @@ mod tests {
 
     #[test]
     fn rejects_non_affine() {
-        assert!(expr_to_affine(
-            &Expr::mul(Expr::var("I"), Expr::var("I")),
-            &["I".to_string()]
-        )
-        .is_none());
-        assert!(expr_to_affine(
-            &Expr::Index("IFUN".into(), vec![Expr::int(10)]),
-            &[]
-        )
-        .is_none());
+        assert!(expr_to_affine(&Expr::mul(Expr::var("I"), Expr::var("I")), &["I".to_string()])
+            .is_none());
+        assert!(expr_to_affine(&Expr::Index("IFUN".into(), vec![Expr::int(10)]), &[]).is_none());
         // zero step
         assert!(normalize_nest(
             &[RawLoop {
@@ -425,11 +400,8 @@ mod tests {
         )
         .is_none());
         // bound referencing own variable
-        assert!(normalize_nest(
-            &[raw(0, "I", Expr::int(0), Expr::var("I"))],
-            &Assumptions::new()
-        )
-        .is_none());
+        assert!(normalize_nest(&[raw(0, "I", Expr::int(0), Expr::var("I"))], &Assumptions::new())
+            .is_none());
     }
 
     #[test]
@@ -460,11 +432,7 @@ mod tests {
         let p = expr_to_sympoly(&e, &[]).unwrap();
         assert_eq!(p, SymPoly::symbol("N").checked_scale(2).unwrap());
         // inexact division is rejected
-        let e = Expr::Bin(
-            BinOp::Div,
-            Box::new(Expr::var("N")),
-            Box::new(Expr::int(2)),
-        );
+        let e = Expr::Bin(BinOp::Div, Box::new(Expr::var("N")), Box::new(Expr::int(2)));
         assert!(expr_to_sympoly(&e, &[]).is_none());
     }
 }

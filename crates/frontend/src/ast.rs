@@ -52,17 +52,23 @@ impl Expr {
         Expr::Var(name.to_string())
     }
 
+    // These share names with the `std::ops` trait methods, but they are
+    // associated *constructors* (two owned operands, no `self`) building
+    // AST nodes, not arithmetic — the trait signatures do not apply.
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
     }

@@ -104,9 +104,10 @@ fn c_tokenize(src: &str) -> Result<Vec<CTok>, CTranslateError> {
                     }
                 }
                 match op.as_str() {
-                    "(" | ")" | "[" | "]" | "{" | "}" | ";" | "," | "=" | "+" | "-" | "*"
-                    | "/" | "<" | ">" | "<=" | ">=" | "==" | "!=" | "++" | "--" | "+=" | "-="
-                    | "*=" => out.push(CTok::Sym(op)),
+                    "(" | ")" | "[" | "]" | "{" | "}" | ";" | "," | "=" | "+" | "-" | "*" | "/"
+                    | "<" | ">" | "<=" | ">=" | "==" | "!=" | "++" | "--" | "+=" | "-=" | "*=" => {
+                        out.push(CTok::Sym(op))
+                    }
                     other => return err(format!("unexpected character sequence `{other}`")),
                 }
             }
@@ -310,11 +311,7 @@ impl CParser {
             (Expr::int(0), upper, saved)
         } else {
             // Integer loop: inclusive upper bound.
-            let upper = if strict {
-                simplify(&Expr::sub(bound, Expr::int(1)))
-            } else {
-                bound
-            };
+            let upper = if strict { simplify(&Expr::sub(bound, Expr::int(1))) } else { bound };
             if step != 1 {
                 return err("integer loops must step by 1 in this subset");
             }

@@ -105,7 +105,7 @@ pub fn delinearize_array(
     // Analyze every reference.
     let mut shapes: Vec<SiteShape> = Vec::new();
     let mut stack: Vec<(String, Expr, Expr)> = Vec::new();
-    analyze_stmts(&program.body, program, array, assumptions, &mut stack, &mut shapes)?;
+    analyze_stmts(&program.body, array, assumptions, &mut stack, &mut shapes)?;
     if shapes.is_empty() {
         return Err(DelinearizeSrcError::NothingToSeparate(array.to_string()));
     }
@@ -143,9 +143,7 @@ pub fn delinearize_array(
             d.dims = extents
                 .iter()
                 .map(|e| {
-                    let upper = e
-                        .checked_sub(&SymPoly::one())
-                        .unwrap_or_else(|_| SymPoly::zero());
+                    let upper = e.checked_sub(&SymPoly::one()).unwrap_or_else(|_| SymPoly::zero());
                     DimBound {
                         lower: Expr::int(0),
                         upper: crate::linearize::sympoly_to_expr(&upper),
@@ -168,7 +166,6 @@ pub fn delinearize_array(
 #[allow(clippy::type_complexity)]
 fn analyze_stmts(
     stmts: &[Stmt],
-    program: &Program,
     array: &str,
     assumptions: &Assumptions,
     stack: &mut Vec<(String, Expr, Expr)>,
@@ -186,7 +183,7 @@ fn analyze_stmts(
                     continue;
                 }
                 stack.push((l.var.clone(), l.lower.clone(), l.upper.clone()));
-                analyze_stmts(&l.body, program, array, assumptions, stack, shapes)?;
+                analyze_stmts(&l.body, array, assumptions, stack, shapes)?;
                 stack.pop();
             }
             Stmt::Assign(a) => {
@@ -275,9 +272,10 @@ fn analyze_reference(
         let VarId(k) = v;
         coeffs[k as usize] = c.clone();
         c0 = c0
-            .checked_add(&c.checked_mul(&lowers[k as usize]).map_err(|_| {
-                DelinearizeSrcError::NonAffineReference(array.to_string())
-            })?)
+            .checked_add(
+                &c.checked_mul(&lowers[k as usize])
+                    .map_err(|_| DelinearizeSrcError::NonAffineReference(array.to_string()))?,
+            )
             .map_err(|_| DelinearizeSrcError::NonAffineReference(array.to_string()))?;
     }
     let mut builder = DependenceProblem::<SymPoly>::builder();
@@ -323,13 +321,8 @@ fn analyze_reference(
             // q·(var − L) = q·var − q·L.
             let shift = q.checked_mul(&lowers[*var]).map_err(|_| bounds_err())?;
             idx_aff = idx_aff
-                .checked_add(&delin_numeric::Affine::var_scaled(
-                    VarId(*var as u32),
-                    q.clone(),
-                ))
-                .and_then(|a| {
-                    a.checked_sub(&delin_numeric::Affine::constant(shift))
-                })
+                .checked_add(&delin_numeric::Affine::var_scaled(VarId(*var as u32), q.clone()))
+                .and_then(|a| a.checked_sub(&delin_numeric::Affine::constant(shift)))
                 .map_err(|_| bounds_err())?;
             // Range bookkeeping (q·x over x in [0, U]).
             let span = q.checked_mul(&uppers[*var]).map_err(|_| bounds_err())?;

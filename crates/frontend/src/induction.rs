@@ -46,10 +46,7 @@ pub fn substitute_inductions(program: &Program) -> (Program, Vec<InductionReport
     let mut out = program.clone();
     let mut reports = Vec::new();
     // Iterate: substituting one variable may expose another.
-    loop {
-        let Some(report) = substitute_one(&mut out) else {
-            break;
-        };
+    while let Some(report) = substitute_one(&mut out) {
         reports.push(report);
     }
     (out, reports)
@@ -103,10 +100,8 @@ fn substitute_one(program: &mut Program) -> Option<InductionReport> {
     for (k, l) in loops.iter().enumerate() {
         let mut term = Expr::sub(Expr::var(&l.var), l.lower.clone());
         for deeper in &loops[k + 1..] {
-            let trip = Expr::add(
-                Expr::sub(deeper.upper.clone(), deeper.lower.clone()),
-                Expr::int(1),
-            );
+            let trip =
+                Expr::add(Expr::sub(deeper.upper.clone(), deeper.lower.clone()), Expr::int(1));
             term = Expr::mul(term, trip);
         }
         position = Expr::add(position, term);
@@ -183,7 +178,7 @@ fn single_inner_loop(body: &[Stmt]) -> Option<&Loop> {
 }
 
 fn is_increment(s: &Stmt, var: &str) -> bool {
-    matches!(increment_step(s, var), Some(_))
+    increment_step(s, var).is_some()
 }
 
 /// For `var = var + c` or `var = c + var` or `var = var - c`, the step.
@@ -211,7 +206,7 @@ fn increment_step(s: &Stmt, var: &str) -> Option<Expr> {
 }
 
 fn mentions(e: &Expr, var: &str) -> bool {
-    e.idents().iter().any(|i| *i == var)
+    e.idents().contains(&var)
 }
 
 fn substitute_in_stmt(s: &Stmt, var: &str, repl: &Expr) -> Stmt {
@@ -317,18 +312,13 @@ fn uses_confined(program: &Program, var: &str, top_index: usize, init_stmt: &Ass
                 // Inside the nest: only the innermost body may mention it.
                 let mut body = &outer.body;
                 let mut shell_ok = true;
-                loop {
-                    match single_inner_loop(body) {
-                        Some(inner) => {
-                            for s in body {
-                                if !matches!(s, Stmt::Loop(_)) && stmt_mentions(s, var) {
-                                    shell_ok = false;
-                                }
-                            }
-                            body = &inner.body;
+                while let Some(inner) = single_inner_loop(body) {
+                    for s in body {
+                        if !matches!(s, Stmt::Loop(_)) && stmt_mentions(s, var) {
+                            shell_ok = false;
                         }
-                        None => break,
                     }
+                    body = &inner.body;
                 }
                 shell_ok
             }

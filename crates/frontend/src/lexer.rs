@@ -207,22 +207,14 @@ mod tests {
         let t = toks("C this is a comment\n* another\n! modern\n\nX = 1 ! trailing");
         assert_eq!(
             t,
-            vec![
-                Token::Ident("X".into()),
-                Token::Equals,
-                Token::Int(1),
-                Token::Newline,
-            ]
+            vec![Token::Ident("X".into()), Token::Equals, Token::Int(1), Token::Newline,]
         );
     }
 
     #[test]
     fn continue_not_a_comment() {
         let t = toks("10 CONTINUE");
-        assert_eq!(
-            t,
-            vec![Token::Int(10), Token::Ident("CONTINUE".into()), Token::Newline]
-        );
+        assert_eq!(t, vec![Token::Int(10), Token::Ident("CONTINUE".into()), Token::Newline]);
     }
 
     #[test]

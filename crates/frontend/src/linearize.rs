@@ -112,9 +112,9 @@ pub fn linearize_aliased(
     let b_prefix = (b_ext.len() - suffix).max(1);
     let suffix = a_ext.len() - a_prefix; // recompute in case of max(1)
     let prod = |ext: &[SymPoly], n: usize| -> SymPoly {
-        ext[..n].iter().fold(SymPoly::one(), |acc, e| {
-            acc.checked_mul(e).unwrap_or_else(|_| SymPoly::one())
-        })
+        ext[..n]
+            .iter()
+            .fold(SymPoly::one(), |acc, e| acc.checked_mul(e).unwrap_or_else(|_| SymPoly::one()))
     };
     let a_size = prod(&a_ext, a_prefix);
     let b_size = prod(&b_ext, b_prefix);
@@ -127,9 +127,9 @@ pub fn linearize_aliased(
     let mut dims = vec![DimBound {
         lower: Expr::int(0),
         upper: sympoly_to_expr(
-            &a_size.checked_sub(&SymPoly::one()).map_err(|_| {
-                LinearizeError::UnanalyzableBound(a.name.clone())
-            })?,
+            &a_size
+                .checked_sub(&SymPoly::one())
+                .map_err(|_| LinearizeError::UnanalyzableBound(a.name.clone()))?,
         ),
     }];
     dims.extend(a.dims[a_prefix..].iter().cloned());
@@ -139,9 +139,8 @@ pub fn linearize_aliased(
     let mut out = program.clone();
     out.decls.retain(|d| d.name != a.name && d.name != b.name);
     out.decls.push(new_decl);
-    out.equivalences.retain(|(x, y)| {
-        !(x == &a.name && y == &b.name || x == &b.name && y == &a.name)
-    });
+    out.equivalences
+        .retain(|(x, y)| !(x == &a.name && y == &b.name || x == &b.name && y == &a.name));
     let rewrite = |stmts: &mut Vec<Stmt>| -> Result<(), LinearizeError> {
         for s in stmts {
             rewrite_stmt(s, &a, a_prefix, &b, b_prefix, &target)?;
@@ -280,9 +279,7 @@ pub fn simplify(e: &Expr) -> Expr {
             Expr::Int(v) => Expr::int(-v),
             x => Expr::Neg(Box::new(x)),
         },
-        Expr::Index(n, subs) => {
-            Expr::Index(n.clone(), subs.iter().map(simplify).collect())
-        }
+        Expr::Index(n, subs) => Expr::Index(n.clone(), subs.iter().map(simplify).collect()),
         _ => e.clone(),
     }
 }
@@ -454,10 +451,7 @@ mod tests {
     #[test]
     fn unknown_array() {
         let p = parse_program("X = 1\nEND").unwrap();
-        assert!(matches!(
-            linearize_aliased(&p, "A", "B"),
-            Err(LinearizeError::UnknownArray(_))
-        ));
+        assert!(matches!(linearize_aliased(&p, "A", "B"), Err(LinearizeError::UnknownArray(_))));
     }
 
     #[test]
@@ -469,10 +463,7 @@ mod tests {
             END
         ";
         let p = parse_program(src).unwrap();
-        assert!(matches!(
-            linearize_aliased(&p, "A", "B"),
-            Err(LinearizeError::RankMismatch(_))
-        ));
+        assert!(matches!(linearize_aliased(&p, "A", "B"), Err(LinearizeError::RankMismatch(_))));
     }
 
     #[test]

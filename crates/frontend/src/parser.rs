@@ -72,9 +72,7 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map_or(0, |s| s.line)
+        self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))).map_or(0, |s| s.line)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -335,8 +333,7 @@ impl Parser {
                     }
                     Some(h) => (body, Some(h)),
                     None => {
-                        return self
-                            .err(format!("missing terminal statement for DO label {label}"))
+                        return self.err(format!("missing terminal statement for DO label {label}"))
                     }
                 }
             }

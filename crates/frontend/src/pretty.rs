@@ -25,10 +25,7 @@ fn render_expr(e: &Expr, parent_prec: u8) -> String {
                 BinOp::Div => ("/", 2),
             };
             let right_prec = if matches!(op, BinOp::Sub | BinOp::Div) { prec + 1 } else { prec };
-            (
-                format!("{} {} {}", render_expr(a, prec), sym, render_expr(b, right_prec)),
-                prec,
-            )
+            (format!("{} {} {}", render_expr(a, prec), sym, render_expr(b, right_prec)), prec)
         }
     };
     if prec < parent_prec {
@@ -77,10 +74,8 @@ fn render_stmt(s: &Stmt, depth: usize, out: &mut String) {
     let indent = "  ".repeat(depth + 1);
     match s {
         Stmt::Loop(Loop { var, lower, upper, step, body }) => {
-            let step_str = step
-                .as_ref()
-                .map(|e| format!(", {}", expr_to_string(e)))
-                .unwrap_or_default();
+            let step_str =
+                step.as_ref().map(|e| format!(", {}", expr_to_string(e))).unwrap_or_default();
             let _ = writeln!(
                 out,
                 "{indent}DO {var} = {}, {}{step_str}",

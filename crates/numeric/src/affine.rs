@@ -211,7 +211,10 @@ impl<C: Coeff> Affine<C> {
     }
 
     /// Renders the form using a caller-supplied variable namer.
-    pub fn display_with<'a>(&'a self, namer: &'a dyn Fn(VarId) -> String) -> impl fmt::Display + 'a {
+    pub fn display_with<'a>(
+        &'a self,
+        namer: &'a dyn Fn(VarId) -> String,
+    ) -> impl fmt::Display + 'a {
         AffineDisplay { form: self, namer }
     }
 }

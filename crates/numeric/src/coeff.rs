@@ -275,7 +275,8 @@ mod tests {
 
     #[test]
     fn i128_div_rem_euclidean() {
-        for (a, d) in [(110i128, 100i128), (-110, 100), (110, -100), (-110, -100), (7, 3), (-7, 3)] {
+        for (a, d) in [(110i128, 100i128), (-110, 100), (110, -100), (-110, -100), (7, 3), (-7, 3)]
+        {
             let (q, r) = a.div_rem(&d).unwrap();
             assert_eq!(q * d + r, a, "a={a} d={d}");
             assert!(r >= 0 && r < d.abs(), "a={a} d={d} r={r}");

@@ -37,10 +37,7 @@ pub fn lcm(a: i128, b: i128) -> Result<i128, NumericError> {
         return Ok(0);
     }
     let g = gcd(a, b);
-    (a / g)
-        .checked_mul(b)
-        .map(i128::abs)
-        .ok_or_else(|| NumericError::overflow("lcm"))
+    (a / g).checked_mul(b).map(i128::abs).ok_or_else(|| NumericError::overflow("lcm"))
 }
 
 /// Extended Euclid: returns `(g, x, y)` with `g = gcd(a, b) ≥ 0` and

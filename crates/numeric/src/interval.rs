@@ -107,11 +107,7 @@ impl Interval {
     /// (`[⌈lo/g⌉·g, ⌊hi/g⌋·g]`); `g = 0` keeps only `0` if contained.
     pub fn tighten_to_multiples(&self, g: i128) -> Result<Interval, NumericError> {
         if g == 0 {
-            return Ok(if self.contains_zero() {
-                Interval::point(0)
-            } else {
-                Interval::new(1, 0)
-            });
+            return Ok(if self.contains_zero() { Interval::point(0) } else { Interval::new(1, 0) });
         }
         let g = g.abs();
         let lo = int::mul(int::ceil_div(self.lo, g)?, g)?;

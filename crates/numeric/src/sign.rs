@@ -118,9 +118,12 @@ impl Trilean {
             _ => Unknown,
         }
     }
+}
 
-    /// Kleene negation.
-    pub fn not(self) -> Trilean {
+/// Kleene negation.
+impl std::ops::Not for Trilean {
+    type Output = Trilean;
+    fn not(self) -> Trilean {
         use Trilean::*;
         match self {
             True => False,
@@ -169,8 +172,8 @@ mod tests {
         assert_eq!(False.and(Unknown), False);
         assert_eq!(True.or(Unknown), True);
         assert_eq!(False.or(Unknown), Unknown);
-        assert_eq!(Unknown.not(), Unknown);
-        assert_eq!(True.not(), False);
+        assert_eq!(!Unknown, Unknown);
+        assert_eq!(!True, False);
         assert_eq!(Trilean::from(true), True);
         assert!(Unknown.is_unknown());
     }

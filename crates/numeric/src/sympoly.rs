@@ -96,9 +96,7 @@ impl Monomial {
 /// display and division.
 impl Ord for Monomial {
     fn cmp(&self, other: &Monomial) -> std::cmp::Ordering {
-        self.degree()
-            .cmp(&other.degree())
-            .then_with(|| self.0.iter().cmp(other.0.iter()))
+        self.degree().cmp(&other.degree()).then_with(|| self.0.iter().cmp(other.0.iter()))
     }
 }
 
@@ -185,7 +183,8 @@ impl SymPoly {
 
     /// `true` when the polynomial is a constant (possibly zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_unit())
+        self.terms.is_empty()
+            || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_unit())
     }
 
     /// The constant value, if the polynomial is constant.
@@ -252,7 +251,10 @@ impl SymPoly {
     pub fn checked_sub(&self, other: &SymPoly) -> Result<SymPoly, NumericError> {
         let mut out = self.clone();
         for (m, &c) in &other.terms {
-            out.insert_term(m.clone(), c.checked_neg().ok_or_else(|| NumericError::overflow("neg"))?)?;
+            out.insert_term(
+                m.clone(),
+                c.checked_neg().ok_or_else(|| NumericError::overflow("neg"))?,
+            )?;
         }
         Ok(out)
     }
@@ -417,11 +419,7 @@ impl SymPoly {
         for (m, &c) in &self.terms {
             let mut factor = SymPoly::constant(c);
             for (s, e) in m.iter() {
-                let base = if s == sym {
-                    replacement.clone()
-                } else {
-                    SymPoly::symbol(s.clone())
-                };
+                let base = if s == sym { replacement.clone() } else { SymPoly::symbol(s.clone()) };
                 for _ in 0..e {
                     factor = factor.checked_mul(&base)?;
                 }

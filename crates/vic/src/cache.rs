@@ -1,0 +1,293 @@
+//! Canonicalization and memoization of dependence verdicts.
+//!
+//! Programs repeat subscript shapes constantly — `B(j)` read by two
+//! statements in the same nest produces byte-identical dependence problems
+//! for several reference pairs — so the engine normalizes each
+//! [`DependenceProblem`] to a canonical form and solves every distinct form
+//! exactly once per graph construction.
+//!
+//! Canonicalization renames variables away (only their positions and upper
+//! bounds survive), sorts the equations into a stable structural order, and
+//! fingerprints the [`Assumptions`] in force. Two pairs whose problems agree
+//! up to variable names and equation order therefore share one cache entry.
+//!
+//! The store is a sharded `RwLock` map of [`std::sync::OnceLock`] cells:
+//! concurrent workers that race on the same key agree on a single cell, and
+//! exactly one of them runs the solver while the rest block on the cell.
+//! That makes hit/miss counts — not just verdicts — deterministic under
+//! parallel construction: every distinct key is computed exactly once.
+
+use delin_dep::problem::DependenceProblem;
+use delin_dep::verdict::Verdict;
+use delin_numeric::{Assumptions, SymPoly};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of independent lock shards. A small power of two is plenty: the
+/// critical sections only insert/lookup an `Arc`, never solve.
+const SHARDS: usize = 16;
+
+/// The memoized result of deciding one canonical dependence problem.
+#[derive(Debug, Clone)]
+pub struct CachedOutcome {
+    /// The verdict for the canonical problem.
+    pub verdict: Verdict,
+    /// The deciding test's name.
+    pub tested_by: &'static str,
+    /// Names of the test invocations that actually ran while deciding.
+    pub attempts: Vec<&'static str>,
+    /// Exact-solver search nodes spent computing this entry.
+    pub solver_nodes: u64,
+}
+
+/// A per-run verdict cache keyed by canonicalized dependence problems.
+///
+/// The cache is scoped to one graph construction: the assumptions and test
+/// choice in force are fixed for its lifetime (the assumptions are still
+/// fingerprinted into every key as a guard against accidental reuse).
+pub struct VerdictCache {
+    shards: Vec<RwLock<HashMap<String, Arc<OnceLock<CachedOutcome>>>>>,
+    assumptions_fp: u64,
+}
+
+impl VerdictCache {
+    /// An empty cache for a run under the given assumptions.
+    pub fn new(assumptions: &Assumptions) -> VerdictCache {
+        let mut hasher = DefaultHasher::new();
+        format!("{assumptions:?}").hash(&mut hasher);
+        VerdictCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            assumptions_fp: hasher.finish(),
+        }
+    }
+
+    /// Number of entries across all shards (distinct canonical problems).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map(|m| m.len()).unwrap_or(0)).sum()
+    }
+
+    /// `true` when no problem has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the canonical form of `problem`, running `compute` on it on
+    /// the first sighting. Returns the outcome and whether it was a hit.
+    ///
+    /// `compute` receives the *canonical* problem, so the stored verdict is
+    /// a pure function of the cache key — this is what keeps parallel runs
+    /// deterministic regardless of which worker populates an entry first.
+    pub fn get_or_compute(
+        &self,
+        problem: &DependenceProblem<SymPoly>,
+        compute: impl FnOnce(&DependenceProblem<SymPoly>) -> CachedOutcome,
+    ) -> (CachedOutcome, bool) {
+        let (key, canonical) = canonicalize(problem, self.assumptions_fp);
+        let shard = &self.shards[shard_index(&key)];
+        let cell = {
+            // Fast path: the key is already present.
+            let read = shard.read().expect("verdict cache poisoned");
+            read.get(&key).cloned()
+        };
+        let cell = match cell {
+            Some(c) => c,
+            None => {
+                let mut write = shard.write().expect("verdict cache poisoned");
+                write.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+            }
+        };
+        let mut computed = false;
+        let outcome = cell.get_or_init(|| {
+            computed = true;
+            compute(&canonical)
+        });
+        (outcome.clone(), !computed)
+    }
+}
+
+fn shard_index(key: &str) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % SHARDS
+}
+
+/// Renders one linear form (`c0` plus dense coefficients) structurally.
+fn render_linear(c0: &SymPoly, coeffs: &[SymPoly]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{c0}|");
+    for c in coeffs {
+        let _ = write!(out, "{c},");
+    }
+    out
+}
+
+/// Produces the canonical key and canonical problem for `problem`.
+///
+/// The key drops variable names (positions and bounds remain), sorts the
+/// equations structurally, and prefixes the assumptions fingerprint. The
+/// returned problem is `problem` with its equations in that same sorted
+/// order — solving it instead of the original makes the memoized verdict
+/// independent of which reference pair inserted the entry. Downstream edge
+/// emission sorts and dedups atomic direction vectors, so equation order
+/// cannot leak into the final graph.
+pub fn canonicalize(
+    problem: &DependenceProblem<SymPoly>,
+    assumptions_fp: u64,
+) -> (String, DependenceProblem<SymPoly>) {
+    use std::fmt::Write as _;
+
+    let mut eq_keys: Vec<(String, usize)> = problem
+        .equations()
+        .iter()
+        .enumerate()
+        .map(|(i, eq)| (render_linear(&eq.c0, &eq.coeffs), i))
+        .collect();
+    eq_keys.sort();
+
+    let mut key = String::new();
+    let _ = write!(key, "a{assumptions_fp:x};");
+    for v in problem.vars() {
+        let _ = write!(key, "v{};", v.upper);
+    }
+    for (x, y) in problem.common_loops() {
+        let _ = write!(key, "c{x},{y};");
+    }
+    for (ek, _) in &eq_keys {
+        let _ = write!(key, "e{ek};");
+    }
+    for iq in problem.inequalities() {
+        let _ = write!(key, "i{};", render_linear(&iq.c0, &iq.coeffs));
+    }
+
+    let mut builder = DependenceProblem::<SymPoly>::builder();
+    for v in problem.vars() {
+        builder.var(v.name.clone(), v.upper.clone());
+    }
+    for (_, i) in &eq_keys {
+        let eq = &problem.equations()[*i];
+        builder.equation(eq.c0.clone(), eq.coeffs.clone());
+    }
+    for iq in problem.inequalities() {
+        builder.inequality(iq.c0.clone(), iq.coeffs.clone());
+    }
+    for (x, y) in problem.common_loops() {
+        builder.common_pair(*x, *y);
+    }
+    builder.assumptions(problem.assumptions().clone());
+    (key, builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delin_numeric::SymPoly;
+
+    fn poly(n: i128) -> SymPoly {
+        SymPoly::constant(n)
+    }
+
+    fn two_eq_problem(order: [usize; 2]) -> DependenceProblem<SymPoly> {
+        let eqs = [(poly(-5), vec![poly(1), poly(10)]), (poly(3), vec![poly(2), poly(0)])];
+        let mut b = DependenceProblem::<SymPoly>::builder();
+        b.var("x", poly(4));
+        b.var("y", poly(9));
+        for &i in &order {
+            b.equation(eqs[i].0.clone(), eqs[i].1.clone());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn key_ignores_names_and_equation_order() {
+        let a = two_eq_problem([0, 1]);
+        let b = two_eq_problem([1, 0]);
+        let (ka, ca) = canonicalize(&a, 7);
+        let (kb, cb) = canonicalize(&b, 7);
+        assert_eq!(ka, kb);
+        assert_eq!(ca.equations(), cb.equations());
+
+        let mut renamed = DependenceProblem::<SymPoly>::builder();
+        renamed.var("totally", poly(4));
+        renamed.var("different", poly(9));
+        renamed.equation(poly(-5), vec![poly(1), poly(10)]);
+        renamed.equation(poly(3), vec![poly(2), poly(0)]);
+        let (kr, _) = canonicalize(&renamed.build(), 7);
+        assert_eq!(ka, kr);
+    }
+
+    #[test]
+    fn key_separates_distinct_structures() {
+        let a = two_eq_problem([0, 1]);
+        let mut b = DependenceProblem::<SymPoly>::builder();
+        b.var("x", poly(4));
+        b.var("y", poly(9));
+        b.equation(poly(-6), vec![poly(1), poly(10)]); // different constant
+        b.equation(poly(3), vec![poly(2), poly(0)]);
+        let (ka, _) = canonicalize(&a, 7);
+        let (kb, _) = canonicalize(&b.build(), 7);
+        assert_ne!(ka, kb);
+        // Different assumptions fingerprint, same structure: different key.
+        let (kc, _) = canonicalize(&a, 8);
+        assert_ne!(ka, kc);
+    }
+
+    #[test]
+    fn cache_computes_each_canonical_form_once() {
+        let cache = VerdictCache::new(&Assumptions::new());
+        let mut runs = 0;
+        for order in [[0, 1], [1, 0], [0, 1]] {
+            let p = two_eq_problem(order);
+            let (outcome, _) = cache.get_or_compute(&p, |_| {
+                runs += 1;
+                CachedOutcome {
+                    verdict: Verdict::Independent,
+                    tested_by: "test",
+                    attempts: vec!["test"],
+                    solver_nodes: 11,
+                }
+            });
+            assert!(outcome.verdict.is_independent());
+            assert_eq!(outcome.solver_nodes, 11);
+        }
+        assert_eq!(runs, 1, "equation order must not defeat the cache");
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cache_reports_hits() {
+        let cache = VerdictCache::new(&Assumptions::new());
+        let p = two_eq_problem([0, 1]);
+        let outcome = || CachedOutcome {
+            verdict: Verdict::maybe_dependent(),
+            tested_by: "t",
+            attempts: Vec::new(),
+            solver_nodes: 0,
+        };
+        let (_, hit) = cache.get_or_compute(&p, |_| outcome());
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compute(&p, |_| outcome());
+        assert!(hit);
+    }
+
+    #[test]
+    fn compute_sees_the_canonical_problem() {
+        let cache = VerdictCache::new(&Assumptions::new());
+        let p = two_eq_problem([1, 0]); // reversed order on purpose
+        cache.get_or_compute(&p, |canon| {
+            // Sorted structural order puts the -5 equation first (its
+            // rendition sorts before the "3|2,0," one).
+            assert_eq!(canon.equations().len(), 2);
+            assert_eq!(canon.vars().len(), 2);
+            CachedOutcome {
+                verdict: Verdict::Unknown,
+                tested_by: "t",
+                attempts: Vec::new(),
+                solver_nodes: 0,
+            }
+        });
+    }
+}

@@ -107,12 +107,7 @@ pub fn vectorize(program: &Program, graph: &DepGraph) -> VectorizeResult {
     let mut ctxs: Vec<StmtCtx> = Vec::new();
     let mut stack: Vec<LoopShell> = Vec::new();
     let mut uid = 0u32;
-    fn walk(
-        stmts: &[Stmt],
-        stack: &mut Vec<LoopShell>,
-        uid: &mut u32,
-        out: &mut Vec<StmtCtx>,
-    ) {
+    fn walk(stmts: &[Stmt], stack: &mut Vec<LoopShell>, uid: &mut u32, out: &mut Vec<StmtCtx>) {
         for s in stmts {
             match s {
                 Stmt::Loop(l) => {
@@ -126,11 +121,9 @@ pub fn vectorize(program: &Program, graph: &DepGraph) -> VectorizeResult {
                     walk(&l.body, stack, uid, out);
                     stack.pop();
                 }
-                Stmt::Assign(a) => out.push(StmtCtx {
-                    id: a.id,
-                    assign: a.clone(),
-                    loops: stack.clone(),
-                }),
+                Stmt::Assign(a) => {
+                    out.push(StmtCtx { id: a.id, assign: a.clone(), loops: stack.clone() })
+                }
             }
         }
     }
@@ -183,8 +176,7 @@ fn codegen(
     let mut out = Vec::new();
     for comp in comps {
         let comp_members: Vec<usize> = comp.iter().map(|&p| members[p]).collect();
-        let cyclic = comp.len() > 1
-            || edges.iter().any(|&(a, b)| a == b && comp.contains(&a));
+        let cyclic = comp.len() > 1 || edges.iter().any(|&(a, b)| a == b && comp.contains(&a));
         if !cyclic {
             // Vectorize this statement over all its loops at depth >= level.
             let m = comp_members[0];
@@ -220,11 +212,7 @@ fn codegen(
 
 /// Emits a statement vectorized over its loops at depth ≥ `level`
 /// (substituting `lo:hi` sections for the loop variables).
-fn emit_vector_statement(
-    ctx: &StmtCtx,
-    level: usize,
-    result: &mut VectorizeResult,
-) -> VectorStmt {
+fn emit_vector_statement(ctx: &StmtCtx, level: usize, result: &mut VectorizeResult) -> VectorStmt {
     let mut lhs = ctx.assign.lhs.clone();
     let mut rhs = ctx.assign.rhs.clone();
     let mut dims = 0;
@@ -254,11 +242,7 @@ fn emit_vector_statement(
 fn emit_fully_serial(ctx: &StmtCtx, level: usize) -> VectorStmt {
     let stmt = VectorStmt::Statement {
         id: ctx.id,
-        text: format!(
-            "{} = {}",
-            expr_to_string(&ctx.assign.lhs),
-            expr_to_string(&ctx.assign.rhs)
-        ),
+        text: format!("{} = {}", expr_to_string(&ctx.assign.lhs), expr_to_string(&ctx.assign.rhs)),
         vector_dims: 0,
     };
     let mut cur = stmt;
@@ -282,8 +266,7 @@ mod tests {
 
     fn run(src: &str) -> VectorizeResult {
         let p = parse_program(src).unwrap();
-        let g =
-            build_dependence_graph(&p, &Assumptions::new(), TestChoice::DelinearizationFirst);
+        let g = build_dependence_graph(&p, &Assumptions::new(), TestChoice::DelinearizationFirst);
         vectorize(&p, &g)
     }
 

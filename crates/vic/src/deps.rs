@@ -7,7 +7,16 @@
 //! leftmost non-`=` direction is `>` flow backwards and are reversed;
 //! loop-independent (all-`=`) dependences follow textual order. Edge kinds
 //! (true/anti/output) are assigned *after* testing, as the paper notes.
+//!
+//! The pair-testing loop is the scalability bottleneck of the whole
+//! pipeline, so [`build_dependence_graph_with`] shards the reference-pair
+//! worklist across scoped worker threads ([`EngineConfig::workers`]) and
+//! memoizes verdicts of canonicalized problems ([`crate::cache`]). Results
+//! are folded back into the graph in source-pair order, so the emitted
+//! edges are identical for any worker count; `workers = 1` runs the exact
+//! serial code path.
 
+use crate::cache::{CachedOutcome, VerdictCache};
 use delin_core::DelinearizationTest;
 use delin_dep::acyclic::AcyclicTest;
 use delin_dep::banerjee::BanerjeeTest;
@@ -57,6 +66,10 @@ pub struct DepEdge {
 }
 
 /// Statistics from graph construction.
+///
+/// Every field except the wall-clock timings is deterministic for a given
+/// program/configuration, independent of the worker count — see
+/// [`DepStats::verdict_stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DepStats {
     /// Reference pairs examined.
@@ -67,6 +80,142 @@ pub struct DepStats {
     pub independent_by: BTreeMap<&'static str, usize>,
     /// Pairs that fell back to the conservative all-`*` answer.
     pub conservative_pairs: usize,
+    /// Pairs decided by each test (any verdict), cache hits included.
+    pub decided_by: BTreeMap<&'static str, usize>,
+    /// Test invocations that actually executed, per technique. Cache hits
+    /// execute nothing, so with caching enabled this counts work done, not
+    /// pairs seen.
+    pub attempts_by: BTreeMap<&'static str, usize>,
+    /// Pairs answered from the verdict cache.
+    pub cache_hits: usize,
+    /// Pairs that had to be solved (and populated the cache when enabled).
+    pub cache_misses: usize,
+    /// Exact-solver search nodes spent across all decisions.
+    pub solver_nodes: u64,
+    /// Total wall-clock nanoseconds spent testing pairs. Not deterministic.
+    pub test_nanos: u128,
+    /// Wall-clock nanoseconds per deciding test. Not deterministic.
+    pub nanos_by: BTreeMap<&'static str, u128>,
+}
+
+/// The scheduling-independent subset of [`DepStats`]: equal between serial
+/// and parallel runs of the same configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerdictStats {
+    /// Reference pairs examined.
+    pub pairs_tested: usize,
+    /// Pairs proven independent.
+    pub proven_independent: usize,
+    /// Pairs proven independent, per deciding test.
+    pub independent_by: BTreeMap<&'static str, usize>,
+    /// Pairs that fell back to the conservative all-`*` answer.
+    pub conservative_pairs: usize,
+    /// Pairs decided by each test.
+    pub decided_by: BTreeMap<&'static str, usize>,
+    /// Executed test invocations per technique.
+    pub attempts_by: BTreeMap<&'static str, usize>,
+    /// Pairs answered from the verdict cache.
+    pub cache_hits: usize,
+    /// Pairs that had to be solved.
+    pub cache_misses: usize,
+    /// Exact-solver search nodes spent across all decisions.
+    pub solver_nodes: u64,
+}
+
+impl DepStats {
+    /// Everything except wall-clock timings.
+    ///
+    /// Each distinct canonical problem is computed exactly once even under
+    /// parallel construction (racing workers block on the same cache cell),
+    /// so hit/miss counts, executed attempts, and solver node totals are
+    /// all deterministic — only the `nanos` fields vary run to run.
+    pub fn verdict_stats(&self) -> VerdictStats {
+        VerdictStats {
+            pairs_tested: self.pairs_tested,
+            proven_independent: self.proven_independent,
+            independent_by: self.independent_by.clone(),
+            conservative_pairs: self.conservative_pairs,
+            decided_by: self.decided_by.clone(),
+            attempts_by: self.attempts_by.clone(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            solver_nodes: self.solver_nodes,
+        }
+    }
+
+    /// A compact multi-line human-readable summary, used by the bench
+    /// binaries.
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pairs: {} tested, {} independent, {} conservative",
+            self.pairs_tested, self.proven_independent, self.conservative_pairs
+        );
+        let _ = writeln!(
+            out,
+            "cache: {} hits / {} misses, solver nodes: {}, test time: {:.3} ms",
+            self.cache_hits,
+            self.cache_misses,
+            self.solver_nodes,
+            self.test_nanos as f64 / 1.0e6
+        );
+        let names: std::collections::BTreeSet<&'static str> =
+            self.decided_by.keys().chain(self.attempts_by.keys()).copied().collect();
+        let mut by_test: Vec<String> = Vec::new();
+        for name in names {
+            let decided = self.decided_by.get(name).copied().unwrap_or(0);
+            let attempts = self.attempts_by.get(name).copied().unwrap_or(0);
+            let nanos = self.nanos_by.get(name).copied().unwrap_or(0);
+            by_test.push(format!(
+                "{name}: {decided} decided, {attempts} ran, {:.3} ms",
+                nanos as f64 / 1.0e6
+            ));
+        }
+        let _ = writeln!(out, "per-test: {}", by_test.join("; "));
+        out
+    }
+
+    /// Accumulates another run's statistics into this one. The bench
+    /// binaries use this to aggregate over a whole corpus.
+    pub fn merge(&mut self, other: &DepStats) {
+        self.pairs_tested += other.pairs_tested;
+        self.proven_independent += other.proven_independent;
+        self.conservative_pairs += other.conservative_pairs;
+        for (name, n) in &other.independent_by {
+            *self.independent_by.entry(name).or_insert(0) += n;
+        }
+        for (name, n) in &other.decided_by {
+            *self.decided_by.entry(name).or_insert(0) += n;
+        }
+        for (name, n) in &other.attempts_by {
+            *self.attempts_by.entry(name).or_insert(0) += n;
+        }
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.solver_nodes += other.solver_nodes;
+        self.test_nanos += other.test_nanos;
+        for (name, n) in &other.nanos_by {
+            *self.nanos_by.entry(name).or_insert(0) += n;
+        }
+    }
+
+    fn absorb(&mut self, outcome: &PairOutcome) {
+        self.pairs_tested += 1;
+        *self.decided_by.entry(outcome.tested_by).or_insert(0) += 1;
+        for name in &outcome.attempts {
+            *self.attempts_by.entry(name).or_insert(0) += 1;
+        }
+        match outcome.cache_hit {
+            Some(true) => self.cache_hits += 1,
+            Some(false) => self.cache_misses += 1,
+            None => {} // cache disabled: neither a hit nor a miss
+        }
+        self.solver_nodes += outcome.solver_nodes;
+        self.test_nanos += outcome.nanos;
+        *self.nanos_by.entry(outcome.tested_by).or_insert(0) += outcome.nanos;
+    }
 }
 
 /// The dependence graph of a program.
@@ -88,9 +237,7 @@ impl DepGraph {
 
     /// `true` when some edge connects the pair in either direction.
     pub fn connected(&self, a: StmtId, b: StmtId) -> bool {
-        self.edges
-            .iter()
-            .any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+        self.edges.iter().any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
     }
 }
 
@@ -108,25 +255,82 @@ pub enum TestChoice {
     BatteryOnly,
 }
 
-/// Builds the dependence graph of a program.
+/// Configuration of the dependence-graph engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Which dependence tests drive the analysis.
+    pub choice: TestChoice,
+    /// Worker threads for the pair worklist; `0` means one per available
+    /// CPU. `1` runs the serial code path (bit-for-bit the pre-parallel
+    /// behaviour); any other count produces identical edges and verdict
+    /// stats because results are folded in source-pair order.
+    pub workers: usize,
+    /// Memoize verdicts of canonicalized problems (see [`crate::cache`]).
+    pub cache: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { choice: TestChoice::default(), workers: 0, cache: true }
+    }
+}
+
+impl EngineConfig {
+    /// The worker-thread count after resolving `0` to the machine's
+    /// available parallelism and clamping by the worklist length.
+    pub fn effective_workers(&self, worklist_len: usize) -> usize {
+        let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let requested = if self.workers == 0 { auto() } else { self.workers };
+        requested.max(1).min(worklist_len.max(1))
+    }
+}
+
+/// Builds the dependence graph of a program with the default engine
+/// configuration (all cores, verdict cache enabled) and the given test
+/// choice.
 pub fn build_dependence_graph(
     program: &Program,
     assumptions: &Assumptions,
     choice: TestChoice,
+) -> DepGraph {
+    build_dependence_graph_with(
+        program,
+        assumptions,
+        &EngineConfig { choice, ..EngineConfig::default() },
+    )
+}
+
+/// The outcome of testing one reference pair, recorded off-thread and
+/// folded into the graph in source-pair order.
+struct PairOutcome {
+    verdict: Verdict,
+    tested_by: &'static str,
+    attempts: Vec<&'static str>,
+    nanos: u128,
+    /// `None` when the cache is disabled.
+    cache_hit: Option<bool>,
+    solver_nodes: u64,
+}
+
+/// Builds the dependence graph of a program under an explicit engine
+/// configuration.
+pub fn build_dependence_graph_with(
+    program: &Program,
+    assumptions: &Assumptions,
+    config: &EngineConfig,
 ) -> DepGraph {
     let sites = delin_frontend::access::collect_accesses(program, assumptions);
     let mut stmts: Vec<StmtId> = Vec::new();
     program.visit_assigns(&mut |a| stmts.push(a.id));
     let mut graph = DepGraph { stmts, ..DepGraph::default() };
 
+    // The worklist: every unordered pair of sites on the same array with at
+    // least one write; same-site pairs only for writes (self output deps
+    // are subsumed by the W-W pair of the same site, which `i == j`
+    // covers).
+    let mut worklist: Vec<(usize, usize)> = Vec::new();
     for i in 0..sites.len() {
-        for j in 0..sites.len() {
-            // Each unordered pair once; same-site pairs only for writes
-            // (self output deps are subsumed by the W-W pair of the same
-            // site, which `i == j` covers).
-            if j < i {
-                continue;
-            }
+        for j in i..sites.len() {
             let a = &sites[i];
             let b = &sites[j];
             if a.array != b.array {
@@ -138,11 +342,134 @@ pub fn build_dependence_graph(
             if i == j && a.kind != AccessKind::Write {
                 continue;
             }
-            graph.stats.pairs_tested += 1;
-            analyze_pair(a, b, assumptions, choice, &mut graph);
+            worklist.push((i, j));
         }
     }
+
+    let cache = config.cache.then(|| VerdictCache::new(assumptions));
+    let workers = config.effective_workers(worklist.len());
+
+    let outcomes: Vec<PairOutcome> = if workers <= 1 {
+        worklist
+            .iter()
+            .map(|&(i, j)| {
+                test_pair(&sites[i], &sites[j], assumptions, config.choice, cache.as_ref())
+            })
+            .collect()
+    } else {
+        run_sharded(&sites, &worklist, assumptions, config.choice, cache.as_ref(), workers)
+    };
+
+    for (&(i, j), outcome) in worklist.iter().zip(&outcomes) {
+        graph.stats.absorb(outcome);
+        fold_outcome(&sites[i], &sites[j], outcome, &mut graph);
+    }
     graph
+}
+
+/// Runs the worklist on `workers` scoped threads with work stealing: an
+/// atomic cursor hands out pair indices, each worker keeps `(index,
+/// outcome)` locally, and the merged results are re-ordered by index so the
+/// fold is independent of scheduling.
+fn run_sharded(
+    sites: &[AccessSite],
+    worklist: &[(usize, usize)],
+    assumptions: &Assumptions,
+    choice: TestChoice,
+    cache: Option<&VerdictCache>,
+    workers: usize,
+) -> Vec<PairOutcome> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<PairOutcome>> = Vec::with_capacity(worklist.len());
+    slots.resize_with(worklist.len(), || None);
+
+    let chunks: Vec<Vec<(usize, PairOutcome)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, PairOutcome)> = Vec::new();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= worklist.len() {
+                            break;
+                        }
+                        let (i, j) = worklist[k];
+                        let outcome = test_pair(&sites[i], &sites[j], assumptions, choice, cache);
+                        local.push((k, outcome));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("dependence worker panicked")).collect()
+    });
+
+    for (k, outcome) in chunks.into_iter().flatten() {
+        slots[k] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every worklist index produces exactly one outcome"))
+        .collect()
+}
+
+/// Tests one reference pair, through the verdict cache when enabled.
+fn test_pair(
+    a: &AccessSite,
+    b: &AccessSite,
+    assumptions: &Assumptions,
+    choice: TestChoice,
+    cache: Option<&VerdictCache>,
+) -> PairOutcome {
+    let started = std::time::Instant::now();
+    let problem = pair_problem(a, b);
+    let outcome = match cache {
+        Some(cache) => {
+            let (cached, hit) = cache.get_or_compute(&problem, |canonical| {
+                decide_counted(canonical, assumptions, choice)
+            });
+            PairOutcome {
+                verdict: cached.verdict,
+                tested_by: cached.tested_by,
+                // Hits execute nothing: the attempts and solver nodes were
+                // accounted to the pair that populated the entry.
+                attempts: if hit { Vec::new() } else { cached.attempts },
+                nanos: 0,
+                cache_hit: Some(hit),
+                solver_nodes: if hit { 0 } else { cached.solver_nodes },
+            }
+        }
+        None => {
+            let computed = decide_counted(&problem, assumptions, choice);
+            PairOutcome {
+                verdict: computed.verdict,
+                tested_by: computed.tested_by,
+                attempts: computed.attempts,
+                nanos: 0,
+                cache_hit: None,
+                solver_nodes: computed.solver_nodes,
+            }
+        }
+    };
+    PairOutcome { nanos: started.elapsed().as_nanos(), ..outcome }
+}
+
+/// Runs [`decide`] with exact-solver node accounting around it.
+fn decide_counted(
+    problem: &DependenceProblem<SymPoly>,
+    assumptions: &Assumptions,
+    choice: TestChoice,
+) -> CachedOutcome {
+    let _ = delin_dep::exact::take_thread_nodes();
+    let (verdict, tested_by, attempts) = decide(problem, assumptions, choice);
+    CachedOutcome {
+        verdict,
+        tested_by,
+        attempts,
+        solver_nodes: delin_dep::exact::take_thread_nodes(),
+    }
 }
 
 /// Builds the dependence problem for a pair of sites: variables are the
@@ -151,16 +478,10 @@ pub fn build_dependence_graph(
 pub fn pair_problem(a: &AccessSite, b: &AccessSite) -> DependenceProblem<SymPoly> {
     let mut builder = DependenceProblem::<SymPoly>::builder();
     let common = a.common_loops_with(b);
-    let src_vars: Vec<usize> = a
-        .loops
-        .iter()
-        .map(|l| builder.var(format!("{}1", l.var), l.upper.clone()))
-        .collect();
-    let snk_vars: Vec<usize> = b
-        .loops
-        .iter()
-        .map(|l| builder.var(format!("{}2", l.var), l.upper.clone()))
-        .collect();
+    let src_vars: Vec<usize> =
+        a.loops.iter().map(|l| builder.var(format!("{}1", l.var), l.upper.clone())).collect();
+    let snk_vars: Vec<usize> =
+        b.loops.iter().map(|l| builder.var(format!("{}2", l.var), l.upper.clone())).collect();
     for k in 0..common {
         builder.common_pair(src_vars[k], snk_vars[k]);
     }
@@ -194,13 +515,13 @@ pub fn concretize(p: &DependenceProblem<SymPoly>) -> Option<DependenceProblem<i1
     Some(b.build())
 }
 
-/// Runs the configured tests; returns the verdict and the deciding test's
-/// name.
+/// Runs the configured tests; returns the verdict, the deciding test's
+/// name, and the names of the test invocations that executed.
 fn decide(
     problem: &DependenceProblem<SymPoly>,
     assumptions: &Assumptions,
     choice: TestChoice,
-) -> (Verdict, &'static str) {
+) -> (Verdict, &'static str, Vec<&'static str>) {
     let mut sym = problem.clone();
     {
         // Install assumptions (the builder clears them on build()).
@@ -220,13 +541,15 @@ fn decide(
     let concrete = concretize(&sym);
 
     let delin = DelinearizationTest::default();
-    let run_delin = |name: &'static str| -> (Verdict, &'static str) {
-        match &concrete {
-            Some(c) => (DependenceTest::<i128>::test(&delin, c), name),
-            None => (DependenceTest::<SymPoly>::test(&delin, &sym), name),
-        }
-    };
-    let run_battery = || -> (Verdict, &'static str) {
+    let run_delin =
+        |name: &'static str, attempts: &mut Vec<&'static str>| -> (Verdict, &'static str) {
+            attempts.push(name);
+            match &concrete {
+                Some(c) => (DependenceTest::<i128>::test(&delin, c), name),
+                None => (DependenceTest::<SymPoly>::test(&delin, &sym), name),
+            }
+        };
+    let run_battery = |attempts: &mut Vec<&'static str>| -> (Verdict, &'static str) {
         if let Some(c) = &concrete {
             let tests: Vec<(&'static str, Verdict)> = vec![
                 ("gcd", GcdTest.test(c)),
@@ -236,6 +559,9 @@ fn decide(
                 ("loop-residue", LoopResidueTest.test(c)),
                 ("banerjee", BanerjeeTest.test(c)),
             ];
+            for (name, _) in &tests {
+                attempts.push(name);
+            }
             for (name, v) in &tests {
                 if v.is_independent() {
                     return (Verdict::Independent, name);
@@ -244,6 +570,7 @@ fn decide(
             // Direction vectors through the Banerjee hierarchy in the
             // classical mode: exact on single-index equations, real-valued
             // (the paper's reading) on coupled multi-index equations.
+            attempts.push("dir-vectors");
             let oracle = hierarchy::banerjee_oracle_classical();
             let dirs = hierarchy::direction_vectors(c, &oracle);
             if dirs.is_empty() {
@@ -251,10 +578,12 @@ fn decide(
             }
             (Verdict::dependent_with_dirs(dirs), "banerjee")
         } else {
+            attempts.push("gcd");
             let v = GcdTest.test(&sym);
             if v.is_independent() {
                 return (Verdict::Independent, "gcd");
             }
+            attempts.push("dir-vectors");
             let oracle = hierarchy::banerjee_oracle_classical();
             let dirs = hierarchy::direction_vectors(&sym, &oracle);
             if dirs.is_empty() {
@@ -264,42 +593,38 @@ fn decide(
         }
     };
 
-    match choice {
-        TestChoice::DelinearizationOnly => run_delin("delinearization"),
-        TestChoice::BatteryOnly => run_battery(),
+    let mut attempts: Vec<&'static str> = Vec::new();
+    let (verdict, tested_by) = match choice {
+        TestChoice::DelinearizationOnly => run_delin("delinearization", &mut attempts),
+        TestChoice::BatteryOnly => run_battery(&mut attempts),
         TestChoice::DelinearizationFirst => {
-            let (v, name) = run_delin("delinearization");
+            let (v, name) = run_delin("delinearization", &mut attempts);
             if v.is_unknown() {
-                run_battery()
+                run_battery(&mut attempts)
             } else {
                 (v, name)
             }
         }
-    }
+    };
+    (verdict, tested_by, attempts)
 }
 
-fn analyze_pair(
-    a: &AccessSite,
-    b: &AccessSite,
-    assumptions: &Assumptions,
-    choice: TestChoice,
-    graph: &mut DepGraph,
-) {
-    let problem = pair_problem(a, b);
+/// Applies one pair's outcome to the graph: bumps verdict counters and
+/// emits the classified edges. Called in source-pair order.
+fn fold_outcome(a: &AccessSite, b: &AccessSite, outcome: &PairOutcome, graph: &mut DepGraph) {
     let common = a.common_loops_with(b);
-    let (verdict, tested_by) = decide(&problem, assumptions, choice);
-    match verdict {
+    match &outcome.verdict {
         Verdict::Independent => {
             graph.stats.proven_independent += 1;
-            *graph.stats.independent_by.entry(tested_by).or_insert(0) += 1;
+            *graph.stats.independent_by.entry(outcome.tested_by).or_insert(0) += 1;
         }
         Verdict::Dependent { info, .. } => {
             let dirs = if info.dir_vecs.is_empty() {
                 vec![DirVec::any(common)]
             } else {
-                info.dir_vecs
+                info.dir_vecs.clone()
             };
-            emit_edges(a, b, &dirs, tested_by, graph);
+            emit_edges(a, b, &dirs, outcome.tested_by, graph);
         }
         Verdict::Unknown => {
             graph.stats.conservative_pairs += 1;
@@ -403,18 +728,14 @@ mod tests {
         ",
         );
         assert_eq!(g.stats.pairs_tested, 2); // W-W and W-R
-        let true_edges: Vec<_> =
-            g.edges.iter().filter(|e| e.kind == DepKind::True).collect();
+        let true_edges: Vec<_> = g.edges.iter().filter(|e| e.kind == DepKind::True).collect();
         assert_eq!(true_edges.len(), 1);
         assert_eq!(true_edges[0].level, Some(1));
         assert_eq!(true_edges[0].dir_vecs, vec![DirVec(vec![Dir::Lt])]);
         // The W-W pair (same site with itself) is independent:
         // i1 + 1 = i2 + 1 with i1 != i2 impossible... actually i1 = i2 is
         // the only solution: loop-independent self-output-dep is dropped.
-        assert!(g
-            .edges
-            .iter()
-            .all(|e| !(e.kind == DepKind::Output && e.src == e.dst)));
+        assert!(g.edges.iter().all(|e| !(e.kind == DepKind::Output && e.src == e.dst)));
     }
 
     #[test]
@@ -502,12 +823,8 @@ mod tests {
             END
         ",
         );
-        let kinds: Vec<DepKind> = g
-            .edges
-            .iter()
-            .filter(|e| e.array == "Q")
-            .map(|e| e.kind)
-            .collect();
+        let kinds: Vec<DepKind> =
+            g.edges.iter().filter(|e| e.array == "Q").map(|e| e.kind).collect();
         assert!(kinds.contains(&DepKind::True));
         assert!(kinds.contains(&DepKind::Output));
     }

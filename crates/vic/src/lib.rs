@@ -22,11 +22,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod codegen;
 pub mod deps;
 pub mod pipeline;
 pub mod scc;
 
+pub use cache::{CachedOutcome, VerdictCache};
 pub use codegen::{vectorize, VectorStmt};
-pub use deps::{build_dependence_graph, DepEdge, DepGraph, DepKind, TestChoice};
+pub use deps::{
+    build_dependence_graph, build_dependence_graph_with, DepEdge, DepGraph, DepKind, DepStats,
+    EngineConfig, TestChoice, VerdictStats,
+};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};

@@ -5,7 +5,7 @@
 //! vectorization → FORTRAN-90-style output.
 
 use crate::codegen::{vectorize, VectorizeResult};
-use crate::deps::{build_dependence_graph, DepStats, TestChoice};
+use crate::deps::{build_dependence_graph_with, DepStats, EngineConfig, TestChoice};
 use delin_frontend::induction::{substitute_inductions, InductionReport};
 use delin_frontend::linearize::{linearize_aliased, LinearizeReport};
 use delin_frontend::parser::{parse_program, ParseError};
@@ -26,6 +26,12 @@ pub struct PipelineConfig {
     /// Derive additional symbol bounds from loop bounds under the premise
     /// that loops execute at least once (safe for vectorization).
     pub infer_loop_assumptions: bool,
+    /// Worker threads for the dependence-pair worklist; `0` means one per
+    /// available CPU, `1` forces the serial path. Any count produces
+    /// identical edges and verdict statistics.
+    pub workers: usize,
+    /// Memoize verdicts of canonicalized dependence problems.
+    pub cache: bool,
 }
 
 impl Default for PipelineConfig {
@@ -36,6 +42,8 @@ impl Default for PipelineConfig {
             linearize: true,
             assumptions: Assumptions::new(),
             infer_loop_assumptions: true,
+            workers: 0,
+            cache: true,
         }
     }
 }
@@ -109,7 +117,9 @@ pub fn run_pipeline(src: &str, config: &PipelineConfig) -> Result<PipelineReport
     } else {
         config.assumptions.clone()
     };
-    let graph = build_dependence_graph(&program, &assumptions, config.choice);
+    let engine =
+        EngineConfig { choice: config.choice, workers: config.workers, cache: config.cache };
+    let graph = build_dependence_graph_with(&program, &assumptions, &engine);
     let vectorization = vectorize(&program, &graph);
     Ok(PipelineReport {
         vector_code: vectorization.render(),
@@ -211,8 +221,7 @@ mod tests {
         )
         .unwrap();
         assert!(
-            with.vectorization.vectorized_statements
-                > without.vectorization.vectorized_statements
+            with.vectorization.vectorized_statements > without.vectorization.vectorized_statements
         );
     }
 }

@@ -120,8 +120,7 @@ mod tests {
 
     #[test]
     fn diamond_topological_order() {
-        let comps =
-            strongly_connected_components(&ids(4), &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let comps = strongly_connected_components(&ids(4), &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         assert_eq!(comps.len(), 4);
         assert_eq!(comps[0], vec![0]);
         assert_eq!(comps[3], vec![3]);

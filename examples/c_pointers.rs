@@ -7,8 +7,8 @@ use delinearization::frontend::cfront::translate_c;
 use delinearization::frontend::delinearize_src::delinearize_array;
 use delinearization::frontend::pretty::program_to_string;
 use delinearization::numeric::Assumptions;
-use delinearization::vic::deps::{build_dependence_graph, TestChoice};
 use delinearization::vic::codegen::vectorize;
+use delinearization::vic::deps::{build_dependence_graph, TestChoice};
 
 fn main() {
     let src = "
@@ -38,8 +38,5 @@ fn main() {
     );
     let result = vectorize(&delinearized, &graph);
     println!("vector output:\n{}", result.render());
-    println!(
-        "vectorized {}/{} statements",
-        result.vectorized_statements, result.total_statements
-    );
+    println!("vectorized {}/{} statements", result.vectorized_statements, result.total_statements);
 }

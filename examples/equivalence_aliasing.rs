@@ -37,14 +37,12 @@ fn main() {
 
     // Step 2: the analysis proves independence (this is the motivating
     // equation) and vectorizes everything.
-    let analyzed =
-        run_pipeline(src, &PipelineConfig::default()).expect("pipeline");
+    let analyzed = run_pipeline(src, &PipelineConfig::default()).expect("pipeline");
     println!("vector output:\n{}", analyzed.vector_code);
 
     // Step 3: delinearize the merged array back to 2-D form.
     let (delinearized, report) =
-        delinearize_array(&linearized, &report.target, &Assumptions::new())
-            .expect("delinearizes");
+        delinearize_array(&linearized, &report.target, &Assumptions::new()).expect("delinearizes");
     println!(
         "delinearized {} to extents {:?} ({} references rewritten):\n{}",
         report.array,

@@ -16,11 +16,7 @@ use delinearization::dep::verdict::DependenceTest;
 
 fn main() {
     // i1 + 10 j1 - i2 - 10 j2 - 5 = 0 over the normalized iteration box.
-    let problem = DependenceProblem::single_equation(
-        -5,
-        vec![1, 10, -1, -10],
-        vec![4, 9, 4, 9],
-    );
+    let problem = DependenceProblem::single_equation(-5, vec![1, 10, -1, -10], vec![4, 9, 4, 9]);
     println!("dependence equation:\n{problem}");
 
     // The classical tests cannot disprove it...

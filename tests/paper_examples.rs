@@ -123,11 +123,7 @@ fn figure3_dependences() {
     // S4:Y -> S1:Y with direction (<): S4 writes Y(i+j) read by S1 at a
     // later i iteration.
     assert!(has(3, 0, "Y", DepKind::True), "{:?}", g.edges);
-    let y_edge = g
-        .edges
-        .iter()
-        .find(|e| e.src.0 == 3 && e.dst.0 == 0 && e.array == "Y")
-        .unwrap();
+    let y_edge = g.edges.iter().find(|e| e.src.0 == 3 && e.dst.0 == 0 && e.array == "Y").unwrap();
     assert_eq!(y_edge.dir_vecs, vec![DirVec(vec![Dir::Lt])]);
 }
 
@@ -163,16 +159,10 @@ fn figure5_trace() {
     assert!(!out.is_independent());
     let sep = out.separation();
     assert_eq!(sep.num_dimensions(), 3);
-    assert_eq!(
-        sep.dimensions.iter().map(|d| d.constant).collect::<Vec<_>>(),
-        vec![0, -10, -100]
-    );
+    assert_eq!(sep.dimensions.iter().map(|d| d.constant).collect::<Vec<_>>(), vec![0, -10, -100]);
     // Brute-force cross-check of the factorization: the full equation has
     // solutions, and each dimension is independently satisfiable.
-    assert!(matches!(
-        ExactSolver::default().solve(&p),
-        SolveOutcome::Solution(_)
-    ));
+    assert!(matches!(ExactSolver::default().solve(&p), SolveOutcome::Solution(_)));
 }
 
 /// Section 2 example: direction (<=, >) and distance-direction (<=, 1)

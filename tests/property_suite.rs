@@ -15,11 +15,11 @@ use proptest::prelude::*;
 /// A random two-loop linearized problem with mirrored strides.
 fn arb_linearized() -> impl Strategy<Value = DependenceProblem<i128>> {
     (
-        1i128..=6,   // inner extent-ish bound
-        1i128..=8,   // outer bound
-        2i128..=14,  // stride
+        1i128..=6,    // inner extent-ish bound
+        1i128..=8,    // outer bound
+        2i128..=14,   // stride
         -40i128..=40, // offset
-        -3i128..=3,  // inner coefficient scale
+        -3i128..=3,   // inner coefficient scale
     )
         .prop_map(|(bi, bj, stride, off, ci)| {
             let ci = if ci == 0 { 1 } else { ci };
@@ -35,8 +35,9 @@ proptest! {
     /// No test may contradict the exact solver.
     #[test]
     fn all_tests_sound(p in arb_linearized()) {
+        type NamedTest<'a> = (&'a str, Box<dyn Fn() -> delinearization::dep::Verdict + 'a>);
         let truth = ExactSolver::default().solve(&p);
-        let tests: Vec<(&str, Box<dyn Fn() -> delinearization::dep::Verdict>)> = vec![
+        let tests: Vec<NamedTest> = vec![
             ("delin", Box::new(|| DependenceTest::<i128>::test(&DelinearizationTest::default(), &p))),
             ("gcd", Box::new(|| GcdTest.test(&p))),
             ("banerjee", Box::new(|| BanerjeeTest.test(&p))),
@@ -143,6 +144,55 @@ proptest! {
         let p2 = parse_program(&text1).unwrap();
         let text2 = program_to_string(&p2);
         prop_assert_eq!(text1, text2);
+    }
+}
+
+proptest! {
+    /// The verdict cache is an optimization, never a semantics change:
+    /// cache-enabled and cache-disabled engine runs agree on the emitted
+    /// edges and the scheduling-independent verdict counts, on a random
+    /// family of two-loop programs with repeated subscript shapes (the
+    /// repetition makes the cache actually hit).
+    #[test]
+    fn verdict_cache_preserves_the_graph(
+        stride in 2i128..=14,
+        off in 0i128..=9,
+        ci in 1i128..=3,
+        reps in 1usize..=3,
+    ) {
+        use delinearization::frontend::parse_program;
+        use delinearization::numeric::Assumptions;
+        use delinearization::vic::deps::{
+            build_dependence_graph_with, EngineConfig, TestChoice,
+        };
+        let stmt = format!("A({ci}*i + {stride}*j) = A({ci}*i + {stride}*j + {off}) + B(i)");
+        let mut lines = vec![format!("  {stmt}"); reps - 1];
+        lines.push(format!("1   {stmt}")); // the labeled loop-end statement
+        let body = lines.join("\n");
+        let src = format!(
+            "REAL A(0:399), B(0:9)\nDO 1 i = 0, 4\nDO 1 j = 0, 9\n{body}\nEND\n"
+        );
+        let program = parse_program(&src).unwrap();
+        let assumptions = Assumptions::new();
+        let run = |cache: bool| {
+            let config = EngineConfig {
+                choice: TestChoice::DelinearizationFirst,
+                workers: 1,
+                cache,
+            };
+            build_dependence_graph_with(&program, &assumptions, &config)
+        };
+        let with = run(true);
+        let without = run(false);
+        prop_assert_eq!(&with.edges, &without.edges);
+        prop_assert_eq!(with.stats.pairs_tested, without.stats.pairs_tested);
+        prop_assert_eq!(with.stats.proven_independent, without.stats.proven_independent);
+        prop_assert_eq!(with.stats.conservative_pairs, without.stats.conservative_pairs);
+        // Every pair goes through the cache when it is enabled.
+        prop_assert_eq!(
+            with.stats.cache_hits + with.stats.cache_misses,
+            with.stats.pairs_tested
+        );
     }
 }
 

@@ -1,0 +1,183 @@
+//! Minimal, offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the criterion 0.5 API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros. There is no statistical
+//! analysis, warm-up calibration, or HTML report — each benchmark runs a
+//! fixed number of timed iterations and prints the mean per-iteration time.
+//! That is enough for `cargo bench` to compile, run, and give a rough
+//! ordering of the techniques.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for one benchmark's measurement loop.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Hard cap on measured iterations, so very fast bodies terminate promptly.
+const MAX_ITERS: u64 = 10_000;
+
+/// The benchmark harness handle passed to every bench function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _criterion: self }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group. (No-op in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark as `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Drives the timing loop for one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `body` until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed call to warm caches and page in code.
+        let _ = std::hint::black_box(body());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            let _ = std::hint::black_box(body());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        // The body never called `iter`; nothing to report.
+        println!("{id:<48} (no measurement)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_nanos() / bencher.iters as u128;
+    println!("{id:<48} {:>10} ns/iter ({} iters)", per_iter, bencher.iters);
+}
+
+/// Collects bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| b.iter(|| n * n));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &1u64, |b, &n| b.iter(|| n + 1));
+        group.finish();
+    }
+}

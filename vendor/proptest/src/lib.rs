@@ -1,0 +1,439 @@
+//! Minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the proptest 1.x API its test suites actually use: the
+//! [`strategy::Strategy`] trait with `prop_map`, integer range strategies,
+//! tuple strategies, [`collection::vec`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream worth knowing about:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   (captured via `Debug`) instead of a minimized counterexample.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so runs are reproducible without a persistence
+//!   file. Set `PROPTEST_CASES` to change the number of accepted cases
+//!   (default 256).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner plumbing used by the generated test bodies.
+pub mod test_runner {
+    /// Outcome of a single generated case, produced by the assertion macros.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; generate a fresh one.
+        Reject,
+        /// The case failed an assertion; abort the test with this message.
+        Fail(String),
+    }
+
+    /// A small deterministic generator (SplitMix64) for driving strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform value in `[0, bound)` (`bound > 0`).
+        pub fn below(&mut self, bound: u128) -> u128 {
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % bound
+        }
+    }
+
+    /// Number of accepted cases each property runs (env `PROPTEST_CASES`,
+    /// default 256).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+    }
+
+    /// Derives a stable per-test seed from the test's full path.
+    pub fn seed_for(name: &str) -> u64 {
+        // FNV-1a, good enough to decorrelate sibling tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree or shrinking: a
+    /// strategy simply draws a value from the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let off = rng.below(span);
+                    ((self.start as i128).wrapping_add(off as i128)) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    let off = rng.below(span);
+                    ((lo as i128).wrapping_add(off as i128)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for core::ops::Range<char> {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = (self.end as u32 - self.start as u32) as u128;
+            loop {
+                let off = rng.below(span) as u32;
+                if let Some(c) = char::from_u32(self.start as u32 + off) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size window for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u128 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates a `Vec` whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// The glob-import surface used by test modules.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    $crate::test_runner::seed_for(concat!(
+                        module_path!(), "::", stringify!($name)
+                    )),
+                );
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __cases.saturating_mul(16).saturating_add(256),
+                        "proptest '{}': too many inputs rejected by prop_assume!",
+                        stringify!($name),
+                    );
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let $pat = {
+                            let __value =
+                                $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                            {
+                                use ::std::fmt::Write as _;
+                                let _ = ::std::write!(
+                                    __inputs,
+                                    "{} = {:?}; ",
+                                    stringify!($pat),
+                                    __value
+                                );
+                            }
+                            __value
+                        };
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            __message,
+                        )) => {
+                            panic!(
+                                "proptest '{}' failed: {}\n  inputs: {}",
+                                stringify!($name),
+                                __message,
+                                __inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: failure aborts the case with its inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `left != right`\n  both: {:?}", __l);
+    }};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Generated values stay inside their ranges and tuples compose.
+        #[test]
+        fn ranges_and_tuples(
+            a in -5i128..=5,
+            b in 0u64..10,
+            (x, y) in (1i32..4, 2i32..=6),
+        ) {
+            prop_assert!((-5..=5).contains(&a));
+            prop_assert!(b < 10);
+            prop_assert!((1..4).contains(&x) && (2..=6).contains(&y));
+        }
+
+        /// `prop_map` and `collection::vec` cooperate.
+        #[test]
+        fn vec_and_map(
+            v in prop::collection::vec((0usize..3, -2i128..=2), 1..4),
+            s in (0i64..100).prop_map(|n| n * 2),
+        ) {
+            prop_assert!((1..=3).contains(&v.len()));
+            for &(i, c) in &v {
+                prop_assert!(i < 3);
+                prop_assert!((-2..=2).contains(&c));
+            }
+            prop_assert_eq!(s % 2, 0);
+        }
+
+        /// `prop_assume` rejects without failing.
+        #[test]
+        fn assume_filters(n in 0i64..50) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "n = {}", n);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        let s1 = crate::test_runner::seed_for("a::b::c");
+        let s2 = crate::test_runner::seed_for("a::b::c");
+        assert_eq!(s1, s2);
+        assert_ne!(s1, crate::test_runner::seed_for("a::b::d"));
+    }
+}
