@@ -4,7 +4,15 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
+# The whole suite at two fixed worker counts: code that defaults its
+# engine/batch configuration picks the count up via DELIN_WORKERS, so any
+# scheduling-dependent output fails one of the two runs.
+DELIN_WORKERS=1 cargo test -q
+DELIN_WORKERS=4 cargo test -q
+# Deeper differential-oracle sweep in release mode (1024 cases/property).
+PROPTEST_CASES=1024 cargo test -q --release --test oracle_differential
+# The batch engine's corpus-wide determinism matrix (workers x orderings).
+cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 echo "ci: all green"

@@ -1,0 +1,101 @@
+//! The batch engine over the full corpus: RiCEPS plus generated workloads
+//! streamed through one shared verdict cache, with the corpus-level table.
+//!
+//! Flags:
+//!
+//! * `--full` — generate RiCEPS at the paper's reported line counts
+//!   (default: size-reduced programs with the same linearized-nest counts);
+//! * `--workers N` — total worker budget (default: auto / `DELIN_WORKERS`);
+//! * `--units N` — number of generated workload units (default 24);
+//! * `--verify` — instead of one run, execute the determinism matrix
+//!   (workers ∈ {1, 4, auto} × {forward, reversed} arrival order) and fail
+//!   unless every run renders byte-identically.
+
+use delin_corpus::stream::{generated_units, riceps_units};
+use delin_vic::batch::{BatchConfig, BatchRunner, BatchUnit};
+
+fn corpus(full: bool, gen_units: usize) -> Vec<BatchUnit> {
+    let lines = if full { None } else { Some(400) };
+    riceps_units(lines).chain(generated_units(gen_units, 20260805)).collect()
+}
+
+fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut expect_value = false;
+    for a in &args {
+        match a.as_str() {
+            "--full" | "--verify" => expect_value = false,
+            "--units" | "--workers" => expect_value = true,
+            _ if expect_value => {
+                if a.parse::<usize>().is_err() {
+                    eprintln!("invalid count: {a}");
+                    std::process::exit(2);
+                }
+                expect_value = false;
+            }
+            _ => {
+                eprintln!("unknown argument: {a}");
+                eprintln!("usage: batch_corpus [--full] [--verify] [--units N] [--workers N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if expect_value {
+        eprintln!("missing count after --units/--workers");
+        std::process::exit(2);
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let verify = args.iter().any(|a| a == "--verify");
+    let gen_units = arg_value("--units").unwrap_or(24);
+    let workers = arg_value("--workers").unwrap_or_else(delin_vic::deps::workers_from_env);
+
+    println!("batch engine: RiCEPS + {gen_units} generated units, shared verdict cache");
+    println!();
+
+    if verify {
+        let reference = run(workers, false, full, gen_units);
+        let mut failures = 0;
+        for w in [1usize, 4, 0] {
+            for reversed in [false, true] {
+                let render = run(w, reversed, full, gen_units);
+                let label = format!(
+                    "workers={} order={}",
+                    if w == 0 { "auto".into() } else { w.to_string() },
+                    if reversed { "reversed" } else { "forward" }
+                );
+                if render == reference {
+                    println!("OK   {label}");
+                } else {
+                    println!("FAIL {label}: render differs from reference");
+                    failures += 1;
+                }
+            }
+        }
+        if failures > 0 {
+            eprintln!("{failures} determinism violation(s)");
+            std::process::exit(1);
+        }
+        println!();
+        println!("all runs byte-identical; reference report:");
+        println!();
+        print!("{reference}");
+        return;
+    }
+
+    print!("{}", run(workers, false, full, gen_units));
+}
+
+/// One batch run rendered deterministically.
+fn run(workers: usize, reversed: bool, full: bool, gen_units: usize) -> String {
+    let mut units = corpus(full, gen_units);
+    if reversed {
+        units.reverse();
+    }
+    let runner = BatchRunner::new(BatchConfig { workers, ..BatchConfig::default() });
+    runner.run(units).render()
+}

@@ -7,15 +7,19 @@
 //! linearized references; [`census`] implements the detector that measures
 //! those counts (reproducing Fig. 1 as experiment E1). [`workload`]
 //! generates the random linearized dependence problems used by the
-//! precision (E8) and scaling (E7) experiments.
+//! precision (E8) and scaling (E7) experiments. [`stream`] adapts the
+//! RiCEPS programs and a generated nest family into lazy
+//! `delin_vic::batch::BatchUnit` streams for the batch engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod census;
 pub mod riceps;
+pub mod stream;
 pub mod workload;
 
 pub use census::{census, CensusResult};
 pub use riceps::{all_benchmarks, BenchmarkSpec, ExpectedCount};
+pub use stream::{generated_unit, generated_units, riceps_units};
 pub use workload::{linearized_problem, scaling_problem, LinearizedSpec};

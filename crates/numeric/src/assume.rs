@@ -55,6 +55,11 @@ impl Assumptions {
         self.bounds.get(sym).copied().unwrap_or(self.default_lb)
     }
 
+    /// The lower bound assumed for symbols without an explicit entry.
+    pub fn default_lower_bound(&self) -> i128 {
+        self.default_lb
+    }
+
     /// Iterates over the explicitly recorded bounds.
     pub fn iter(&self) -> impl Iterator<Item = (&Sym, i128)> {
         self.bounds.iter().map(|(s, &b)| (s, b))

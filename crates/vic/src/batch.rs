@@ -1,0 +1,477 @@
+//! The batch engine: many program units through one pipeline.
+//!
+//! The ROADMAP's scaling step beyond PR 1's single-unit engine: a
+//! [`BatchRunner`] streams [`BatchUnit`]s from any iterator (so corpora
+//! larger than memory can be processed one unit at a time), drives them
+//! through [`crate::pipeline::run_pipeline_in`] on a bounded pool of unit
+//! workers, and shares **one** canonicalizing [`VerdictCache`] across all
+//! units, so a subscript shape solved in one unit is a cache hit in every
+//! other unit that repeats it (cross-unit memoization).
+//!
+//! # Worker budgeting
+//!
+//! [`BatchConfig::workers`] is the *total* thread budget. It is split
+//! between unit-level parallelism (how many units are in flight) and the
+//! per-unit dependence-pair worklist so the two levels never oversubscribe:
+//! `unit_parallelism × per-unit engine workers ≤ workers`. With the default
+//! auto split, each in-flight unit runs its worklist serially — for corpora
+//! of many small units that is the efficient shape. `workers = 1` is the
+//! fully serial reference path.
+//!
+//! # Determinism contract
+//!
+//! For any worker count and any unit arrival order, the per-unit edges
+//! (counts and fingerprints), the per-unit [`DepStats::verdict_stats`], and
+//! the corpus totals in [`BatchStats`] are byte-identical under
+//! [`BatchStats::render`]:
+//!
+//! * verdicts are pure functions of the canonical cache key
+//!   ([`crate::cache`]), so *which* unit populates a shared entry first
+//!   cannot change any verdict;
+//! * per-unit cache hit/miss and charged-work counters attribute each
+//!   canonical problem to its first reference **in that unit's source-pair
+//!   order** (see [`DepStats::attempts_by`]), making them equal to a
+//!   private-cache run of the same unit — sharing changes who executes,
+//!   never what a unit reports;
+//! * unit reports are collected into a name-sorted table, so scheduling
+//!   cannot leak into the rendered output.
+//!
+//! Only the corpus-level sharing counters ([`BatchStats::distinct_problems`],
+//! [`BatchStats::cross_unit_hits`]) and wall-clock nanos depend on whether
+//! the shared cache is enabled — and the former two are themselves
+//! deterministic for a given unit *set*, because the set of distinct
+//! canonical keys is order-independent.
+
+use crate::cache::VerdictCache;
+use crate::deps::{workers_from_env, DepEdge, DepStats, TestChoice, VerdictStats};
+use crate::pipeline::{run_pipeline_in, PipelineConfig};
+use delin_numeric::Assumptions;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// One program unit of a batch: a named mini-FORTRAN source plus the
+/// symbolic assumptions it is analyzed under.
+#[derive(Debug, Clone)]
+pub struct BatchUnit {
+    /// Unique display name (unit reports are sorted by it).
+    pub name: String,
+    /// Mini-FORTRAN source text.
+    pub source: String,
+    /// Symbolic assumptions for this unit (e.g. `N ≥ 2`). Units with
+    /// different assumptions safely share the batch cache: lookups are
+    /// keyed per-unit (see [`crate::cache::env_key`]).
+    pub assumptions: Assumptions,
+}
+
+impl BatchUnit {
+    /// A unit with no symbolic assumptions.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> BatchUnit {
+        BatchUnit { name: name.into(), source: source.into(), assumptions: Assumptions::new() }
+    }
+
+    /// Replaces the unit's assumptions.
+    #[must_use]
+    pub fn with_assumptions(mut self, assumptions: Assumptions) -> BatchUnit {
+        self.assumptions = assumptions;
+        self
+    }
+}
+
+/// Configuration of the batch engine.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Which dependence tests drive the analysis.
+    pub choice: TestChoice,
+    /// Total worker-thread budget across both scheduling levels; `0` means
+    /// one per available CPU (or `DELIN_WORKERS` when set), `1` is fully
+    /// serial.
+    pub workers: usize,
+    /// Units in flight at once; `0` (auto) uses the whole budget at the
+    /// unit level with serial per-unit worklists. Clamped to `workers`.
+    pub unit_parallelism: usize,
+    /// Share one verdict cache across all units (cross-unit memoization).
+    pub shared_cache: bool,
+    /// With `shared_cache` off, still memoize within each unit.
+    pub cache: bool,
+    /// Apply induction-variable substitution.
+    pub induction: bool,
+    /// Linearize `EQUIVALENCE`-aliased arrays first.
+    pub linearize: bool,
+    /// Derive symbol bounds from loop bounds (loops execute at least once).
+    pub infer_loop_assumptions: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            choice: TestChoice::default(),
+            workers: workers_from_env(),
+            unit_parallelism: 0,
+            shared_cache: true,
+            cache: true,
+            induction: true,
+            linearize: true,
+            infer_loop_assumptions: true,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Resolves the two-level worker split: `(unit workers, engine workers
+    /// per unit)`, with `unit × engine ≤ total budget`.
+    pub fn worker_split(&self) -> (usize, usize) {
+        let auto = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let total = if self.workers == 0 { auto() } else { self.workers }.max(1);
+        let units = if self.unit_parallelism == 0 { total } else { self.unit_parallelism };
+        let units = units.clamp(1, total);
+        (units, (total / units).max(1))
+    }
+}
+
+/// What the batch engine did with one unit. Everything here is
+/// deterministic: scheduling-dependent wall-clock figures live only in
+/// [`UnitReport::stats`]' nanos fields, which [`BatchStats::render`] omits.
+#[derive(Debug, Clone)]
+pub struct UnitReport {
+    /// The unit's name.
+    pub name: String,
+    /// The parse failure, if the unit was rejected.
+    pub parse_error: Option<String>,
+    /// Dependence edges emitted.
+    pub edges: usize,
+    /// Order-sensitive fingerprint of the full edge list (statements,
+    /// kinds, direction vectors, levels) — byte-identical edges iff equal.
+    pub edges_fp: u64,
+    /// Statements the vectorizer emitted in vector form.
+    pub vectorized_statements: usize,
+    /// Full engine statistics for the unit.
+    pub stats: DepStats,
+}
+
+impl UnitReport {
+    /// The deterministic one-line table row for this unit.
+    pub fn render_row(&self) -> String {
+        if let Some(e) = &self.parse_error {
+            return format!("{}: PARSE ERROR: {e}", self.name);
+        }
+        let v = self.stats.verdict_stats();
+        format!(
+            "{}: pairs={} independent={} conservative={} cache={}h/{}m nodes={} \
+             edges={} fp={:016x} vectorized={}",
+            self.name,
+            v.pairs_tested,
+            v.proven_independent,
+            v.conservative_pairs,
+            v.cache_hits,
+            v.cache_misses,
+            v.solver_nodes,
+            self.edges,
+            self.edges_fp,
+            self.vectorized_statements
+        )
+    }
+}
+
+/// The corpus-level aggregate of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Per-unit reports, sorted by unit name (ties broken structurally) so
+    /// arrival order cannot leak into the output.
+    pub units: Vec<UnitReport>,
+    /// Units that failed to parse.
+    pub parse_failures: usize,
+    /// Sum of all unit statistics.
+    pub totals: DepStats,
+    /// Distinct canonical problems in the shared cache at the end of the
+    /// run; `None` when the shared cache was disabled.
+    pub distinct_problems: Option<usize>,
+    /// Unit-local first references that were already present in the shared
+    /// cache because *another* unit computed them: the work cross-unit
+    /// memoization saved. `0` without a shared cache.
+    pub cross_unit_hits: usize,
+    /// Total vectorized statements across units.
+    pub vectorized_statements: usize,
+}
+
+impl BatchStats {
+    /// The scheduling-independent corpus totals.
+    pub fn verdict_totals(&self) -> VerdictStats {
+        self.totals.verdict_stats()
+    }
+
+    /// Renders the deterministic corpus table: per-unit rows (name-sorted)
+    /// plus corpus totals. Contains no wall-clock figures, so two runs of
+    /// the same unit set render byte-identically for any worker count and
+    /// any arrival order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for unit in &self.units {
+            let _ = writeln!(out, "{}", unit.render_row());
+        }
+        let t = self.totals.verdict_stats();
+        let _ = writeln!(
+            out,
+            "corpus: units={} failures={} pairs={} independent={} conservative={} \
+             cache={}h/{}m nodes={} vectorized={}",
+            self.units.len(),
+            self.parse_failures,
+            t.pairs_tested,
+            t.proven_independent,
+            t.conservative_pairs,
+            t.cache_hits,
+            t.cache_misses,
+            t.solver_nodes,
+            self.vectorized_statements
+        );
+        let decided: Vec<String> =
+            t.decided_by.iter().map(|(name, n)| format!("{name}={n}")).collect();
+        let _ = writeln!(out, "decided-by: {}", decided.join(" "));
+        match self.distinct_problems {
+            Some(d) => {
+                let _ = writeln!(
+                    out,
+                    "shared-cache: distinct={} cross-unit-hits={}",
+                    d, self.cross_unit_hits
+                );
+            }
+            None => {
+                let _ = writeln!(out, "shared-cache: off");
+            }
+        }
+        out
+    }
+}
+
+/// Streams program units through the pipeline under a [`BatchConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchRunner {
+    config: BatchConfig,
+}
+
+impl BatchRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: BatchConfig) -> BatchRunner {
+        BatchRunner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Runs every unit the iterator yields and aggregates the corpus
+    /// report. Units are pulled from the iterator one at a time as workers
+    /// free up, so the whole corpus never needs to be resident at once.
+    pub fn run<I>(&self, units: I) -> BatchStats
+    where
+        I: IntoIterator<Item = BatchUnit>,
+        I::IntoIter: Send,
+    {
+        let (unit_workers, engine_workers) = self.config.worker_split();
+        let shared = self.config.shared_cache.then(VerdictCache::shared);
+
+        let mut reports: Vec<UnitReport> = if unit_workers <= 1 {
+            units
+                .into_iter()
+                .map(|u| self.process_unit(&u, engine_workers, shared.as_ref()))
+                .collect()
+        } else {
+            let stream = Mutex::new(units.into_iter());
+            let sink = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..unit_workers {
+                    scope.spawn(|| loop {
+                        // Hold the stream lock only while pulling: units
+                        // larger than the lock hold-time stream freely.
+                        let unit = stream.lock().expect("unit stream poisoned").next();
+                        let Some(unit) = unit else { break };
+                        let report = self.process_unit(&unit, engine_workers, shared.as_ref());
+                        sink.lock().expect("report sink poisoned").push(report);
+                    });
+                }
+            });
+            sink.into_inner().expect("report sink poisoned")
+        };
+
+        // Name-sorted output: arrival order and scheduling cannot leak.
+        reports.sort_by(|a, b| (&a.name, a.edges_fp, a.edges).cmp(&(&b.name, b.edges_fp, b.edges)));
+
+        let mut totals = DepStats::default();
+        let mut parse_failures = 0;
+        let mut vectorized_statements = 0;
+        for r in &reports {
+            totals.merge(&r.stats);
+            parse_failures += usize::from(r.parse_error.is_some());
+            vectorized_statements += r.vectorized_statements;
+        }
+        let distinct_problems = shared.as_ref().map(VerdictCache::len);
+        // Every unit-local miss is a globally distinct problem unless some
+        // other unit had already inserted it.
+        let cross_unit_hits =
+            distinct_problems.map_or(0, |d| totals.cache_misses.saturating_sub(d));
+        BatchStats {
+            units: reports,
+            parse_failures,
+            totals,
+            distinct_problems,
+            cross_unit_hits,
+            vectorized_statements,
+        }
+    }
+
+    fn process_unit(
+        &self,
+        unit: &BatchUnit,
+        engine_workers: usize,
+        shared: Option<&VerdictCache>,
+    ) -> UnitReport {
+        let config = PipelineConfig {
+            choice: self.config.choice,
+            induction: self.config.induction,
+            linearize: self.config.linearize,
+            assumptions: unit.assumptions.clone(),
+            infer_loop_assumptions: self.config.infer_loop_assumptions,
+            workers: engine_workers,
+            cache: self.config.cache,
+        };
+        match run_pipeline_in(&unit.source, &config, shared) {
+            Ok(report) => UnitReport {
+                name: unit.name.clone(),
+                parse_error: None,
+                edges: report.graph.edges.len(),
+                edges_fp: fingerprint_edges(&report.graph.edges),
+                vectorized_statements: report.vectorization.vectorized_statements,
+                stats: report.stats,
+            },
+            Err(e) => UnitReport {
+                name: unit.name.clone(),
+                parse_error: Some(e.to_string()),
+                edges: 0,
+                edges_fp: 0,
+                vectorized_statements: 0,
+                stats: DepStats::default(),
+            },
+        }
+    }
+}
+
+/// A stable fingerprint of an edge list: hashes every structural field in
+/// order, so equal fingerprints mean byte-identical edges in identical
+/// order.
+pub fn fingerprint_edges(edges: &[DepEdge]) -> u64 {
+    let mut h = DefaultHasher::new();
+    edges.len().hash(&mut h);
+    for e in edges {
+        e.src.hash(&mut h);
+        e.dst.hash(&mut h);
+        format!("{:?}", e.kind).hash(&mut h);
+        e.array.hash(&mut h);
+        format!("{:?}", e.dir_vecs).hash(&mut h);
+        e.level.hash(&mut h);
+        e.tested_by.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(name: &str, stride: i128, off: i128) -> BatchUnit {
+        BatchUnit::new(
+            name,
+            format!(
+                "REAL C(0:399)\nDO 1 i = 0, 4\nDO 1 j = 0, 9\n\
+                 1   C(i + {stride}*j) = C(i + {stride}*j + {off})\nEND\n"
+            ),
+        )
+    }
+
+    fn units() -> Vec<BatchUnit> {
+        vec![
+            unit("u0-classic", 10, 5),
+            unit("u1-repeat", 10, 5), // same shape as u0: cross-unit hit
+            unit("u2-other", 12, 7),
+            BatchUnit::new("u3-bad", "DO 1 i = \nEND\n"),
+        ]
+    }
+
+    #[test]
+    fn batch_processes_and_sorts_units() {
+        let stats = BatchRunner::default().run(units());
+        assert_eq!(stats.units.len(), 4);
+        assert_eq!(stats.parse_failures, 1);
+        let names: Vec<&str> = stats.units.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(names, vec!["u0-classic", "u1-repeat", "u2-other", "u3-bad"]);
+        assert!(stats.totals.pairs_tested > 0);
+        assert!(stats.vectorized_statements >= 3);
+        let render = stats.render();
+        assert!(render.contains("corpus: units=4 failures=1"), "{render}");
+    }
+
+    #[test]
+    fn identical_units_share_cache_entries() {
+        let stats = BatchRunner::default().run(units());
+        // u1 repeats u0's canonical problems exactly.
+        assert!(stats.cross_unit_hits > 0, "{:?}", stats.distinct_problems);
+        let d = stats.distinct_problems.expect("shared cache on by default");
+        assert!(d > 0);
+        assert_eq!(stats.totals.verdict_stats().cache_misses, d + stats.cross_unit_hits);
+    }
+
+    #[test]
+    fn arrival_order_and_workers_do_not_change_the_render() {
+        let base = BatchRunner::default().run(units());
+        let mut reversed = units();
+        reversed.reverse();
+        let rev = BatchRunner::default().run(reversed);
+        assert_eq!(base.render(), rev.render());
+
+        for workers in [1, 2, 5] {
+            let runner = BatchRunner::new(BatchConfig { workers, ..BatchConfig::default() });
+            assert_eq!(runner.run(units()).render(), base.render(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_toggle_preserves_unit_reports() {
+        let on = BatchRunner::default().run(units());
+        let off = BatchRunner::new(BatchConfig { shared_cache: false, ..BatchConfig::default() })
+            .run(units());
+        assert_eq!(off.distinct_problems, None);
+        assert_eq!(off.cross_unit_hits, 0);
+        for (a, b) in on.units.iter().zip(&off.units) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.edges_fp, b.edges_fp);
+            assert_eq!(a.stats.verdict_stats(), b.stats.verdict_stats());
+        }
+    }
+
+    #[test]
+    fn worker_split_never_oversubscribes() {
+        for workers in 1..=8 {
+            for unit_parallelism in 0..=8 {
+                let c = BatchConfig { workers, unit_parallelism, ..BatchConfig::default() };
+                let (u, e) = c.worker_split();
+                assert!(u * e <= workers, "{workers}/{unit_parallelism} -> {u}x{e}");
+                assert!(u >= 1 && e >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_pulls_lazily() {
+        // An iterator that counts how far it was consumed; the runner must
+        // drain it completely without collecting it up front.
+        let produced = std::sync::atomic::AtomicUsize::new(0);
+        let it = (0..6i128).map(|k| {
+            produced.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            unit(&format!("s{k}"), 10 + k, 3)
+        });
+        let stats = BatchRunner::new(BatchConfig { workers: 2, ..BatchConfig::default() }).run(it);
+        assert_eq!(stats.units.len(), 6);
+        assert_eq!(produced.load(std::sync::atomic::Ordering::SeqCst), 6);
+    }
+}

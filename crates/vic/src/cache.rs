@@ -4,22 +4,30 @@
 //! statements in the same nest produces byte-identical dependence problems
 //! for several reference pairs — so the engine normalizes each
 //! [`DependenceProblem`] to a canonical form and solves every distinct form
-//! exactly once per graph construction.
+//! exactly once. Corpora repeat shapes *across* program units too, so a
+//! single [`VerdictCache::shared`] instance can back any number of
+//! concurrent graph constructions (see [`crate::batch`]).
 //!
 //! Canonicalization renames variables away (only their positions and upper
 //! bounds survive), sorts the equations into a stable structural order, and
-//! fingerprints the [`Assumptions`] in force. Two pairs whose problems agree
-//! up to variable names and equation order therefore share one cache entry.
+//! prefixes an *environment key*: the assumptions in force, projected onto
+//! the symbols the problem actually mentions. Two pairs whose problems
+//! agree up to variable names and equation order — even when they come from
+//! different program units — share one cache entry exactly when their
+//! assumption environments agree on every symbol the problem uses. Fully
+//! concrete problems mention no symbols, so they share across *any*
+//! environments; symbolic problems from units with conflicting assumptions
+//! never collide (see `shared_cache_separates_assumption_environments`).
 //!
 //! The store is a sharded `RwLock` map of [`std::sync::OnceLock`] cells:
 //! concurrent workers that race on the same key agree on a single cell, and
 //! exactly one of them runs the solver while the rest block on the cell.
-//! That makes hit/miss counts — not just verdicts — deterministic under
-//! parallel construction: every distinct key is computed exactly once.
+//! Every distinct key is therefore computed exactly once per cache
+//! lifetime, no matter how many units or worker threads touch it.
 
 use delin_dep::problem::DependenceProblem;
 use delin_dep::verdict::Verdict;
-use delin_numeric::{Assumptions, SymPoly};
+use delin_numeric::{Assumptions, Sym, SymPoly};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -36,31 +44,52 @@ pub struct CachedOutcome {
     pub verdict: Verdict,
     /// The deciding test's name.
     pub tested_by: &'static str,
-    /// Names of the test invocations that actually ran while deciding.
+    /// Names of the test invocations that ran while deciding. A pure
+    /// function of the canonical problem, so callers may attribute these to
+    /// any reference of the entry (see `DepStats` fold attribution).
     pub attempts: Vec<&'static str>,
     /// Exact-solver search nodes spent computing this entry.
     pub solver_nodes: u64,
 }
 
-/// A per-run verdict cache keyed by canonicalized dependence problems.
+/// The result of one cache lookup.
+#[derive(Debug, Clone)]
+pub struct CacheLookup {
+    /// The (possibly memoized) outcome.
+    pub outcome: CachedOutcome,
+    /// `true` when *this* lookup ran the solver (a global cache miss).
+    pub computed: bool,
+    /// A 64-bit fingerprint of the full cache key (environment key plus
+    /// canonical structure). Equal problems under equal relevant
+    /// assumptions produce equal fingerprints; graph construction uses it
+    /// to attribute hits and misses deterministically in source-pair order.
+    pub key_fp: u64,
+}
+
+/// A verdict cache keyed by canonicalized dependence problems.
 ///
-/// The cache is scoped to one graph construction: the assumptions and test
-/// choice in force are fixed for its lifetime (the assumptions are still
-/// fingerprinted into every key as a guard against accidental reuse).
+/// Construct with [`VerdictCache::new`] for a single graph construction
+/// under one assumption environment, or with [`VerdictCache::shared`] for a
+/// cache shared across program units with *different* environments (every
+/// lookup then goes through [`VerdictCache::lookup`], which keys on the
+/// per-unit assumptions).
 pub struct VerdictCache {
     shards: Vec<RwLock<HashMap<String, Arc<OnceLock<CachedOutcome>>>>>,
-    assumptions_fp: u64,
+    /// The environment baked in by [`VerdictCache::new`]; `None` for shared
+    /// caches, whose lookups carry their environment explicitly.
+    env: Option<Assumptions>,
 }
 
 impl VerdictCache {
-    /// An empty cache for a run under the given assumptions.
+    /// An empty cache for one run under the given assumptions.
     pub fn new(assumptions: &Assumptions) -> VerdictCache {
-        let mut hasher = DefaultHasher::new();
-        format!("{assumptions:?}").hash(&mut hasher);
-        VerdictCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            assumptions_fp: hasher.finish(),
-        }
+        VerdictCache { shards: new_shards(), env: Some(assumptions.clone()) }
+    }
+
+    /// An empty cache safe to share across program units analyzed under
+    /// different assumption environments.
+    pub fn shared() -> VerdictCache {
+        VerdictCache { shards: new_shards(), env: None }
     }
 
     /// Number of entries across all shards (distinct canonical problems).
@@ -73,18 +102,41 @@ impl VerdictCache {
         self.len() == 0
     }
 
-    /// Looks up the canonical form of `problem`, running `compute` on it on
-    /// the first sighting. Returns the outcome and whether it was a hit.
+    /// Looks up the canonical form of `problem` under the environment baked
+    /// in at construction, running `compute` on it on the first sighting.
+    /// Returns the outcome and whether it was a hit.
     ///
-    /// `compute` receives the *canonical* problem, so the stored verdict is
-    /// a pure function of the cache key — this is what keeps parallel runs
-    /// deterministic regardless of which worker populates an entry first.
+    /// # Panics
+    ///
+    /// Panics on a cache built with [`VerdictCache::shared`] — shared
+    /// lookups must pass their environment to [`VerdictCache::lookup`].
     pub fn get_or_compute(
         &self,
         problem: &DependenceProblem<SymPoly>,
         compute: impl FnOnce(&DependenceProblem<SymPoly>) -> CachedOutcome,
     ) -> (CachedOutcome, bool) {
-        let (key, canonical) = canonicalize(problem, self.assumptions_fp);
+        let env = self.env.clone().expect("shared caches must use lookup()");
+        let l = self.lookup(&env, problem, compute);
+        (l.outcome, !l.computed)
+    }
+
+    /// Looks up the canonical form of `problem` under `assumptions`,
+    /// running `compute` on the canonical problem on the first sighting of
+    /// the (environment, structure) pair.
+    ///
+    /// `compute` receives the *canonical* problem, so the stored verdict is
+    /// a pure function of the cache key — this is what keeps parallel and
+    /// multi-unit runs deterministic regardless of which worker (or which
+    /// unit) populates an entry first.
+    pub fn lookup(
+        &self,
+        assumptions: &Assumptions,
+        problem: &DependenceProblem<SymPoly>,
+        compute: impl FnOnce(&DependenceProblem<SymPoly>) -> CachedOutcome,
+    ) -> CacheLookup {
+        let env = env_key(problem, assumptions);
+        let (key, canonical) = canonicalize(problem, &env);
+        let key_fp = fingerprint(&key);
         let shard = &self.shards[shard_index(&key)];
         let cell = {
             // Fast path: the key is already present.
@@ -103,14 +155,59 @@ impl VerdictCache {
             computed = true;
             compute(&canonical)
         });
-        (outcome.clone(), !computed)
+        CacheLookup { outcome: outcome.clone(), computed, key_fp }
     }
 }
 
-fn shard_index(key: &str) -> usize {
+fn new_shards() -> Vec<RwLock<HashMap<String, Arc<OnceLock<CachedOutcome>>>>> {
+    (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
+}
+
+fn fingerprint(key: &str) -> u64 {
     let mut hasher = DefaultHasher::new();
     key.hash(&mut hasher);
-    (hasher.finish() as usize) % SHARDS
+    hasher.finish()
+}
+
+fn shard_index(key: &str) -> usize {
+    (fingerprint(key) as usize) % SHARDS
+}
+
+/// Renders the assumption environment restricted to the symbols `problem`
+/// mentions (in bounds, coefficients, or constants).
+///
+/// Dependence tests only ever consult assumptions about symbols reachable
+/// from the problem's own polynomials, so this projection is the *exact*
+/// environment the verdict depends on: including more would split entries
+/// that must agree (units with irrelevant extra symbols), including less
+/// would merge entries that may differ — the cross-unit collision this
+/// function exists to prevent. Concrete problems project to the empty key.
+pub fn env_key(problem: &DependenceProblem<SymPoly>, assumptions: &Assumptions) -> String {
+    use std::fmt::Write as _;
+    let mut syms: Vec<Sym> = Vec::new();
+    let mut add = |p: &SymPoly| syms.extend(p.symbols());
+    for v in problem.vars() {
+        add(&v.upper);
+    }
+    for eq in problem.equations() {
+        add(&eq.c0);
+        eq.coeffs.iter().for_each(&mut add);
+    }
+    for iq in problem.inequalities() {
+        add(&iq.c0);
+        iq.coeffs.iter().for_each(&mut add);
+    }
+    syms.sort();
+    syms.dedup();
+    let mut out = String::new();
+    if syms.is_empty() {
+        return out; // concrete: the verdict cannot depend on any assumption
+    }
+    for s in &syms {
+        let _ = write!(out, "{s}>={},", assumptions.lower_bound(s));
+    }
+    let _ = write!(out, "*>={}", assumptions.default_lower_bound());
+    out
 }
 
 /// Renders one linear form (`c0` plus dense coefficients) structurally.
@@ -124,18 +221,19 @@ fn render_linear(c0: &SymPoly, coeffs: &[SymPoly]) -> String {
     out
 }
 
-/// Produces the canonical key and canonical problem for `problem`.
+/// Produces the canonical key and canonical problem for `problem` under the
+/// environment key `env` (see [`env_key`]).
 ///
 /// The key drops variable names (positions and bounds remain), sorts the
-/// equations structurally, and prefixes the assumptions fingerprint. The
-/// returned problem is `problem` with its equations in that same sorted
-/// order — solving it instead of the original makes the memoized verdict
+/// equations structurally, and prefixes the environment key. The returned
+/// problem is `problem` with its equations in that same sorted order —
+/// solving it instead of the original makes the memoized verdict
 /// independent of which reference pair inserted the entry. Downstream edge
 /// emission sorts and dedups atomic direction vectors, so equation order
 /// cannot leak into the final graph.
 pub fn canonicalize(
     problem: &DependenceProblem<SymPoly>,
-    assumptions_fp: u64,
+    env: &str,
 ) -> (String, DependenceProblem<SymPoly>) {
     use std::fmt::Write as _;
 
@@ -148,7 +246,7 @@ pub fn canonicalize(
     eq_keys.sort();
 
     let mut key = String::new();
-    let _ = write!(key, "a{assumptions_fp:x};");
+    let _ = write!(key, "a[{env}];");
     for v in problem.vars() {
         let _ = write!(key, "v{};", v.upper);
     }
@@ -200,12 +298,31 @@ mod tests {
         b.build()
     }
 
+    /// A symbolic single-equation problem `i1 - i2 - N = 0`, `i ∈ [0, N-1]`.
+    fn symbolic_problem() -> DependenceProblem<SymPoly> {
+        let upper = SymPoly::symbol("N").checked_sub(&poly(1)).unwrap();
+        let mut b = DependenceProblem::<SymPoly>::builder();
+        b.var("i1", upper.clone());
+        b.var("i2", upper);
+        b.equation(SymPoly::symbol("N").checked_neg().unwrap(), vec![poly(1), poly(-1)]);
+        b.build()
+    }
+
+    fn outcome(nodes: u64) -> CachedOutcome {
+        CachedOutcome {
+            verdict: Verdict::Independent,
+            tested_by: "test",
+            attempts: vec!["test"],
+            solver_nodes: nodes,
+        }
+    }
+
     #[test]
     fn key_ignores_names_and_equation_order() {
         let a = two_eq_problem([0, 1]);
         let b = two_eq_problem([1, 0]);
-        let (ka, ca) = canonicalize(&a, 7);
-        let (kb, cb) = canonicalize(&b, 7);
+        let (ka, ca) = canonicalize(&a, "env");
+        let (kb, cb) = canonicalize(&b, "env");
         assert_eq!(ka, kb);
         assert_eq!(ca.equations(), cb.equations());
 
@@ -214,7 +331,7 @@ mod tests {
         renamed.var("different", poly(9));
         renamed.equation(poly(-5), vec![poly(1), poly(10)]);
         renamed.equation(poly(3), vec![poly(2), poly(0)]);
-        let (kr, _) = canonicalize(&renamed.build(), 7);
+        let (kr, _) = canonicalize(&renamed.build(), "env");
         assert_eq!(ka, kr);
     }
 
@@ -226,12 +343,63 @@ mod tests {
         b.var("y", poly(9));
         b.equation(poly(-6), vec![poly(1), poly(10)]); // different constant
         b.equation(poly(3), vec![poly(2), poly(0)]);
-        let (ka, _) = canonicalize(&a, 7);
-        let (kb, _) = canonicalize(&b.build(), 7);
+        let (ka, _) = canonicalize(&a, "env");
+        let (kb, _) = canonicalize(&b.build(), "env");
         assert_ne!(ka, kb);
-        // Different assumptions fingerprint, same structure: different key.
-        let (kc, _) = canonicalize(&a, 8);
+        // Different environment key, same structure: different key.
+        let (kc, _) = canonicalize(&a, "other-env");
         assert_ne!(ka, kc);
+    }
+
+    #[test]
+    fn env_key_projects_onto_problem_symbols() {
+        // Concrete problems have an empty environment key under any env.
+        let concrete = two_eq_problem([0, 1]);
+        let mut rich = Assumptions::new();
+        rich.set_lower_bound("N", 5).set_lower_bound("M", 2);
+        assert_eq!(env_key(&concrete, &Assumptions::new()), "");
+        assert_eq!(env_key(&concrete, &rich), "");
+
+        // Symbolic problems pick up exactly the bounds of their symbols.
+        let sym = symbolic_problem();
+        let mut n2 = Assumptions::new();
+        n2.set_lower_bound("N", 2);
+        let mut n2_extra = n2.clone();
+        n2_extra.set_lower_bound("UNRELATED", 9);
+        // Irrelevant symbols do not split the key...
+        assert_eq!(env_key(&sym, &n2), env_key(&sym, &n2_extra));
+        // ...but bounds on mentioned symbols, and the default bound, do.
+        assert_ne!(env_key(&sym, &n2), env_key(&sym, &Assumptions::new()));
+        assert_ne!(env_key(&sym, &n2), env_key(&sym, &Assumptions::with_default_lower_bound(1)));
+        // Pin the rendered form so accidental format drift is caught.
+        assert_eq!(env_key(&sym, &n2), "N>=2,*>=0");
+    }
+
+    /// Regression test for the cross-unit collision audit: two units with
+    /// byte-identical (renamed) equations but different assumption
+    /// environments must not share a cache entry, while a third unit whose
+    /// environment agrees on the relevant symbol must.
+    #[test]
+    fn shared_cache_separates_assumption_environments() {
+        let cache = VerdictCache::shared();
+        let p = symbolic_problem();
+        let mut unit_a = Assumptions::new();
+        unit_a.set_lower_bound("N", 1);
+        let mut unit_b = Assumptions::new();
+        unit_b.set_lower_bound("N", 8);
+        let mut unit_c = unit_a.clone();
+        unit_c.set_lower_bound("OTHER", 3); // irrelevant to `p`
+
+        let a = cache.lookup(&unit_a, &p, |_| outcome(1));
+        let b = cache.lookup(&unit_b, &p, |_| outcome(2));
+        let c = cache.lookup(&unit_c, &p, |_| outcome(3));
+        assert!(a.computed, "first sighting under env A must compute");
+        assert!(b.computed, "env B must not reuse env A's entry");
+        assert!(!c.computed, "env C agrees with A on N, must share");
+        assert_ne!(a.key_fp, b.key_fp);
+        assert_eq!(a.key_fp, c.key_fp);
+        assert_eq!(c.outcome.solver_nodes, 1, "C must see A's entry");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
@@ -240,17 +408,12 @@ mod tests {
         let mut runs = 0;
         for order in [[0, 1], [1, 0], [0, 1]] {
             let p = two_eq_problem(order);
-            let (outcome, _) = cache.get_or_compute(&p, |_| {
+            let (out, _) = cache.get_or_compute(&p, |_| {
                 runs += 1;
-                CachedOutcome {
-                    verdict: Verdict::Independent,
-                    tested_by: "test",
-                    attempts: vec!["test"],
-                    solver_nodes: 11,
-                }
+                outcome(11)
             });
-            assert!(outcome.verdict.is_independent());
-            assert_eq!(outcome.solver_nodes, 11);
+            assert!(out.verdict.is_independent());
+            assert_eq!(out.solver_nodes, 11);
         }
         assert_eq!(runs, 1, "equation order must not defeat the cache");
         assert_eq!(cache.len(), 1);
@@ -258,19 +421,26 @@ mod tests {
     }
 
     #[test]
-    fn cache_reports_hits() {
+    fn cache_reports_hits_and_stable_fingerprints() {
         let cache = VerdictCache::new(&Assumptions::new());
         let p = two_eq_problem([0, 1]);
-        let outcome = || CachedOutcome {
-            verdict: Verdict::maybe_dependent(),
-            tested_by: "t",
-            attempts: Vec::new(),
-            solver_nodes: 0,
-        };
-        let (_, hit) = cache.get_or_compute(&p, |_| outcome());
+        let (_, hit) = cache.get_or_compute(&p, |_| outcome(0));
         assert!(!hit);
-        let (_, hit) = cache.get_or_compute(&p, |_| outcome());
+        let (_, hit) = cache.get_or_compute(&p, |_| outcome(0));
         assert!(hit);
+        // The two equation orders share one key fingerprint.
+        let env = Assumptions::new();
+        let a = cache.lookup(&env, &two_eq_problem([0, 1]), |_| outcome(0));
+        let b = cache.lookup(&env, &two_eq_problem([1, 0]), |_| outcome(0));
+        assert_eq!(a.key_fp, b.key_fp);
+        assert!(!a.computed && !b.computed);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared caches must use lookup()")]
+    fn shared_cache_rejects_envless_lookups() {
+        let cache = VerdictCache::shared();
+        let _ = cache.get_or_compute(&two_eq_problem([0, 1]), |_| outcome(0));
     }
 
     #[test]
@@ -282,12 +452,7 @@ mod tests {
             // rendition sorts before the "3|2,0," one).
             assert_eq!(canon.equations().len(), 2);
             assert_eq!(canon.vars().len(), 2);
-            CachedOutcome {
-                verdict: Verdict::Unknown,
-                tested_by: "t",
-                attempts: Vec::new(),
-                solver_nodes: 0,
-            }
+            outcome(0)
         });
     }
 }

@@ -16,7 +16,7 @@
 //! edges are identical for any worker count; `workers = 1` runs the exact
 //! serial code path.
 
-use crate::cache::{CachedOutcome, VerdictCache};
+use crate::cache::{CacheLookup, CachedOutcome, VerdictCache};
 use delin_core::DelinearizationTest;
 use delin_dep::acyclic::AcyclicTest;
 use delin_dep::banerjee::BanerjeeTest;
@@ -31,7 +31,7 @@ use delin_dep::verdict::{DependenceTest, Verdict};
 use delin_frontend::access::{AccessKind, AccessSite, Subscript};
 use delin_frontend::ast::{Program, StmtId};
 use delin_numeric::{Assumptions, SymPoly};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 /// The classification of a dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,15 +82,22 @@ pub struct DepStats {
     pub conservative_pairs: usize,
     /// Pairs decided by each test (any verdict), cache hits included.
     pub decided_by: BTreeMap<&'static str, usize>,
-    /// Test invocations that actually executed, per technique. Cache hits
-    /// execute nothing, so with caching enabled this counts work done, not
-    /// pairs seen.
+    /// Test invocations charged to this run, per technique. With caching
+    /// enabled each distinct canonical problem is charged exactly once, at
+    /// its *first reference in source-pair order* — not at whichever pair's
+    /// worker happened to compute it — so the counts are deterministic for
+    /// any worker count, and a run against a shared cross-unit cache
+    /// reports the same numbers as a run with a private cache (the shared
+    /// cache changes who *executes*, never what a unit is charged).
     pub attempts_by: BTreeMap<&'static str, usize>,
-    /// Pairs answered from the verdict cache.
+    /// Pairs whose canonical problem was already charged to this run (see
+    /// [`DepStats::attempts_by`] for the attribution rule).
     pub cache_hits: usize,
-    /// Pairs that had to be solved (and populated the cache when enabled).
+    /// Pairs charged as this run's first reference of their canonical
+    /// problem.
     pub cache_misses: usize,
-    /// Exact-solver search nodes spent across all decisions.
+    /// Exact-solver search nodes charged across all decisions (same
+    /// attribution rule as [`DepStats::attempts_by`]).
     pub solver_nodes: u64,
     /// Total wall-clock nanoseconds spent testing pairs. Not deterministic.
     pub test_nanos: u128,
@@ -201,18 +208,31 @@ impl DepStats {
         }
     }
 
-    fn absorb(&mut self, outcome: &PairOutcome) {
+    /// Folds one pair's outcome in, attributing cached work to the first
+    /// reference of each canonical problem in fold (source-pair) order.
+    /// `seen_keys` is the per-run set of already-charged key fingerprints.
+    fn absorb(&mut self, outcome: &PairOutcome, seen_keys: &mut HashSet<u64>) {
         self.pairs_tested += 1;
         *self.decided_by.entry(outcome.tested_by).or_insert(0) += 1;
-        for name in &outcome.attempts {
-            *self.attempts_by.entry(name).or_insert(0) += 1;
+        let charged = match outcome.key_fp {
+            Some(fp) => {
+                let first = seen_keys.insert(fp);
+                if first {
+                    self.cache_misses += 1;
+                } else {
+                    self.cache_hits += 1;
+                }
+                first
+            }
+            // Cache disabled: every pair executed its own decision.
+            None => true,
+        };
+        if charged {
+            for name in &outcome.attempts {
+                *self.attempts_by.entry(name).or_insert(0) += 1;
+            }
+            self.solver_nodes += outcome.solver_nodes;
         }
-        match outcome.cache_hit {
-            Some(true) => self.cache_hits += 1,
-            Some(false) => self.cache_misses += 1,
-            None => {} // cache disabled: neither a hit nor a miss
-        }
-        self.solver_nodes += outcome.solver_nodes;
         self.test_nanos += outcome.nanos;
         *self.nanos_by.entry(outcome.tested_by).or_insert(0) += outcome.nanos;
     }
@@ -271,8 +291,18 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { choice: TestChoice::default(), workers: 0, cache: true }
+        EngineConfig { choice: TestChoice::default(), workers: workers_from_env(), cache: true }
     }
+}
+
+/// The default worker count: the `DELIN_WORKERS` environment variable when
+/// set to a number, else `0` (one worker per available CPU).
+///
+/// CI runs the whole test suite under `DELIN_WORKERS=1` and
+/// `DELIN_WORKERS=4` so that any scheduling-dependence in code using
+/// default configurations fails the determinism gate.
+pub fn workers_from_env() -> usize {
+    std::env::var("DELIN_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
 impl EngineConfig {
@@ -305,19 +335,43 @@ pub fn build_dependence_graph(
 struct PairOutcome {
     verdict: Verdict,
     tested_by: &'static str,
+    /// The test invocations stored for this pair's canonical problem (a
+    /// pure function of the cache key). The fold charges them to the first
+    /// reference of the key in source-pair order, never to later hits.
     attempts: Vec<&'static str>,
     nanos: u128,
-    /// `None` when the cache is disabled.
-    cache_hit: Option<bool>,
+    /// Fingerprint of the canonical cache key; `None` when the cache is
+    /// disabled (every pair then counts as its own first reference).
+    key_fp: Option<u64>,
     solver_nodes: u64,
 }
 
 /// Builds the dependence graph of a program under an explicit engine
-/// configuration.
+/// configuration, with a private verdict cache (when enabled).
 pub fn build_dependence_graph_with(
     program: &Program,
     assumptions: &Assumptions,
     config: &EngineConfig,
+) -> DepGraph {
+    build_dependence_graph_in(program, assumptions, config, None)
+}
+
+/// Builds the dependence graph of a program under an explicit engine
+/// configuration, optionally against a shared cross-unit verdict cache
+/// (see [`crate::batch`]).
+///
+/// When `shared` is given it is used regardless of `config.cache`; lookups
+/// key on this unit's `assumptions`, so units with conflicting assumption
+/// environments can safely share one cache. The emitted edges and the
+/// [`DepStats::verdict_stats`] subset are identical whether the cache is
+/// private, shared, or shared-and-pre-populated by other units: verdicts
+/// are pure functions of the cache key, and cached work is charged to the
+/// first reference in source-pair order (not to whoever computed it).
+pub fn build_dependence_graph_in(
+    program: &Program,
+    assumptions: &Assumptions,
+    config: &EngineConfig,
+    shared: Option<&VerdictCache>,
 ) -> DepGraph {
     let sites = delin_frontend::access::collect_accesses(program, assumptions);
     let mut stmts: Vec<StmtId> = Vec::new();
@@ -346,22 +400,22 @@ pub fn build_dependence_graph_with(
         }
     }
 
-    let cache = config.cache.then(|| VerdictCache::new(assumptions));
+    let private = (shared.is_none() && config.cache).then(VerdictCache::shared);
+    let cache = shared.or(private.as_ref());
     let workers = config.effective_workers(worklist.len());
 
     let outcomes: Vec<PairOutcome> = if workers <= 1 {
         worklist
             .iter()
-            .map(|&(i, j)| {
-                test_pair(&sites[i], &sites[j], assumptions, config.choice, cache.as_ref())
-            })
+            .map(|&(i, j)| test_pair(&sites[i], &sites[j], assumptions, config.choice, cache))
             .collect()
     } else {
-        run_sharded(&sites, &worklist, assumptions, config.choice, cache.as_ref(), workers)
+        run_sharded(&sites, &worklist, assumptions, config.choice, cache, workers)
     };
 
+    let mut seen_keys: HashSet<u64> = HashSet::new();
     for (&(i, j), outcome) in worklist.iter().zip(&outcomes) {
-        graph.stats.absorb(outcome);
+        graph.stats.absorb(outcome, &mut seen_keys);
         fold_outcome(&sites[i], &sites[j], outcome, &mut graph);
     }
     graph
@@ -427,18 +481,17 @@ fn test_pair(
     let problem = pair_problem(a, b);
     let outcome = match cache {
         Some(cache) => {
-            let (cached, hit) = cache.get_or_compute(&problem, |canonical| {
-                decide_counted(canonical, assumptions, choice)
-            });
+            let CacheLookup { outcome, key_fp, .. } =
+                cache.lookup(assumptions, &problem, |canonical| {
+                    decide_counted(canonical, assumptions, choice)
+                });
             PairOutcome {
-                verdict: cached.verdict,
-                tested_by: cached.tested_by,
-                // Hits execute nothing: the attempts and solver nodes were
-                // accounted to the pair that populated the entry.
-                attempts: if hit { Vec::new() } else { cached.attempts },
+                verdict: outcome.verdict,
+                tested_by: outcome.tested_by,
+                attempts: outcome.attempts,
                 nanos: 0,
-                cache_hit: Some(hit),
-                solver_nodes: if hit { 0 } else { cached.solver_nodes },
+                key_fp: Some(key_fp),
+                solver_nodes: outcome.solver_nodes,
             }
         }
         None => {
@@ -448,7 +501,7 @@ fn test_pair(
                 tested_by: computed.tested_by,
                 attempts: computed.attempts,
                 nanos: 0,
-                cache_hit: None,
+                key_fp: None,
                 solver_nodes: computed.solver_nodes,
             }
         }

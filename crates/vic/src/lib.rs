@@ -17,21 +17,26 @@
 //!    dependence cycle at a level vectorize at that level, cycles are kept
 //!    serial and recursed into;
 //! 4. [`pipeline`] — the driver: parse → induction substitution →
-//!    linearize aliased arrays → analyze → vectorize → print.
+//!    linearize aliased arrays → analyze → vectorize → print;
+//! 5. [`batch`] — the corpus driver: stream many program units through the
+//!    pipeline on a bounded worker pool, sharing one verdict cache across
+//!    units, with a deterministic corpus-level report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod codegen;
 pub mod deps;
 pub mod pipeline;
 pub mod scc;
 
-pub use cache::{CachedOutcome, VerdictCache};
+pub use batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit, UnitReport};
+pub use cache::{env_key, CacheLookup, CachedOutcome, VerdictCache};
 pub use codegen::{vectorize, VectorStmt};
 pub use deps::{
-    build_dependence_graph, build_dependence_graph_with, DepEdge, DepGraph, DepKind, DepStats,
-    EngineConfig, TestChoice, VerdictStats,
+    build_dependence_graph, build_dependence_graph_in, build_dependence_graph_with,
+    workers_from_env, DepEdge, DepGraph, DepKind, DepStats, EngineConfig, TestChoice, VerdictStats,
 };
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{run_pipeline, run_pipeline_in, PipelineConfig, PipelineReport};

@@ -4,8 +4,11 @@
 //! `EQUIVALENCE`-aliased arrays → dependence analysis → Allen–Kennedy
 //! vectorization → FORTRAN-90-style output.
 
+use crate::cache::VerdictCache;
 use crate::codegen::{vectorize, VectorizeResult};
-use crate::deps::{build_dependence_graph_with, DepStats, EngineConfig, TestChoice};
+use crate::deps::{
+    build_dependence_graph_in, workers_from_env, DepGraph, DepStats, EngineConfig, TestChoice,
+};
 use delin_frontend::induction::{substitute_inductions, InductionReport};
 use delin_frontend::linearize::{linearize_aliased, LinearizeReport};
 use delin_frontend::parser::{parse_program, ParseError};
@@ -42,7 +45,7 @@ impl Default for PipelineConfig {
             linearize: true,
             assumptions: Assumptions::new(),
             infer_loop_assumptions: true,
-            workers: 0,
+            workers: workers_from_env(),
             cache: true,
         }
     }
@@ -84,6 +87,9 @@ pub struct PipelineReport {
     pub inductions: Vec<InductionReport>,
     /// Linearizations performed.
     pub linearizations: Vec<LinearizeReport>,
+    /// The dependence graph the vectorizer ran on (its `stats` field equals
+    /// [`PipelineReport::stats`]).
+    pub graph: DepGraph,
 }
 
 /// Runs the whole pipeline on mini-FORTRAN source.
@@ -94,6 +100,22 @@ pub struct PipelineReport {
 /// transformation failures (e.g. un-linearizable aliases) are skipped with
 /// the affected arrays left untouched, keeping the pipeline total.
 pub fn run_pipeline(src: &str, config: &PipelineConfig) -> Result<PipelineReport, PipelineError> {
+    run_pipeline_in(src, config, None)
+}
+
+/// Like [`run_pipeline`], but dependence verdicts may be memoized in a
+/// `shared` cross-unit cache (see [`crate::batch`]). With `shared: None`
+/// the pipeline behaves exactly as before, using a private per-run cache
+/// when `config.cache` is set.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Parse`] when the source does not parse.
+pub fn run_pipeline_in(
+    src: &str,
+    config: &PipelineConfig,
+    shared: Option<&VerdictCache>,
+) -> Result<PipelineReport, PipelineError> {
     let mut program = parse_program(src)?;
     let mut inductions = Vec::new();
     if config.induction {
@@ -119,7 +141,7 @@ pub fn run_pipeline(src: &str, config: &PipelineConfig) -> Result<PipelineReport
     };
     let engine =
         EngineConfig { choice: config.choice, workers: config.workers, cache: config.cache };
-    let graph = build_dependence_graph_with(&program, &assumptions, &engine);
+    let graph = build_dependence_graph_in(&program, &assumptions, &engine, shared);
     let vectorization = vectorize(&program, &graph);
     Ok(PipelineReport {
         vector_code: vectorization.render(),
@@ -127,6 +149,7 @@ pub fn run_pipeline(src: &str, config: &PipelineConfig) -> Result<PipelineReport
         vectorization,
         inductions,
         linearizations,
+        graph,
     })
 }
 

@@ -1,0 +1,92 @@
+//! Corpus-wide determinism of the batch engine: the guarantee PR 1
+//! established for one unit, extended across units.
+//!
+//! For any worker count and any unit arrival order, the batch report —
+//! per-unit edges (counts and fingerprints), per-unit verdict statistics,
+//! and the corpus totals — must render byte-identically. Sharing the
+//! verdict cache across units may change only the corpus-level sharing
+//! counters, never any verdict or per-unit statistic.
+
+use delinearization::corpus::stream::{generated_units, riceps_units};
+use delinearization::vic::batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit};
+
+/// A mixed corpus, small enough for CI: the eight RiCEPS programs
+/// size-reduced, plus generated nests with both concrete and symbolic
+/// strides (the symbolic ones carry distinct assumption environments).
+fn corpus() -> Vec<BatchUnit> {
+    riceps_units(Some(120)).chain(generated_units(10, 99)).collect()
+}
+
+fn run(workers: usize, shared_cache: bool, reversed: bool) -> BatchStats {
+    let mut units = corpus();
+    if reversed {
+        units.reverse();
+    }
+    let config = BatchConfig { workers, shared_cache, ..BatchConfig::default() };
+    BatchRunner::new(config).run(units)
+}
+
+#[test]
+fn serial_and_parallel_runs_render_identically() {
+    let reference = run(1, true, false);
+    let reference_render = reference.render();
+    assert!(!reference.units.is_empty());
+    assert_eq!(reference.parse_failures, 0);
+    for workers in [2, 4] {
+        let got = run(workers, true, false);
+        assert_eq!(got.render(), reference_render, "workers={workers}");
+    }
+}
+
+#[test]
+fn arrival_order_cannot_leak_into_the_report() {
+    for workers in [1, 4] {
+        let forward = run(workers, true, false);
+        let reversed = run(workers, true, true);
+        assert_eq!(forward.render(), reversed.render(), "workers={workers}");
+        // Field-level check on top of the rendered table: identical unit
+        // names, edge counts, and edge fingerprints.
+        for (a, b) in forward.units.iter().zip(&reversed.units) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.edges, b.edges, "{}", a.name);
+            assert_eq!(a.edges_fp, b.edges_fp, "{}", a.name);
+            assert_eq!(a.stats.verdict_stats(), b.stats.verdict_stats(), "{}", a.name);
+        }
+    }
+}
+
+#[test]
+fn shared_cache_changes_only_sharing_counters() {
+    let shared = run(4, true, false);
+    let private = run(4, false, false);
+
+    // Per-unit reports are unaffected by cross-unit sharing: hit/miss
+    // attribution charges each unit's first reference in its own
+    // source-pair order, making every unit's stats "as-if-private".
+    assert_eq!(shared.units.len(), private.units.len());
+    for (a, b) in shared.units.iter().zip(&private.units) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.edges_fp, b.edges_fp, "{}", a.name);
+        assert_eq!(a.vectorized_statements, b.vectorized_statements, "{}", a.name);
+        assert_eq!(a.stats.verdict_stats(), b.stats.verdict_stats(), "{}", a.name);
+    }
+    assert_eq!(shared.totals.verdict_stats(), private.totals.verdict_stats());
+
+    // Only the corpus-level sharing counters may differ.
+    assert!(shared.distinct_problems.is_some());
+    assert_eq!(private.distinct_problems, None);
+    assert_eq!(private.cross_unit_hits, 0);
+    // The corpus repeats subscript shapes across units, so sharing must
+    // actually save work.
+    assert!(shared.cross_unit_hits > 0, "no cross-unit sharing observed");
+}
+
+#[test]
+fn sharing_counters_are_order_and_worker_independent() {
+    let reference = run(1, true, false);
+    for (workers, reversed) in [(1, true), (4, false), (4, true)] {
+        let got = run(workers, true, reversed);
+        assert_eq!(got.distinct_problems, reference.distinct_problems);
+        assert_eq!(got.cross_unit_hits, reference.cross_unit_hits);
+    }
+}

@@ -1,0 +1,215 @@
+//! Differential testing against a brute-force integer-enumeration oracle.
+//!
+//! Every dependence technique in `crates/dep` — and delinearization on top
+//! of them — must be *sound*: it may answer "independent" only when no
+//! integer point of the iteration box solves the dependence system, and it
+//! may answer "dependent (exact)" only when some point does. On small
+//! boxes (≤ 6 variables, bounds ≤ 4) ground truth is computable by plain
+//! enumeration, so soundness becomes a checkable differential property.
+//!
+//! Run with `PROPTEST_CASES=1024` (as `ci.sh` does in release mode) for
+//! the deeper sweep; the default is 256 cases per property.
+
+use delinearization::core::algorithm::{
+    delinearize, dimension_subproblem, DelinConfig, DelinOutcome,
+};
+use delinearization::core::DelinearizationTest;
+use delinearization::dep::acyclic::AcyclicTest;
+use delinearization::dep::banerjee::BanerjeeTest;
+use delinearization::dep::exact::{ExactSolver, SolveOutcome};
+use delinearization::dep::fourier::FourierMotzkin;
+use delinearization::dep::gcd::GcdTest;
+use delinearization::dep::problem::DependenceProblem;
+use delinearization::dep::residue::LoopResidueTest;
+use delinearization::dep::shostak::ShostakTest;
+use delinearization::dep::siv::SivTest;
+use delinearization::dep::svpc::SvpcTest;
+use delinearization::dep::verdict::{DependenceTest, Verdict};
+use proptest::prelude::*;
+
+/// Brute-force ground truth: enumerate the whole iteration box and return
+/// the first assignment satisfying every equation and inequality.
+fn oracle_solve(p: &DependenceProblem<i128>) -> Option<Vec<i128>> {
+    let uppers: Vec<i128> = p.vars().iter().map(|v| v.upper).collect();
+    if uppers.iter().any(|&u| u < 0) {
+        return None; // empty box
+    }
+    let points: i128 = uppers.iter().map(|u| u + 1).product();
+    assert!(points <= 1 << 20, "oracle box too large: {points} points");
+    let mut vals = vec![0i128; uppers.len()];
+    loop {
+        if p.is_solution(&vals).unwrap_or(false) {
+            return Some(vals);
+        }
+        let mut k = 0;
+        loop {
+            if k == vals.len() {
+                return None;
+            }
+            vals[k] += 1;
+            if vals[k] <= uppers[k] {
+                break;
+            }
+            vals[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Every baseline technique plus delinearization, by name.
+fn all_techniques(p: &DependenceProblem<i128>) -> Vec<(&'static str, Verdict)> {
+    vec![
+        ("gcd", GcdTest.test(p)),
+        ("banerjee", BanerjeeTest.test(p)),
+        ("siv", SivTest.test(p)),
+        ("svpc", SvpcTest.test(p)),
+        ("acyclic", AcyclicTest.test(p)),
+        ("loop-residue", LoopResidueTest.test(p)),
+        ("shostak", ShostakTest::default().test(p)),
+        ("fm-real", FourierMotzkin::real().test(p)),
+        ("fm-tight", FourierMotzkin::tightened().test(p)),
+        ("exact", ExactSolver::default().test(p)),
+        ("delin", DependenceTest::<i128>::test(&DelinearizationTest::default(), p)),
+    ]
+}
+
+/// Checks one problem against the oracle for every technique; returns the
+/// ground truth so callers can assert more.
+fn check_soundness(p: &DependenceProblem<i128>) -> Result<Option<Vec<i128>>, TestCaseError> {
+    let truth = oracle_solve(p);
+    for (name, verdict) in all_techniques(p) {
+        if let Some(point) = &truth {
+            prop_assert!(
+                !verdict.is_independent(),
+                "{name} claims independence but {point:?} solves {p}"
+            );
+        }
+        if let Verdict::Dependent { exact: true, info } = &verdict {
+            prop_assert!(
+                truth.is_some(),
+                "{name} claims an exact dependence on the unsolvable {p}"
+            );
+            if let Some(w) = &info.witness {
+                prop_assert!(
+                    p.is_solution(w).unwrap_or(false),
+                    "{name} returned bogus witness {w:?} for {p}"
+                );
+            }
+        }
+    }
+    Ok(truth)
+}
+
+/// Builds a problem from fixed-shape raw parts (the vendored proptest has
+/// no `prop_flat_map`): the first `n` entries of each pool are used.
+fn box_problem(
+    n: usize,
+    uppers: &[i128],
+    c01: i128,
+    coeffs1: &[i128],
+    second_eq: Option<(i128, &[i128])>,
+) -> DependenceProblem<i128> {
+    let mut b = DependenceProblem::<i128>::builder();
+    for (k, u) in uppers.iter().take(n).enumerate() {
+        b.var(format!("z{k}"), *u);
+    }
+    b.equation(c01, coeffs1[..n].to_vec());
+    if let Some((c02, coeffs2)) = second_eq {
+        b.equation(c02, coeffs2[..n].to_vec());
+    }
+    b.build()
+}
+
+proptest! {
+    /// Single-equation problems over up to 6 small variables: no technique
+    /// contradicts brute force.
+    #[test]
+    fn techniques_sound_on_single_equations(
+        n in 1usize..=6,
+        uppers in prop::collection::vec(0i128..=4, 6),
+        c0 in -12i128..=12,
+        coeffs in prop::collection::vec(-6i128..=6, 6),
+    ) {
+        let p = box_problem(n, &uppers, c0, &coeffs, None);
+        check_soundness(&p)?;
+    }
+
+    /// Systems of two equations (coupled subscripts).
+    #[test]
+    fn techniques_sound_on_equation_pairs(
+        n in 2usize..=5,
+        uppers in prop::collection::vec(0i128..=4, 5),
+        c01 in -10i128..=10,
+        coeffs1 in prop::collection::vec(-5i128..=5, 5),
+        c02 in -10i128..=10,
+        coeffs2 in prop::collection::vec(-5i128..=5, 5),
+    ) {
+        let p = box_problem(n, &uppers, c01, &coeffs1, Some((c02, &coeffs2)));
+        check_soundness(&p)?;
+    }
+
+    /// Problems with an extra inequality constraint (as produced by
+    /// direction-vector refinement): still sound, and the exact solver
+    /// stays complete against enumeration.
+    #[test]
+    fn techniques_sound_under_inequalities(
+        n in 1usize..=4,
+        uppers in prop::collection::vec(0i128..=4, 4),
+        c0 in -10i128..=10,
+        coeffs in prop::collection::vec(-5i128..=5, 4),
+        ic0 in -4i128..=4,
+        icoeffs in prop::collection::vec(-2i128..=2, 4),
+    ) {
+        let p = box_problem(n, &uppers, c0, &coeffs, None)
+            .with_inequality(ic0, icoeffs[..n].to_vec());
+        let truth = check_soundness(&p)?;
+        match ExactSolver::default().solve(&p) {
+            SolveOutcome::Solution(w) => {
+                prop_assert!(truth.is_some(), "exact found {w:?}, oracle none: {p}");
+                prop_assert!(p.is_solution(&w).unwrap_or(false));
+            }
+            SolveOutcome::NoSolution => prop_assert!(truth.is_none()),
+            SolveOutcome::LimitExceeded => {}
+        }
+    }
+
+    /// The mirrored linearized family (the paper's target shape): sound for
+    /// every technique, and delinearize-then-solve agrees with solving the
+    /// linearized equation directly — dimension-by-dimension feasibility of
+    /// the separation matches brute force on the original equation.
+    #[test]
+    fn delinearization_agrees_with_direct_solve(
+        bi in 1i128..=4,
+        bj in 1i128..=4,
+        stride in 2i128..=12,
+        off in -20i128..=20,
+        ci in 1i128..=3,
+    ) {
+        let p = DependenceProblem::single_equation(
+            off,
+            vec![ci, stride, -ci, -stride],
+            vec![bi, bj, bi, bj],
+        );
+        let truth = check_soundness(&p)?;
+        match delinearize(&p, 0, &DelinConfig::default()) {
+            DelinOutcome::Independent { .. } => {
+                prop_assert!(truth.is_none(), "delinearize disproved solvable {p}");
+            }
+            DelinOutcome::Separated { separation } => {
+                let mut all_dims = true;
+                for dim in &separation.dimensions {
+                    let (sub, _) = dimension_subproblem(&p, dim);
+                    if oracle_solve(&sub).is_none() {
+                        all_dims = false;
+                    }
+                }
+                prop_assert_eq!(
+                    all_dims,
+                    truth.is_some(),
+                    "separated feasibility diverges from direct solve on {}",
+                    p
+                );
+            }
+        }
+    }
+}

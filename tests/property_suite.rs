@@ -3,13 +3,19 @@
 
 use delinearization::core::algorithm::{delinearize, DelinConfig, DelinOutcome};
 use delinearization::core::DelinearizationTest;
+use delinearization::dep::acyclic::AcyclicTest;
 use delinearization::dep::banerjee::BanerjeeTest;
 use delinearization::dep::dirvec::{summarize, Dir, DirVec};
 use delinearization::dep::exact::{ExactSolver, SolveOutcome};
 use delinearization::dep::fourier::FourierMotzkin;
 use delinearization::dep::gcd::GcdTest;
+use delinearization::dep::hierarchy;
 use delinearization::dep::problem::DependenceProblem;
-use delinearization::dep::verdict::DependenceTest;
+use delinearization::dep::residue::LoopResidueTest;
+use delinearization::dep::shostak::ShostakTest;
+use delinearization::dep::siv::SivTest;
+use delinearization::dep::svpc::SvpcTest;
+use delinearization::dep::verdict::{DependenceTest, Verdict};
 use proptest::prelude::*;
 
 /// A random two-loop linearized problem with mirrored strides.
@@ -48,6 +54,86 @@ proptest! {
             let v = t();
             if let SolveOutcome::Solution(_) = truth {
                 prop_assert!(!v.is_independent(), "{name} unsound on {p}");
+            }
+        }
+    }
+
+    /// Any two techniques that both *decide* a problem never contradict:
+    /// no technique may prove independence while another proves an exact
+    /// (witnessed) dependence on the same problem.
+    #[test]
+    fn deciding_techniques_never_contradict(p in arb_linearized()) {
+        let verdicts: Vec<(&str, Verdict)> = vec![
+            ("gcd", GcdTest.test(&p)),
+            ("banerjee", BanerjeeTest.test(&p)),
+            ("siv", SivTest.test(&p)),
+            ("svpc", SvpcTest.test(&p)),
+            ("acyclic", AcyclicTest.test(&p)),
+            ("loop-residue", LoopResidueTest.test(&p)),
+            ("shostak", ShostakTest::default().test(&p)),
+            ("fm-real", FourierMotzkin::real().test(&p)),
+            ("fm-tight", FourierMotzkin::tightened().test(&p)),
+            ("exact", ExactSolver::default().test(&p)),
+            ("delin", DependenceTest::<i128>::test(&DelinearizationTest::default(), &p)),
+        ];
+        for (indep_name, a) in &verdicts {
+            if !a.is_independent() {
+                continue;
+            }
+            for (dep_name, b) in &verdicts {
+                prop_assert!(
+                    !matches!(b, Verdict::Dependent { exact: true, .. }),
+                    "{indep_name} proves independence but {dep_name} \
+                     proves dependence on {p}"
+                );
+            }
+        }
+    }
+
+    /// The direction-vector hierarchy is never weaker than its strongest
+    /// constituent: if *any* technique proves independence, the
+    /// exact-oracle refinement must find no direction vectors at all; and
+    /// every direction the exact oracle confirms with a witness survives
+    /// the conservative Banerjee-oracle refinement too.
+    #[test]
+    fn hierarchy_never_weaker_than_constituents(p in arb_linearized()) {
+        let exact_atoms =
+            hierarchy::atomic_direction_vectors(&p, &hierarchy::exact_oracle(ExactSolver::default()));
+        let any_independent = [
+            GcdTest.test(&p),
+            BanerjeeTest.test(&p),
+            SivTest.test(&p),
+            SvpcTest.test(&p),
+            AcyclicTest.test(&p),
+            LoopResidueTest.test(&p),
+            ShostakTest::default().test(&p),
+            FourierMotzkin::real().test(&p),
+            FourierMotzkin::tightened().test(&p),
+            DependenceTest::<i128>::test(&DelinearizationTest::default(), &p),
+        ]
+        .iter()
+        .any(Verdict::is_independent);
+        if any_independent {
+            prop_assert!(
+                exact_atoms.is_empty(),
+                "a constituent proves independence but the hierarchy keeps {exact_atoms:?} on {p}"
+            );
+        }
+        let banerjee_atoms =
+            hierarchy::atomic_direction_vectors(&p, &hierarchy::banerjee_oracle());
+        let solver = ExactSolver::default();
+        for atom in &exact_atoms {
+            // Only atoms with a genuine integer witness must survive the
+            // conservative oracle; budget-limited "maybe" atoms need not.
+            let confirmed = p
+                .with_directions(&atom.0)
+                .map(|constrained| solver.solve(&constrained).is_solution())
+                .unwrap_or(false);
+            if confirmed {
+                prop_assert!(
+                    banerjee_atoms.contains(atom),
+                    "witnessed direction {atom:?} missing from the Banerjee refinement on {p}"
+                );
             }
         }
     }
