@@ -13,6 +13,12 @@ DELIN_WORKERS=4 cargo test -q
 PROPTEST_CASES=1024 cargo test -q --release --test oracle_differential
 # The batch engine's corpus-wide determinism matrix (workers x orderings).
 cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
+# Fault-injection suite: seeded chaos (panics, zero-node budgets, expired
+# deadlines) must leave reports byte-identical across worker counts.
+cargo test -q --features chaos --test chaos_suite
+# The same determinism matrix with faults firing (seed 42).
+cargo run --release -q -p delin-bench --features chaos --bin batch_corpus -- --chaos --verify --units 18 > /dev/null
 cargo clippy --all-targets -- -D warnings
+cargo clippy --all-targets --features chaos -- -D warnings
 cargo fmt --check
 echo "ci: all green"

@@ -9,10 +9,17 @@
 //! * `--units N` — number of generated workload units (default 24);
 //! * `--verify` — instead of one run, execute the determinism matrix
 //!   (workers ∈ {1, 4, auto} × {forward, reversed} arrival order) and fail
-//!   unless every run renders byte-identically.
+//!   unless every run renders byte-identically;
+//! * `--chaos` — inject deterministic faults (panics, zero-node budgets,
+//!   expired deadlines) from the seed in `DELIN_CHAOS_SEED` (default 42).
+//!   Requires building with `--features chaos`. Because every injection is
+//!   a pure function of `(seed, site)`, `--chaos --verify` must *still*
+//!   render byte-identically across worker counts and arrival orders —
+//!   the same determinism contract, now including the failures.
 
 use delin_corpus::stream::{generated_units, riceps_units};
 use delin_vic::batch::{BatchConfig, BatchRunner, BatchUnit};
+use delin_vic::chaos::ChaosPlan;
 
 fn corpus(full: bool, gen_units: usize) -> Vec<BatchUnit> {
     let lines = if full { None } else { Some(400) };
@@ -29,7 +36,7 @@ fn main() {
     let mut expect_value = false;
     for a in &args {
         match a.as_str() {
-            "--full" | "--verify" => expect_value = false,
+            "--full" | "--verify" | "--chaos" => expect_value = false,
             "--units" | "--workers" => expect_value = true,
             _ if expect_value => {
                 if a.parse::<usize>().is_err() {
@@ -40,7 +47,9 @@ fn main() {
             }
             _ => {
                 eprintln!("unknown argument: {a}");
-                eprintln!("usage: batch_corpus [--full] [--verify] [--units N] [--workers N]");
+                eprintln!(
+                    "usage: batch_corpus [--full] [--verify] [--chaos] [--units N] [--workers N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -53,16 +62,23 @@ fn main() {
     let verify = args.iter().any(|a| a == "--verify");
     let gen_units = arg_value("--units").unwrap_or(24);
     let workers = arg_value("--workers").unwrap_or_else(delin_vic::deps::workers_from_env);
+    let chaos = chaos_plan(args.iter().any(|a| a == "--chaos"));
 
     println!("batch engine: RiCEPS + {gen_units} generated units, shared verdict cache");
+    if chaos.is_some() {
+        println!("chaos: deterministic fault injection enabled");
+        // Injected panics are caught and attributed by the batch runner;
+        // the default hook would spray a backtrace per injection.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
     println!();
 
     if verify {
-        let reference = run(workers, false, full, gen_units);
+        let reference = run(workers, false, full, gen_units, chaos);
         let mut failures = 0;
         for w in [1usize, 4, 0] {
             for reversed in [false, true] {
-                let render = run(w, reversed, full, gen_units);
+                let render = run(w, reversed, full, gen_units, chaos);
                 let label = format!(
                     "workers={} order={}",
                     if w == 0 { "auto".into() } else { w.to_string() },
@@ -87,15 +103,43 @@ fn main() {
         return;
     }
 
-    print!("{}", run(workers, false, full, gen_units));
+    print!("{}", run(workers, false, full, gen_units, chaos));
+}
+
+/// Resolves the fault-injection plan for this invocation. Without `--chaos`
+/// the environment gate applies as everywhere else (`DELIN_CHAOS_SEED`,
+/// feature-gated); with `--chaos` a plan is mandatory, so the flag is a
+/// hard error in builds that compiled chaos out.
+fn chaos_plan(requested: bool) -> Option<ChaosPlan> {
+    if !requested {
+        return ChaosPlan::from_env();
+    }
+    #[cfg(feature = "chaos")]
+    {
+        let seed =
+            std::env::var("DELIN_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+        Some(ChaosPlan::new(seed))
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        eprintln!("--chaos requires a build with the fault-injection harness compiled in:");
+        eprintln!("    cargo run --features chaos --bin batch_corpus -- --chaos");
+        std::process::exit(2);
+    }
 }
 
 /// One batch run rendered deterministically.
-fn run(workers: usize, reversed: bool, full: bool, gen_units: usize) -> String {
+fn run(
+    workers: usize,
+    reversed: bool,
+    full: bool,
+    gen_units: usize,
+    chaos: Option<ChaosPlan>,
+) -> String {
     let mut units = corpus(full, gen_units);
     if reversed {
         units.reverse();
     }
-    let runner = BatchRunner::new(BatchConfig { workers, ..BatchConfig::default() });
+    let runner = BatchRunner::new(BatchConfig { workers, chaos, ..BatchConfig::default() });
     runner.run(units).render()
 }

@@ -32,6 +32,12 @@ pub struct DelinConfig {
     pub collect_trace: bool,
     /// Node budget for the exact per-dimension solvers used downstream.
     pub dimension_node_limit: u64,
+    /// Optional full resource budget (deadline + cancellation on top of the
+    /// node limit) threaded into the per-dimension exact solvers. When set
+    /// it *replaces* `dimension_node_limit`, and any exhaustion is recorded
+    /// in its shared trip flag so callers can tell that the verdict
+    /// degraded. `None` keeps the node-only historical behaviour.
+    pub budget: Option<delin_dep::budget::ResourceBudget>,
     /// Return early with [`DelinOutcome::Independent`] when the on-the-fly
     /// GCD/Banerjee check fires (the Fig. 4 behaviour). Source-level
     /// delinearization of a single *address expression* turns this off: it
@@ -44,6 +50,7 @@ impl Default for DelinConfig {
         DelinConfig {
             collect_trace: false,
             dimension_node_limit: 1_000_000,
+            budget: None,
             stop_on_independence: true,
         }
     }

@@ -14,6 +14,7 @@ use crate::algorithm::{
     combine_direction_vectors, delinearize, dimension_direction_vectors, dimension_subproblem,
     DelinConfig, DelinOutcome,
 };
+use delin_dep::budget::ResourceBudget;
 use delin_dep::dirvec::{summarize, Dir, DirVec, DistDir, DistDirVec};
 use delin_dep::exact::ExactSolver;
 use delin_dep::gcd::equation_divisible;
@@ -34,6 +35,20 @@ impl DelinearizationTest {
     pub fn with_node_limit(limit: u64) -> DelinearizationTest {
         DelinearizationTest {
             config: DelinConfig { dimension_node_limit: limit, ..DelinConfig::default() },
+        }
+    }
+
+    /// A test whose per-dimension solvers run under `budget` (node limit,
+    /// deadline, and cancellation; exhaustion degrades the verdict to a
+    /// conservative, never-exact answer and records the reason in the
+    /// budget's trip flag).
+    pub fn with_budget(budget: ResourceBudget) -> DelinearizationTest {
+        DelinearizationTest {
+            config: DelinConfig {
+                dimension_node_limit: budget.node_limit(),
+                budget: Some(budget),
+                ..DelinConfig::default()
+            },
         }
     }
 }
@@ -115,12 +130,25 @@ impl DependenceTest<i128> for DelinearizationTest {
     }
 
     fn test(&self, problem: &DependenceProblem<i128>) -> Verdict {
-        let solver = ExactSolver::with_limit(self.config.dimension_node_limit);
+        let budget =
+            self.config.budget.clone().unwrap_or_else(|| {
+                ResourceBudget::with_node_limit(self.config.dimension_node_limit)
+            });
+        let solver = ExactSolver::with_budget(budget.clone());
         let oracle = hierarchy::exact_oracle(solver.clone());
         let mut verdict = run(self, problem, &oracle, true);
         // Enrich with distance-direction vectors (concrete problems only).
         if let Verdict::Dependent { info, .. } = &mut verdict {
             info.dist_dirs = distance_vectors(self, problem, &solver);
+        }
+        // A budget-degraded run keeps only conservative claims: the
+        // surviving direction vectors are a superset of the truth, but an
+        // "exact" flag would be a proof claim the exhausted oracle cannot
+        // back.
+        if budget.tripped().is_some() {
+            if let Verdict::Dependent { exact, .. } = &mut verdict {
+                *exact = false;
+            }
         }
         verdict
     }
@@ -391,7 +419,7 @@ mod tests {
                                 assert!(!exact, "c0={c0} a={a} s={s}");
                             }
                         }
-                        SolveOutcome::LimitExceeded => unreachable!(),
+                        SolveOutcome::Degraded(_) => unreachable!(),
                     }
                 }
             }

@@ -173,7 +173,7 @@ mod tests {
                         independents += 1;
                     }
                 }
-                SolveOutcome::LimitExceeded => {}
+                SolveOutcome::Degraded(_) => {}
             }
         }
         // The family is linearized, so delinearization should prove many

@@ -261,7 +261,7 @@ mod tests {
                     SolveOutcome::NoSolution => {
                         assert!(got.is_independent(), "d1={d1} d2={d2}")
                     }
-                    SolveOutcome::LimitExceeded => unreachable!(),
+                    SolveOutcome::Degraded(_) => unreachable!(),
                 }
             }
         }

@@ -8,6 +8,7 @@
 //! against which every approximate test — and delinearization itself — is
 //! validated.
 
+use crate::budget::{DegradeReason, ResourceBudget};
 use crate::problem::DependenceProblem;
 use crate::verdict::{DependenceInfo, DependenceTest, Verdict};
 use delin_numeric::{gcd, Interval};
@@ -31,6 +32,16 @@ pub fn take_thread_nodes() -> u64 {
     THREAD_NODES.with(|c| c.replace(0))
 }
 
+/// Discards any node count accumulated on the current thread.
+///
+/// Recovery paths call this after catching a panic that unwound through a
+/// solve: whatever partial count the interrupted bracket left behind must
+/// not leak into the *next* unit of work's attribution, or post-failure
+/// statistics become scheduling-dependent.
+pub fn reset_thread_nodes() {
+    let _ = take_thread_nodes();
+}
+
 fn record_nodes(n: u64) {
     THREAD_NODES.with(|c| c.set(c.get().saturating_add(n)));
 }
@@ -42,8 +53,10 @@ pub enum SolveOutcome {
     NoSolution,
     /// A witness assignment (one value per problem variable).
     Solution(Vec<i128>),
-    /// The search exceeded its node budget.
-    LimitExceeded,
+    /// The search gave up before deciding: its [`ResourceBudget`] exhausted
+    /// along the recorded axis. Consumers must treat this as "maybe
+    /// dependent" — it is never a proof in either direction.
+    Degraded(DegradeReason),
 }
 
 impl SolveOutcome {
@@ -51,18 +64,30 @@ impl SolveOutcome {
     pub fn is_solution(&self) -> bool {
         matches!(self, SolveOutcome::Solution(_))
     }
+
+    /// `true` when the search exhausted its budget before deciding.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SolveOutcome::Degraded(_))
+    }
 }
 
-/// Exact solver with a configurable node budget.
+/// Exact solver bounded by a [`ResourceBudget`] (search nodes, wall-clock
+/// deadline, cancellation).
 #[derive(Debug, Clone)]
 pub struct ExactSolver {
-    /// Maximum number of search nodes before giving up.
-    pub node_limit: u64,
+    /// The budget every [`ExactSolver::solve`] call runs under. The default
+    /// is a node-only budget of 5,000,000 (ground-truth usage); engine code
+    /// threads its own per-decision budget in via
+    /// [`ExactSolver::with_budget`].
+    pub budget: ResourceBudget,
 }
+
+/// The default ground-truth node budget.
+const DEFAULT_SOLVER_NODES: u64 = 5_000_000;
 
 impl Default for ExactSolver {
     fn default() -> Self {
-        ExactSolver { node_limit: 5_000_000 }
+        ExactSolver { budget: ResourceBudget::with_node_limit(DEFAULT_SOLVER_NODES) }
     }
 }
 
@@ -71,7 +96,7 @@ struct Search<'a> {
     assignment: Vec<i128>,
     assigned: Vec<bool>,
     nodes: u64,
-    limit: u64,
+    budget: &'a ResourceBudget,
 }
 
 /// Propagation rounds are capped: bounds consistency can converge slowly
@@ -80,9 +105,22 @@ struct Search<'a> {
 const MAX_PROPAGATION_ROUNDS: usize = 64;
 
 impl ExactSolver {
-    /// Creates a solver with the given node budget.
+    /// Creates a solver with the given node budget (no deadline, no
+    /// cancellation).
     pub fn with_limit(node_limit: u64) -> ExactSolver {
-        ExactSolver { node_limit }
+        ExactSolver { budget: ResourceBudget::with_node_limit(node_limit) }
+    }
+
+    /// Creates a solver bounded by an explicit budget. Exhaustion along any
+    /// axis is recorded in the budget's trip flag and surfaced as
+    /// [`SolveOutcome::Degraded`].
+    pub fn with_budget(budget: ResourceBudget) -> ExactSolver {
+        ExactSolver { budget }
+    }
+
+    /// The solver's search-node limit.
+    pub fn node_limit(&self) -> u64 {
+        self.budget.node_limit()
     }
 
     /// Solves the problem exactly.
@@ -91,6 +129,11 @@ impl ExactSolver {
     /// Problems with any empty variable range (`upper < 0`, a zero-trip
     /// loop) have no solution by definition.
     pub fn solve(&self, problem: &DependenceProblem<i128>) -> SolveOutcome {
+        if let Some(reason) = self.budget.exhausted() {
+            // Already past the deadline (or cancelled): degrade before
+            // spending a single node.
+            return SolveOutcome::Degraded(reason);
+        }
         let n = problem.num_vars();
         if problem.vars().iter().any(|v| v.upper < 0) {
             return SolveOutcome::NoSolution;
@@ -105,16 +148,16 @@ impl ExactSolver {
             assignment: vec![0; n],
             assigned: vec![false; n],
             nodes: 0,
-            limit: self.node_limit,
+            budget: &self.budget,
         };
         let domains: Vec<Interval> =
             problem.vars().iter().map(|v| Interval::new(0, v.upper)).collect();
         let result = search.dfs(domains);
         record_nodes(search.nodes);
         match result {
-            Some(true) => SolveOutcome::Solution(search.assignment),
-            Some(false) => SolveOutcome::NoSolution,
-            None => SolveOutcome::LimitExceeded,
+            Ok(true) => SolveOutcome::Solution(search.assignment),
+            Ok(false) => SolveOutcome::NoSolution,
+            Err(reason) => SolveOutcome::Degraded(reason),
         }
     }
 }
@@ -146,13 +189,11 @@ fn equation_obviously_infeasible(
 }
 
 impl Search<'_> {
-    /// Returns `Some(true)` on success, `Some(false)` on exhaustion,
-    /// `None` on node-limit breach.
-    fn dfs(&mut self, mut domains: Vec<Interval>) -> Option<bool> {
+    /// Returns `Ok(true)` on success, `Ok(false)` on exhaustion of the
+    /// search space, `Err(reason)` on budget exhaustion.
+    fn dfs(&mut self, mut domains: Vec<Interval>) -> Result<bool, DegradeReason> {
         self.nodes += 1;
-        if self.nodes > self.limit {
-            return None;
-        }
+        self.budget.check(self.nodes)?;
         let n = self.problem.num_vars();
         // Bounds-consistency propagation to (capped) fixpoint: narrow every
         // unassigned variable's domain against every constraint. This keeps
@@ -166,7 +207,7 @@ impl Search<'_> {
                 }
                 let range = self.feasible_range(var, &domains).unwrap_or(domains[var]);
                 if range.is_empty() {
-                    return Some(false);
+                    return Ok(false);
                 }
                 if range != domains[var] {
                     domains[var] = range;
@@ -196,25 +237,23 @@ impl Search<'_> {
             }
         }
         let Some(var) = pick else {
-            return Some(self.check_full());
+            return Ok(self.check_full());
         };
         // Divisibility prune over the partially-assigned equations.
         if self.divisibility_prune() {
-            return Some(false);
+            return Ok(false);
         }
         let range = domains[var];
         self.assigned[var] = true;
         for v in range.lo..=range.hi {
             self.assignment[var] = v;
-            match self.dfs(domains.clone()) {
-                Some(true) => return Some(true),
-                Some(false) => {}
-                None => return None,
+            if self.dfs(domains.clone())? {
+                return Ok(true);
             }
         }
         self.assigned[var] = false;
         self.assignment[var] = 0;
-        Some(false)
+        Ok(false)
     }
 
     fn check_full(&self) -> bool {
@@ -338,7 +377,9 @@ impl DependenceTest<i128> for ExactSolver {
                 exact: true,
                 info: DependenceInfo { witness: Some(w), ..DependenceInfo::default() },
             },
-            SolveOutcome::LimitExceeded => Verdict::Unknown,
+            // Budget exhaustion is the sound conservative answer: the pair
+            // may depend, nothing was proven.
+            SolveOutcome::Degraded(_) => Verdict::Unknown,
         }
     }
 }
@@ -346,6 +387,7 @@ impl DependenceTest<i128> for ExactSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::DegradeReason;
     use crate::dirvec::Dir;
     use crate::problem::DependenceProblem;
 
@@ -443,8 +485,28 @@ mod tests {
         coeffs.extend(vec![-1i128; n]);
         let p = DependenceProblem::single_equation(-1, coeffs, vec![9; 2 * n]);
         let tiny = ExactSolver::with_limit(2);
-        assert_eq!(tiny.solve(&p), SolveOutcome::LimitExceeded);
+        assert_eq!(tiny.solve(&p), SolveOutcome::Degraded(DegradeReason::Nodes));
+        assert!(tiny.solve(&p).is_degraded());
+        assert_eq!(tiny.budget.tripped(), Some(DegradeReason::Nodes));
         assert!(DependenceTest::test(&tiny, &p).is_unknown());
+    }
+
+    #[test]
+    fn expired_deadline_degrades_before_searching() {
+        use crate::budget::{CancelToken, ResourceBudget};
+        let p = DependenceProblem::single_equation(1, vec![1, -1], vec![8, 8]);
+        let solver = ExactSolver::with_budget(
+            ResourceBudget::unlimited().deadline_at(std::time::Instant::now()),
+        );
+        assert_eq!(solver.solve(&p), SolveOutcome::Degraded(DegradeReason::Deadline));
+        assert!(DependenceTest::test(&solver, &p).is_unknown());
+
+        let token = CancelToken::new();
+        let cancelled =
+            ExactSolver::with_budget(ResourceBudget::unlimited().with_cancel(token.clone()));
+        assert!(cancelled.solve(&p).is_solution(), "un-cancelled budget solves normally");
+        token.cancel();
+        assert_eq!(cancelled.solve(&p), SolveOutcome::Degraded(DegradeReason::Cancelled));
     }
 
     #[test]

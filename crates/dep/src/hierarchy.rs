@@ -115,8 +115,16 @@ pub fn distance_direction_vectors(
         let Ok(constrained) = problem.with_directions(&dv.0) else {
             continue;
         };
-        let SolveOutcome::Solution(w) = solver.solve(&constrained) else {
-            continue;
+        let w = match solver.solve(&constrained) {
+            SolveOutcome::Solution(w) => w,
+            SolveOutcome::NoSolution => continue,
+            // Budget exhausted mid-witness-search: the oracle kept this
+            // vector, so it must survive — keep it in pure direction form
+            // rather than silently dropping a possible dependence.
+            SolveOutcome::Degraded(_) => {
+                out.push(DistDirVec(dv.0.iter().map(|d| DistDir::Dir(*d)).collect()));
+                continue;
+            }
         };
         let mut elems = Vec::with_capacity(dv.0.len());
         for (level, &(x, y)) in problem.common_loops().iter().enumerate() {
@@ -132,7 +140,10 @@ pub fn distance_direction_vectors(
     summarize_dist_dirs(out)
 }
 
-/// Is `z_y − z_x = d` forced for every solution of the problem?
+/// Is `z_y − z_x = d` forced for every solution of the problem? Claiming
+/// constancy requires a *proof* that no other difference exists, so both
+/// probe solves must come back `NoSolution` — a budget-degraded probe is
+/// not a proof and conservatively answers "not constant".
 fn distance_is_constant(
     problem: &DependenceProblem<i128>,
     solver: &ExactSolver,
@@ -146,12 +157,12 @@ fn distance_is_constant(
     diff[x] = -1;
     // Another solution with z_y - z_x >= d + 1?
     let above = problem.with_inequality(-(d + 1), diff.clone());
-    if solver.solve(&above).is_solution() {
+    if !matches!(solver.solve(&above), SolveOutcome::NoSolution) {
         return false;
     }
     // Or with z_y - z_x <= d - 1, i.e. (d - 1) - (z_y - z_x) >= 0?
     let below = problem.with_inequality(d - 1, diff.iter().map(|c| -c).collect());
-    !solver.solve(&below).is_solution()
+    matches!(solver.solve(&below), SolveOutcome::NoSolution)
 }
 
 /// Summarizes distance-direction vectors: merge two vectors that differ in
@@ -309,6 +320,17 @@ mod tests {
         let oracle = exact_oracle(ExactSolver::default());
         let dirs = direction_vectors(&p, &oracle);
         assert_eq!(dirs, vec![DirVec(vec![])]);
+    }
+
+    #[test]
+    fn degraded_solver_keeps_vectors_conservatively() {
+        // A zero-budget solver proves nothing: every direction survives the
+        // oracle, and distance extraction must keep the surviving vectors
+        // in direction form rather than silently dropping dependences.
+        let p = shift_by_one();
+        let dd = distance_direction_vectors(&p, &ExactSolver::with_limit(0));
+        assert!(!dd.is_empty(), "degradation must not erase dependences");
+        assert!(dd.iter().all(|v| v.0.iter().all(|e| matches!(e, DistDir::Dir(_)))), "{dd:?}");
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   elimination, real and integer-tightened), [`lambda`] (the λ-test);
 //! * [`exact`] — an exact integer solver used as ground truth;
 //! * [`hierarchy`] — direction-vector hierarchy refinement and
-//!   distance-direction vector computation.
+//!   distance-direction vector computation;
+//! * [`budget`] — resource budgets (node limits, monotonic deadlines,
+//!   cancellation) under which every solver degrades to a sound
+//!   conservative `Unknown` instead of running away or aborting.
 //!
 //! The delinearization algorithm itself lives in the `delin-core` crate and
 //! plugs into this framework through [`DependenceTest`].
@@ -30,6 +33,7 @@
 
 pub mod acyclic;
 pub mod banerjee;
+pub mod budget;
 pub mod dirvec;
 pub mod exact;
 pub mod fourier;
@@ -43,6 +47,7 @@ pub mod siv;
 pub mod svpc;
 pub mod verdict;
 
+pub use budget::{BudgetSpec, CancelToken, DegradeReason, ResourceBudget};
 pub use dirvec::{Dir, DirVec, DistDir, DistDirVec};
 pub use problem::{DependenceProblem, LinEq, LinIneq, ProblemBuilder, VarInfo};
 pub use verdict::{DependenceTest, Verdict};

@@ -253,7 +253,7 @@ mod tests {
                     SolveOutcome::NoSolution => {
                         assert!(got.is_independent(), "c1={c1} c2={c2}")
                     }
-                    SolveOutcome::LimitExceeded => unreachable!(),
+                    SolveOutcome::Degraded(_) => unreachable!(),
                 }
             }
         }

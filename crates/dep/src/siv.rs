@@ -388,7 +388,7 @@ mod tests {
                     match exact {
                         SolveOutcome::Solution(_) => assert!(siv.is_dependent()),
                         SolveOutcome::NoSolution => assert!(siv.is_independent()),
-                        SolveOutcome::LimitExceeded => unreachable!(),
+                        SolveOutcome::Degraded(_) => unreachable!(),
                     }
                 }
             }

@@ -41,14 +41,43 @@
 //! the shared cache is enabled — and the former two are themselves
 //! deterministic for a given unit *set*, because the set of distinct
 //! canonical keys is order-independent.
+//!
+//! # Fault tolerance
+//!
+//! One pathological unit must not take the batch down. Three mechanisms,
+//! designed to compose:
+//!
+//! * **resource budgets** — every unit runs its dependence analysis under
+//!   [`BatchConfig::budget`] (node limit, optional `DELIN_DEADLINE_MS`
+//!   deadline, optional cancellation). Exhaustion degrades individual pair
+//!   verdicts to the conservative `Unknown` (recorded per
+//!   [`delin_dep::budget::DegradeReason`] in [`DepStats::degraded_by`] and
+//!   surfaced in the unit's report row) instead of running away;
+//! * **panic isolation** — each unit attempt runs behind
+//!   [`std::panic::catch_unwind`]. A panicking unit (or a panicking
+//!   dependence worker inside it — the engine re-raises at the unit
+//!   boundary) yields [`UnitOutcome::Failed`] with the panic message, and
+//!   the thread-local solver node counter is drained so the leak cannot
+//!   corrupt the next unit on that worker. The shared stream, sink, and
+//!   cache recover from lock poisoning, and the shared cache resets a
+//!   mid-compute cell whose owner unwound;
+//! * **retry with escalation** — a failed *or budget-degraded* attempt is
+//!   retried up to [`RetryPolicy::max_retries`] times, each retry under a
+//!   budget multiplied by [`RetryPolicy::escalation`] (saturating, so the
+//!   backoff is bounded). Only the final attempt's report is kept, which
+//!   keeps reports deterministic.
 
 use crate::cache::VerdictCache;
+use crate::chaos::{ChaosCtx, ChaosPlan, FaultKind};
 use crate::deps::{workers_from_env, DepEdge, DepStats, TestChoice, VerdictStats};
 use crate::pipeline::{run_pipeline_in, PipelineConfig};
+use delin_dep::budget::BudgetSpec;
 use delin_numeric::Assumptions;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// One program unit of a batch: a named mini-FORTRAN source plus the
 /// symbolic assumptions it is analyzed under.
@@ -100,6 +129,15 @@ pub struct BatchConfig {
     pub linearize: bool,
     /// Derive symbol bounds from loop bounds (loops execute at least once).
     pub infer_loop_assumptions: bool,
+    /// Per-unit resource budget for dependence analysis. Armed afresh for
+    /// every unit attempt, so one slow unit cannot consume another's
+    /// allowance. The default reads `DELIN_DEADLINE_MS`.
+    pub budget: BudgetSpec,
+    /// Retry policy for failed or budget-degraded unit attempts.
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection plan; compiled out (statically `None`)
+    /// without the `chaos` cargo feature.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for BatchConfig {
@@ -113,7 +151,28 @@ impl Default for BatchConfig {
             induction: true,
             linearize: true,
             infer_loop_assumptions: true,
+            budget: BudgetSpec::default(),
+            retry: RetryPolicy::default(),
+            chaos: ChaosPlan::from_env(),
         }
+    }
+}
+
+/// How failed or degraded unit attempts are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first; `0` disables retry.
+    pub max_retries: u32,
+    /// Budget multiplier applied per retry (node limit and deadline,
+    /// saturating — the escalation is bounded by `u64::MAX`, never a
+    /// runaway).
+    pub escalation: u64,
+}
+
+impl Default for RetryPolicy {
+    /// One retry under a 4× budget.
+    fn default() -> Self {
+        RetryPolicy { max_retries: 1, escalation: 4 }
     }
 }
 
@@ -129,6 +188,25 @@ impl BatchConfig {
     }
 }
 
+/// How processing one unit ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// The unit was analyzed (possibly with budget-degraded pairs — see
+    /// [`DepStats::degraded_pairs`]).
+    Analyzed,
+    /// The unit was rejected by the parser.
+    ParseError(String),
+    /// Every attempt panicked: the unit is reported failed and the batch
+    /// moves on. `reason` is the (deterministic) panic message of the last
+    /// attempt; `attempts` counts how many were made.
+    Failed {
+        /// Panic message of the final attempt.
+        reason: String,
+        /// Total attempts made (initial try plus retries).
+        attempts: u32,
+    },
+}
+
 /// What the batch engine did with one unit. Everything here is
 /// deterministic: scheduling-dependent wall-clock figures live only in
 /// [`UnitReport::stats`]' nanos fields, which [`BatchStats::render`] omits.
@@ -136,8 +214,8 @@ impl BatchConfig {
 pub struct UnitReport {
     /// The unit's name.
     pub name: String,
-    /// The parse failure, if the unit was rejected.
-    pub parse_error: Option<String>,
+    /// How processing ended.
+    pub outcome: UnitOutcome,
     /// Dependence edges emitted.
     pub edges: usize,
     /// Order-sensitive fingerprint of the full edge list (statements,
@@ -147,18 +225,41 @@ pub struct UnitReport {
     pub vectorized_statements: usize,
     /// Full engine statistics for the unit.
     pub stats: DepStats,
+    /// Sorted fingerprints of the canonical problems charged to this unit
+    /// (see [`crate::deps::DepGraph::charged_keys`]); the batch unions them
+    /// to count corpus-wide distinct problems.
+    pub charged_keys: Vec<u64>,
 }
 
 impl UnitReport {
+    /// The parse failure, if the unit was rejected.
+    pub fn parse_error(&self) -> Option<&str> {
+        match &self.outcome {
+            UnitOutcome::ParseError(e) => Some(e),
+            _ => None,
+        }
+    }
+
     /// The deterministic one-line table row for this unit.
     pub fn render_row(&self) -> String {
-        if let Some(e) = &self.parse_error {
-            return format!("{}: PARSE ERROR: {e}", self.name);
+        match &self.outcome {
+            UnitOutcome::ParseError(e) => return format!("{}: PARSE ERROR: {e}", self.name),
+            UnitOutcome::Failed { reason, attempts } => {
+                return format!("{}: FAILED after {attempts} attempt(s): {reason}", self.name)
+            }
+            UnitOutcome::Analyzed => {}
         }
         let v = self.stats.verdict_stats();
+        // `degraded=` is appended only when something degraded, so clean
+        // runs keep the historical byte-identical row.
+        let degraded = if v.degraded_pairs > 0 {
+            format!(" degraded={}", v.degraded_pairs)
+        } else {
+            String::new()
+        };
         format!(
             "{}: pairs={} independent={} conservative={} cache={}h/{}m nodes={} \
-             edges={} fp={:016x} vectorized={}",
+             edges={} fp={:016x} vectorized={}{degraded}",
             self.name,
             v.pairs_tested,
             v.proven_independent,
@@ -181,10 +282,20 @@ pub struct BatchStats {
     pub units: Vec<UnitReport>,
     /// Units that failed to parse.
     pub parse_failures: usize,
+    /// Units whose every attempt panicked ([`UnitOutcome::Failed`]).
+    pub failed_units: usize,
+    /// Times the unit *stream* itself panicked while being pulled. The
+    /// puller treats a panicking iterator as exhausted (after recovering
+    /// the lock), so a broken stream truncates the batch instead of
+    /// wedging it.
+    pub stream_failures: usize,
     /// Sum of all unit statistics.
     pub totals: DepStats,
-    /// Distinct canonical problems in the shared cache at the end of the
-    /// run; `None` when the shared cache was disabled.
+    /// Distinct canonical problems charged across all units (the union of
+    /// per-unit [`UnitReport::charged_keys`]); `None` when the shared cache
+    /// was disabled. Counting charged keys instead of live cache entries
+    /// keeps the figure deterministic even when failed attempts left
+    /// partial state behind.
     pub distinct_problems: Option<usize>,
     /// Unit-local first references that were already present in the shared
     /// cache because *another* unit computed them: the work cross-unit
@@ -211,10 +322,22 @@ impl BatchStats {
             let _ = writeln!(out, "{}", unit.render_row());
         }
         let t = self.totals.verdict_stats();
+        // Failure/degradation segments appear only when nonzero: clean runs
+        // render the historical corpus line byte for byte.
+        let mut tail = String::new();
+        if self.failed_units > 0 {
+            let _ = write!(tail, " failed={}", self.failed_units);
+        }
+        if self.stream_failures > 0 {
+            let _ = write!(tail, " stream-failures={}", self.stream_failures);
+        }
+        if t.degraded_pairs > 0 {
+            let _ = write!(tail, " degraded={}", t.degraded_pairs);
+        }
         let _ = writeln!(
             out,
             "corpus: units={} failures={} pairs={} independent={} conservative={} \
-             cache={}h/{}m nodes={} vectorized={}",
+             cache={}h/{}m nodes={} vectorized={}{tail}",
             self.units.len(),
             self.parse_failures,
             t.pairs_tested,
@@ -264,19 +387,39 @@ impl BatchRunner {
     /// Runs every unit the iterator yields and aggregates the corpus
     /// report. Units are pulled from the iterator one at a time as workers
     /// free up, so the whole corpus never needs to be resident at once.
+    ///
+    /// Fault tolerance: a panicking unit becomes a [`UnitOutcome::Failed`]
+    /// row (after retries), a panicking *stream* is treated as exhausted
+    /// (counted in [`BatchStats::stream_failures`]), and the shared
+    /// stream/sink/cache locks recover from poisoning — the batch always
+    /// completes and always returns a report for every unit it received.
     pub fn run<I>(&self, units: I) -> BatchStats
     where
         I: IntoIterator<Item = BatchUnit>,
         I::IntoIter: Send,
     {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
         let (unit_workers, engine_workers) = self.config.worker_split();
         let shared = self.config.shared_cache.then(VerdictCache::shared);
+        let stream_panics = AtomicUsize::new(0);
 
         let mut reports: Vec<UnitReport> = if unit_workers <= 1 {
-            units
-                .into_iter()
-                .map(|u| self.process_unit(&u, engine_workers, shared.as_ref()))
-                .collect()
+            let mut it = units.into_iter();
+            let mut out = Vec::new();
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| it.next())) {
+                    Ok(Some(unit)) => {
+                        out.push(self.run_unit(&unit, engine_workers, shared.as_ref()));
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        stream_panics.fetch_add(1, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+            out
         } else {
             let stream = Mutex::new(units.into_iter());
             let sink = Mutex::new(Vec::new());
@@ -284,15 +427,28 @@ impl BatchRunner {
                 for _ in 0..unit_workers {
                     scope.spawn(|| loop {
                         // Hold the stream lock only while pulling: units
-                        // larger than the lock hold-time stream freely.
-                        let unit = stream.lock().expect("unit stream poisoned").next();
+                        // larger than the lock hold-time stream freely. A
+                        // previously-poisoned lock is recovered (the
+                        // iterator state is whatever the panicking `next`
+                        // left behind), and a panicking pull is treated as
+                        // end-of-stream for this worker.
+                        let unit = {
+                            let mut guard = lock_recover(&stream);
+                            match catch_unwind(AssertUnwindSafe(|| guard.next())) {
+                                Ok(u) => u,
+                                Err(_) => {
+                                    stream_panics.fetch_add(1, Ordering::SeqCst);
+                                    None
+                                }
+                            }
+                        };
                         let Some(unit) = unit else { break };
-                        let report = self.process_unit(&unit, engine_workers, shared.as_ref());
-                        sink.lock().expect("report sink poisoned").push(report);
+                        let report = self.run_unit(&unit, engine_workers, shared.as_ref());
+                        lock_recover(&sink).push(report);
                     });
                 }
             });
-            sink.into_inner().expect("report sink poisoned")
+            sink.into_inner().unwrap_or_else(PoisonError::into_inner)
         };
 
         // Name-sorted output: arrival order and scheduling cannot leak.
@@ -300,20 +456,26 @@ impl BatchRunner {
 
         let mut totals = DepStats::default();
         let mut parse_failures = 0;
+        let mut failed_units = 0;
         let mut vectorized_statements = 0;
+        let mut charged: HashSet<u64> = HashSet::new();
         for r in &reports {
             totals.merge(&r.stats);
-            parse_failures += usize::from(r.parse_error.is_some());
+            parse_failures += usize::from(matches!(r.outcome, UnitOutcome::ParseError(_)));
+            failed_units += usize::from(matches!(r.outcome, UnitOutcome::Failed { .. }));
             vectorized_statements += r.vectorized_statements;
+            charged.extend(r.charged_keys.iter().copied());
         }
-        let distinct_problems = shared.as_ref().map(VerdictCache::len);
+        let distinct_problems = self.config.shared_cache.then_some(charged.len());
         // Every unit-local miss is a globally distinct problem unless some
-        // other unit had already inserted it.
+        // other unit had already charged it.
         let cross_unit_hits =
             distinct_problems.map_or(0, |d| totals.cache_misses.saturating_sub(d));
         BatchStats {
             units: reports,
             parse_failures,
+            failed_units,
+            stream_failures: stream_panics.into_inner(),
             totals,
             distinct_problems,
             cross_unit_hits,
@@ -321,11 +483,77 @@ impl BatchRunner {
         }
     }
 
-    fn process_unit(
+    /// Processes one unit: attempt, catch panics, retry under an escalated
+    /// budget, and always return a report.
+    fn run_unit(
         &self,
         unit: &BatchUnit,
         engine_workers: usize,
         shared: Option<&VerdictCache>,
+    ) -> UnitReport {
+        let attempts = self.config.retry.max_retries.saturating_add(1);
+        let mut reason = String::new();
+        for attempt in 0..attempts {
+            let mut budget = if attempt == 0 {
+                self.config.budget.clone()
+            } else {
+                self.config.budget.escalated(self.config.retry.escalation.saturating_pow(attempt))
+            };
+            let chaos =
+                self.config.chaos.map(|plan| ChaosCtx { plan, unit: unit.name.clone(), attempt });
+            let unit_fault = chaos.as_ref().and_then(ChaosCtx::unit_fault);
+            if let Some(fault) = unit_fault {
+                if fault != FaultKind::Panic {
+                    budget = ChaosCtx::faulted_spec(fault, &budget);
+                }
+            }
+            // A budget-starved attempt must not be rescued by verdicts other
+            // units already memoized: whether a key is present depends on
+            // arrival order, and a rescue would leak that order into the
+            // starved unit's degradation stats. Starved attempts therefore
+            // run against a private cache only.
+            let attempt_shared =
+                if unit_fault.is_some_and(|f| f != FaultKind::Panic) { None } else { shared };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if unit_fault == Some(FaultKind::Panic) {
+                    panic!("{}", crate::chaos::CHAOS_PANIC_MSG);
+                }
+                self.process_unit_attempt(unit, engine_workers, attempt_shared, budget, chaos)
+            }));
+            // Drain the thread-local solver node counter unconditionally: a
+            // panic mid-solve would otherwise leak this attempt's nodes
+            // into whatever this worker thread processes next.
+            delin_dep::exact::reset_thread_nodes();
+            match outcome {
+                Ok(report) => {
+                    // A degraded-but-complete attempt is worth one escalated
+                    // retry too: the next budget may afford the full proof.
+                    if report.stats.degraded_pairs > 0 && attempt + 1 < attempts {
+                        continue;
+                    }
+                    return report;
+                }
+                Err(payload) => reason = panic_message(payload),
+            }
+        }
+        UnitReport {
+            name: unit.name.clone(),
+            outcome: UnitOutcome::Failed { reason, attempts },
+            edges: 0,
+            edges_fp: 0,
+            vectorized_statements: 0,
+            stats: DepStats::default(),
+            charged_keys: Vec::new(),
+        }
+    }
+
+    fn process_unit_attempt(
+        &self,
+        unit: &BatchUnit,
+        engine_workers: usize,
+        shared: Option<&VerdictCache>,
+        budget: BudgetSpec,
+        chaos: Option<ChaosCtx>,
     ) -> UnitReport {
         let config = PipelineConfig {
             choice: self.config.choice,
@@ -335,25 +563,51 @@ impl BatchRunner {
             infer_loop_assumptions: self.config.infer_loop_assumptions,
             workers: engine_workers,
             cache: self.config.cache,
+            budget,
+            chaos,
         };
         match run_pipeline_in(&unit.source, &config, shared) {
             Ok(report) => UnitReport {
                 name: unit.name.clone(),
-                parse_error: None,
+                outcome: UnitOutcome::Analyzed,
                 edges: report.graph.edges.len(),
                 edges_fp: fingerprint_edges(&report.graph.edges),
                 vectorized_statements: report.vectorization.vectorized_statements,
                 stats: report.stats,
+                charged_keys: report.graph.charged_keys.clone(),
             },
             Err(e) => UnitReport {
                 name: unit.name.clone(),
-                parse_error: Some(e.to_string()),
+                outcome: UnitOutcome::ParseError(e.to_string()),
                 edges: 0,
                 edges_fp: 0,
                 vectorized_statements: 0,
                 stats: DepStats::default(),
+                charged_keys: Vec::new(),
             },
         }
+    }
+}
+
+/// Locks a mutex, recovering the guard when a previous holder panicked.
+/// The protected values (a unit iterator and a report vector) are only
+/// observed between whole operations, so recovery is safe: a poisoned sink
+/// holds every fully-pushed report, and a poisoned stream resumes wherever
+/// the panicking `next` left off.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extracts a human-readable message from a panic payload. `panic!` with a
+/// format string yields `String`, `panic!` with a literal yields `&str`;
+/// anything else is reported generically.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -458,6 +712,107 @@ mod tests {
                 assert!(u * e <= workers, "{workers}/{unit_parallelism} -> {u}x{e}");
                 assert!(u >= 1 && e >= 1);
             }
+        }
+    }
+
+    /// A panicking unit stream must truncate the batch, not wedge or kill
+    /// it: units pulled before the panic are still fully processed and the
+    /// failure is counted.
+    #[test]
+    fn panicking_stream_truncates_batch() {
+        for workers in [1, 3] {
+            let it = (0..5i128).map(|k| {
+                if k == 2 {
+                    panic!("stream exploded");
+                }
+                unit(&format!("s{k}"), 10 + k, 3)
+            });
+            let stats = BatchRunner::new(BatchConfig { workers, ..BatchConfig::default() }).run(it);
+            assert!(stats.stream_failures >= 1, "workers={workers}");
+            // The faulted element is lost; serially the whole tail is too
+            // (the one puller stops), while parallel pullers may still
+            // drain elements after the faulted one.
+            assert!(stats.units.len() < 5, "workers={workers}: {:?}", stats.units.len());
+            if workers == 1 {
+                assert_eq!(stats.units.len(), 2);
+            }
+            assert!(stats.units.iter().all(|u| u.outcome == UnitOutcome::Analyzed));
+            assert!(stats.render().contains("stream-failures="), "{}", stats.render());
+        }
+    }
+
+    /// A zero-node budget degrades the classic unit's delinearization
+    /// proof; the report row and corpus line must say so, and the verdicts
+    /// must stay conservative (no independence claimed by delinearization).
+    #[test]
+    fn budget_degradation_is_reported_per_unit() {
+        let config = BatchConfig {
+            workers: 1,
+            budget: BudgetSpec::nodes_only(0),
+            retry: RetryPolicy { max_retries: 0, escalation: 4 },
+            ..BatchConfig::default()
+        };
+        let stats = BatchRunner::new(config).run(vec![unit("u0-classic", 10, 5)]);
+        let report = &stats.units[0];
+        assert_eq!(report.outcome, UnitOutcome::Analyzed);
+        assert!(report.stats.degraded_pairs > 0, "{:?}", report.stats);
+        assert!(report.render_row().contains(" degraded="), "{}", report.render_row());
+        assert!(stats.render().contains(" degraded="), "{}", stats.render());
+    }
+
+    /// An escalated retry turns a first-attempt degradation into a clean
+    /// report: node budget 1 is too small for the classic unit, 4× retries
+    /// reach... still too small, but a large escalation factor succeeds.
+    #[test]
+    fn degraded_attempts_retry_with_escalated_budget() {
+        let config = BatchConfig {
+            workers: 1,
+            budget: BudgetSpec::nodes_only(1),
+            retry: RetryPolicy { max_retries: 1, escalation: 1_000_000 },
+            ..BatchConfig::default()
+        };
+        let stats = BatchRunner::new(config).run(vec![unit("u0-classic", 10, 5)]);
+        let report = &stats.units[0];
+        assert_eq!(report.outcome, UnitOutcome::Analyzed);
+        assert_eq!(report.stats.degraded_pairs, 0, "{:?}", report.stats);
+        assert!(report.stats.proven_independent >= 1);
+        // And without the retry the degradation would have stuck:
+        let stuck = BatchRunner::new(BatchConfig {
+            workers: 1,
+            budget: BudgetSpec::nodes_only(1),
+            retry: RetryPolicy { max_retries: 0, escalation: 1 },
+            ..BatchConfig::default()
+        })
+        .run(vec![unit("u0-classic", 10, 5)]);
+        assert!(stuck.units[0].stats.degraded_pairs > 0);
+    }
+
+    /// With injected faults active, the batch still completes, every unit
+    /// gets a report, and the render is byte-identical across worker
+    /// counts: the fault set is a pure function of the seed, never of
+    /// scheduling.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_faulted_batch_is_deterministic_across_workers() {
+        // Pick a seed that actually faults at least one of our units.
+        let seed = (0..500u64)
+            .find(|&s| {
+                let plan = ChaosPlan::new(s);
+                units().iter().any(|u| plan.unit_fault(&u.name, 0).is_some())
+            })
+            .expect("some seed in 0..500 must fault a unit");
+        let run = |workers: usize| {
+            BatchRunner::new(BatchConfig {
+                workers,
+                chaos: Some(ChaosPlan::new(seed)),
+                ..BatchConfig::default()
+            })
+            .run(units())
+        };
+        let base = run(1);
+        assert_eq!(base.units.len(), 4, "every unit reports, faulted or not");
+        for workers in [3, 0] {
+            assert_eq!(run(workers).render(), base.render(), "workers={workers}");
         }
     }
 

@@ -19,19 +19,31 @@
 //! environments; symbolic problems from units with conflicting assumptions
 //! never collide (see `shared_cache_separates_assumption_environments`).
 //!
-//! The store is a sharded `RwLock` map of [`std::sync::OnceLock`] cells:
-//! concurrent workers that race on the same key agree on a single cell, and
-//! exactly one of them runs the solver while the rest block on the cell.
-//! Every distinct key is therefore computed exactly once per cache
-//! lifetime, no matter how many units or worker threads touch it.
+//! The store is a sharded `RwLock` map of [`ComputeCell`]s: concurrent
+//! workers that race on the same key agree on a single cell, and exactly
+//! one of them runs the solver while the rest block on the cell. Every
+//! distinct key is therefore computed exactly once per cache lifetime, no
+//! matter how many units or worker threads touch it — with two
+//! fault-tolerance refinements over a plain `OnceLock`:
+//!
+//! * **panic safety** — if the computing worker panics, the cell resets to
+//!   idle and wakes its waiters, so a later lookup retries instead of
+//!   deadlocking or observing a poisoned lock;
+//! * **degraded outcomes are never memoized** — an outcome produced under
+//!   an exhausted [`delin_dep::budget::ResourceBudget`] carries a
+//!   [`DegradeReason`] and is returned to its caller but *not* stored.
+//!   Every cached entry is therefore a full-budget verdict, which keeps
+//!   cached results a pure function of the canonical key even when units
+//!   run under different (or escalating retry) budgets.
 
+use delin_dep::budget::DegradeReason;
 use delin_dep::problem::DependenceProblem;
 use delin_dep::verdict::Verdict;
 use delin_numeric::{Assumptions, Sym, SymPoly};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// Number of independent lock shards. A small power of two is plenty: the
 /// critical sections only insert/lookup an `Arc`, never solve.
@@ -50,6 +62,93 @@ pub struct CachedOutcome {
     pub attempts: Vec<&'static str>,
     /// Exact-solver search nodes spent computing this entry.
     pub solver_nodes: u64,
+    /// `Some(reason)` when the verdict was reached under an exhausted
+    /// resource budget. Degraded outcomes are conservative (`Unknown`, or
+    /// `Dependent` with a superset of the true direction vectors) and are
+    /// never memoized — see the module docs.
+    pub degraded: Option<DegradeReason>,
+}
+
+/// One memoization slot: at most one worker computes, the rest wait.
+///
+/// Unlike `OnceLock`, a cell survives a panicking compute closure (it
+/// resets to [`CellState::Idle`] and wakes waiters so a later lookup can
+/// retry) and refuses to store budget-degraded outcomes.
+struct ComputeCell {
+    state: Mutex<CellState>,
+    cond: Condvar,
+}
+
+enum CellState {
+    /// Nobody has produced a storable outcome yet.
+    Idle,
+    /// Some worker is running the solver; waiters block on the condvar.
+    Computing,
+    /// A full-budget outcome is memoized.
+    Ready(CachedOutcome),
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Cell state transitions are single assignments, so a poisoned lock
+/// cannot leave the state half-written.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ComputeCell {
+    fn new() -> ComputeCell {
+        ComputeCell { state: Mutex::new(CellState::Idle), cond: Condvar::new() }
+    }
+
+    /// `true` when a full-budget outcome is memoized in this cell.
+    fn is_ready(&self) -> bool {
+        matches!(*lock_recover(&self.state), CellState::Ready(_))
+    }
+
+    /// Returns the memoized outcome, computing it first if necessary.
+    /// The boolean is `true` when *this* call ran `compute`.
+    fn get_or_compute(&self, compute: impl FnOnce() -> CachedOutcome) -> (CachedOutcome, bool) {
+        {
+            let mut state = lock_recover(&self.state);
+            loop {
+                match &*state {
+                    CellState::Ready(out) => return (out.clone(), false),
+                    CellState::Computing => {
+                        state = self.cond.wait(state).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    CellState::Idle => break,
+                }
+            }
+            *state = CellState::Computing;
+        }
+        // Reset to Idle on every exit path that does not store an outcome:
+        // a panic inside `compute` (the guard drops during unwinding) or a
+        // degraded outcome below. Either way waiters wake up and the next
+        // lookup retries the computation.
+        let mut guard = ComputeReset { cell: self, disarm: false };
+        let outcome = compute();
+        if outcome.degraded.is_none() {
+            *lock_recover(&self.state) = CellState::Ready(outcome.clone());
+            self.cond.notify_all();
+            guard.disarm = true;
+        }
+        drop(guard);
+        (outcome, true)
+    }
+}
+
+struct ComputeReset<'a> {
+    cell: &'a ComputeCell,
+    disarm: bool,
+}
+
+impl Drop for ComputeReset<'_> {
+    fn drop(&mut self) {
+        if !self.disarm {
+            *lock_recover(&self.cell.state) = CellState::Idle;
+            self.cell.cond.notify_all();
+        }
+    }
 }
 
 /// The result of one cache lookup.
@@ -74,7 +173,7 @@ pub struct CacheLookup {
 /// lookup then goes through [`VerdictCache::lookup`], which keys on the
 /// per-unit assumptions).
 pub struct VerdictCache {
-    shards: Vec<RwLock<HashMap<String, Arc<OnceLock<CachedOutcome>>>>>,
+    shards: Vec<RwLock<HashMap<String, Arc<ComputeCell>>>>,
     /// The environment baked in by [`VerdictCache::new`]; `None` for shared
     /// caches, whose lookups carry their environment explicitly.
     env: Option<Assumptions>,
@@ -92,9 +191,17 @@ impl VerdictCache {
         VerdictCache { shards: new_shards(), env: None }
     }
 
-    /// Number of entries across all shards (distinct canonical problems).
+    /// Number of memoized outcomes across all shards (distinct canonical
+    /// problems decided under a full budget). Cells whose computation
+    /// panicked or degraded hold no outcome and are not counted.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().map(|m| m.len()).unwrap_or(0)).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let map = s.read().unwrap_or_else(PoisonError::into_inner);
+                map.values().filter(|c| c.is_ready()).count()
+            })
+            .sum()
     }
 
     /// `true` when no problem has been memoized yet.
@@ -110,6 +217,7 @@ impl VerdictCache {
     ///
     /// Panics on a cache built with [`VerdictCache::shared`] — shared
     /// lookups must pass their environment to [`VerdictCache::lookup`].
+    #[allow(clippy::expect_used)] // documented contract, pinned by a test
     pub fn get_or_compute(
         &self,
         problem: &DependenceProblem<SymPoly>,
@@ -139,27 +247,26 @@ impl VerdictCache {
         let key_fp = fingerprint(&key);
         let shard = &self.shards[shard_index(&key)];
         let cell = {
-            // Fast path: the key is already present.
-            let read = shard.read().expect("verdict cache poisoned");
+            // Fast path: the key is already present. A poisoned shard lock
+            // only means some worker panicked while holding it; the map
+            // itself is never left mid-mutation (inserts are single entry
+            // operations), so recover the guard and keep going.
+            let read = shard.read().unwrap_or_else(PoisonError::into_inner);
             read.get(&key).cloned()
         };
         let cell = match cell {
             Some(c) => c,
             None => {
-                let mut write = shard.write().expect("verdict cache poisoned");
-                write.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+                let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
+                write.entry(key).or_insert_with(|| Arc::new(ComputeCell::new())).clone()
             }
         };
-        let mut computed = false;
-        let outcome = cell.get_or_init(|| {
-            computed = true;
-            compute(&canonical)
-        });
-        CacheLookup { outcome: outcome.clone(), computed, key_fp }
+        let (outcome, computed) = cell.get_or_compute(|| compute(&canonical));
+        CacheLookup { outcome, computed, key_fp }
     }
 }
 
-fn new_shards() -> Vec<RwLock<HashMap<String, Arc<OnceLock<CachedOutcome>>>>> {
+fn new_shards() -> Vec<RwLock<HashMap<String, Arc<ComputeCell>>>> {
     (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
 }
 
@@ -314,6 +421,7 @@ mod tests {
             tested_by: "test",
             attempts: vec!["test"],
             solver_nodes: nodes,
+            degraded: None,
         }
     }
 
@@ -441,6 +549,49 @@ mod tests {
     fn shared_cache_rejects_envless_lookups() {
         let cache = VerdictCache::shared();
         let _ = cache.get_or_compute(&two_eq_problem([0, 1]), |_| outcome(0));
+    }
+
+    /// Degraded outcomes reach their caller but never the store: the next
+    /// lookup of the same key recomputes, and once a full-budget outcome
+    /// lands it is the one memoized.
+    #[test]
+    fn degraded_outcomes_are_not_memoized() {
+        let cache = VerdictCache::new(&Assumptions::new());
+        let p = two_eq_problem([0, 1]);
+        let degraded = CachedOutcome {
+            verdict: Verdict::Unknown,
+            degraded: Some(delin_dep::budget::DegradeReason::Nodes),
+            ..outcome(7)
+        };
+        let (out, hit) = cache.get_or_compute(&p, |_| degraded.clone());
+        assert!(!hit);
+        assert!(out.degraded.is_some());
+        assert_eq!(cache.len(), 0, "degraded outcome must not be stored");
+        // Recompute with a full budget: stored this time.
+        let (out, hit) = cache.get_or_compute(&p, |_| outcome(9));
+        assert!(!hit, "idle cell must recompute, not replay the degraded run");
+        assert_eq!(out.solver_nodes, 9);
+        assert_eq!(cache.len(), 1);
+        let (out, hit) = cache.get_or_compute(&p, |_| outcome(99));
+        assert!(hit);
+        assert_eq!(out.solver_nodes, 9, "full-budget outcome is the memoized one");
+    }
+
+    /// A panic inside the compute closure leaves the cell (and its shard
+    /// lock) usable: the same key can be looked up again and computed.
+    #[test]
+    fn panicking_compute_leaves_cache_usable() {
+        let cache = VerdictCache::new(&Assumptions::new());
+        let p = two_eq_problem([0, 1]);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(&p, |_| panic!("injected solver fault"))
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(cache.len(), 0);
+        let (out, hit) = cache.get_or_compute(&p, |_| outcome(5));
+        assert!(!hit, "post-panic lookup must recompute");
+        assert_eq!(out.solver_nodes, 5);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

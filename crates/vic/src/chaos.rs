@@ -1,0 +1,246 @@
+//! Deterministic fault injection for the analysis runtime.
+//!
+//! The robustness contract of the batch engine — panics isolated per unit,
+//! budget exhaustion degrading to conservative verdicts, reports
+//! byte-identical for any worker count *modulo the injected failures* — is
+//! only worth anything if it can be exercised on demand. This module
+//! injects faults at three granularities:
+//!
+//! * **unit** — a whole program unit panics on arrival, or runs under a
+//!   zero-node / already-expired budget;
+//! * **pair** — one reference-pair decision panics (the unit's worker
+//!   unwinds; [`crate::batch`] catches, retries, and attributes);
+//! * **solver** — one reference-pair decision runs under an exhausted
+//!   budget and degrades to `Unknown` (exercises the degraded-not-memoized
+//!   cache policy, since the faulted pair bypasses the shared cache).
+//!
+//! Every decision is a pure function of `(seed, site identity)` — a
+//! splitmix64-style hash, no RNG state, no ordering sensitivity — so a
+//! given seed produces the *same* fault set for any worker count, arrival
+//! order, or retry schedule. That determinism is what lets the chaos suite
+//! assert byte-identical corpus reports across `workers ∈ {1, 4, auto}`
+//! while faults are firing.
+//!
+//! The whole module is compiled in both configurations, but with the
+//! `chaos` cargo feature **off** (the default, and the only configuration
+//! shipped by `cargo build`), [`ChaosPlan`] is an *uninhabited* enum: no
+//! plan value can exist, `Option<ChaosPlan>` is statically `None`, and
+//! every injection site in the engine folds to the no-fault path at
+//! compile time. Production builds therefore carry zero chaos overhead and
+//! cannot be faulted by any environment variable.
+
+use delin_dep::budget::BudgetSpec;
+
+/// The kind of fault injected at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic at the injection site (exercises unwind isolation).
+    Panic,
+    /// Run under a zero-node budget (deterministic exhaustion).
+    Nodes,
+    /// Run under an already-expired deadline.
+    Deadline,
+}
+
+/// The panic payload of every injected panic, at every granularity.
+///
+/// Deliberately constant and site-free: a unit whose workers hit several
+/// injected pair panics reports whichever payload it caught, so the
+/// payload must not encode the pair — otherwise the unit's failure reason
+/// would depend on thread scheduling and break report byte-identity.
+pub const CHAOS_PANIC_MSG: &str = "chaos: injected panic";
+
+/// A seeded fault-injection plan (feature `chaos` enabled).
+#[cfg(feature = "chaos")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed mixed into every site decision.
+    pub seed: u64,
+    /// Unit-fault rate in permille (out of 1000).
+    pub unit_rate: u16,
+    /// Pair/solver-fault rate in permille (out of 1000).
+    pub pair_rate: u16,
+}
+
+/// A seeded fault-injection plan (feature `chaos` disabled: uninhabited,
+/// so no plan can exist and injection sites compile to nothing).
+#[cfg(not(feature = "chaos"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosPlan {}
+
+#[cfg(feature = "chaos")]
+impl ChaosPlan {
+    /// A plan with the default rates: roughly one unit in four faulted,
+    /// roughly three pair decisions in a hundred faulted.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed, unit_rate: 250, pair_rate: 30 }
+    }
+
+    /// The plan requested by the `DELIN_CHAOS_SEED` environment variable,
+    /// if set to a number.
+    pub fn from_env() -> Option<ChaosPlan> {
+        std::env::var("DELIN_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).map(ChaosPlan::new)
+    }
+
+    /// The fault (if any) for processing `unit` on retry `attempt`.
+    pub fn unit_fault(&self, unit: &str, attempt: u32) -> Option<FaultKind> {
+        self.decide(self.unit_rate, &format!("unit:{unit}:{attempt}"))
+    }
+
+    /// The fault (if any) for deciding reference pair `(src, dst)` of
+    /// `unit` on retry `attempt`. Keyed on the worklist site indices, which
+    /// are a pure function of the unit's source.
+    pub fn pair_fault(
+        &self,
+        unit: &str,
+        attempt: u32,
+        src: usize,
+        dst: usize,
+    ) -> Option<FaultKind> {
+        self.decide(self.pair_rate, &format!("pair:{unit}:{attempt}:{src}:{dst}"))
+    }
+
+    fn decide(&self, rate: u16, site: &str) -> Option<FaultKind> {
+        let h = site_hash(self.seed, site);
+        if h % 1000 >= u64::from(rate) {
+            return None;
+        }
+        Some(match (h / 1000) % 3 {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Nodes,
+            _ => FaultKind::Deadline,
+        })
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+impl ChaosPlan {
+    /// Chaos is compiled out: there is never a plan in the environment.
+    pub fn from_env() -> Option<ChaosPlan> {
+        None
+    }
+
+    /// Unreachable (no plan value exists with the feature off).
+    pub fn unit_fault(&self, _unit: &str, _attempt: u32) -> Option<FaultKind> {
+        match *self {}
+    }
+
+    /// Unreachable (no plan value exists with the feature off).
+    pub fn pair_fault(
+        &self,
+        _unit: &str,
+        _attempt: u32,
+        _src: usize,
+        _dst: usize,
+    ) -> Option<FaultKind> {
+        match *self {}
+    }
+}
+
+/// A plan bound to the unit (and retry attempt) it is faulting, threaded
+/// from [`crate::batch`] through the engine so pair-granular sites can key
+/// their decisions. Uninhabited whenever [`ChaosPlan`] is.
+#[derive(Debug, Clone)]
+pub struct ChaosCtx {
+    /// The active plan.
+    pub plan: ChaosPlan,
+    /// The unit being processed.
+    pub unit: String,
+    /// The 0-based retry attempt — retries draw an independent fault set,
+    /// so an escalated retry is not doomed to replay the same faults.
+    pub attempt: u32,
+}
+
+impl ChaosCtx {
+    /// The fault (if any) for this unit as a whole.
+    pub fn unit_fault(&self) -> Option<FaultKind> {
+        self.plan.unit_fault(&self.unit, self.attempt)
+    }
+
+    /// The fault (if any) for one reference-pair decision.
+    pub fn pair_fault(&self, src: usize, dst: usize) -> Option<FaultKind> {
+        self.plan.pair_fault(&self.unit, self.attempt, src, dst)
+    }
+
+    /// Applies a budget-class fault to a spec: [`FaultKind::Nodes`] zeroes
+    /// the node allowance, [`FaultKind::Deadline`] arms an already-expired
+    /// deadline. [`FaultKind::Panic`] leaves the spec alone (the caller
+    /// panics instead).
+    pub fn faulted_spec(fault: FaultKind, spec: &BudgetSpec) -> BudgetSpec {
+        match fault {
+            FaultKind::Panic => spec.clone(),
+            FaultKind::Nodes => BudgetSpec { node_limit: 0, ..spec.clone() },
+            FaultKind::Deadline => BudgetSpec { deadline_ms: Some(0), ..spec.clone() },
+        }
+    }
+}
+
+/// splitmix64-style avalanche: decisions depend on every bit of the seed
+/// and the site identity, nothing else.
+#[cfg(feature = "chaos")]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(feature = "chaos")]
+fn site_hash(seed: u64, site: &str) -> u64 {
+    let mut h = mix(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for b in site.bytes() {
+        h = mix(h ^ u64::from(b));
+    }
+    h
+}
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = ChaosPlan::new(42);
+        let b = ChaosPlan::new(42);
+        for i in 0..50 {
+            assert_eq!(a.unit_fault("u", i), b.unit_fault("u", i));
+            assert_eq!(a.pair_fault("u", 0, i as usize, 2), b.pair_fault("u", 0, i as usize, 2));
+        }
+        // Some seed pair must disagree somewhere across a modest site set
+        // (rates are permille, so scan enough sites).
+        let c = ChaosPlan::new(43);
+        let differs = (0..2000)
+            .any(|i| a.unit_fault(&format!("u{i}"), 0) != c.unit_fault(&format!("u{i}"), 0));
+        assert!(differs, "different seeds must produce different fault sets");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = ChaosPlan::new(7);
+        let fired =
+            (0..4000).filter(|i| plan.unit_fault(&format!("unit-{i}"), 0).is_some()).count();
+        // 250‰ of 4000 = 1000 expected; accept a generous band.
+        assert!((600..1400).contains(&fired), "unit faults fired: {fired}");
+        let kinds: std::collections::HashSet<_> =
+            (0..4000).filter_map(|i| plan.unit_fault(&format!("unit-{i}"), 0)).collect();
+        assert_eq!(kinds.len(), 3, "all three fault kinds must occur: {kinds:?}");
+    }
+
+    #[test]
+    fn env_gate_parses_seed() {
+        // Do not mutate the process environment (tests run in parallel);
+        // just pin the parse contract via new().
+        assert_eq!(ChaosPlan::new(9).seed, 9);
+    }
+
+    #[test]
+    fn faulted_specs_degrade_deterministically() {
+        let spec = BudgetSpec::nodes_only(1000);
+        let z = ChaosCtx::faulted_spec(FaultKind::Nodes, &spec);
+        assert_eq!(z.node_limit, 0);
+        let d = ChaosCtx::faulted_spec(FaultKind::Deadline, &spec);
+        assert_eq!(d.deadline_ms, Some(0));
+        assert!(d.arm().exhausted().is_some(), "expired deadline must trip immediately");
+        let p = ChaosCtx::faulted_spec(FaultKind::Panic, &spec);
+        assert_eq!(p.node_limit, 1000);
+    }
+}

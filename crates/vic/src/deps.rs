@@ -17,9 +17,11 @@
 //! serial code path.
 
 use crate::cache::{CacheLookup, CachedOutcome, VerdictCache};
+use crate::chaos::{ChaosCtx, FaultKind};
 use delin_core::DelinearizationTest;
 use delin_dep::acyclic::AcyclicTest;
 use delin_dep::banerjee::BanerjeeTest;
+use delin_dep::budget::{BudgetSpec, DegradeReason, ResourceBudget};
 use delin_dep::dirvec::{summarize, Dir, DirVec};
 use delin_dep::gcd::GcdTest;
 use delin_dep::hierarchy;
@@ -99,6 +101,13 @@ pub struct DepStats {
     /// Exact-solver search nodes charged across all decisions (same
     /// attribution rule as [`DepStats::attempts_by`]).
     pub solver_nodes: u64,
+    /// Pairs whose verdict was reached under an exhausted resource budget
+    /// and therefore degraded to a conservative answer. Deterministic for
+    /// node-limit budgets; deadline and cancellation trips depend on wall
+    /// clock by nature.
+    pub degraded_pairs: usize,
+    /// Degraded pairs broken down by the budget axis that tripped.
+    pub degraded_by: BTreeMap<DegradeReason, usize>,
     /// Total wall-clock nanoseconds spent testing pairs. Not deterministic.
     pub test_nanos: u128,
     /// Wall-clock nanoseconds per deciding test. Not deterministic.
@@ -127,6 +136,10 @@ pub struct VerdictStats {
     pub cache_misses: usize,
     /// Exact-solver search nodes spent across all decisions.
     pub solver_nodes: u64,
+    /// Pairs degraded by budget exhaustion.
+    pub degraded_pairs: usize,
+    /// Degraded pairs per tripped budget axis.
+    pub degraded_by: BTreeMap<DegradeReason, usize>,
 }
 
 impl DepStats {
@@ -147,6 +160,8 @@ impl DepStats {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             solver_nodes: self.solver_nodes,
+            degraded_pairs: self.degraded_pairs,
+            degraded_by: self.degraded_by.clone(),
         }
     }
 
@@ -168,6 +183,13 @@ impl DepStats {
             self.solver_nodes,
             self.test_nanos as f64 / 1.0e6
         );
+        // Only rendered when something actually degraded, so budget-clean
+        // runs keep the historical byte-identical summary.
+        if self.degraded_pairs > 0 {
+            let by: Vec<String> =
+                self.degraded_by.iter().map(|(reason, n)| format!("{reason}={n}")).collect();
+            let _ = writeln!(out, "degraded: {} pairs ({})", self.degraded_pairs, by.join(", "));
+        }
         let names: std::collections::BTreeSet<&'static str> =
             self.decided_by.keys().chain(self.attempts_by.keys()).copied().collect();
         let mut by_test: Vec<String> = Vec::new();
@@ -202,6 +224,10 @@ impl DepStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.solver_nodes += other.solver_nodes;
+        self.degraded_pairs += other.degraded_pairs;
+        for (reason, n) in &other.degraded_by {
+            *self.degraded_by.entry(*reason).or_insert(0) += n;
+        }
         self.test_nanos += other.test_nanos;
         for (name, n) in &other.nanos_by {
             *self.nanos_by.entry(name).or_insert(0) += n;
@@ -233,6 +259,10 @@ impl DepStats {
             }
             self.solver_nodes += outcome.solver_nodes;
         }
+        if let Some(reason) = outcome.degraded {
+            self.degraded_pairs += 1;
+            *self.degraded_by.entry(reason).or_insert(0) += 1;
+        }
         self.test_nanos += outcome.nanos;
         *self.nanos_by.entry(outcome.tested_by).or_insert(0) += outcome.nanos;
     }
@@ -247,6 +277,12 @@ pub struct DepGraph {
     pub edges: Vec<DepEdge>,
     /// Construction statistics.
     pub stats: DepStats,
+    /// Sorted fingerprints of the canonical problems charged to this run
+    /// (empty when the verdict cache is disabled). The batch layer unions
+    /// these across units to count corpus-wide distinct problems without
+    /// consulting live cache state — which keeps the count deterministic
+    /// even when some units fail or are retried.
+    pub charged_keys: Vec<u64>,
 }
 
 impl DepGraph {
@@ -287,11 +323,26 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Memoize verdicts of canonicalized problems (see [`crate::cache`]).
     pub cache: bool,
+    /// Resource budget specification. Armed once per graph construction
+    /// (the deadline covers the whole run); each pair then observes the
+    /// armed limits through a fresh trip flag, so exhaustion degrades that
+    /// pair to a conservative verdict without corrupting its neighbours.
+    pub budget: BudgetSpec,
+    /// Deterministic fault injection, threaded in by the batch layer.
+    /// `None` (always, unless the `chaos` cargo feature is enabled *and* a
+    /// seed was requested) runs the engine unfaulted.
+    pub chaos: Option<ChaosCtx>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { choice: TestChoice::default(), workers: workers_from_env(), cache: true }
+        EngineConfig {
+            choice: TestChoice::default(),
+            workers: workers_from_env(),
+            cache: true,
+            budget: BudgetSpec::default(),
+            chaos: None,
+        }
     }
 }
 
@@ -344,6 +395,10 @@ struct PairOutcome {
     /// disabled (every pair then counts as its own first reference).
     key_fp: Option<u64>,
     solver_nodes: u64,
+    /// `Some(reason)` when this pair's verdict degraded under an exhausted
+    /// budget. Cached outcomes are always `None` (degraded outcomes are
+    /// never memoized).
+    degraded: Option<DegradeReason>,
 }
 
 /// Builds the dependence graph of a program under an explicit engine
@@ -403,14 +458,21 @@ pub fn build_dependence_graph_in(
     let private = (shared.is_none() && config.cache).then(VerdictCache::shared);
     let cache = shared.or(private.as_ref());
     let workers = config.effective_workers(worklist.len());
+    // Arm once: the deadline clock covers the whole construction. Pairs
+    // derive per-pair trip flags from this via `ResourceBudget::fresh`.
+    let budget = config.budget.arm();
+    let ctx = PairCtx {
+        assumptions,
+        choice: config.choice,
+        cache,
+        budget: &budget,
+        chaos: config.chaos.as_ref(),
+    };
 
     let outcomes: Vec<PairOutcome> = if workers <= 1 {
-        worklist
-            .iter()
-            .map(|&(i, j)| test_pair(&sites[i], &sites[j], assumptions, config.choice, cache))
-            .collect()
+        worklist.iter().map(|&(i, j)| test_pair(&sites[i], &sites[j], (i, j), &ctx)).collect()
     } else {
-        run_sharded(&sites, &worklist, assumptions, config.choice, cache, workers)
+        run_sharded(&sites, &worklist, &ctx, workers)
     };
 
     let mut seen_keys: HashSet<u64> = HashSet::new();
@@ -418,19 +480,39 @@ pub fn build_dependence_graph_in(
         graph.stats.absorb(outcome, &mut seen_keys);
         fold_outcome(&sites[i], &sites[j], outcome, &mut graph);
     }
+    let mut charged: Vec<u64> = seen_keys.into_iter().collect();
+    charged.sort_unstable();
+    graph.charged_keys = charged;
     graph
+}
+
+/// Everything a pair decision needs besides the pair itself; one borrow
+/// bundle shared by the serial and sharded paths.
+#[derive(Clone, Copy)]
+struct PairCtx<'a> {
+    assumptions: &'a Assumptions,
+    choice: TestChoice,
+    cache: Option<&'a VerdictCache>,
+    /// The run-armed budget; pairs observe it via `fresh()`.
+    budget: &'a ResourceBudget,
+    chaos: Option<&'a ChaosCtx>,
 }
 
 /// Runs the worklist on `workers` scoped threads with work stealing: an
 /// atomic cursor hands out pair indices, each worker keeps `(index,
 /// outcome)` locally, and the merged results are re-ordered by index so the
 /// fold is independent of scheduling.
+///
+/// A panicking worker (a bug in a dependence test, or an injected chaos
+/// fault) does not bring the process down here: every worker is joined
+/// first — so no outcome is silently dropped and the scope never detaches
+/// a thread — and then exactly one captured payload is re-raised with
+/// [`std::panic::resume_unwind`]. The batch layer catches it at the unit
+/// boundary and converts it into a per-unit failure.
 fn run_sharded(
     sites: &[AccessSite],
     worklist: &[(usize, usize)],
-    assumptions: &Assumptions,
-    choice: TestChoice,
-    cache: Option<&VerdictCache>,
+    ctx: &PairCtx<'_>,
     workers: usize,
 ) -> Vec<PairOutcome> {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -450,14 +532,25 @@ fn run_sharded(
                             break;
                         }
                         let (i, j) = worklist[k];
-                        let outcome = test_pair(&sites[i], &sites[j], assumptions, choice, cache);
+                        let outcome = test_pair(&sites[i], &sites[j], (i, j), ctx);
                         local.push((k, outcome));
                     }
                     local
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("dependence worker panicked")).collect()
+        let mut done: Vec<Vec<(usize, PairOutcome)>> = Vec::with_capacity(handles.len());
+        let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(local) => done.push(local),
+                Err(p) => payload = Some(p),
+            }
+        }
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+        done
     });
 
     for (k, outcome) in chunks.into_iter().flatten() {
@@ -465,25 +558,55 @@ fn run_sharded(
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every worklist index produces exactly one outcome"))
+        .map(|s| match s {
+            Some(outcome) => outcome,
+            None => unreachable!("every worklist index produces exactly one outcome"),
+        })
         .collect()
 }
 
 /// Tests one reference pair, through the verdict cache when enabled.
+///
+/// Chaos pair faults are applied *here*, outside the cache: a panic fault
+/// unwinds before any lookup, and a budget fault bypasses the cache
+/// entirely (computing under the exhausted budget, charging the pair as
+/// its own reference) so injected degradation can never leak into — or be
+/// masked by — memoized full-budget entries.
 fn test_pair(
     a: &AccessSite,
     b: &AccessSite,
-    assumptions: &Assumptions,
-    choice: TestChoice,
-    cache: Option<&VerdictCache>,
+    pair: (usize, usize),
+    ctx: &PairCtx<'_>,
 ) -> PairOutcome {
     let started = std::time::Instant::now();
+    if let Some(chaos) = ctx.chaos {
+        match chaos.pair_fault(pair.0, pair.1) {
+            Some(FaultKind::Panic) => panic!("{}", crate::chaos::CHAOS_PANIC_MSG),
+            Some(fault) => {
+                let spec =
+                    ChaosCtx::faulted_spec(fault, &BudgetSpec::nodes_only(ctx.budget.node_limit()));
+                let problem = pair_problem(a, b);
+                let computed = decide_counted(&problem, ctx.assumptions, ctx.choice, &spec.arm());
+                return PairOutcome {
+                    verdict: computed.verdict,
+                    tested_by: computed.tested_by,
+                    attempts: computed.attempts,
+                    nanos: started.elapsed().as_nanos(),
+                    key_fp: None,
+                    solver_nodes: computed.solver_nodes,
+                    degraded: computed.degraded,
+                };
+            }
+            None => {}
+        }
+    }
+    let budget = ctx.budget.fresh();
     let problem = pair_problem(a, b);
-    let outcome = match cache {
+    let outcome = match ctx.cache {
         Some(cache) => {
             let CacheLookup { outcome, key_fp, .. } =
-                cache.lookup(assumptions, &problem, |canonical| {
-                    decide_counted(canonical, assumptions, choice)
+                cache.lookup(ctx.assumptions, &problem, |canonical| {
+                    decide_counted(canonical, ctx.assumptions, ctx.choice, &budget)
                 });
             PairOutcome {
                 verdict: outcome.verdict,
@@ -492,10 +615,11 @@ fn test_pair(
                 nanos: 0,
                 key_fp: Some(key_fp),
                 solver_nodes: outcome.solver_nodes,
+                degraded: outcome.degraded,
             }
         }
         None => {
-            let computed = decide_counted(&problem, assumptions, choice);
+            let computed = decide_counted(&problem, ctx.assumptions, ctx.choice, &budget);
             PairOutcome {
                 verdict: computed.verdict,
                 tested_by: computed.tested_by,
@@ -503,6 +627,7 @@ fn test_pair(
                 nanos: 0,
                 key_fp: None,
                 solver_nodes: computed.solver_nodes,
+                degraded: computed.degraded,
             }
         }
     };
@@ -514,14 +639,16 @@ fn decide_counted(
     problem: &DependenceProblem<SymPoly>,
     assumptions: &Assumptions,
     choice: TestChoice,
+    budget: &ResourceBudget,
 ) -> CachedOutcome {
     let _ = delin_dep::exact::take_thread_nodes();
-    let (verdict, tested_by, attempts) = decide(problem, assumptions, choice);
+    let (verdict, tested_by, attempts) = decide(problem, assumptions, choice, budget);
     CachedOutcome {
         verdict,
         tested_by,
         attempts,
         solver_nodes: delin_dep::exact::take_thread_nodes(),
+        degraded: budget.tripped(),
     }
 }
 
@@ -570,11 +697,21 @@ pub fn concretize(p: &DependenceProblem<SymPoly>) -> Option<DependenceProblem<i1
 
 /// Runs the configured tests; returns the verdict, the deciding test's
 /// name, and the names of the test invocations that executed.
+///
+/// Budget checks bracket every expensive phase: an exhausted budget at
+/// entry, between the delinearization pass and the classical battery, or
+/// before direction-vector refinement short-circuits to the conservative
+/// `Unknown` with `tested_by = "degraded"`. Inside the delinearization
+/// pass the same budget throttles the exact solver node by node.
 fn decide(
     problem: &DependenceProblem<SymPoly>,
     assumptions: &Assumptions,
     choice: TestChoice,
+    budget: &ResourceBudget,
 ) -> (Verdict, &'static str, Vec<&'static str>) {
+    if budget.exhausted().is_some() {
+        return (Verdict::Unknown, "degraded", Vec::new());
+    }
     let mut sym = problem.clone();
     {
         // Install assumptions (the builder clears them on build()).
@@ -593,7 +730,7 @@ fn decide(
     }
     let concrete = concretize(&sym);
 
-    let delin = DelinearizationTest::default();
+    let delin = DelinearizationTest::with_budget(budget.clone());
     let run_delin =
         |name: &'static str, attempts: &mut Vec<&'static str>| -> (Verdict, &'static str) {
             attempts.push(name);
@@ -620,6 +757,9 @@ fn decide(
                     return (Verdict::Independent, name);
                 }
             }
+            if budget.exhausted().is_some() {
+                return (Verdict::Unknown, "degraded");
+            }
             // Direction vectors through the Banerjee hierarchy in the
             // classical mode: exact on single-index equations, real-valued
             // (the paper's reading) on coupled multi-index equations.
@@ -635,6 +775,9 @@ fn decide(
             let v = GcdTest.test(&sym);
             if v.is_independent() {
                 return (Verdict::Independent, "gcd");
+            }
+            if budget.exhausted().is_some() {
+                return (Verdict::Unknown, "degraded");
             }
             attempts.push("dir-vectors");
             let oracle = hierarchy::banerjee_oracle_classical();
@@ -653,7 +796,11 @@ fn decide(
         TestChoice::DelinearizationFirst => {
             let (v, name) = run_delin("delinearization", &mut attempts);
             if v.is_unknown() {
-                run_battery(&mut attempts)
+                if budget.exhausted().is_some() {
+                    (Verdict::Unknown, "degraded")
+                } else {
+                    run_battery(&mut attempts)
+                }
             } else {
                 (v, name)
             }
@@ -925,6 +1072,63 @@ mod tests {
         ",
         );
         assert!(g.edges.iter().all(|e| e.level.is_none()), "{:?}", g.edges);
+    }
+
+    /// A zero-node budget starves the exact solver, so the motivating
+    /// example's delinearization proof is out of reach — the pair must
+    /// degrade to a conservative answer (counted per tripped axis), never
+    /// to a bogus independence claim.
+    #[test]
+    fn zero_node_budget_degrades_but_stays_sound() {
+        let src = "
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+        1   C(i + 10*j) = C(i + 10*j + 5)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let config = EngineConfig {
+            workers: 1,
+            budget: BudgetSpec::nodes_only(0),
+            ..EngineConfig::default()
+        };
+        let g = build_dependence_graph_with(&p, &Assumptions::new(), &config);
+        assert!(g.stats.degraded_pairs > 0, "{:?}", g.stats);
+        assert!(g.stats.degraded_by.contains_key(&DegradeReason::Nodes), "{:?}", g.stats);
+        // Independence may still be proven by solver-free interval
+        // reasoning (that proof is sound under any budget) — only the
+        // starved solver's own answers degrade, and those surface as
+        // degraded pairs above, never as extra independence.
+        let rendered = g.stats.render_summary();
+        assert!(rendered.contains("degraded:"), "{rendered}");
+    }
+
+    /// An already-expired deadline short-circuits every decision at entry:
+    /// all pairs degrade, all edges are the conservative all-`*` answer,
+    /// and the outcome is identical for any worker count.
+    #[test]
+    fn expired_deadline_degrades_every_pair() {
+        let src = "
+            REAL A(0:9)
+            DO 1 i = 0, 8
+        1   A(i + 1) = A(i)
+            END
+        ";
+        let p = parse_program(src).unwrap();
+        let spec = BudgetSpec { node_limit: 1_000_000, deadline_ms: Some(0), cancel: None };
+        let run = |workers: usize| {
+            let config = EngineConfig { workers, budget: spec.clone(), ..EngineConfig::default() };
+            build_dependence_graph_with(&p, &Assumptions::new(), &config)
+        };
+        let g = run(1);
+        assert_eq!(g.stats.degraded_pairs, g.stats.pairs_tested);
+        assert_eq!(g.stats.conservative_pairs, g.stats.pairs_tested);
+        assert_eq!(g.stats.decided_by.get("degraded"), Some(&g.stats.pairs_tested));
+        assert_eq!(g.stats.degraded_by.get(&DegradeReason::Deadline), Some(&g.stats.pairs_tested));
+        let g4 = run(4);
+        assert_eq!(g.stats.verdict_stats(), g4.stats.verdict_stats());
+        assert_eq!(g.edges, g4.edges);
     }
 
     #[test]

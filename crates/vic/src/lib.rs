@@ -20,20 +20,29 @@
 //!    linearize aliased arrays → analyze → vectorize → print;
 //! 5. [`batch`] — the corpus driver: stream many program units through the
 //!    pipeline on a bounded worker pool, sharing one verdict cache across
-//!    units, with a deterministic corpus-level report.
+//!    units, with a deterministic corpus-level report. The runner is
+//!    fault-tolerant: each unit runs under a resource budget ([`delin_dep::budget`])
+//!    and behind a panic boundary, so a pathological or crashing unit
+//!    degrades to a per-unit failure row instead of taking the batch down;
+//! 6. [`chaos`] — a deterministic, seeded fault-injection harness (compiled
+//!    out unless the `chaos` cargo feature is on) that proves the above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
 pub mod cache;
+pub mod chaos;
 pub mod codegen;
 pub mod deps;
 pub mod pipeline;
 pub mod scc;
 
-pub use batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit, UnitReport};
+pub use batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit, UnitOutcome, UnitReport};
 pub use cache::{env_key, CacheLookup, CachedOutcome, VerdictCache};
+pub use chaos::{ChaosCtx, ChaosPlan, FaultKind};
 pub use codegen::{vectorize, VectorStmt};
 pub use deps::{
     build_dependence_graph, build_dependence_graph_in, build_dependence_graph_with,

@@ -5,10 +5,12 @@
 //! vectorization → FORTRAN-90-style output.
 
 use crate::cache::VerdictCache;
+use crate::chaos::ChaosCtx;
 use crate::codegen::{vectorize, VectorizeResult};
 use crate::deps::{
     build_dependence_graph_in, workers_from_env, DepGraph, DepStats, EngineConfig, TestChoice,
 };
+use delin_dep::budget::BudgetSpec;
 use delin_frontend::induction::{substitute_inductions, InductionReport};
 use delin_frontend::linearize::{linearize_aliased, LinearizeReport};
 use delin_frontend::parser::{parse_program, ParseError};
@@ -35,6 +37,12 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Memoize verdicts of canonicalized dependence problems.
     pub cache: bool,
+    /// Resource budget for dependence analysis (armed once per run; see
+    /// [`EngineConfig::budget`]). The default reads `DELIN_DEADLINE_MS`.
+    pub budget: BudgetSpec,
+    /// Deterministic fault injection (see [`crate::chaos`]); `None` unless
+    /// the `chaos` feature is on and a plan was requested.
+    pub chaos: Option<ChaosCtx>,
 }
 
 impl Default for PipelineConfig {
@@ -47,6 +55,8 @@ impl Default for PipelineConfig {
             infer_loop_assumptions: true,
             workers: workers_from_env(),
             cache: true,
+            budget: BudgetSpec::default(),
+            chaos: None,
         }
     }
 }
@@ -139,8 +149,13 @@ pub fn run_pipeline_in(
     } else {
         config.assumptions.clone()
     };
-    let engine =
-        EngineConfig { choice: config.choice, workers: config.workers, cache: config.cache };
+    let engine = EngineConfig {
+        choice: config.choice,
+        workers: config.workers,
+        cache: config.cache,
+        budget: config.budget.clone(),
+        chaos: config.chaos.clone(),
+    };
     let graph = build_dependence_graph_in(&program, &assumptions, &engine, shared);
     let vectorization = vectorize(&program, &graph);
     Ok(PipelineReport {

@@ -59,7 +59,11 @@ pub fn strongly_connected_components(
                 if low[v] == index[v] {
                     let mut comp = Vec::new();
                     loop {
-                        let w = stack.pop().expect("stack nonempty");
+                        // Tarjan invariant: the stack holds at least v
+                        // itself whenever low[v] == index[v].
+                        let Some(w) = stack.pop() else {
+                            unreachable!("SCC stack drained before reaching its root")
+                        };
                         on_stack[w] = false;
                         comp.push(w);
                         if w == v {

@@ -1,0 +1,180 @@
+//! Fault-injection suite for the batch engine (requires `--features chaos`).
+//!
+//! The robustness contract under test: with a seeded, deterministic fault
+//! plan injecting panics, zero-node budgets, and expired deadlines, the
+//! batch engine must still (a) complete, (b) attribute each failure to
+//! exactly the faulted unit, and (c) render byte-identical corpus reports
+//! for any worker count and arrival order — the injected failures
+//! included, because every injection is a pure function of `(seed, site)`.
+
+#![cfg(feature = "chaos")]
+
+use delinearization::corpus::stream::{generated_units, riceps_units};
+use delinearization::vic::batch::{
+    BatchConfig, BatchRunner, BatchStats, BatchUnit, RetryPolicy, UnitOutcome,
+};
+use delinearization::vic::chaos::{ChaosPlan, FaultKind, CHAOS_PANIC_MSG};
+
+/// The same mixed corpus the determinism suite uses: eight size-reduced
+/// RiCEPS programs plus generated nests with concrete and symbolic strides.
+fn corpus() -> Vec<BatchUnit> {
+    riceps_units(Some(120)).chain(generated_units(10, 99)).collect()
+}
+
+fn run(workers: usize, reversed: bool, chaos: Option<ChaosPlan>, retry: RetryPolicy) -> BatchStats {
+    let mut units = corpus();
+    if reversed {
+        units.reverse();
+    }
+    let config = BatchConfig { workers, chaos, retry, ..BatchConfig::default() };
+    BatchRunner::new(config).run(units)
+}
+
+/// A plan that faults whole units only (`pair_rate: 0`), so the expected
+/// fault set is computable from unit names alone.
+fn unit_only_plan(seed: u64) -> ChaosPlan {
+    ChaosPlan { seed, unit_rate: 250, pair_rate: 0 }
+}
+
+/// Finds a seed whose unit-only plan gives `kind` to some corpus unit on
+/// attempt 0 (searching the plan, not running the engine — cheap).
+fn seed_firing(kind: FaultKind) -> (u64, Vec<String>) {
+    let names: Vec<String> = corpus().into_iter().map(|u| u.name).collect();
+    for seed in 0..2000 {
+        let plan = unit_only_plan(seed);
+        let hit: Vec<String> =
+            names.iter().filter(|n| plan.unit_fault(n, 0) == Some(kind)).cloned().collect();
+        if !hit.is_empty() {
+            return (seed, hit);
+        }
+    }
+    panic!("no seed in 0..2000 fires {kind:?} on this corpus");
+}
+
+/// (b) Per-unit attribution, retries disabled so attempt 0 is the whole
+/// story: a unit is `Failed` iff its plan panics it; a deadline-faulted
+/// unit degrades every pair but still completes; every unit the plan does
+/// not touch renders byte-identically with the clean run.
+#[test]
+fn faults_are_attributed_to_exactly_the_faulted_units() {
+    let clean = run(1, false, None, RetryPolicy { max_retries: 0, escalation: 1 });
+    for kind in [FaultKind::Panic, FaultKind::Deadline, FaultKind::Nodes] {
+        let (seed, hit) = seed_firing(kind);
+        let plan = unit_only_plan(seed);
+        let got = run(1, false, Some(plan), RetryPolicy { max_retries: 0, escalation: 1 });
+        assert_eq!(got.units.len(), clean.units.len(), "kind={kind:?}: report truncated");
+        for (report, reference) in got.units.iter().zip(&clean.units) {
+            assert_eq!(report.name, reference.name);
+            match plan.unit_fault(&report.name, 0) {
+                Some(FaultKind::Panic) => {
+                    let UnitOutcome::Failed { reason, attempts } = &report.outcome else {
+                        panic!(
+                            "{}: panic-faulted unit not Failed: {:?}",
+                            report.name, report.outcome
+                        )
+                    };
+                    assert_eq!(*attempts, 1, "{}", report.name);
+                    assert!(reason.contains(CHAOS_PANIC_MSG), "{}: {reason}", report.name);
+                }
+                Some(FaultKind::Deadline) => {
+                    assert_eq!(report.outcome, UnitOutcome::Analyzed, "{}", report.name);
+                    assert!(
+                        report.stats.degraded_pairs > 0,
+                        "{}: expired deadline must degrade",
+                        report.name
+                    );
+                    // Degradation is conservative: nothing new proven.
+                    assert!(
+                        report.stats.proven_independent <= reference.stats.proven_independent,
+                        "{}",
+                        report.name
+                    );
+                }
+                Some(FaultKind::Nodes) => {
+                    // A zero-node budget starves only the exact solver;
+                    // solver-free reasoning still runs, so the unit
+                    // completes — degraded or not — and proves no more
+                    // than the clean run.
+                    assert_eq!(report.outcome, UnitOutcome::Analyzed, "{}", report.name);
+                    assert!(
+                        report.stats.proven_independent <= reference.stats.proven_independent,
+                        "{}",
+                        report.name
+                    );
+                }
+                None => {
+                    assert_eq!(
+                        report.render_row(),
+                        reference.render_row(),
+                        "{}: un-faulted unit must match the clean run",
+                        report.name
+                    );
+                }
+            }
+        }
+        assert!(
+            hit.iter().all(|n| got.units.iter().any(|r| r.name == *n)),
+            "kind={kind:?}: faulted units missing from report"
+        );
+        if kind == FaultKind::Panic {
+            assert!(got.failed_units > 0, "panic seed produced no failures");
+        }
+    }
+}
+
+/// (a) + (c) Completion and byte-identity across workers ∈ {1, 4, auto}
+/// and both arrival orders, with the full default plan (unit *and* pair
+/// faults) and retries enabled — the production configuration.
+#[test]
+fn faulted_reports_are_byte_identical_for_any_worker_count() {
+    let mut saw_fault_effect = false;
+    for seed in [7u64, 11, 42] {
+        let plan = ChaosPlan::new(seed);
+        let reference = run(1, false, Some(plan), RetryPolicy::default());
+        let reference_render = reference.render();
+        assert_eq!(reference.units.len(), corpus().len(), "seed={seed}: report truncated");
+        for workers in [1usize, 4, 0] {
+            for reversed in [false, true] {
+                let got = run(workers, reversed, Some(plan), RetryPolicy::default());
+                assert_eq!(
+                    got.render(),
+                    reference_render,
+                    "seed={seed} workers={workers} reversed={reversed}"
+                );
+            }
+        }
+        let clean = run(1, false, None, RetryPolicy::default()).render();
+        if reference.failed_units > 0
+            || reference.totals.degraded_pairs > 0
+            || reference_render != clean
+        {
+            saw_fault_effect = true;
+        }
+    }
+    assert!(saw_fault_effect, "no seed produced any observable fault — vacuous matrix");
+}
+
+/// Retries are attributed: a unit that panics on attempt 0 but not on
+/// attempt 1 recovers to a clean `Analyzed` report identical to the
+/// no-chaos run — the retry draws an independent fault set.
+#[test]
+fn transient_panics_recover_on_retry() {
+    let names: Vec<String> = corpus().into_iter().map(|u| u.name).collect();
+    let mut found = None;
+    'outer: for seed in 0..2000 {
+        let plan = unit_only_plan(seed);
+        for n in &names {
+            if plan.unit_fault(n, 0) == Some(FaultKind::Panic) && plan.unit_fault(n, 1).is_none() {
+                found = Some((plan, n.clone()));
+                break 'outer;
+            }
+        }
+    }
+    let (plan, unit) = found.expect("no transient-panic seed in 0..2000");
+    let clean = run(1, false, None, RetryPolicy::default());
+    let got = run(1, false, Some(plan), RetryPolicy::default());
+    let report = got.units.iter().find(|r| r.name == unit).expect("unit in report");
+    let reference = clean.units.iter().find(|r| r.name == unit).expect("unit in report");
+    assert_eq!(report.outcome, UnitOutcome::Analyzed, "{unit} must recover on retry");
+    assert_eq!(report.render_row(), reference.render_row(), "{unit}: recovered run must be clean");
+}

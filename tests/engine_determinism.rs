@@ -33,7 +33,12 @@ fn graph_with(src: &str, workers: usize, cache: bool) -> DepGraph {
     let program = parse_program(src).expect("test program parses");
     let assumptions =
         delinearization::frontend::affine::infer_bound_assumptions(&program, &Assumptions::new());
-    let config = EngineConfig { choice: TestChoice::DelinearizationFirst, workers, cache };
+    let config = EngineConfig {
+        choice: TestChoice::DelinearizationFirst,
+        workers,
+        cache,
+        ..EngineConfig::default()
+    };
     build_dependence_graph_with(&program, &assumptions, &config)
 }
 

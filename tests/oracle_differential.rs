@@ -16,6 +16,7 @@ use delinearization::core::algorithm::{
 use delinearization::core::DelinearizationTest;
 use delinearization::dep::acyclic::AcyclicTest;
 use delinearization::dep::banerjee::BanerjeeTest;
+use delinearization::dep::budget::ResourceBudget;
 use delinearization::dep::exact::{ExactSolver, SolveOutcome};
 use delinearization::dep::fourier::FourierMotzkin;
 use delinearization::dep::gcd::GcdTest;
@@ -169,7 +170,58 @@ proptest! {
                 prop_assert!(p.is_solution(&w).unwrap_or(false));
             }
             SolveOutcome::NoSolution => prop_assert!(truth.is_none()),
-            SolveOutcome::LimitExceeded => {}
+            SolveOutcome::Degraded(_) => {}
+        }
+    }
+
+    /// Budget starvation is *conservative*: under any node budget — down to
+    /// zero — a degraded technique may lose precision (answering `Unknown`
+    /// or dropping exactness) but never soundness. The sweep covers limits
+    /// 0, 1, 2, 4, …, 512 against the same brute-force oracle.
+    #[test]
+    fn tiny_budgets_degrade_conservatively(
+        n in 1usize..=5,
+        uppers in prop::collection::vec(0i128..=4, 5),
+        c0 in -10i128..=10,
+        coeffs in prop::collection::vec(-5i128..=5, 5),
+        limit_pow in 0u32..=10,
+    ) {
+        let p = box_problem(n, &uppers, c0, &coeffs, None);
+        let truth = oracle_solve(&p);
+        let limit = if limit_pow == 0 { 0 } else { 1u64 << (limit_pow - 1) };
+
+        // The raw solver: a starved search may degrade, but a definite
+        // answer must still match enumeration.
+        let solver = ExactSolver::with_budget(ResourceBudget::with_node_limit(limit));
+        match solver.solve(&p) {
+            SolveOutcome::Solution(w) => {
+                prop_assert!(truth.is_some(), "starved exact found {w:?}, oracle none: {p}");
+                prop_assert!(p.is_solution(&w).unwrap_or(false));
+            }
+            SolveOutcome::NoSolution => {
+                prop_assert!(truth.is_none(), "starved exact disproved solvable {p}");
+            }
+            SolveOutcome::Degraded(_) => {} // allowed under starvation
+        }
+
+        // Delinearization under the same starved budget: independence
+        // claims and exactness claims must stay sound.
+        let delin = DelinearizationTest::with_budget(ResourceBudget::with_node_limit(limit));
+        let verdict = DependenceTest::<i128>::test(&delin, &p);
+        if let Some(point) = &truth {
+            prop_assert!(
+                !verdict.is_independent(),
+                "starved delin (limit={limit}) claims independence but {point:?} solves {p}"
+            );
+        }
+        if let Verdict::Dependent { exact: true, info } = &verdict {
+            prop_assert!(
+                truth.is_some(),
+                "starved delin (limit={limit}) claims exact dependence on unsolvable {p}"
+            );
+            if let Some(w) = &info.witness {
+                prop_assert!(p.is_solution(w).unwrap_or(false));
+            }
         }
     }
 

@@ -265,6 +265,7 @@ proptest! {
                 choice: TestChoice::DelinearizationFirst,
                 workers: 1,
                 cache,
+                ..EngineConfig::default()
             };
             build_dependence_graph_with(&program, &assumptions, &config)
         };
@@ -302,7 +303,7 @@ fn delinearization_never_lies_on_corpus_workload() {
             SolveOutcome::NoSolution => {
                 assert!(got.is_independent(), "missed independence on {p}")
             }
-            SolveOutcome::LimitExceeded => {}
+            SolveOutcome::Degraded(_) => {}
         }
     }
 }
