@@ -9,13 +9,20 @@ cargo build --release
 # scheduling-dependent output fails one of the two runs.
 DELIN_WORKERS=1 cargo test -q
 DELIN_WORKERS=4 cargo test -q
-# Deeper differential-oracle sweep in release mode (1024 cases/property).
-PROPTEST_CASES=1024 cargo test -q --release --test oracle_differential
+# Deeper differential-oracle sweep in release mode (1024 cases/property),
+# including the direction/distance-vector properties, at both fixed worker
+# counts so the incremental solver's env-read defaults get both shapes.
+PROPTEST_CASES=1024 DELIN_WORKERS=1 cargo test -q --release --test oracle_differential
+PROPTEST_CASES=1024 DELIN_WORKERS=4 cargo test -q --release --test oracle_differential
 # The batch engine's corpus-wide determinism matrix (workers x orderings).
 cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
 # Fault-injection suite: seeded chaos (panics, zero-node budgets, expired
 # deadlines) must leave reports byte-identical across worker counts.
 cargo test -q --features chaos --test chaos_suite
+# Incremental-vs-fresh equivalence matrix under fault injection: budget
+# starvation must degrade refinements conservatively, never to a wrong
+# direction vector.
+cargo test -q --features chaos --test incremental_equivalence
 # The same determinism matrix with faults firing (seed 42).
 cargo run --release -q -p delin-bench --features chaos --bin batch_corpus -- --chaos --verify --units 18 > /dev/null
 cargo clippy --all-targets -- -D warnings

@@ -9,7 +9,12 @@
 //! * `--units N` — number of generated workload units (default 24);
 //! * `--verify` — instead of one run, execute the determinism matrix
 //!   (workers ∈ {1, 4, auto} × {forward, reversed} arrival order) and fail
-//!   unless every run renders byte-identically;
+//!   unless every run renders byte-identically; then run the incremental
+//!   A/B (same corpus with incremental solving disabled) and fail unless
+//!   edges and verdicts are identical, subtrees were actually reused, and
+//!   the incremental run spent strictly fewer solver nodes;
+//! * `--no-incremental` — disable incremental exact solving (the A/B
+//!   baseline; equivalent to `DELIN_INCREMENTAL=0`);
 //! * `--chaos` — inject deterministic faults (panics, zero-node budgets,
 //!   expired deadlines) from the seed in `DELIN_CHAOS_SEED` (default 42).
 //!   Requires building with `--features chaos`. Because every injection is
@@ -36,7 +41,7 @@ fn main() {
     let mut expect_value = false;
     for a in &args {
         match a.as_str() {
-            "--full" | "--verify" | "--chaos" => expect_value = false,
+            "--full" | "--verify" | "--chaos" | "--no-incremental" => expect_value = false,
             "--units" | "--workers" => expect_value = true,
             _ if expect_value => {
                 if a.parse::<usize>().is_err() {
@@ -48,7 +53,8 @@ fn main() {
             _ => {
                 eprintln!("unknown argument: {a}");
                 eprintln!(
-                    "usage: batch_corpus [--full] [--verify] [--chaos] [--units N] [--workers N]"
+                    "usage: batch_corpus [--full] [--verify] [--chaos] [--no-incremental] \
+                     [--units N] [--workers N]"
                 );
                 std::process::exit(2);
             }
@@ -62,6 +68,11 @@ fn main() {
     let verify = args.iter().any(|a| a == "--verify");
     let gen_units = arg_value("--units").unwrap_or(24);
     let workers = arg_value("--workers").unwrap_or_else(delin_vic::deps::workers_from_env);
+    let incremental = if args.iter().any(|a| a == "--no-incremental") {
+        false
+    } else {
+        delin_vic::deps::incremental_from_env()
+    };
     let chaos = chaos_plan(args.iter().any(|a| a == "--chaos"));
 
     println!("batch engine: RiCEPS + {gen_units} generated units, shared verdict cache");
@@ -74,11 +85,11 @@ fn main() {
     println!();
 
     if verify {
-        let reference = run(workers, false, full, gen_units, chaos);
+        let reference = run(workers, false, full, gen_units, chaos.clone(), incremental);
         let mut failures = 0;
         for w in [1usize, 4, 0] {
             for reversed in [false, true] {
-                let render = run(w, reversed, full, gen_units, chaos);
+                let render = run(w, reversed, full, gen_units, chaos.clone(), incremental);
                 let label = format!(
                     "workers={} order={}",
                     if w == 0 { "auto".into() } else { w.to_string() },
@@ -96,6 +107,10 @@ fn main() {
             eprintln!("{failures} determinism violation(s)");
             std::process::exit(1);
         }
+        if let Err(msg) = verify_incremental_ab(workers, full, gen_units, chaos) {
+            eprintln!("FAIL incremental A/B: {msg}");
+            std::process::exit(1);
+        }
         println!();
         println!("all runs byte-identical; reference report:");
         println!();
@@ -103,7 +118,56 @@ fn main() {
         return;
     }
 
-    print!("{}", run(workers, false, full, gen_units, chaos));
+    print!("{}", run(workers, false, full, gen_units, chaos, incremental));
+}
+
+/// The incremental A/B leg of `--verify`: the same corpus with incremental
+/// solving on and off must produce identical units, edges, and verdicts,
+/// while the incremental run actually reuses subtrees and spends strictly
+/// fewer exact-solver nodes.
+fn verify_incremental_ab(
+    workers: usize,
+    full: bool,
+    gen_units: usize,
+    chaos: Option<ChaosPlan>,
+) -> Result<(), String> {
+    let on = stats(workers, false, full, gen_units, chaos.clone(), true);
+    let off = stats(workers, false, full, gen_units, chaos, false);
+    if on.units.len() != off.units.len() {
+        return Err(format!("unit counts differ: {} vs {}", on.units.len(), off.units.len()));
+    }
+    for (a, b) in on.units.iter().zip(&off.units) {
+        let va = a.stats.verdict_stats();
+        let vb = b.stats.verdict_stats();
+        if a.name != b.name
+            || a.edges != b.edges
+            || a.edges_fp != b.edges_fp
+            || a.vectorized_statements != b.vectorized_statements
+            || va.pairs_tested != vb.pairs_tested
+            || va.proven_independent != vb.proven_independent
+            || va.conservative_pairs != vb.conservative_pairs
+            || va.decided_by != vb.decided_by
+        {
+            return Err(format!("unit {} differs between incremental on/off", a.name));
+        }
+    }
+    let on_t = on.totals.verdict_stats();
+    let off_t = off.totals.verdict_stats();
+    if on_t.subtree_reuses == 0 {
+        return Err("incremental run reused no subtrees".into());
+    }
+    if on_t.solver_nodes >= off_t.solver_nodes {
+        return Err(format!(
+            "incremental run must spend strictly fewer solver nodes ({} vs {})",
+            on_t.solver_nodes, off_t.solver_nodes
+        ));
+    }
+    println!(
+        "OK   incremental A/B: edges/verdicts identical, {} subtree reuses, \
+         nodes {} -> {} ({} saved)",
+        on_t.subtree_reuses, off_t.solver_nodes, on_t.solver_nodes, on_t.nodes_saved
+    );
+    Ok(())
 }
 
 /// Resolves the fault-injection plan for this invocation. Without `--chaos`
@@ -128,6 +192,24 @@ fn chaos_plan(requested: bool) -> Option<ChaosPlan> {
     }
 }
 
+/// One batch run's corpus-level statistics.
+fn stats(
+    workers: usize,
+    reversed: bool,
+    full: bool,
+    gen_units: usize,
+    chaos: Option<ChaosPlan>,
+    incremental: bool,
+) -> delin_vic::batch::BatchStats {
+    let mut units = corpus(full, gen_units);
+    if reversed {
+        units.reverse();
+    }
+    let runner =
+        BatchRunner::new(BatchConfig { workers, chaos, incremental, ..BatchConfig::default() });
+    runner.run(units)
+}
+
 /// One batch run rendered deterministically.
 fn run(
     workers: usize,
@@ -135,11 +217,7 @@ fn run(
     full: bool,
     gen_units: usize,
     chaos: Option<ChaosPlan>,
+    incremental: bool,
 ) -> String {
-    let mut units = corpus(full, gen_units);
-    if reversed {
-        units.reverse();
-    }
-    let runner = BatchRunner::new(BatchConfig { workers, chaos, ..BatchConfig::default() });
-    runner.run(units).render()
+    stats(workers, reversed, full, gen_units, chaos, incremental).render()
 }

@@ -43,6 +43,17 @@ pub struct DelinConfig {
     /// delinearization of a single *address expression* turns this off: it
     /// wants the full separation even when a "dimension" excludes zero.
     pub stop_on_independence: bool,
+    /// Memoize per-dimension refinement subtrees in a
+    /// [`delin_dep::exact::SubtreeStore`] so the direction-hierarchy walk
+    /// and the distance extraction share solves. Off reproduces the
+    /// fresh-solve engine node for node; verdicts are identical either way.
+    pub incremental: bool,
+    /// An externally owned [`delin_dep::exact::SubtreeStore`] to refine
+    /// through instead of a per-call private one. The verdict cache hands
+    /// the same store to every decision of a canonical problem, so sibling
+    /// refinements across a unit (and across units) share subtrees. Ignored
+    /// when `incremental` is off; `None` uses a fresh per-call store.
+    pub solve_store: Option<std::sync::Arc<delin_dep::exact::SubtreeStore>>,
 }
 
 impl Default for DelinConfig {
@@ -52,6 +63,8 @@ impl Default for DelinConfig {
             dimension_node_limit: 1_000_000,
             budget: None,
             stop_on_independence: true,
+            incremental: true,
+            solve_store: None,
         }
     }
 }

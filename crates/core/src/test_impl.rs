@@ -16,7 +16,7 @@ use crate::algorithm::{
 };
 use delin_dep::budget::ResourceBudget;
 use delin_dep::dirvec::{summarize, Dir, DirVec, DistDir, DistDirVec};
-use delin_dep::exact::ExactSolver;
+use delin_dep::exact::{ExactSolver, SubtreeStore};
 use delin_dep::gcd::equation_divisible;
 use delin_dep::hierarchy;
 use delin_dep::problem::{DependenceProblem, LinEq};
@@ -135,11 +135,29 @@ impl DependenceTest<i128> for DelinearizationTest {
                 ResourceBudget::with_node_limit(self.config.dimension_node_limit)
             });
         let solver = ExactSolver::with_budget(budget.clone());
-        let oracle = hierarchy::exact_oracle(solver.clone());
+        // One subtree store spans the whole decision: the hierarchy walk
+        // below and the distance extraction that follows query the same
+        // per-dimension subproblems, so the distance phase's witness solves
+        // replay the walk's leaf proofs instead of re-enumerating. A caller
+        // (the verdict cache) may hand in a longer-lived store instead, so
+        // repeated decisions of one canonical problem share subtrees too.
+        let owned;
+        let store: &SubtreeStore = match &self.config.solve_store {
+            Some(shared) if self.config.incremental => shared,
+            _ => {
+                owned = if self.config.incremental {
+                    SubtreeStore::new()
+                } else {
+                    SubtreeStore::disabled()
+                };
+                &owned
+            }
+        };
+        let oracle = hierarchy::exact_oracle_in(solver.clone(), store);
         let mut verdict = run(self, problem, &oracle, true);
         // Enrich with distance-direction vectors (concrete problems only).
         if let Verdict::Dependent { info, .. } = &mut verdict {
-            info.dist_dirs = distance_vectors(self, problem, &solver);
+            info.dist_dirs = distance_vectors(self, problem, &solver, store);
         }
         // A budget-degraded run keeps only conservative claims: the
         // surviving direction vectors are a superset of the truth, but an
@@ -171,6 +189,7 @@ fn distance_vectors(
     test: &DelinearizationTest,
     problem: &DependenceProblem<i128>,
     solver: &ExactSolver,
+    store: &SubtreeStore,
 ) -> Vec<DistDirVec> {
     let num_levels = problem.common_loops().len();
     if num_levels == 0 {
@@ -187,7 +206,7 @@ fn distance_vectors(
             if levels.is_empty() {
                 continue;
             }
-            let sub_dists = hierarchy::distance_direction_vectors(&sub, solver);
+            let sub_dists = hierarchy::distance_direction_vectors_in(&sub, solver, store);
             if sub_dists.is_empty() {
                 return Vec::new();
             }
@@ -423,6 +442,58 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn incremental_config_changes_cost_but_not_verdicts() {
+        use delin_dep::exact::{
+            peek_thread_nodes, reset_thread_nodes, reset_thread_refine, take_thread_refine,
+        };
+        let incremental = DelinearizationTest::default();
+        let fresh = DelinearizationTest {
+            config: DelinConfig { incremental: false, ..DelinConfig::default() },
+        };
+        let problems = vec![
+            motivating(),
+            {
+                let mut b = DependenceProblem::<i128>::builder();
+                let i1 = b.var("i1", 4);
+                let j1 = b.var("j1", 9);
+                let i2 = b.var("i2", 4);
+                let j2 = b.var("j2", 9);
+                b.common_pair(i1, i2).common_pair(j1, j2);
+                b.equation(-3, vec![1, 10, -1, -10]);
+                b.build()
+            },
+            {
+                let mut b = DependenceProblem::<i128>::builder();
+                let i1 = b.var("i1", 7);
+                let j1 = b.var("j1", 9);
+                let i2 = b.var("i2", 7);
+                let j2 = b.var("j2", 9);
+                b.common_pair(i1, i2).common_pair(j1, j2);
+                b.equation(20, vec![10, 1, -10, -1]);
+                b.build()
+            },
+        ];
+        for p in &problems {
+            reset_thread_nodes();
+            reset_thread_refine();
+            let v_fresh = fresh.test(p);
+            let fresh_nodes = peek_thread_nodes();
+            let c_fresh = take_thread_refine();
+            assert_eq!(c_fresh.subtree_reuses, 0, "disabled store must never reuse");
+            reset_thread_nodes();
+            let v_incr = incremental.test(p);
+            let incr_nodes = peek_thread_nodes();
+            let c_incr = take_thread_refine();
+            assert_eq!(format!("{v_fresh:?}"), format!("{v_incr:?}"));
+            if v_incr.is_dependent() {
+                assert!(c_incr.subtree_reuses > 0, "dependent pairs must share subtrees");
+                assert!(incr_nodes < fresh_nodes, "{incr_nodes} vs {fresh_nodes}");
+            }
+            reset_thread_nodes();
         }
     }
 

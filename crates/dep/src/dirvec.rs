@@ -457,4 +457,142 @@ mod tests {
         assert_eq!(DirVec::any(0).to_string(), "()");
         assert!(DirVec::any(0).is_empty());
     }
+
+    /// All seven directions; the whole lattice is small enough to check
+    /// laws exhaustively (343 triples).
+    const ALL: [Dir; 7] = [Dir::Lt, Dir::Eq, Dir::Gt, Dir::Le, Dir::Ge, Dir::Ne, Dir::Any];
+
+    /// `meet` is idempotent, commutative, and associative (in the partial
+    /// sense: `None` means the empty set, and `None` composed with anything
+    /// stays `None`); `join` likewise, totally.
+    #[test]
+    fn meet_and_join_lattice_laws_exhaustive() {
+        for &a in &ALL {
+            assert_eq!(a.meet(a), Some(a), "meet idempotent at {a}");
+            assert_eq!(a.join(a), a, "join idempotent at {a}");
+            for &b in &ALL {
+                assert_eq!(a.meet(b), b.meet(a), "meet commutative at {a},{b}");
+                assert_eq!(a.join(b), b.join(a), "join commutative at {a},{b}");
+                for &c in &ALL {
+                    let left = a.meet(b).and_then(|m| m.meet(c));
+                    let right = b.meet(c).and_then(|m| a.meet(m));
+                    assert_eq!(left, right, "meet associative at {a},{b},{c}");
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "join associative");
+                }
+            }
+        }
+    }
+
+    /// The absorption laws tying the two operations into one lattice:
+    /// `a ⊔ (a ⊓ b) = a` and `a ⊓ (a ⊔ b) = a`.
+    #[test]
+    fn join_absorbs_meet_exhaustive() {
+        for &a in &ALL {
+            for &b in &ALL {
+                if let Some(m) = a.meet(b) {
+                    assert_eq!(a.join(m), a, "absorption at {a},{b}");
+                }
+                assert_eq!(a.meet(a.join(b)), Some(a), "dual absorption at {a},{b}");
+            }
+        }
+    }
+
+    /// `subsumed_by` is a partial order — reflexive, antisymmetric,
+    /// transitive — and agrees with atom-set inclusion and with both
+    /// order-from-operation characterizations (`a ⊓ b = a`, `a ⊔ b = b`).
+    #[test]
+    fn subsumption_is_the_atom_inclusion_order() {
+        for &a in &ALL {
+            assert!(a.subsumed_by(a), "reflexive at {a}");
+            for &b in &ALL {
+                let subset = a.atoms().iter().all(|x| b.atoms().contains(x));
+                assert_eq!(a.subsumed_by(b), subset, "atoms() consistency at {a},{b}");
+                assert_eq!(a.subsumed_by(b), a.meet(b) == Some(a), "meet order at {a},{b}");
+                assert_eq!(a.subsumed_by(b), a.join(b) == b, "join order at {a},{b}");
+                if a.subsumed_by(b) && b.subsumed_by(a) {
+                    assert_eq!(a, b, "antisymmetry at {a},{b}");
+                }
+                for &c in &ALL {
+                    if a.subsumed_by(b) && b.subsumed_by(c) {
+                        assert!(a.subsumed_by(c), "transitivity at {a},{b},{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// `reverse` is an involution and a lattice automorphism: it transposes
+    /// `meet` (and `join`) operands — `rev(a ⊓ b) = rev(b) ⊓ rev(a)`.
+    #[test]
+    fn reverse_is_a_meet_transposing_involution() {
+        for &a in &ALL {
+            assert_eq!(a.reverse().reverse(), a, "involution at {a}");
+            for &b in &ALL {
+                assert_eq!(
+                    a.meet(b).map(Dir::reverse),
+                    b.reverse().meet(a.reverse()),
+                    "meet transposition at {a},{b}"
+                );
+                assert_eq!(a.join(b).reverse(), b.reverse().join(a.reverse()));
+                assert_eq!(a.subsumed_by(b), a.reverse().subsumed_by(b.reverse()));
+            }
+        }
+    }
+
+    mod lattice_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The `Dir` laws lift component-wise to `DirVec`: idempotent,
+            /// commutative, associative meet; subsumption agreeing with
+            /// decomposition inclusion and the meet characterization; and
+            /// reverse as a meet-transposing involution.
+            #[test]
+            fn dirvec_lattice_laws(
+                slots in prop::collection::vec((0usize..7, 0usize..7, 0usize..7), 1..5)
+            ) {
+                let a = DirVec(slots.iter().map(|&(i, _, _)| ALL[i]).collect());
+                let b = DirVec(slots.iter().map(|&(_, j, _)| ALL[j]).collect());
+                let c = DirVec(slots.iter().map(|&(_, _, k)| ALL[k]).collect());
+                prop_assert_eq!(a.meet(&a), Some(a.clone()));
+                prop_assert_eq!(a.meet(&b), b.meet(&a));
+                let left = a.meet(&b).and_then(|m| m.meet(&c));
+                let right = b.meet(&c).and_then(|m| a.meet(&m));
+                prop_assert_eq!(left, right);
+                let decomp_b = b.atomic_decompositions();
+                prop_assert_eq!(
+                    a.subsumed_by(&b),
+                    a.atomic_decompositions().iter().all(|x| decomp_b.contains(x))
+                );
+                prop_assert_eq!(a.subsumed_by(&b), a.meet(&b) == Some(a.clone()));
+                prop_assert_eq!(a.reverse().reverse(), a.clone());
+                prop_assert_eq!(
+                    a.meet(&b).map(|m| m.reverse()),
+                    b.reverse().meet(&a.reverse())
+                );
+            }
+
+            /// `summarize` neither drops nor invents atomic vectors, for
+            /// arbitrary inputs (the unit test pins one instance; this
+            /// checks the law itself).
+            #[test]
+            fn summarize_preserves_atom_sets_prop(
+                raw in prop::collection::vec((0usize..7, 0usize..7), 0..6)
+            ) {
+                let input: Vec<DirVec> =
+                    raw.iter().map(|&(i, j)| DirVec(vec![ALL[i], ALL[j]])).collect();
+                let mut before: Vec<DirVec> =
+                    input.iter().flat_map(|v| v.atomic_decompositions()).collect();
+                before.sort();
+                before.dedup();
+                let out = summarize(input);
+                let mut after: Vec<DirVec> =
+                    out.iter().flat_map(|v| v.atomic_decompositions()).collect();
+                after.sort();
+                after.dedup();
+                prop_assert_eq!(before, after);
+            }
+        }
+    }
 }

@@ -9,10 +9,14 @@
 //! validated.
 
 use crate::budget::{DegradeReason, ResourceBudget};
+use crate::dirvec::Dir;
 use crate::problem::DependenceProblem;
 use crate::verdict::{DependenceInfo, DependenceTest, Verdict};
-use delin_numeric::{gcd, Interval};
+use delin_numeric::{gcd, Interval, NumericError};
 use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::Mutex;
 
 thread_local! {
     /// Search nodes explored by [`ExactSolver::solve`] on this thread since
@@ -42,8 +46,71 @@ pub fn reset_thread_nodes() {
     let _ = take_thread_nodes();
 }
 
+/// Reads the current thread's accumulated node count without resetting it.
+///
+/// [`SubtreeStore::solve_refined`] brackets a fresh solve with two peeks to
+/// measure the cost of the subtree it is about to memoize, without
+/// disturbing whatever outer bracket (e.g. the engine's per-decision
+/// accounting) owns the take/reset cycle.
+pub fn peek_thread_nodes() -> u64 {
+    THREAD_NODES.with(|c| c.get())
+}
+
 fn record_nodes(n: u64) {
     THREAD_NODES.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+/// Counters describing incremental-refinement activity (see
+/// [`SubtreeStore`]). Accumulated thread-locally alongside the node count
+/// and drained with [`take_thread_refine`] by the same observability
+/// brackets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineCounters {
+    /// Direction-refinement queries answered (fresh or reused).
+    pub refine_queries: u64,
+    /// Queries answered from a memoized subtree instead of a fresh solve.
+    pub subtree_reuses: u64,
+    /// Search nodes the reused subtrees cost when first solved — the work
+    /// a non-incremental engine would have repeated.
+    pub nodes_saved: u64,
+}
+
+impl RefineCounters {
+    /// Component-wise saturating addition.
+    pub fn add(&mut self, other: &RefineCounters) {
+        self.refine_queries = self.refine_queries.saturating_add(other.refine_queries);
+        self.subtree_reuses = self.subtree_reuses.saturating_add(other.subtree_reuses);
+        self.nodes_saved = self.nodes_saved.saturating_add(other.nodes_saved);
+    }
+}
+
+thread_local! {
+    /// Refinement counters accumulated on this thread since the last
+    /// [`take_thread_refine`] call.
+    static THREAD_REFINE: Cell<RefineCounters> = const {
+        Cell::new(RefineCounters { refine_queries: 0, subtree_reuses: 0, nodes_saved: 0 })
+    };
+}
+
+/// Returns (and resets) the refinement counters accumulated on the current
+/// thread since the previous call — the [`RefineCounters`] companion of
+/// [`take_thread_nodes`].
+pub fn take_thread_refine() -> RefineCounters {
+    THREAD_REFINE.with(|c| c.replace(RefineCounters::default()))
+}
+
+/// Discards any refinement counters accumulated on the current thread (the
+/// companion of [`reset_thread_nodes`], for the same recovery paths).
+pub fn reset_thread_refine() {
+    let _ = take_thread_refine();
+}
+
+fn record_refine(f: impl FnOnce(&mut RefineCounters)) {
+    THREAD_REFINE.with(|c| {
+        let mut v = c.get();
+        f(&mut v);
+        c.set(v);
+    });
 }
 
 /// The outcome of an exact solve.
@@ -160,6 +227,252 @@ impl ExactSolver {
             Err(reason) => SolveOutcome::Degraded(reason),
         }
     }
+}
+
+/// One decided refinement of a base problem: the outcome of solving the
+/// base under a direction vector, plus what the search cost. Degraded
+/// outcomes are never stored — an aborted search proves nothing worth
+/// replaying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TreeEntry {
+    outcome: SolveOutcome,
+    nodes: u64,
+}
+
+/// The resumable solve tree of one base problem: every direction-vector
+/// refinement decided so far, keyed by the (ordered) vector. Reuse works in
+/// two ways:
+///
+/// * an *exact hit* replays the stored outcome — the solver's DFS is
+///   deterministic, so replaying is identical to re-running;
+/// * an *ancestor hit* serves a child query from a looser stored vector:
+///   `NoSolution` propagates down (the child's solution region is a subset
+///   of the ancestor's), and a stored witness answers the child whenever it
+///   happens to satisfy the child's direction predicates.
+#[derive(Debug, Default)]
+pub struct SolveTree {
+    entries: BTreeMap<Vec<Dir>, TreeEntry>,
+}
+
+/// Shared store of [`SolveTree`]s, keyed by a structural render of the base
+/// problem. One store is threaded through a whole unit of refinement work
+/// (a direction-hierarchy walk plus the distance extraction that follows
+/// it), so sibling queries — and, via the verdict cache, repeat decisions
+/// of the same canonical problem — share subtrees instead of re-solving.
+///
+/// A disabled store (see [`SubtreeStore::disabled`]) still counts
+/// refinement queries but answers every one with a fresh solve; it exists
+/// so the incremental path can be A/B-tested without touching call sites.
+#[derive(Debug, Default)]
+pub struct SubtreeStore {
+    enabled: bool,
+    trees: Mutex<HashMap<String, SolveTree>>,
+}
+
+impl SubtreeStore {
+    /// An enabled store (the default configuration).
+    pub fn new() -> SubtreeStore {
+        SubtreeStore { enabled: true, trees: Mutex::new(HashMap::new()) }
+    }
+
+    /// A store that never memoizes: every query is a fresh solve, matching
+    /// the non-incremental engine node for node.
+    pub fn disabled() -> SubtreeStore {
+        SubtreeStore { enabled: false, trees: Mutex::new(HashMap::new()) }
+    }
+
+    /// Whether this store memoizes subtrees.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of base problems with a memoized tree.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no tree has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, SolveTree>> {
+        // A panic while holding the lock (chaos fault injection) poisons
+        // it; the map itself is always in a consistent state because every
+        // mutation is a single insert.
+        self.trees.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Solves `base` refined by the direction predicates `dirs`, reusing
+    /// any subtree this store has already decided for the same base.
+    ///
+    /// Node accounting still flows through the solver's [`ResourceBudget`]:
+    /// fresh solves are charged exactly as [`ExactSolver::solve`] charges
+    /// them, while reuses replay a stored proof at zero node cost (sound
+    /// even after budget exhaustion — the proof was paid for when it was
+    /// first found). `Degraded` outcomes are never stored and never
+    /// replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic overflow from imposing the direction
+    /// predicates (`Dir::Ne` is handled here by atom-splitting, so it does
+    /// *not* error like [`DependenceProblem::with_direction`]).
+    pub fn solve_refined(
+        &self,
+        solver: &ExactSolver,
+        base: &DependenceProblem<i128>,
+        dirs: &[Dir],
+    ) -> Result<SolveOutcome, NumericError> {
+        record_refine(|c| c.refine_queries += 1);
+        self.solve_refined_inner(solver, base, dirs)
+    }
+
+    fn solve_refined_inner(
+        &self,
+        solver: &ExactSolver,
+        base: &DependenceProblem<i128>,
+        dirs: &[Dir],
+    ) -> Result<SolveOutcome, NumericError> {
+        // `≠` is not convex; split it into `<` and `>` (the engine's
+        // hierarchy walk never asks for it, but the API stays total).
+        if let Some(k) = dirs.iter().position(|&d| d == Dir::Ne) {
+            let mut split = dirs.to_vec();
+            split[k] = Dir::Lt;
+            let lt = self.solve_refined_inner(solver, base, &split)?;
+            if lt.is_solution() {
+                return Ok(lt);
+            }
+            split[k] = Dir::Gt;
+            let gt = self.solve_refined_inner(solver, base, &split)?;
+            if gt.is_solution() {
+                return Ok(gt);
+            }
+            return Ok(match (lt, gt) {
+                (SolveOutcome::NoSolution, SolveOutcome::NoSolution) => SolveOutcome::NoSolution,
+                (SolveOutcome::Degraded(r), _) | (_, SolveOutcome::Degraded(r)) => {
+                    SolveOutcome::Degraded(r)
+                }
+                _ => unreachable!("solutions returned early"),
+            });
+        }
+        if !self.enabled {
+            return Ok(self.fresh_solve(solver, base, dirs)?.0);
+        }
+        let key = problem_key(base);
+        if let Some(tree) = self.lock().get(&key) {
+            if let Some(entry) = tree.entries.get(dirs) {
+                let (outcome, nodes) = (entry.outcome.clone(), entry.nodes);
+                record_refine(|c| {
+                    c.subtree_reuses += 1;
+                    c.nodes_saved = c.nodes_saved.saturating_add(nodes);
+                });
+                return Ok(outcome);
+            }
+            // Ancestor scan: any stored vector that subsumes `dirs`
+            // element-wise decided a superset of this query's region.
+            for (anc, entry) in &tree.entries {
+                if !subsumes(anc, dirs) {
+                    continue;
+                }
+                match &entry.outcome {
+                    SolveOutcome::NoSolution => {
+                        let nodes = entry.nodes;
+                        record_refine(|c| {
+                            c.subtree_reuses += 1;
+                            c.nodes_saved = c.nodes_saved.saturating_add(nodes);
+                        });
+                        return Ok(SolveOutcome::NoSolution);
+                    }
+                    SolveOutcome::Solution(w) if witness_satisfies(base, dirs, w) => {
+                        let (outcome, nodes) = (entry.outcome.clone(), entry.nodes);
+                        record_refine(|c| {
+                            c.subtree_reuses += 1;
+                            c.nodes_saved = c.nodes_saved.saturating_add(nodes);
+                        });
+                        return Ok(outcome);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Fresh solve outside the lock: concurrent sharers may duplicate a
+        // solve (benign — last insert wins with an identical entry) but
+        // never serialize on each other's search.
+        let (outcome, nodes) = self.fresh_solve(solver, base, dirs)?;
+        if !outcome.is_degraded() {
+            let mut trees = self.lock();
+            let tree = trees.entry(key).or_default();
+            tree.entries.insert(dirs.to_vec(), TreeEntry { outcome: outcome.clone(), nodes });
+        }
+        Ok(outcome)
+    }
+
+    fn fresh_solve(
+        &self,
+        solver: &ExactSolver,
+        base: &DependenceProblem<i128>,
+        dirs: &[Dir],
+    ) -> Result<(SolveOutcome, u64), NumericError> {
+        let constrained = base.with_directions(dirs)?;
+        let before = peek_thread_nodes();
+        let outcome = solver.solve(&constrained);
+        Ok((outcome, peek_thread_nodes().saturating_sub(before)))
+    }
+}
+
+/// `true` when every element of `child` is subsumed by the corresponding
+/// element of `anc` — i.e. the child's constrained region is a subset.
+fn subsumes(anc: &[Dir], child: &[Dir]) -> bool {
+    anc.len() == child.len() && child.iter().zip(anc).all(|(&c, &a)| c.subsumed_by(a))
+}
+
+/// Does a stored witness satisfy a (tighter) direction vector? Mirrors the
+/// encoding of [`DependenceProblem::with_direction`]: `<` means the source
+/// variable is strictly below the sink variable.
+fn witness_satisfies(base: &DependenceProblem<i128>, dirs: &[Dir], w: &[i128]) -> bool {
+    base.common_loops().iter().zip(dirs).all(|(&(x, y), &d)| {
+        let rel = match w[x].cmp(&w[y]) {
+            std::cmp::Ordering::Less => Dir::Lt,
+            std::cmp::Ordering::Equal => Dir::Eq,
+            std::cmp::Ordering::Greater => Dir::Gt,
+        };
+        rel.subsumed_by(d)
+    })
+}
+
+/// A structural render of a base problem, used as the [`SubtreeStore`] key.
+/// Unlike the `Display` impl this ignores variable *names* (two textually
+/// different but structurally identical problems share a tree) and includes
+/// the common-loop pairing (direction predicates mean different constraints
+/// under different pairings).
+fn problem_key(p: &DependenceProblem<i128>) -> String {
+    let mut s = String::new();
+    s.push_str("u:");
+    for v in p.vars() {
+        let _ = write!(s, "{},", v.upper);
+    }
+    s.push_str(";e:");
+    for eq in p.equations() {
+        let _ = write!(s, "{}:", eq.c0);
+        for c in &eq.coeffs {
+            let _ = write!(s, "{},", c);
+        }
+        s.push('|');
+    }
+    s.push_str(";i:");
+    for iq in p.inequalities() {
+        let _ = write!(s, "{}:", iq.c0);
+        for c in &iq.coeffs {
+            let _ = write!(s, "{},", c);
+        }
+        s.push('|');
+    }
+    s.push_str(";c:");
+    for &(x, y) in p.common_loops() {
+        let _ = write!(s, "{}-{},", x, y);
+    }
+    s
 }
 
 /// Cheap whole-equation screen: value interval must contain zero and the
@@ -550,6 +863,180 @@ mod tests {
         let zero_trip = DependenceProblem::single_equation(0, vec![1, -1], vec![-1, 4]);
         let _ = ExactSolver::default().solve(&zero_trip);
         let _ = take_thread_nodes();
+    }
+
+    /// A single-`<`-dependence problem with one common pair:
+    /// `i1 + 1 = i2` over `[0,8]²`.
+    fn shift_by_one() -> DependenceProblem<i128> {
+        let mut b = DependenceProblem::<i128>::builder();
+        let x = b.var("i1", 8);
+        let y = b.var("i2", 8);
+        b.equation(1, vec![1, -1]);
+        b.common_pair(x, y);
+        b.build()
+    }
+
+    #[test]
+    fn solve_refined_exact_hit_replays_at_zero_cost() {
+        reset_thread_refine();
+        reset_thread_nodes();
+        let store = SubtreeStore::new();
+        let solver = ExactSolver::default();
+        let p = shift_by_one();
+        let first = store.solve_refined(&solver, &p, &[Dir::Lt]).unwrap();
+        assert!(first.is_solution());
+        let after_first = peek_thread_nodes();
+        assert!(after_first > 0, "a fresh refinement costs nodes");
+        let second = store.solve_refined(&solver, &p, &[Dir::Lt]).unwrap();
+        assert_eq!(first, second, "replay must be identical to the fresh solve");
+        assert_eq!(peek_thread_nodes(), after_first, "an exact hit costs zero nodes");
+        let c = take_thread_refine();
+        assert_eq!(c.refine_queries, 2);
+        assert_eq!(c.subtree_reuses, 1);
+        assert!(c.nodes_saved > 0);
+        reset_thread_nodes();
+    }
+
+    #[test]
+    fn solve_refined_propagates_ancestor_no_solution() {
+        reset_thread_refine();
+        reset_thread_nodes();
+        let store = SubtreeStore::new();
+        let solver = ExactSolver::default();
+        // An independent problem: i1 = i2 + 5 over [0,4]². The root `*`
+        // proof must serve every tighter query without another solve.
+        let mut b = DependenceProblem::<i128>::builder();
+        let x = b.var("i1", 4);
+        let y = b.var("i2", 4);
+        b.equation(-5, vec![1, -1]);
+        b.common_pair(x, y);
+        let indep = b.build();
+        let root = store.solve_refined(&solver, &indep, &[Dir::Any]).unwrap();
+        assert_eq!(root, SolveOutcome::NoSolution);
+        let nodes_after_root = peek_thread_nodes();
+        for d in [Dir::Lt, Dir::Eq, Dir::Gt, Dir::Le, Dir::Ge] {
+            let out = store.solve_refined(&solver, &indep, &[d]).unwrap();
+            assert_eq!(out, SolveOutcome::NoSolution);
+        }
+        assert_eq!(peek_thread_nodes(), nodes_after_root, "children served from the root proof");
+        let c = take_thread_refine();
+        assert_eq!(c.refine_queries, 6);
+        assert_eq!(c.subtree_reuses, 5);
+        reset_thread_nodes();
+    }
+
+    #[test]
+    fn solve_refined_reuses_ancestor_witness_when_it_fits() {
+        reset_thread_refine();
+        reset_thread_nodes();
+        let store = SubtreeStore::new();
+        let solver = ExactSolver::default();
+        let p = shift_by_one();
+        // The root solve finds some witness; every witness of this problem
+        // has i1 < i2, so the `<` child must be served from it.
+        let root = store.solve_refined(&solver, &p, &[Dir::Any]).unwrap();
+        assert!(root.is_solution());
+        let nodes_after_root = peek_thread_nodes();
+        let child = store.solve_refined(&solver, &p, &[Dir::Lt]).unwrap();
+        assert_eq!(root, child);
+        assert_eq!(peek_thread_nodes(), nodes_after_root, "witness replay costs zero nodes");
+        // `=` is NOT satisfied by the witness: a fresh solve runs and
+        // proves infeasibility.
+        let eq = store.solve_refined(&solver, &p, &[Dir::Eq]).unwrap();
+        assert_eq!(eq, SolveOutcome::NoSolution);
+        assert!(peek_thread_nodes() > nodes_after_root);
+        let c = take_thread_refine();
+        assert_eq!(c.refine_queries, 3);
+        assert_eq!(c.subtree_reuses, 1);
+        reset_thread_nodes();
+    }
+
+    #[test]
+    fn disabled_store_counts_queries_but_never_reuses() {
+        reset_thread_refine();
+        reset_thread_nodes();
+        let store = SubtreeStore::disabled();
+        assert!(!store.is_enabled());
+        let solver = ExactSolver::default();
+        let p = shift_by_one();
+        let a = store.solve_refined(&solver, &p, &[Dir::Lt]).unwrap();
+        let cost_one = peek_thread_nodes();
+        let b = store.solve_refined(&solver, &p, &[Dir::Lt]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(peek_thread_nodes(), cost_one * 2, "every query re-solves");
+        assert!(store.is_empty());
+        let c = take_thread_refine();
+        assert_eq!(c.refine_queries, 2);
+        assert_eq!(c.subtree_reuses, 0);
+        assert_eq!(c.nodes_saved, 0);
+        reset_thread_nodes();
+    }
+
+    #[test]
+    fn solve_refined_splits_ne() {
+        let store = SubtreeStore::new();
+        let solver = ExactSolver::default();
+        // i1 + 1 = i2: `≠` holds (via `<`), `=` does not.
+        let p = shift_by_one();
+        assert!(store.solve_refined(&solver, &p, &[Dir::Ne]).unwrap().is_solution());
+        // i1 = i2: `≠` is infeasible.
+        let mut b = DependenceProblem::<i128>::builder();
+        let x = b.var("i1", 8);
+        let y = b.var("i2", 8);
+        b.equation(0, vec![1, -1]);
+        b.common_pair(x, y);
+        let same = b.build();
+        assert_eq!(
+            store.solve_refined(&solver, &same, &[Dir::Ne]).unwrap(),
+            SolveOutcome::NoSolution
+        );
+        reset_thread_refine();
+        reset_thread_nodes();
+    }
+
+    #[test]
+    fn degraded_refinements_are_never_stored_or_replayed() {
+        reset_thread_refine();
+        reset_thread_nodes();
+        let store = SubtreeStore::new();
+        let starved = ExactSolver::with_limit(0);
+        let p = shift_by_one();
+        let a = store.solve_refined(&starved, &p, &[Dir::Lt]).unwrap();
+        assert!(a.is_degraded());
+        assert!(store.is_empty(), "degraded outcomes must not be memoized");
+        let b = store.solve_refined(&starved, &p, &[Dir::Lt]).unwrap();
+        assert!(b.is_degraded());
+        let c = take_thread_refine();
+        assert_eq!(c.subtree_reuses, 0);
+        // A proof stored under a healthy budget still replays after the
+        // budget starves: the proof was paid for once and stays sound.
+        let healthy = ExactSolver::default();
+        let proof = store.solve_refined(&healthy, &p, &[Dir::Eq]).unwrap();
+        assert_eq!(proof, SolveOutcome::NoSolution);
+        let replay = store.solve_refined(&starved, &p, &[Dir::Eq]).unwrap();
+        assert_eq!(replay, SolveOutcome::NoSolution);
+        assert_eq!(take_thread_refine().subtree_reuses, 1);
+        reset_thread_nodes();
+    }
+
+    #[test]
+    fn structurally_identical_problems_share_a_tree() {
+        reset_thread_refine();
+        let store = SubtreeStore::new();
+        let solver = ExactSolver::default();
+        let p = shift_by_one();
+        // Same structure, different variable names.
+        let mut b = DependenceProblem::<i128>::builder();
+        let x = b.var("a", 8);
+        let y = b.var("b", 8);
+        b.equation(1, vec![1, -1]);
+        b.common_pair(x, y);
+        let q = b.build();
+        let _ = store.solve_refined(&solver, &p, &[Dir::Lt]).unwrap();
+        let _ = store.solve_refined(&solver, &q, &[Dir::Lt]).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(take_thread_refine().subtree_reuses, 1);
+        reset_thread_nodes();
     }
 
     #[test]

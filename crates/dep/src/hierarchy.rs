@@ -13,9 +13,9 @@
 //! asking for a solution with a different difference.
 
 use crate::dirvec::{summarize, Dir, DirVec, DistDir, DistDirVec};
-use crate::exact::{ExactSolver, SolveOutcome};
+use crate::exact::{ExactSolver, SolveOutcome, SubtreeStore};
 use crate::problem::DependenceProblem;
-use crate::verdict::Verdict;
+use crate::verdict::{DependenceInfo, Verdict};
 use delin_numeric::Coeff;
 
 /// An oracle answering "may the dependence exist under these direction
@@ -101,21 +101,57 @@ pub fn exact_oracle(solver: ExactSolver) -> impl Fn(&DependenceProblem<i128>, &[
     }
 }
 
+/// Like [`exact_oracle`], but every refinement query flows through a
+/// [`SubtreeStore`]: sibling queries on the same base problem reuse decided
+/// subtrees (exact replays and ancestor proofs) instead of re-enumerating.
+/// With a [`SubtreeStore::disabled`] store the verdicts — and the node
+/// counts — match [`exact_oracle`] exactly.
+pub fn exact_oracle_in<'s>(
+    solver: ExactSolver,
+    store: &'s SubtreeStore,
+) -> impl Fn(&DependenceProblem<i128>, &[Dir]) -> Verdict + 's {
+    move |p, dirs| match store.solve_refined(&solver, p, dirs) {
+        Ok(SolveOutcome::NoSolution) => Verdict::Independent,
+        Ok(SolveOutcome::Solution(w)) => Verdict::Dependent {
+            exact: true,
+            info: DependenceInfo { witness: Some(w), ..DependenceInfo::default() },
+        },
+        Ok(SolveOutcome::Degraded(_)) | Err(_) => Verdict::Unknown,
+    }
+}
+
 /// Computes distance-direction vectors exactly: one per surviving atomic
 /// direction vector, with constant distances where the per-loop difference
 /// `β − α` is the same for every solution, then summarized.
+///
+/// Runs incrementally under a private [`SubtreeStore`]; use
+/// [`distance_direction_vectors_in`] to share one store with a preceding
+/// hierarchy walk.
 pub fn distance_direction_vectors(
     problem: &DependenceProblem<i128>,
     solver: &ExactSolver,
 ) -> Vec<DistDirVec> {
-    let oracle = exact_oracle(solver.clone());
+    distance_direction_vectors_in(problem, solver, &SubtreeStore::new())
+}
+
+/// Like [`distance_direction_vectors`], but refinement queries share the
+/// given [`SubtreeStore`]. When the caller's hierarchy walk already ran
+/// under the same store, every per-vector witness solve is an exact replay
+/// of the walk's leaf query — the distance phase costs no new search nodes
+/// beyond the constancy probes.
+pub fn distance_direction_vectors_in(
+    problem: &DependenceProblem<i128>,
+    solver: &ExactSolver,
+    store: &SubtreeStore,
+) -> Vec<DistDirVec> {
+    let oracle = exact_oracle_in(solver.clone(), store);
     let atomics = atomic_direction_vectors(problem, &oracle);
     let mut out = Vec::new();
     for dv in &atomics {
-        let Ok(constrained) = problem.with_directions(&dv.0) else {
+        let Ok(w) = store.solve_refined(solver, problem, &dv.0) else {
             continue;
         };
-        let w = match solver.solve(&constrained) {
+        let w = match w {
             SolveOutcome::Solution(w) => w,
             SolveOutcome::NoSolution => continue,
             // Budget exhausted mid-witness-search: the oracle kept this
@@ -125,6 +161,9 @@ pub fn distance_direction_vectors(
                 out.push(DistDirVec(dv.0.iter().map(|d| DistDir::Dir(*d)).collect()));
                 continue;
             }
+        };
+        let Ok(constrained) = problem.with_directions(&dv.0) else {
+            continue;
         };
         let mut elems = Vec::with_capacity(dv.0.len());
         for (level, &(x, y)) in problem.common_loops().iter().enumerate() {
@@ -331,6 +370,78 @@ mod tests {
         let dd = distance_direction_vectors(&p, &ExactSolver::with_limit(0));
         assert!(!dd.is_empty(), "degradation must not erase dependences");
         assert!(dd.iter().all(|v| v.0.iter().all(|e| matches!(e, DistDir::Dir(_)))), "{dd:?}");
+    }
+
+    #[test]
+    fn incremental_matches_fresh_and_saves_nodes() {
+        use crate::exact::{
+            peek_thread_nodes, reset_thread_nodes, reset_thread_refine, take_thread_refine,
+        };
+        let problems = vec![
+            shift_by_one(),
+            {
+                // mhl91: two common loops, distance (2, 0).
+                let mut b = DependenceProblem::<i128>::builder();
+                let i1 = b.var("i1", 7);
+                let j1 = b.var("j1", 9);
+                let i2 = b.var("i2", 7);
+                let j2 = b.var("j2", 9);
+                b.common_pair(i1, i2).common_pair(j1, j2);
+                b.equation(20, vec![10, 1, -10, -1]);
+                b.build()
+            },
+            {
+                // A(2i) = A(i): non-constant distance under `<`.
+                let mut b = DependenceProblem::<i128>::builder();
+                let x = b.var("i1", 8);
+                let y = b.var("i2", 8);
+                b.equation(0, vec![2, -1]);
+                b.common_pair(x, y);
+                b.build()
+            },
+        ];
+        let solver = ExactSolver::default();
+        for p in &problems {
+            reset_thread_nodes();
+            reset_thread_refine();
+            let fresh = distance_direction_vectors_in(p, &solver, &SubtreeStore::disabled());
+            let fresh_nodes = peek_thread_nodes();
+            let fresh_counters = take_thread_refine();
+            assert_eq!(fresh_counters.subtree_reuses, 0);
+            reset_thread_nodes();
+            let incr = distance_direction_vectors_in(p, &solver, &SubtreeStore::new());
+            let incr_nodes = peek_thread_nodes();
+            let incr_counters = take_thread_refine();
+            assert_eq!(fresh, incr, "incremental must not change the vectors");
+            assert_eq!(fresh_counters.refine_queries, incr_counters.refine_queries);
+            assert!(incr_counters.subtree_reuses > 0, "witness solves must replay");
+            assert!(
+                incr_nodes < fresh_nodes,
+                "reuse must save nodes: {incr_nodes} vs {fresh_nodes}"
+            );
+            reset_thread_nodes();
+        }
+    }
+
+    #[test]
+    fn oracle_in_shares_the_walk_with_distance_extraction() {
+        use crate::exact::{reset_thread_nodes, reset_thread_refine, take_thread_refine};
+        reset_thread_refine();
+        reset_thread_nodes();
+        let p = shift_by_one();
+        let solver = ExactSolver::default();
+        let store = SubtreeStore::new();
+        let oracle = exact_oracle_in(solver.clone(), &store);
+        let atomics = atomic_direction_vectors(&p, &oracle);
+        assert_eq!(atomics, vec![DirVec(vec![Dir::Lt])]);
+        let _ = take_thread_refine();
+        let dd = distance_direction_vectors_in(&p, &solver, &store);
+        assert_eq!(dd, vec![DistDirVec(vec![DistDir::Dist(1)])]);
+        let c = take_thread_refine();
+        // The second phase's walk and witness solves all replay from the
+        // first phase's store.
+        assert!(c.subtree_reuses >= c.refine_queries - c.subtree_reuses, "{c:?}");
+        reset_thread_nodes();
     }
 
     #[test]

@@ -69,7 +69,9 @@
 
 use crate::cache::VerdictCache;
 use crate::chaos::{ChaosCtx, ChaosPlan, FaultKind};
-use crate::deps::{workers_from_env, DepEdge, DepStats, TestChoice, VerdictStats};
+use crate::deps::{
+    incremental_from_env, workers_from_env, DepEdge, DepStats, TestChoice, VerdictStats,
+};
 use crate::pipeline::{run_pipeline_in, PipelineConfig};
 use delin_dep::budget::BudgetSpec;
 use delin_numeric::Assumptions;
@@ -123,6 +125,13 @@ pub struct BatchConfig {
     pub shared_cache: bool,
     /// With `shared_cache` off, still memoize within each unit.
     pub cache: bool,
+    /// Incremental exact solving (see
+    /// [`crate::deps::EngineConfig::incremental`]): refinement queries
+    /// replay memoized solve subtrees, and cached verdicts carry their
+    /// solver state across units. A pure perf knob — edges and verdicts
+    /// are identical either way. The default reads `DELIN_INCREMENTAL`
+    /// (`0` disables, the A/B baseline).
+    pub incremental: bool,
     /// Apply induction-variable substitution.
     pub induction: bool,
     /// Linearize `EQUIVALENCE`-aliased arrays first.
@@ -148,6 +157,7 @@ impl Default for BatchConfig {
             unit_parallelism: 0,
             shared_cache: true,
             cache: true,
+            incremental: incremental_from_env(),
             induction: true,
             linearize: true,
             infer_loop_assumptions: true,
@@ -252,14 +262,20 @@ impl UnitReport {
         let v = self.stats.verdict_stats();
         // `degraded=` is appended only when something degraded, so clean
         // runs keep the historical byte-identical row.
-        let degraded = if v.degraded_pairs > 0 {
-            format!(" degraded={}", v.degraded_pairs)
-        } else {
-            String::new()
-        };
+        let mut tail = String::new();
+        // `saved=` appears only when the incremental solver replayed a
+        // subtree, and `degraded=` only when something degraded, so
+        // incremental-off, reuse-free, clean rows keep the historical
+        // byte-identical shape.
+        if v.subtree_reuses > 0 {
+            tail.push_str(&format!(" saved={}/{}", v.nodes_saved, v.subtree_reuses));
+        }
+        if v.degraded_pairs > 0 {
+            tail.push_str(&format!(" degraded={}", v.degraded_pairs));
+        }
         format!(
             "{}: pairs={} independent={} conservative={} cache={}h/{}m nodes={} \
-             edges={} fp={:016x} vectorized={}{degraded}",
+             edges={} fp={:016x} vectorized={}{tail}",
             self.name,
             v.pairs_tested,
             v.proven_independent,
@@ -351,6 +367,15 @@ impl BatchStats {
         let decided: Vec<String> =
             t.decided_by.iter().map(|(name, n)| format!("{name}={n}")).collect();
         let _ = writeln!(out, "decided-by: {}", decided.join(" "));
+        // Rendered only when the engine refined at all, so battery-only
+        // corpora keep the historical render.
+        if t.refine_queries > 0 {
+            let _ = writeln!(
+                out,
+                "incremental: refines={} subtree-reuses={} nodes-saved={}",
+                t.refine_queries, t.subtree_reuses, t.nodes_saved
+            );
+        }
         match self.distinct_problems {
             Some(d) => {
                 let _ = writeln!(
@@ -520,10 +545,12 @@ impl BatchRunner {
                 }
                 self.process_unit_attempt(unit, engine_workers, attempt_shared, budget, chaos)
             }));
-            // Drain the thread-local solver node counter unconditionally: a
-            // panic mid-solve would otherwise leak this attempt's nodes
-            // into whatever this worker thread processes next.
+            // Drain the thread-local solver node and refinement counters
+            // unconditionally: a panic mid-solve would otherwise leak this
+            // attempt's tallies into whatever this worker thread processes
+            // next.
             delin_dep::exact::reset_thread_nodes();
+            delin_dep::exact::reset_thread_refine();
             match outcome {
                 Ok(report) => {
                     // A degraded-but-complete attempt is worth one escalated
@@ -563,6 +590,7 @@ impl BatchRunner {
             infer_loop_assumptions: self.config.infer_loop_assumptions,
             workers: engine_workers,
             cache: self.config.cache,
+            incremental: self.config.incremental,
             budget,
             chaos,
         };

@@ -37,6 +37,7 @@
 //!   run under different (or escalating retry) budgets.
 
 use delin_dep::budget::DegradeReason;
+use delin_dep::exact::SubtreeStore;
 use delin_dep::problem::DependenceProblem;
 use delin_dep::verdict::Verdict;
 use delin_numeric::{Assumptions, Sym, SymPoly};
@@ -62,6 +63,23 @@ pub struct CachedOutcome {
     pub attempts: Vec<&'static str>,
     /// Exact-solver search nodes spent computing this entry.
     pub solver_nodes: u64,
+    /// Refinement queries issued against the incremental solve-tree store
+    /// while deciding this entry. Like `attempts`, a pure function of the
+    /// canonical problem and configuration, so callers may attribute it to
+    /// any reference of the entry.
+    pub refine_queries: u64,
+    /// Refinement queries answered by replaying a stored subtree instead of
+    /// re-enumerating.
+    pub subtree_reuses: u64,
+    /// Exact-solver nodes those subtree replays avoided re-spending.
+    pub nodes_saved: u64,
+    /// The per-problem incremental solver state (the solve trees built
+    /// while refining this problem's direction hierarchy). Memoized
+    /// alongside the verdict so sibling refinements across a unit — and
+    /// across units sharing this cache — reach the already-built subtrees
+    /// through a cache hit instead of rebuilding them. `None` when
+    /// incremental solving is disabled or the decision never refined.
+    pub solver_state: Option<Arc<SubtreeStore>>,
     /// `Some(reason)` when the verdict was reached under an exhausted
     /// resource budget. Degraded outcomes are conservative (`Unknown`, or
     /// `Dependent` with a superset of the true direction vectors) and are
@@ -421,6 +439,10 @@ mod tests {
             tested_by: "test",
             attempts: vec!["test"],
             solver_nodes: nodes,
+            refine_queries: 0,
+            subtree_reuses: 0,
+            nodes_saved: 0,
+            solver_state: None,
             degraded: None,
         }
     }
@@ -592,6 +614,27 @@ mod tests {
         assert!(!hit, "post-panic lookup must recompute");
         assert_eq!(out.solver_nodes, 5);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// The memoized outcome carries the incremental solver state: every
+    /// later hit — from any reference pair or unit — sees the *same*
+    /// [`SubtreeStore`] instance, so sibling refinements share subtrees
+    /// instead of rebuilding them.
+    #[test]
+    fn cache_hits_carry_the_stored_solver_state() {
+        let cache = VerdictCache::new(&Assumptions::new());
+        let store = Arc::new(SubtreeStore::new());
+        let miss = cache.get_or_compute(&two_eq_problem([0, 1]), |_| CachedOutcome {
+            solver_state: Some(Arc::clone(&store)),
+            ..outcome(3)
+        });
+        // Equation order must not defeat the state either.
+        let (hit, was_hit) = cache.get_or_compute(&two_eq_problem([1, 0]), |_| outcome(0));
+        assert!(was_hit);
+        let carried = hit.solver_state.expect("hit must carry the stored solver state");
+        assert!(Arc::ptr_eq(&carried, &store));
+        let first = miss.0.solver_state.expect("miss returns the state it stored");
+        assert!(Arc::ptr_eq(&first, &store));
     }
 
     #[test]

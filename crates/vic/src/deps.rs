@@ -23,6 +23,7 @@ use delin_dep::acyclic::AcyclicTest;
 use delin_dep::banerjee::BanerjeeTest;
 use delin_dep::budget::{BudgetSpec, DegradeReason, ResourceBudget};
 use delin_dep::dirvec::{summarize, Dir, DirVec};
+use delin_dep::exact::SubtreeStore;
 use delin_dep::gcd::GcdTest;
 use delin_dep::hierarchy;
 use delin_dep::problem::DependenceProblem;
@@ -34,6 +35,7 @@ use delin_frontend::access::{AccessKind, AccessSite, Subscript};
 use delin_frontend::ast::{Program, StmtId};
 use delin_numeric::{Assumptions, SymPoly};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 /// The classification of a dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +103,17 @@ pub struct DepStats {
     /// Exact-solver search nodes charged across all decisions (same
     /// attribution rule as [`DepStats::attempts_by`]).
     pub solver_nodes: u64,
+    /// Direction-refinement queries issued against the incremental
+    /// solve-tree store (same attribution rule as
+    /// [`DepStats::attempts_by`]: each canonical problem charged once, at
+    /// its first reference in source-pair order).
+    pub refine_queries: u64,
+    /// Refinement queries answered by replaying a memoized subtree instead
+    /// of re-enumerating. Zero when incremental solving is disabled.
+    pub subtree_reuses: u64,
+    /// Exact-solver nodes the subtree replays avoided re-spending (the
+    /// incremental win; compare against [`DepStats::solver_nodes`]).
+    pub nodes_saved: u64,
     /// Pairs whose verdict was reached under an exhausted resource budget
     /// and therefore degraded to a conservative answer. Deterministic for
     /// node-limit budgets; deadline and cancellation trips depend on wall
@@ -136,6 +149,12 @@ pub struct VerdictStats {
     pub cache_misses: usize,
     /// Exact-solver search nodes spent across all decisions.
     pub solver_nodes: u64,
+    /// Direction-refinement queries issued.
+    pub refine_queries: u64,
+    /// Refinement queries answered from a memoized subtree.
+    pub subtree_reuses: u64,
+    /// Exact-solver nodes the subtree replays avoided.
+    pub nodes_saved: u64,
     /// Pairs degraded by budget exhaustion.
     pub degraded_pairs: usize,
     /// Degraded pairs per tripped budget axis.
@@ -160,6 +179,9 @@ impl DepStats {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             solver_nodes: self.solver_nodes,
+            refine_queries: self.refine_queries,
+            subtree_reuses: self.subtree_reuses,
+            nodes_saved: self.nodes_saved,
             degraded_pairs: self.degraded_pairs,
             degraded_by: self.degraded_by.clone(),
         }
@@ -183,6 +205,16 @@ impl DepStats {
             self.solver_nodes,
             self.test_nanos as f64 / 1.0e6
         );
+        // Only rendered when the incremental solver actually refined, so
+        // battery-only (and incremental-off, reuse-free) runs keep the
+        // historical summary shape.
+        if self.refine_queries > 0 {
+            let _ = writeln!(
+                out,
+                "refines: {} queries, {} subtree reuses, {} nodes saved",
+                self.refine_queries, self.subtree_reuses, self.nodes_saved
+            );
+        }
         // Only rendered when something actually degraded, so budget-clean
         // runs keep the historical byte-identical summary.
         if self.degraded_pairs > 0 {
@@ -224,6 +256,9 @@ impl DepStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.solver_nodes += other.solver_nodes;
+        self.refine_queries += other.refine_queries;
+        self.subtree_reuses += other.subtree_reuses;
+        self.nodes_saved += other.nodes_saved;
         self.degraded_pairs += other.degraded_pairs;
         for (reason, n) in &other.degraded_by {
             *self.degraded_by.entry(*reason).or_insert(0) += n;
@@ -258,6 +293,14 @@ impl DepStats {
                 *self.attempts_by.entry(name).or_insert(0) += 1;
             }
             self.solver_nodes += outcome.solver_nodes;
+            // The reuse counters ride the same single-charge rule: a pair
+            // that hits the verdict cache contributes *nothing* here even
+            // though the entry it reused also reused subtrees — otherwise a
+            // refinement could be double-counted (once as a cache hit, once
+            // as a subtree reuse). See `cache_hits_charge_reuse_counters_once`.
+            self.refine_queries += outcome.refine_queries;
+            self.subtree_reuses += outcome.subtree_reuses;
+            self.nodes_saved += outcome.nodes_saved;
         }
         if let Some(reason) = outcome.degraded {
             self.degraded_pairs += 1;
@@ -323,6 +366,14 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Memoize verdicts of canonicalized problems (see [`crate::cache`]).
     pub cache: bool,
+    /// Incremental exact solving: direction-refinement queries replay
+    /// memoized solve subtrees (see [`delin_dep::exact::SubtreeStore`])
+    /// instead of re-enumerating, and the verdict cache stores each
+    /// problem's solver state alongside its verdict. Off reproduces the
+    /// fresh-solve engine node for node — the A/B baseline; verdicts and
+    /// edges are identical either way. Defaults to
+    /// [`incremental_from_env`].
+    pub incremental: bool,
     /// Resource budget specification. Armed once per graph construction
     /// (the deadline covers the whole run); each pair then observes the
     /// armed limits through a fresh trip flag, so exhaustion degrades that
@@ -340,6 +391,7 @@ impl Default for EngineConfig {
             choice: TestChoice::default(),
             workers: workers_from_env(),
             cache: true,
+            incremental: incremental_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
         }
@@ -354,6 +406,16 @@ impl Default for EngineConfig {
 /// default configurations fails the determinism gate.
 pub fn workers_from_env() -> usize {
     std::env::var("DELIN_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// The default incremental-solving switch: on, unless the
+/// `DELIN_INCREMENTAL` environment variable is set to `0`.
+///
+/// The bench binaries and CI use `DELIN_INCREMENTAL=0` as the A/B baseline:
+/// it must produce byte-identical edges and verdicts, spending strictly
+/// more solver nodes on any workload with reusable refinements.
+pub fn incremental_from_env() -> bool {
+    std::env::var("DELIN_INCREMENTAL").map(|v| v != "0").unwrap_or(true)
 }
 
 impl EngineConfig {
@@ -395,6 +457,12 @@ struct PairOutcome {
     /// disabled (every pair then counts as its own first reference).
     key_fp: Option<u64>,
     solver_nodes: u64,
+    /// Incremental-solving counters for this pair's canonical problem —
+    /// like `attempts`, pure functions of the cache key, charged by the
+    /// fold only at the key's first reference.
+    refine_queries: u64,
+    subtree_reuses: u64,
+    nodes_saved: u64,
     /// `Some(reason)` when this pair's verdict degraded under an exhausted
     /// budget. Cached outcomes are always `None` (degraded outcomes are
     /// never memoized).
@@ -465,6 +533,7 @@ pub fn build_dependence_graph_in(
         assumptions,
         choice: config.choice,
         cache,
+        incremental: config.incremental,
         budget: &budget,
         chaos: config.chaos.as_ref(),
     };
@@ -493,6 +562,7 @@ struct PairCtx<'a> {
     assumptions: &'a Assumptions,
     choice: TestChoice,
     cache: Option<&'a VerdictCache>,
+    incremental: bool,
     /// The run-armed budget; pairs observe it via `fresh()`.
     budget: &'a ResourceBudget,
     chaos: Option<&'a ChaosCtx>,
@@ -586,7 +656,13 @@ fn test_pair(
                 let spec =
                     ChaosCtx::faulted_spec(fault, &BudgetSpec::nodes_only(ctx.budget.node_limit()));
                 let problem = pair_problem(a, b);
-                let computed = decide_counted(&problem, ctx.assumptions, ctx.choice, &spec.arm());
+                let computed = decide_counted(
+                    &problem,
+                    ctx.assumptions,
+                    ctx.choice,
+                    &spec.arm(),
+                    ctx.incremental,
+                );
                 return PairOutcome {
                     verdict: computed.verdict,
                     tested_by: computed.tested_by,
@@ -594,6 +670,9 @@ fn test_pair(
                     nanos: started.elapsed().as_nanos(),
                     key_fp: None,
                     solver_nodes: computed.solver_nodes,
+                    refine_queries: computed.refine_queries,
+                    subtree_reuses: computed.subtree_reuses,
+                    nodes_saved: computed.nodes_saved,
                     degraded: computed.degraded,
                 };
             }
@@ -606,7 +685,7 @@ fn test_pair(
         Some(cache) => {
             let CacheLookup { outcome, key_fp, .. } =
                 cache.lookup(ctx.assumptions, &problem, |canonical| {
-                    decide_counted(canonical, ctx.assumptions, ctx.choice, &budget)
+                    decide_counted(canonical, ctx.assumptions, ctx.choice, &budget, ctx.incremental)
                 });
             PairOutcome {
                 verdict: outcome.verdict,
@@ -615,11 +694,15 @@ fn test_pair(
                 nanos: 0,
                 key_fp: Some(key_fp),
                 solver_nodes: outcome.solver_nodes,
+                refine_queries: outcome.refine_queries,
+                subtree_reuses: outcome.subtree_reuses,
+                nodes_saved: outcome.nodes_saved,
                 degraded: outcome.degraded,
             }
         }
         None => {
-            let computed = decide_counted(&problem, ctx.assumptions, ctx.choice, &budget);
+            let computed =
+                decide_counted(&problem, ctx.assumptions, ctx.choice, &budget, ctx.incremental);
             PairOutcome {
                 verdict: computed.verdict,
                 tested_by: computed.tested_by,
@@ -627,6 +710,9 @@ fn test_pair(
                 nanos: 0,
                 key_fp: None,
                 solver_nodes: computed.solver_nodes,
+                refine_queries: computed.refine_queries,
+                subtree_reuses: computed.subtree_reuses,
+                nodes_saved: computed.nodes_saved,
                 degraded: computed.degraded,
             }
         }
@@ -634,20 +720,37 @@ fn test_pair(
     PairOutcome { nanos: started.elapsed().as_nanos(), ..outcome }
 }
 
-/// Runs [`decide`] with exact-solver node accounting around it.
+/// Runs [`decide`] with exact-solver node and refinement accounting
+/// around it.
+///
+/// When `incremental` is on the decision refines through a private
+/// [`SubtreeStore`] created here — private, so the counters stay pure
+/// functions of the canonical problem regardless of scheduling — and the
+/// store is stowed in the returned outcome: the verdict cache memoizes it
+/// alongside the verdict, which is how sibling refinements across a unit
+/// (and across units sharing one cache) reach the same subtrees.
 fn decide_counted(
     problem: &DependenceProblem<SymPoly>,
     assumptions: &Assumptions,
     choice: TestChoice,
     budget: &ResourceBudget,
+    incremental: bool,
 ) -> CachedOutcome {
     let _ = delin_dep::exact::take_thread_nodes();
-    let (verdict, tested_by, attempts) = decide(problem, assumptions, choice, budget);
+    delin_dep::exact::reset_thread_refine();
+    let store = incremental.then(|| Arc::new(SubtreeStore::new()));
+    let (verdict, tested_by, attempts) =
+        decide(problem, assumptions, choice, budget, incremental, store.as_ref());
+    let refine = delin_dep::exact::take_thread_refine();
     CachedOutcome {
         verdict,
         tested_by,
         attempts,
         solver_nodes: delin_dep::exact::take_thread_nodes(),
+        refine_queries: refine.refine_queries,
+        subtree_reuses: refine.subtree_reuses,
+        nodes_saved: refine.nodes_saved,
+        solver_state: store,
         degraded: budget.tripped(),
     }
 }
@@ -708,6 +811,8 @@ fn decide(
     assumptions: &Assumptions,
     choice: TestChoice,
     budget: &ResourceBudget,
+    incremental: bool,
+    store: Option<&Arc<SubtreeStore>>,
 ) -> (Verdict, &'static str, Vec<&'static str>) {
     if budget.exhausted().is_some() {
         return (Verdict::Unknown, "degraded", Vec::new());
@@ -730,7 +835,10 @@ fn decide(
     }
     let concrete = concretize(&sym);
 
-    let delin = DelinearizationTest::with_budget(budget.clone());
+    let mut delin = DelinearizationTest::with_budget(budget.clone());
+    delin.config.incremental = incremental;
+    delin.config.solve_store = store.map(Arc::clone);
+    let delin = delin;
     let run_delin =
         |name: &'static str, attempts: &mut Vec<&'static str>| -> (Verdict, &'static str) {
             attempts.push(name);
@@ -1129,6 +1237,89 @@ mod tests {
         let g4 = run(4);
         assert_eq!(g.stats.verdict_stats(), g4.stats.verdict_stats());
         assert_eq!(g.edges, g4.edges);
+    }
+
+    /// Satellite bugfix audit: a pair that hits the verdict cache reuses an
+    /// entry whose own refinements reused subtrees. The fold must charge
+    /// the entry's attempts, solver nodes, *and* reuse counters exactly
+    /// once — at the key's first reference in source-pair order — never
+    /// once per referencing pair, and never a second time because the hit
+    /// "also" reused a subtree.
+    #[test]
+    fn cache_hits_charge_reuse_counters_once() {
+        // B's pairs canonicalize to exactly A's problems (variable names
+        // and array names are dropped), so the second statement's pairs are
+        // pure verdict-cache hits.
+        let doubled = parse_program(
+            "
+            REAL A(0:9), B(0:9)
+            DO 1 i = 0, 8
+              A(i + 1) = A(i)
+        1   B(i + 1) = B(i)
+            END
+        ",
+        )
+        .unwrap();
+        let single = parse_program(
+            "
+            REAL A(0:9)
+            DO 1 i = 0, 8
+        1   A(i + 1) = A(i)
+            END
+        ",
+        )
+        .unwrap();
+        let config = EngineConfig { workers: 1, incremental: true, ..EngineConfig::default() };
+        let g2 = build_dependence_graph_with(&doubled, &Assumptions::new(), &config);
+        let g1 = build_dependence_graph_with(&single, &Assumptions::new(), &config);
+
+        assert_eq!(g2.stats.pairs_tested, 2 * g1.stats.pairs_tested);
+        assert_eq!(g2.stats.cache_hits, g1.stats.pairs_tested, "B's pairs must hit");
+        assert_eq!(g2.stats.cache_misses, g1.stats.cache_misses);
+        // The dependent W-R problem refines and reuses; the counters (and
+        // every other charged quantity) must match the single-array run
+        // exactly — cache hits charge nothing.
+        assert!(g2.stats.refine_queries > 0, "{:?}", g2.stats);
+        assert!(g2.stats.subtree_reuses > 0, "{:?}", g2.stats);
+        assert_eq!(g2.stats.refine_queries, g1.stats.refine_queries);
+        assert_eq!(g2.stats.subtree_reuses, g1.stats.subtree_reuses);
+        assert_eq!(g2.stats.nodes_saved, g1.stats.nodes_saved);
+        assert_eq!(g2.stats.solver_nodes, g1.stats.solver_nodes);
+        assert_eq!(g2.stats.attempts_by, g1.stats.attempts_by);
+    }
+
+    /// The incremental toggle is a pure perf knob: identical edges and
+    /// verdicts, strictly fewer solver nodes when refinements reuse.
+    #[test]
+    fn incremental_toggle_preserves_graphs_and_saves_nodes() {
+        let p = parse_program(
+            "
+            REAL C(0:99)
+            DO 1 i = 0, 4
+            DO 1 j = 0, 9
+        1   C(i + 10*j) = C(i + 10*j + 1)
+            END
+        ",
+        )
+        .unwrap();
+        let run = |incremental: bool| {
+            let config = EngineConfig { workers: 1, incremental, ..EngineConfig::default() };
+            build_dependence_graph_with(&p, &Assumptions::new(), &config)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.edges, off.edges);
+        assert_eq!(on.stats.proven_independent, off.stats.proven_independent);
+        assert_eq!(on.stats.conservative_pairs, off.stats.conservative_pairs);
+        assert_eq!(on.stats.decided_by, off.stats.decided_by);
+        assert_eq!(on.stats.refine_queries, off.stats.refine_queries);
+        assert_eq!(off.stats.subtree_reuses, 0);
+        assert_eq!(off.stats.nodes_saved, 0);
+        assert!(on.stats.subtree_reuses > 0, "{:?}", on.stats);
+        assert!(on.stats.nodes_saved > 0, "{:?}", on.stats);
+        assert!(on.stats.solver_nodes < off.stats.solver_nodes, "{:?}", (on.stats, off.stats));
+        let rendered = on.stats.render_summary();
+        assert!(rendered.contains("refines:"), "{rendered}");
     }
 
     #[test]

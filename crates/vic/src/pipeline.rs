@@ -8,7 +8,8 @@ use crate::cache::VerdictCache;
 use crate::chaos::ChaosCtx;
 use crate::codegen::{vectorize, VectorizeResult};
 use crate::deps::{
-    build_dependence_graph_in, workers_from_env, DepGraph, DepStats, EngineConfig, TestChoice,
+    build_dependence_graph_in, incremental_from_env, workers_from_env, DepGraph, DepStats,
+    EngineConfig, TestChoice,
 };
 use delin_dep::budget::BudgetSpec;
 use delin_frontend::induction::{substitute_inductions, InductionReport};
@@ -37,6 +38,10 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Memoize verdicts of canonicalized dependence problems.
     pub cache: bool,
+    /// Incremental exact solving (see [`EngineConfig::incremental`]): a
+    /// pure perf knob, identical edges and verdicts either way. The
+    /// default reads `DELIN_INCREMENTAL` (`0` disables).
+    pub incremental: bool,
     /// Resource budget for dependence analysis (armed once per run; see
     /// [`EngineConfig::budget`]). The default reads `DELIN_DEADLINE_MS`.
     pub budget: BudgetSpec,
@@ -55,6 +60,7 @@ impl Default for PipelineConfig {
             infer_loop_assumptions: true,
             workers: workers_from_env(),
             cache: true,
+            incremental: incremental_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
         }
@@ -153,6 +159,7 @@ pub fn run_pipeline_in(
         choice: config.choice,
         workers: config.workers,
         cache: config.cache,
+        incremental: config.incremental,
         budget: config.budget.clone(),
         chaos: config.chaos.clone(),
     };

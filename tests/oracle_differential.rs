@@ -17,9 +17,15 @@ use delinearization::core::DelinearizationTest;
 use delinearization::dep::acyclic::AcyclicTest;
 use delinearization::dep::banerjee::BanerjeeTest;
 use delinearization::dep::budget::ResourceBudget;
+use delinearization::dep::dirvec::{Dir, DistDir, DistDirVec};
+use delinearization::dep::exact::SubtreeStore;
 use delinearization::dep::exact::{ExactSolver, SolveOutcome};
 use delinearization::dep::fourier::FourierMotzkin;
 use delinearization::dep::gcd::GcdTest;
+use delinearization::dep::hierarchy::{
+    atomic_direction_vectors, distance_direction_vectors_in, exact_oracle, exact_oracle_in,
+    summarize_dist_dirs,
+};
 use delinearization::dep::problem::DependenceProblem;
 use delinearization::dep::residue::LoopResidueTest;
 use delinearization::dep::shostak::ShostakTest;
@@ -120,6 +126,148 @@ fn box_problem(
     }
     b.build()
 }
+
+/// All solutions of the problem over its iteration box, in enumeration
+/// order.
+fn all_solutions(p: &DependenceProblem<i128>) -> Vec<Vec<i128>> {
+    let uppers: Vec<i128> = p.vars().iter().map(|v| v.upper).collect();
+    if uppers.iter().any(|&u| u < 0) {
+        return Vec::new();
+    }
+    let points: i128 = uppers.iter().map(|u| u + 1).product();
+    assert!(points <= 1 << 20, "oracle box too large: {points} points");
+    let mut vals = vec![0i128; uppers.len()];
+    let mut out = Vec::new();
+    loop {
+        if p.is_solution(&vals).unwrap_or(false) {
+            out.push(vals.clone());
+        }
+        let mut k = 0;
+        loop {
+            if k == vals.len() {
+                return out;
+            }
+            vals[k] += 1;
+            if vals[k] <= uppers[k] {
+                break;
+            }
+            vals[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// The sign of the per-level iteration difference `β − α`, as a direction.
+fn dir_of(d: i128) -> Dir {
+    match d {
+        _ if d > 0 => Dir::Lt,
+        0 => Dir::Eq,
+        _ => Dir::Gt,
+    }
+}
+
+/// Ground truth for the hierarchy: each realized atomic direction signature
+/// mapped to the distance tuples (`w[y] − w[x]` per common loop) of the
+/// witnesses realizing it.
+type DirTruth = std::collections::BTreeMap<Vec<Dir>, Vec<Vec<i128>>>;
+
+fn dir_ground_truth(p: &DependenceProblem<i128>) -> DirTruth {
+    let mut truth = DirTruth::new();
+    for w in all_solutions(p) {
+        let mut sig = Vec::new();
+        let mut diffs = Vec::new();
+        for &(x, y) in p.common_loops() {
+            let d = w[y] - w[x];
+            sig.push(dir_of(d));
+            diffs.push(d);
+        }
+        let entry = truth.entry(sig).or_default();
+        if !entry.contains(&diffs) {
+            entry.push(diffs);
+        }
+    }
+    truth
+}
+
+/// Does the summarized vector cover the concrete `(signature, distances)`
+/// tuple? A `Dist` slot demands the exact distance; a `Dir` slot demands
+/// the atomic direction be among its atoms.
+fn covers_tuple(v: &DistDirVec, sig: &[Dir], t: &[i128]) -> bool {
+    v.0.len() == sig.len()
+        && v.0.iter().zip(sig.iter().zip(t)).all(|(e, (&dir, &d))| match e {
+            DistDir::Dist(c) => *c == d,
+            DistDir::Dir(dd) => dir.subsumed_by(*dd),
+        })
+}
+
+/// Soundness: the summarized output may never drop a realized tuple.
+fn check_dist_covers(out: &[DistDirVec], truth: &DirTruth) -> Result<(), TestCaseError> {
+    for (sig, diffs) in truth {
+        for t in diffs {
+            prop_assert!(
+                out.iter().any(|v| covers_tuple(v, sig, t)),
+                "distance vectors {out:?} drop real tuple {sig:?} / {t:?}"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A `Dist(d)` slot is a *constancy proof*: every realized tuple whose
+/// signature the vector admits must carry exactly that distance there.
+fn check_dist_claims(out: &[DistDirVec], truth: &DirTruth) -> Result<(), TestCaseError> {
+    for v in out {
+        for (sig, diffs) in truth {
+            let admits = v.0.len() == sig.len()
+                && v.0.iter().zip(sig).all(|(e, &dir)| dir.subsumed_by(e.dir()));
+            if !admits {
+                continue;
+            }
+            for (level, e) in v.0.iter().enumerate() {
+                if let DistDir::Dist(d) = e {
+                    for t in diffs {
+                        prop_assert_eq!(
+                            t[level],
+                            *d,
+                            "{:?} claims constant distance {} at level {} but {:?} is realized",
+                            v,
+                            d,
+                            level,
+                            t
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A nested-loop dependence problem with `levels` common loops: variables
+/// `x0, y0, x1, y1, …` (the `x`/`y` of a level share its bound) and one or
+/// two equations over them.
+fn loop_problem(
+    levels: usize,
+    uppers: &[i128],
+    c0: i128,
+    coeffs: &[i128],
+    second_eq: Option<(i128, &[i128])>,
+) -> DependenceProblem<i128> {
+    let mut b = DependenceProblem::<i128>::builder();
+    for (l, u) in uppers.iter().take(levels).enumerate() {
+        let x = b.var(format!("x{l}"), *u);
+        let y = b.var(format!("y{l}"), *u);
+        b.common_pair(x, y);
+    }
+    b.equation(c0, coeffs[..2 * levels].to_vec());
+    if let Some((c02, coeffs2)) = second_eq {
+        b.equation(c02, coeffs2[..2 * levels].to_vec());
+    }
+    b.build()
+}
+
+/// Every direction, for building arbitrary `DistDir` slots.
+const DIRS: [Dir; 7] = [Dir::Lt, Dir::Eq, Dir::Gt, Dir::Le, Dir::Ge, Dir::Ne, Dir::Any];
 
 proptest! {
     /// Single-equation problems over up to 6 small variables: no technique
@@ -261,6 +409,116 @@ proptest! {
                     "separated feasibility diverges from direct solve on {}",
                     p
                 );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The direction-vector hierarchy over the exact oracle, differentially
+    /// against full enumeration: the surviving atomic vectors are *exactly*
+    /// the realized signatures (sound and precise), the summarized
+    /// distance-direction vectors cover every realized tuple, every
+    /// constant-distance claim is a true constancy, and the incremental
+    /// (subtree-reusing) walk matches the fresh walk verdict for verdict.
+    #[test]
+    fn direction_vectors_match_enumeration(
+        levels in 1usize..=2,
+        uppers in prop::collection::vec(0i128..=3, 2),
+        c01 in -8i128..=8,
+        coeffs1 in prop::collection::vec(-4i128..=4, 4),
+        with_second in 0usize..2,
+        c02 in -8i128..=8,
+        coeffs2 in prop::collection::vec(-4i128..=4, 4),
+    ) {
+        let second = (with_second == 1).then_some((c02, &coeffs2[..]));
+        let p = loop_problem(levels, &uppers, c01, &coeffs1, second);
+        let truth = dir_ground_truth(&p);
+        // A pure node budget no tiny box can trip: deterministic, and
+        // immune to any ambient DELIN_DEADLINE_MS.
+        let solver = ExactSolver::with_budget(ResourceBudget::with_node_limit(1_000_000));
+
+        // Incremental and fresh hierarchy walks agree query for query.
+        let fresh_atoms = atomic_direction_vectors(&p, &exact_oracle(solver.clone()));
+        let store = SubtreeStore::new();
+        let inc_atoms = atomic_direction_vectors(&p, &exact_oracle_in(solver.clone(), &store));
+        prop_assert_eq!(&fresh_atoms, &inc_atoms);
+
+        // Exact oracle, unstarved: the atomic survivors are precisely the
+        // realized signatures.
+        let mut atoms: Vec<Vec<Dir>> = inc_atoms.iter().map(|v| v.0.clone()).collect();
+        atoms.sort();
+        let realized: Vec<Vec<Dir>> = truth.keys().cloned().collect();
+        prop_assert_eq!(atoms, realized.clone(), "atomic vectors diverge from enumeration on {}", p);
+
+        // Distance-direction vectors: identical with and without subtree
+        // reuse, sound, honest about constancy, and still dir-precise.
+        let dist = distance_direction_vectors_in(&p, &solver, &store);
+        let disabled = SubtreeStore::disabled();
+        let fresh_dist = distance_direction_vectors_in(&p, &solver, &disabled);
+        prop_assert_eq!(&dist, &fresh_dist, "incremental distance vectors diverge on {}", p);
+        check_dist_covers(&dist, &truth)?;
+        check_dist_claims(&dist, &truth)?;
+        let mut proj: Vec<Vec<Dir>> = dist
+            .iter()
+            .flat_map(|v| v.to_dir_vec().atomic_decompositions())
+            .map(|v| v.0)
+            .collect();
+        proj.sort();
+        proj.dedup();
+        prop_assert_eq!(proj, realized, "summarized projections diverge on {}", p);
+    }
+
+    /// Budget starvation never produces a *wrong* vector: with any node
+    /// limit down to zero, both the fresh and the incremental hierarchy may
+    /// keep spurious vectors or lose distances, but must still cover every
+    /// realized tuple, and constancy claims stay proofs.
+    #[test]
+    fn starved_direction_vectors_stay_conservative(
+        levels in 1usize..=2,
+        uppers in prop::collection::vec(0i128..=3, 2),
+        c0 in -8i128..=8,
+        coeffs in prop::collection::vec(-4i128..=4, 4),
+        limit_pow in 0u32..=10,
+    ) {
+        let p = loop_problem(levels, &uppers, c0, &coeffs, None);
+        let truth = dir_ground_truth(&p);
+        let limit = if limit_pow == 0 { 0 } else { 1u64 << (limit_pow - 1) };
+        let solver = ExactSolver::with_budget(ResourceBudget::with_node_limit(limit));
+        for store in [SubtreeStore::new(), SubtreeStore::disabled()] {
+            let dist = distance_direction_vectors_in(&p, &solver, &store);
+            check_dist_covers(&dist, &truth)?;
+            check_dist_claims(&dist, &truth)?;
+        }
+    }
+
+    /// `summarize_dist_dirs` in isolation: merging may widen (a lost
+    /// distance becomes a direction) but never drops coverage of any
+    /// `(signature, distances)` tuple the input covered.
+    #[test]
+    fn summarize_dist_dirs_never_drops_coverage(
+        raw in prop::collection::vec(
+            ((0usize..2, -3i128..=3, 0usize..7), (0usize..2, -3i128..=3, 0usize..7)),
+            0..6,
+        )
+    ) {
+        let mk = |(kind, d, di): (usize, i128, usize)| {
+            if kind == 0 { DistDir::Dist(d) } else { DistDir::Dir(DIRS[di]) }
+        };
+        let input: Vec<DistDirVec> =
+            raw.iter().map(|&(a, b)| DistDirVec(vec![mk(a), mk(b)])).collect();
+        let out = summarize_dist_dirs(input.clone());
+        for t0 in -3i128..=3 {
+            for t1 in -3i128..=3 {
+                let sig = [dir_of(t0), dir_of(t1)];
+                let t = [t0, t1];
+                if input.iter().any(|v| covers_tuple(v, &sig, &t)) {
+                    prop_assert!(
+                        out.iter().any(|v| covers_tuple(v, &sig, &t)),
+                        "summarize dropped {:?} / {:?}: {:?} -> {:?}",
+                        sig, t, input, out
+                    );
+                }
             }
         }
     }
