@@ -14,8 +14,23 @@ DELIN_WORKERS=4 cargo test -q
 # counts so the incremental solver's env-read defaults get both shapes.
 PROPTEST_CASES=1024 DELIN_WORKERS=1 cargo test -q --release --test oracle_differential
 PROPTEST_CASES=1024 DELIN_WORKERS=4 cargo test -q --release --test oracle_differential
-# The batch engine's corpus-wide determinism matrix (workers x orderings).
-cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
+# The batch engine's corpus-wide determinism matrix (workers x orderings)
+# plus the incremental and keying A/B legs, at both fixed worker counts so
+# the keying equivalence is proven serial and parallel.
+DELIN_WORKERS=1 cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
+DELIN_WORKERS=4 cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
+# Bench harness smoke: the three pinned workloads under both keying modes
+# must render byte-identically and emit a schema-valid BENCH_5.json.
+cargo build --release -q -p delin-bench
+repo_root="$(pwd)"
+bench_tmp="$(mktemp -d)"
+(cd "$bench_tmp" && "$repo_root/target/release/batch_corpus" --bench --units 18 > /dev/null)
+for key in '"schema": "delin-bench"' '"name": "riceps"' '"name": "generated"' \
+           '"name": "refinement"' '"dep_nanos_delta_pct"' '"totals"' '"reports_identical": true'; do
+  grep -qF "$key" "$bench_tmp/BENCH_5.json" \
+    || { echo "BENCH_5.json missing $key" >&2; exit 1; }
+done
+rm -rf "$bench_tmp"
 # Fault-injection suite: seeded chaos (panics, zero-node budgets, expired
 # deadlines) must leave reports byte-identical across worker counts.
 cargo test -q --features chaos --test chaos_suite

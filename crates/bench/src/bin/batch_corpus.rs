@@ -12,7 +12,15 @@
 //!   unless every run renders byte-identically; then run the incremental
 //!   A/B (same corpus with incremental solving disabled) and fail unless
 //!   edges and verdicts are identical, subtrees were actually reused, and
-//!   the incremental run spent strictly fewer solver nodes;
+//!   the incremental run spent strictly fewer solver nodes; then run the
+//!   keying A/B (fingerprint vs string cache keys) and fail unless the
+//!   reports are byte-identical and both modes memoize the same canonical
+//!   key set (a fingerprint collision would shrink the fp side's key set);
+//! * `--bench` — measure the three pinned workloads (RiCEPS, generated,
+//!   refinement-heavy) under both keying modes, best-of-`--reps` runs, and
+//!   write the machine-readable `BENCH_5.json` next to the working
+//!   directory (see the README's Performance section for the schema);
+//! * `--reps N` — repetitions per bench measurement (default 3);
 //! * `--no-incremental` — disable incremental exact solving (the A/B
 //!   baseline; equivalent to `DELIN_INCREMENTAL=0`);
 //! * `--chaos` — inject deterministic faults (panics, zero-node budgets,
@@ -21,14 +29,27 @@
 //!   a pure function of `(seed, site)`, `--chaos --verify` must *still*
 //!   render byte-identically across worker counts and arrival orders —
 //!   the same determinism contract, now including the failures.
+//!
+//! Ctrl-C requests cooperative cancellation through the run's
+//! [`CancelToken`]: in-flight dependence decisions degrade to the sound
+//! conservative verdict (`DegradeReason::Cancelled`), the partial report
+//! still prints, and the process exits with the conventional 130.
 
-use delin_corpus::stream::{generated_units, riceps_units};
-use delin_vic::batch::{BatchConfig, BatchRunner, BatchUnit};
+use delin_corpus::stream::{generated_units, refinement_units, riceps_units};
+use delin_dep::budget::{BudgetSpec, CancelToken};
+use delin_vic::batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit};
+use delin_vic::cache::KeyMode;
 use delin_vic::chaos::ChaosPlan;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+const GENERATED_SEED: u64 = 20260805;
+const BENCH_PATH: &str = "BENCH_5.json";
 
 fn corpus(full: bool, gen_units: usize) -> Vec<BatchUnit> {
     let lines = if full { None } else { Some(400) };
-    riceps_units(lines).chain(generated_units(gen_units, 20260805)).collect()
+    riceps_units(lines).chain(generated_units(gen_units, GENERATED_SEED)).collect()
 }
 
 fn arg_value(name: &str) -> Option<usize> {
@@ -36,13 +57,56 @@ fn arg_value(name: &str) -> Option<usize> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
+/// Everything one batch run needs; `--verify` and `--bench` legs derive
+/// their variants from a base spec instead of threading loose arguments.
+#[derive(Clone)]
+struct RunSpec {
+    workers: usize,
+    reversed: bool,
+    full: bool,
+    gen_units: usize,
+    chaos: Option<ChaosPlan>,
+    incremental: bool,
+    keying: KeyMode,
+    cancel: CancelToken,
+}
+
+impl RunSpec {
+    fn config(&self) -> BatchConfig {
+        BatchConfig {
+            workers: self.workers,
+            chaos: self.chaos,
+            incremental: self.incremental,
+            keying: self.keying,
+            budget: BudgetSpec { cancel: Some(self.cancel.clone()), ..BudgetSpec::default() },
+            ..BatchConfig::default()
+        }
+    }
+}
+
+/// One batch run's corpus-level statistics.
+fn stats(spec: &RunSpec) -> BatchStats {
+    let mut units = corpus(spec.full, spec.gen_units);
+    if spec.reversed {
+        units.reverse();
+    }
+    BatchRunner::new(spec.config()).run(units)
+}
+
+/// One batch run rendered deterministically.
+fn run(spec: &RunSpec) -> String {
+    stats(spec).render()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut expect_value = false;
     for a in &args {
         match a.as_str() {
-            "--full" | "--verify" | "--chaos" | "--no-incremental" => expect_value = false,
-            "--units" | "--workers" => expect_value = true,
+            "--full" | "--verify" | "--bench" | "--chaos" | "--no-incremental" => {
+                expect_value = false;
+            }
+            "--units" | "--workers" | "--reps" => expect_value = true,
             _ if expect_value => {
                 if a.parse::<usize>().is_err() {
                     eprintln!("invalid count: {a}");
@@ -53,19 +117,20 @@ fn main() {
             _ => {
                 eprintln!("unknown argument: {a}");
                 eprintln!(
-                    "usage: batch_corpus [--full] [--verify] [--chaos] [--no-incremental] \
-                     [--units N] [--workers N]"
+                    "usage: batch_corpus [--full] [--verify] [--bench] [--chaos] \
+                     [--no-incremental] [--units N] [--workers N] [--reps N]"
                 );
                 std::process::exit(2);
             }
         }
     }
     if expect_value {
-        eprintln!("missing count after --units/--workers");
+        eprintln!("missing count after --units/--workers/--reps");
         std::process::exit(2);
     }
     let full = args.iter().any(|a| a == "--full");
     let verify = args.iter().any(|a| a == "--verify");
+    let bench = args.iter().any(|a| a == "--bench");
     let gen_units = arg_value("--units").unwrap_or(24);
     let workers = arg_value("--workers").unwrap_or_else(delin_vic::deps::workers_from_env);
     let incremental = if args.iter().any(|a| a == "--no-incremental") {
@@ -74,9 +139,25 @@ fn main() {
         delin_vic::deps::incremental_from_env()
     };
     let chaos = chaos_plan(args.iter().any(|a| a == "--chaos"));
+    let cancel = install_ctrl_c();
+    let spec = RunSpec {
+        workers,
+        reversed: false,
+        full,
+        gen_units,
+        chaos,
+        incremental,
+        keying: KeyMode::from_env(),
+        cancel,
+    };
+
+    if bench {
+        let reps = arg_value("--reps").unwrap_or(3).max(1);
+        std::process::exit(run_bench(&spec, reps));
+    }
 
     println!("batch engine: RiCEPS + {gen_units} generated units, shared verdict cache");
-    if chaos.is_some() {
+    if spec.chaos.is_some() {
         println!("chaos: deterministic fault injection enabled");
         // Injected panics are caught and attributed by the batch runner;
         // the default hook would spray a backtrace per injection.
@@ -85,11 +166,11 @@ fn main() {
     println!();
 
     if verify {
-        let reference = run(workers, false, full, gen_units, chaos.clone(), incremental);
+        let reference = run(&spec);
         let mut failures = 0;
         for w in [1usize, 4, 0] {
             for reversed in [false, true] {
-                let render = run(w, reversed, full, gen_units, chaos.clone(), incremental);
+                let render = run(&RunSpec { workers: w, reversed, ..spec.clone() });
                 let label = format!(
                     "workers={} order={}",
                     if w == 0 { "auto".into() } else { w.to_string() },
@@ -107,32 +188,47 @@ fn main() {
             eprintln!("{failures} determinism violation(s)");
             std::process::exit(1);
         }
-        if let Err(msg) = verify_incremental_ab(workers, full, gen_units, chaos) {
+        if let Err(msg) = verify_incremental_ab(&spec) {
             eprintln!("FAIL incremental A/B: {msg}");
+            std::process::exit(1);
+        }
+        if let Err(msg) = verify_keying_ab(&spec) {
+            eprintln!("FAIL keying A/B: {msg}");
             std::process::exit(1);
         }
         println!();
         println!("all runs byte-identical; reference report:");
         println!();
         print!("{reference}");
-        return;
+        finish(&spec.cancel);
     }
 
-    print!("{}", run(workers, false, full, gen_units, chaos, incremental));
+    print!("{}", run(&spec));
+    finish(&spec.cancel);
+}
+
+/// Exits, reporting cancellation: a run interrupted by ctrl-C still printed
+/// a *sound* report (remaining pairs degraded conservatively), but it is
+/// partial, and the exit code says so.
+fn finish(cancel: &CancelToken) -> ! {
+    if cancel.is_cancelled() {
+        eprintln!();
+        eprintln!(
+            "interrupted: remaining dependence decisions degraded to the \
+             conservative verdict; the report above is sound but partial"
+        );
+        std::process::exit(130);
+    }
+    std::process::exit(0);
 }
 
 /// The incremental A/B leg of `--verify`: the same corpus with incremental
 /// solving on and off must produce identical units, edges, and verdicts,
 /// while the incremental run actually reuses subtrees and spends strictly
 /// fewer exact-solver nodes.
-fn verify_incremental_ab(
-    workers: usize,
-    full: bool,
-    gen_units: usize,
-    chaos: Option<ChaosPlan>,
-) -> Result<(), String> {
-    let on = stats(workers, false, full, gen_units, chaos.clone(), true);
-    let off = stats(workers, false, full, gen_units, chaos, false);
+fn verify_incremental_ab(spec: &RunSpec) -> Result<(), String> {
+    let on = stats(&RunSpec { incremental: true, ..spec.clone() });
+    let off = stats(&RunSpec { incremental: false, ..spec.clone() });
     if on.units.len() != off.units.len() {
         return Err(format!("unit counts differ: {} vs {}", on.units.len(), off.units.len()));
     }
@@ -170,6 +266,41 @@ fn verify_incremental_ab(
     Ok(())
 }
 
+/// The keying A/B leg of `--verify`: fingerprint and string cache keys are
+/// interchangeable representations of the same partition, so the rendered
+/// reports must be byte-identical, the hit/miss counters equal, and both
+/// caches must memoize the same number of distinct canonical problems — a
+/// fingerprint collision would merge two canonical strings into one cell
+/// and shrink the fp side's count.
+fn verify_keying_ab(spec: &RunSpec) -> Result<(), String> {
+    let fp = stats(&RunSpec { keying: KeyMode::Fp, ..spec.clone() });
+    let st = stats(&RunSpec { keying: KeyMode::Str, ..spec.clone() });
+    if fp.render() != st.render() {
+        return Err("report differs between fingerprint and string keying".into());
+    }
+    let ft = fp.totals.verdict_stats();
+    let st_t = st.totals.verdict_stats();
+    if ft.cache_hits != st_t.cache_hits || ft.cache_misses != st_t.cache_misses {
+        return Err(format!(
+            "cache traffic differs: fp {}h/{}m vs string {}h/{}m",
+            ft.cache_hits, ft.cache_misses, st_t.cache_hits, st_t.cache_misses
+        ));
+    }
+    if fp.distinct_problems != st.distinct_problems {
+        return Err(format!(
+            "distinct canonical problems differ (fingerprint collision?): fp {:?} vs string {:?}",
+            fp.distinct_problems, st.distinct_problems
+        ));
+    }
+    println!(
+        "OK   keying A/B: reports byte-identical, {} distinct problems, {} hits / {} misses",
+        fp.distinct_problems.unwrap_or(0),
+        ft.cache_hits,
+        ft.cache_misses
+    );
+    Ok(())
+}
+
 /// Resolves the fault-injection plan for this invocation. Without `--chaos`
 /// the environment gate applies as everywhere else (`DELIN_CHAOS_SEED`,
 /// feature-gated); with `--chaos` a plan is mandatory, so the flag is a
@@ -192,32 +323,251 @@ fn chaos_plan(requested: bool) -> Option<ChaosPlan> {
     }
 }
 
-/// One batch run's corpus-level statistics.
-fn stats(
-    workers: usize,
-    reversed: bool,
-    full: bool,
-    gen_units: usize,
-    chaos: Option<ChaosPlan>,
-    incremental: bool,
-) -> delin_vic::batch::BatchStats {
-    let mut units = corpus(full, gen_units);
-    if reversed {
-        units.reverse();
+// ---------------------------------------------------------------------------
+// Ctrl-C → cooperative cancellation.
+//
+// The analysis libraries forbid unsafe code; the one `unsafe` block the
+// corpus binary needs — registering a C signal handler — lives here in the
+// binary crate root. The handler only performs async-signal-safe work: an
+// atomic load out of an already-initialized `OnceLock` and an atomic store
+// through the `CancelToken`. No allocation, no locking, no I/O.
+
+const SIGINT: i32 = 2;
+
+static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(token) = CANCEL.get() {
+        token.cancel();
     }
-    let runner =
-        BatchRunner::new(BatchConfig { workers, chaos, incremental, ..BatchConfig::default() });
-    runner.run(units)
 }
 
-/// One batch run rendered deterministically.
-fn run(
-    workers: usize,
-    reversed: bool,
-    full: bool,
-    gen_units: usize,
-    chaos: Option<ChaosPlan>,
-    incremental: bool,
-) -> String {
-    stats(workers, reversed, full, gen_units, chaos, incremental).render()
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+/// Installs the SIGINT handler once and returns the process-wide token it
+/// trips. Every run spec threads the token into its [`BudgetSpec`], so a
+/// ctrl-C drains in-flight analysis by degrading the remaining decisions.
+fn install_ctrl_c() -> CancelToken {
+    let token = CANCEL.get_or_init(CancelToken::new).clone();
+    // SAFETY: `on_sigint` matches the C `void (*)(int)` handler signature
+    // and performs only async-signal-safe operations (see above).
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    token
+}
+
+// ---------------------------------------------------------------------------
+// `--bench`: the measured hot-path harness.
+
+/// Best-of-reps measurements for one workload under one keying mode.
+struct KeyingMeasure {
+    wall_nanos: u128,
+    dep_nanos: u128,
+    render: String,
+}
+
+/// One pinned workload's bench record.
+struct WorkloadBench {
+    name: &'static str,
+    units: usize,
+    pairs_tested: usize,
+    solver_nodes: u64,
+    cache_hits: usize,
+    cache_misses: usize,
+    distinct_problems: usize,
+    fp: KeyingMeasure,
+    string: KeyingMeasure,
+}
+
+impl WorkloadBench {
+    /// How much cheaper the fingerprint path's DepStats nanos are than the
+    /// string baseline's, in percent (positive = fp wins).
+    fn dep_nanos_delta_pct(&self) -> f64 {
+        if self.string.dep_nanos == 0 {
+            return 0.0;
+        }
+        let fp = self.fp.dep_nanos as f64;
+        let st = self.string.dep_nanos as f64;
+        (st - fp) * 100.0 / st
+    }
+}
+
+/// The three pinned workloads. Regenerated per rep (the generators are pure
+/// functions of `(seed, index)`), so no rep sees another's allocations.
+fn bench_workloads(full: bool, gen_units: usize) -> Vec<(&'static str, Vec<BatchUnit>)> {
+    vec![
+        ("riceps", riceps_units(if full { None } else { Some(400) }).collect()),
+        ("generated", generated_units(gen_units, GENERATED_SEED).collect()),
+        ("refinement", refinement_units(gen_units, GENERATED_SEED).collect()),
+    ]
+}
+
+fn run_bench(spec: &RunSpec, reps: usize) -> i32 {
+    println!(
+        "bench: 3 pinned workloads x 2 keying modes, best of {reps} rep(s), \
+         workers={}, gen_units={}",
+        if spec.workers == 0 { "auto".into() } else { spec.workers.to_string() },
+        spec.gen_units
+    );
+    let mut records = Vec::new();
+    let mut failures = 0;
+    for (name, _) in bench_workloads(spec.full, spec.gen_units) {
+        let mut measures = Vec::new();
+        let mut shape = None;
+        for keying in [KeyMode::Fp, KeyMode::Str] {
+            let mut best: Option<KeyingMeasure> = None;
+            for _ in 0..reps {
+                if spec.cancel.is_cancelled() {
+                    eprintln!("interrupted: bench aborted, no BENCH file written");
+                    return 130;
+                }
+                let units = bench_workloads(spec.full, spec.gen_units)
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, u)| u)
+                    .unwrap_or_default();
+                let started = Instant::now();
+                let stats = BatchRunner::new(BatchConfig { keying, ..spec.config() }).run(units);
+                let wall_nanos = started.elapsed().as_nanos();
+                let totals = stats.totals.verdict_stats();
+                let dep_nanos = stats.totals.test_nanos;
+                if shape.is_none() {
+                    shape = Some((
+                        stats.units.len(),
+                        totals.pairs_tested,
+                        totals.solver_nodes,
+                        totals.cache_hits,
+                        totals.cache_misses,
+                        stats.distinct_problems.unwrap_or(0),
+                    ));
+                }
+                let replace = best.as_ref().is_none_or(|b| dep_nanos < b.dep_nanos);
+                if replace {
+                    best = Some(KeyingMeasure { wall_nanos, dep_nanos, render: stats.render() });
+                }
+            }
+            measures.push(best.expect("reps >= 1"));
+        }
+        let string = measures.pop().expect("two keying modes");
+        let fp = measures.pop().expect("two keying modes");
+        if fp.render != string.render {
+            eprintln!("FAIL {name}: report differs between fp and string keying");
+            failures += 1;
+        }
+        let (units, pairs_tested, solver_nodes, cache_hits, cache_misses, distinct_problems) =
+            shape.expect("at least one rep ran");
+        let record = WorkloadBench {
+            name,
+            units,
+            pairs_tested,
+            solver_nodes,
+            cache_hits,
+            cache_misses,
+            distinct_problems,
+            fp,
+            string,
+        };
+        println!(
+            "  {:<11} {:>3} units  {:>6} pairs  dep nanos fp {:>12} / string {:>12}  ({:+.1}%)",
+            record.name,
+            record.units,
+            record.pairs_tested,
+            record.fp.dep_nanos,
+            record.string.dep_nanos,
+            record.dep_nanos_delta_pct()
+        );
+        records.push(record);
+    }
+    if failures > 0 {
+        eprintln!("{failures} keying mismatch(es); no BENCH file written");
+        return 1;
+    }
+    let json = render_bench_json(spec, reps, &records);
+    if let Err(e) = std::fs::write(BENCH_PATH, &json) {
+        eprintln!("cannot write {BENCH_PATH}: {e}");
+        return 1;
+    }
+    let total_fp: u128 = records.iter().map(|r| r.fp.dep_nanos).sum();
+    let total_st: u128 = records.iter().map(|r| r.string.dep_nanos).sum();
+    let delta = if total_st == 0 {
+        0.0
+    } else {
+        (total_st as f64 - total_fp as f64) * 100.0 / total_st as f64
+    };
+    println!();
+    println!(
+        "total dep nanos: fp {total_fp} / string {total_st} ({delta:+.1}%); wrote {BENCH_PATH}"
+    );
+    0
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".into()
+    }
+}
+
+/// Hand-rolled writer for `BENCH_5.json` — the workspace deliberately has
+/// no serde; the schema is small, flat, and documented in the README.
+fn render_bench_json(spec: &RunSpec, reps: usize, records: &[WorkloadBench]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"delin-bench\",");
+    let _ = writeln!(out, "  \"bench_id\": 5,");
+    let _ = writeln!(out, "  \"config\": {{");
+    let _ = writeln!(out, "    \"workers\": {},", spec.workers);
+    let _ = writeln!(out, "    \"gen_units\": {},", spec.gen_units);
+    let _ = writeln!(out, "    \"full\": {},", spec.full);
+    let _ = writeln!(out, "    \"incremental\": {},", spec.incremental);
+    let _ = writeln!(out, "    \"reps\": {reps},");
+    let _ = writeln!(out, "    \"keying_modes\": [\"fp\", \"string\"]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"units\": {},", r.units);
+        let _ = writeln!(out, "      \"pairs_tested\": {},", r.pairs_tested);
+        let _ = writeln!(out, "      \"solver_nodes\": {},", r.solver_nodes);
+        let _ = writeln!(out, "      \"cache_hits\": {},", r.cache_hits);
+        let _ = writeln!(out, "      \"cache_misses\": {},", r.cache_misses);
+        let _ = writeln!(out, "      \"distinct_problems\": {},", r.distinct_problems);
+        let _ = writeln!(out, "      \"keying\": {{");
+        for (j, (label, m)) in [("fp", &r.fp), ("string", &r.string)].iter().enumerate() {
+            let _ = writeln!(out, "        \"{label}\": {{");
+            let _ =
+                writeln!(out, "          \"wall_ms\": {},", json_f64(m.wall_nanos as f64 / 1.0e6));
+            let _ = writeln!(out, "          \"dep_test_nanos\": {}", m.dep_nanos);
+            let _ = writeln!(out, "        }}{}", if j == 0 { "," } else { "" });
+        }
+        let _ = writeln!(out, "      }},");
+        let _ =
+            writeln!(out, "      \"dep_nanos_delta_pct\": {},", json_f64(r.dep_nanos_delta_pct()));
+        let _ = writeln!(out, "      \"reports_identical\": true");
+        let _ = writeln!(out, "    }}{}", if i + 1 < records.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let total_fp: u128 = records.iter().map(|r| r.fp.dep_nanos).sum();
+    let total_st: u128 = records.iter().map(|r| r.string.dep_nanos).sum();
+    let total_wall_fp: u128 = records.iter().map(|r| r.fp.wall_nanos).sum();
+    let total_wall_st: u128 = records.iter().map(|r| r.string.wall_nanos).sum();
+    let delta = if total_st == 0 {
+        0.0
+    } else {
+        (total_st as f64 - total_fp as f64) * 100.0 / total_st as f64
+    };
+    let _ = writeln!(out, "  \"totals\": {{");
+    let _ = writeln!(out, "    \"dep_test_nanos_fp\": {total_fp},");
+    let _ = writeln!(out, "    \"dep_test_nanos_string\": {total_st},");
+    let _ = writeln!(out, "    \"dep_nanos_delta_pct\": {},", json_f64(delta));
+    let _ = writeln!(out, "    \"wall_ms_fp\": {},", json_f64(total_wall_fp as f64 / 1.0e6));
+    let _ = writeln!(out, "    \"wall_ms_string\": {}", json_f64(total_wall_st as f64 / 1.0e6));
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
 }

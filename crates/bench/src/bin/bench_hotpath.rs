@@ -1,0 +1,148 @@
+//! Verdict-cache lookup microbenchmark: fingerprint vs string keying.
+//!
+//! `batch_corpus --bench` measures the keying knob end-to-end, where solver
+//! time on cache misses dilutes the effect. This binary isolates the lookup
+//! hot path itself: a warmed cache is hammered with hit-only lookups under
+//! both [`KeyMode`]s, over a concrete pool (the zero-allocation fast path)
+//! and a symbolic pool (which additionally exercises the environment
+//! projection). Prints one machine-readable JSON object to stdout.
+//!
+//! Usage: `bench_hotpath [--passes N]` (default 2000 passes over each pool).
+
+use delin_dep::problem::DependenceProblem;
+use delin_dep::verdict::Verdict;
+use delin_numeric::{Assumptions, SymPoly};
+use delin_vic::cache::{CachedOutcome, KeyMode, VerdictCache};
+use std::time::Instant;
+
+fn c(n: i128) -> SymPoly {
+    SymPoly::constant(n)
+}
+
+/// A concrete two-loop delinearization-shaped problem; distinct `(offset,
+/// stride)` pairs canonicalize to distinct cache entries.
+fn concrete_problem(offset: i128, stride: i128) -> DependenceProblem<SymPoly> {
+    let mut b = DependenceProblem::<SymPoly>::builder();
+    b.var("i1", c(stride - 1));
+    b.var("j1", c(9));
+    b.var("i2", c(stride - 1));
+    b.var("j2", c(9));
+    b.equation(c(offset), vec![c(1), c(stride), c(-1), c(-stride)]);
+    b.common_pair(0, 2);
+    b.common_pair(1, 3);
+    b.build()
+}
+
+/// A symbolic problem `i1 - i2 + k = 0`, `i ∈ [0, N-1]`: its fingerprint
+/// must fold the assumption environment projected onto `N`.
+fn symbolic_problem(k: i128) -> DependenceProblem<SymPoly> {
+    let upper = SymPoly::symbol("N").checked_sub(&c(1)).expect("N - 1");
+    let mut b = DependenceProblem::<SymPoly>::builder();
+    b.var("i1", upper.clone());
+    b.var("i2", upper);
+    b.equation(c(k), vec![c(1), c(-1)]);
+    b.build()
+}
+
+fn outcome() -> CachedOutcome {
+    CachedOutcome {
+        verdict: Verdict::Independent,
+        tested_by: "bench",
+        attempts: vec!["bench"],
+        solver_nodes: 0,
+        refine_queries: 0,
+        subtree_reuses: 0,
+        nodes_saved: 0,
+        solver_state: None,
+        degraded: None,
+    }
+}
+
+/// Hammers a warmed cache with hit-only lookups; returns total nanos.
+/// Panics if any lookup misses — that would mean the measurement is not
+/// the hit path.
+fn measure(
+    mode: KeyMode,
+    problems: &[DependenceProblem<SymPoly>],
+    assumptions: &Assumptions,
+    passes: usize,
+) -> u128 {
+    let cache = VerdictCache::shared_with(mode);
+    for p in problems {
+        let l = cache.lookup(assumptions, p, |_| outcome());
+        assert!(l.computed, "warmup pass must populate the cache");
+    }
+    let started = Instant::now();
+    for _ in 0..passes {
+        for p in problems {
+            let l = cache.lookup(assumptions, p, |_| outcome());
+            assert!(!l.computed, "measured pass must be hit-only");
+        }
+    }
+    started.elapsed().as_nanos()
+}
+
+/// Best-of-3 ns-per-lookup for one pool under one mode.
+fn ns_per_lookup(
+    mode: KeyMode,
+    problems: &[DependenceProblem<SymPoly>],
+    assumptions: &Assumptions,
+    passes: usize,
+) -> f64 {
+    let lookups = (passes * problems.len()) as f64;
+    (0..3).map(|_| measure(mode, problems, assumptions, passes)).min().expect("three reps") as f64
+        / lookups
+}
+
+fn delta_pct(fp: f64, string: f64) -> f64 {
+    if string == 0.0 {
+        0.0
+    } else {
+        (string - fp) * 100.0 / string
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let passes = match args.as_slice() {
+        [] => 2000usize,
+        [flag, n] if flag == "--passes" => n.parse().unwrap_or_else(|_| {
+            eprintln!("invalid count: {n}");
+            std::process::exit(2);
+        }),
+        _ => {
+            eprintln!("usage: bench_hotpath [--passes N]");
+            std::process::exit(2);
+        }
+    };
+
+    let concrete: Vec<DependenceProblem<SymPoly>> =
+        (0..64).map(|i| concrete_problem(i % 8, 8 + (i / 8) % 8 * 2)).collect();
+    let symbolic: Vec<DependenceProblem<SymPoly>> = (0..16).map(symbolic_problem).collect();
+    let none = Assumptions::new();
+    let mut env = Assumptions::new();
+    env.set_lower_bound("N", 2);
+
+    let conc_fp = ns_per_lookup(KeyMode::Fp, &concrete, &none, passes);
+    let conc_str = ns_per_lookup(KeyMode::Str, &concrete, &none, passes);
+    let sym_fp = ns_per_lookup(KeyMode::Fp, &symbolic, &env, passes);
+    let sym_str = ns_per_lookup(KeyMode::Str, &symbolic, &env, passes);
+
+    println!("{{");
+    println!("  \"schema\": \"delin-bench-hotpath\",");
+    println!("  \"bench_id\": 5,");
+    println!("  \"passes\": {passes},");
+    println!("  \"concrete\": {{");
+    println!("    \"problems\": {},", concrete.len());
+    println!("    \"fp_ns_per_lookup\": {conc_fp:.1},");
+    println!("    \"string_ns_per_lookup\": {conc_str:.1},");
+    println!("    \"delta_pct\": {:.1}", delta_pct(conc_fp, conc_str));
+    println!("  }},");
+    println!("  \"symbolic\": {{");
+    println!("    \"problems\": {},", symbolic.len());
+    println!("    \"fp_ns_per_lookup\": {sym_fp:.1},");
+    println!("    \"string_ns_per_lookup\": {sym_str:.1},");
+    println!("    \"delta_pct\": {:.1}", delta_pct(sym_fp, sym_str));
+    println!("  }}");
+    println!("}}");
+}

@@ -933,8 +933,7 @@ mod tests {
             SymPoly::constant(-1),     // j2
             n2.checked_neg().unwrap(), // k2
         ];
-        let uppers =
-            vec![nm2.clone(), nm1.clone(), nm2.clone(), nm2.clone(), nm1.clone(), nm2.clone()];
+        let uppers = [nm2.clone(), nm1.clone(), nm2.clone(), nm2.clone(), nm1.clone(), nm2.clone()];
         let mut builder = DependenceProblem::<SymPoly>::builder();
         for (idx, u) in uppers.iter().enumerate() {
             builder.var(format!("v{idx}"), u.clone());

@@ -81,6 +81,43 @@ pub fn generated_unit(seed: u64, index: usize) -> BatchUnit {
     }
 }
 
+/// `count` refinement-heavy units for `seed`.
+///
+/// Every nest carries a *real* loop-carried dependence: the read trails the
+/// write by a small offset inside the same row, so the exact solver cannot
+/// disprove the pair and must refine the full direction-vector hierarchy
+/// instead. Strides and offsets are drawn from small pools, so a corpus
+/// repeats canonical problems heavily — this is the hit-dominated,
+/// refinement-bound workload of the bench harness (`batch_corpus --bench`),
+/// where the cost of *keying* a lookup is most visible.
+pub fn refinement_units(count: usize, seed: u64) -> impl Iterator<Item = BatchUnit> {
+    (0..count).map(move |index| refinement_unit(seed, index))
+}
+
+/// The `index`-th refinement-heavy unit of the `seed` workload —
+/// deterministic in `(seed, index)` alone.
+pub fn refinement_unit(seed: u64, index: usize) -> BatchUnit {
+    let mut rng = SmallRng::seed_from_u64(
+        seed.wrapping_mul(0xd605_1b4e_98cf_b1a1).wrapping_add(index as u64),
+    );
+    let stride = [8i128, 12, 16, 20][rng.gen_range(0..4)];
+    let offset = 1 + rng.gen_range(0..3) as i128;
+    let plane = stride * 10;
+    let upper = stride - 1;
+    // W(x) = W(x - offset) with I ≥ offset keeps the read in the same row:
+    // iteration (K, J, I) reads the value written at (K, J, I - offset) —
+    // a dependence carried by the innermost loop, direction (=, =, <).
+    let source = format!(
+        "REAL W(0:99999)\n\
+         DO 1 K = 0, 3\n\
+         DO 1 J = 0, 9\n\
+         DO 1 I = {offset}, {upper}\n\
+         1 W(I + {stride}*J + {plane}*K) = W(I + {stride}*J + {plane}*K - {offset}) + 1\n\
+         END\n"
+    );
+    BatchUnit::new(format!("ref/{index:04}-s{stride}o{offset}"), source)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +147,33 @@ mod tests {
         // Different seeds give different corpora.
         let other: Vec<BatchUnit> = generated_units(12, 8).collect();
         assert!(forward.iter().zip(&other).any(|(a, b)| a.source != b.source));
+    }
+
+    #[test]
+    fn refinement_units_carry_real_dependences() {
+        let units: Vec<BatchUnit> = refinement_units(6, 3).collect();
+        assert_eq!(units.len(), 6);
+        // Deterministic in (seed, index), independent of stream position.
+        let again: Vec<BatchUnit> = refinement_units(6, 3).collect();
+        for (a, b) in units.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.source, b.source);
+        }
+        for u in &units {
+            delin_frontend::parse_program(&u.source).unwrap_or_else(|e| panic!("{}: {e}", u.name));
+        }
+        // The workload's premise: the nest is dependent, so the engine
+        // refines direction vectors rather than proving independence.
+        let report = delin_vic::pipeline::run_pipeline(
+            &units[0].source,
+            &delin_vic::pipeline::PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.graph.edges.is_empty(), "refinement unit must be dependent");
+        assert!(
+            report.graph.edges.iter().any(|e| !e.dir_vecs.is_empty()),
+            "dependence must carry refined direction vectors"
+        );
     }
 
     #[test]

@@ -12,10 +12,12 @@ use crate::budget::{DegradeReason, ResourceBudget};
 use crate::dirvec::Dir;
 use crate::problem::DependenceProblem;
 use crate::verdict::{DependenceInfo, DependenceTest, Verdict};
+use delin_numeric::fp128::Fp128;
 use delin_numeric::{gcd, Interval, NumericError};
+use fxhash::FxBuildHasher;
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
-use std::fmt::Write as _;
+use std::hash::Hasher as _;
 use std::sync::Mutex;
 
 thread_local! {
@@ -254,8 +256,11 @@ pub struct SolveTree {
     entries: BTreeMap<Vec<Dir>, TreeEntry>,
 }
 
-/// Shared store of [`SolveTree`]s, keyed by a structural render of the base
-/// problem. One store is threaded through a whole unit of refinement work
+/// Shared store of [`SolveTree`]s, keyed by a 128-bit structural
+/// fingerprint of the base problem (see [`problem_fp`]) — refinement
+/// queries are hot enough that rendering a `String` key per query was a
+/// measurable share of their cost. One store is threaded through a whole
+/// unit of refinement work
 /// (a direction-hierarchy walk plus the distance extraction that follows
 /// it), so sibling queries — and, via the verdict cache, repeat decisions
 /// of the same canonical problem — share subtrees instead of re-solving.
@@ -266,19 +271,19 @@ pub struct SolveTree {
 #[derive(Debug, Default)]
 pub struct SubtreeStore {
     enabled: bool,
-    trees: Mutex<HashMap<String, SolveTree>>,
+    trees: Mutex<HashMap<u128, SolveTree, FxBuildHasher>>,
 }
 
 impl SubtreeStore {
     /// An enabled store (the default configuration).
     pub fn new() -> SubtreeStore {
-        SubtreeStore { enabled: true, trees: Mutex::new(HashMap::new()) }
+        SubtreeStore { enabled: true, trees: Mutex::new(HashMap::default()) }
     }
 
     /// A store that never memoizes: every query is a fresh solve, matching
     /// the non-incremental engine node for node.
     pub fn disabled() -> SubtreeStore {
-        SubtreeStore { enabled: false, trees: Mutex::new(HashMap::new()) }
+        SubtreeStore { enabled: false, trees: Mutex::new(HashMap::default()) }
     }
 
     /// Whether this store memoizes subtrees.
@@ -296,7 +301,7 @@ impl SubtreeStore {
         self.len() == 0
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, SolveTree>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u128, SolveTree, FxBuildHasher>> {
         // A panic while holding the lock (chaos fault injection) poisons
         // it; the map itself is always in a consistent state because every
         // mutation is a single insert.
@@ -359,7 +364,7 @@ impl SubtreeStore {
         if !self.enabled {
             return Ok(self.fresh_solve(solver, base, dirs)?.0);
         }
-        let key = problem_key(base);
+        let key = problem_fp(base);
         if let Some(tree) = self.lock().get(&key) {
             if let Some(entry) = tree.entries.get(dirs) {
                 let (outcome, nodes) = (entry.outcome.clone(), entry.nodes);
@@ -441,38 +446,47 @@ fn witness_satisfies(base: &DependenceProblem<i128>, dirs: &[Dir], w: &[i128]) -
     })
 }
 
-/// A structural render of a base problem, used as the [`SubtreeStore`] key.
-/// Unlike the `Display` impl this ignores variable *names* (two textually
-/// different but structurally identical problems share a tree) and includes
-/// the common-loop pairing (direction predicates mean different constraints
-/// under different pairings).
-fn problem_key(p: &DependenceProblem<i128>) -> String {
-    let mut s = String::new();
-    s.push_str("u:");
+/// A 128-bit structural fingerprint of a base problem, used as the
+/// [`SubtreeStore`] key. Like the `String` render it replaces, this ignores
+/// variable *names* (two textually different but structurally identical
+/// problems share a tree) and includes the common-loop pairing (direction
+/// predicates mean different constraints under different pairings); unlike
+/// the render it costs no allocation per refinement query. Every section is
+/// length-prefixed and tagged so sections cannot alias, and the two
+/// decorrelated [`Fp128`] lanes make collisions negligible at the scale of
+/// one store (the trees of a single canonical problem's refinements).
+fn problem_fp(p: &DependenceProblem<i128>) -> u128 {
+    let mut h = Fp128::new();
+    h.write_u8(1);
+    h.write_usize(p.vars().len());
     for v in p.vars() {
-        let _ = write!(s, "{},", v.upper);
+        h.write_u128(v.upper as u128);
     }
-    s.push_str(";e:");
+    h.write_u8(2);
+    h.write_usize(p.equations().len());
     for eq in p.equations() {
-        let _ = write!(s, "{}:", eq.c0);
-        for c in &eq.coeffs {
-            let _ = write!(s, "{},", c);
+        h.write_u128(eq.c0 as u128);
+        h.write_usize(eq.coeffs.len());
+        for &c in &eq.coeffs {
+            h.write_u128(c as u128);
         }
-        s.push('|');
     }
-    s.push_str(";i:");
+    h.write_u8(3);
+    h.write_usize(p.inequalities().len());
     for iq in p.inequalities() {
-        let _ = write!(s, "{}:", iq.c0);
-        for c in &iq.coeffs {
-            let _ = write!(s, "{},", c);
+        h.write_u128(iq.c0 as u128);
+        h.write_usize(iq.coeffs.len());
+        for &c in &iq.coeffs {
+            h.write_u128(c as u128);
         }
-        s.push('|');
     }
-    s.push_str(";c:");
+    h.write_u8(4);
+    h.write_usize(p.common_loops().len());
     for &(x, y) in p.common_loops() {
-        let _ = write!(s, "{}-{},", x, y);
+        h.write_usize(x);
+        h.write_usize(y);
     }
-    s
+    h.finish128()
 }
 
 /// Cheap whole-equation screen: value interval must contain zero and the

@@ -1,0 +1,157 @@
+//! 128-bit structural fingerprints from a single traversal.
+//!
+//! The verdict cache ([`delin_vic::cache`]) and the incremental solve-tree
+//! store (`delin_dep::exact::SubtreeStore`) intern canonical dependence
+//! problems. Keying those tables by rendered `String`s costs an allocation
+//! and a format pass per lookup — on the hot path that is most of the
+//! lookup. A [`Fp128`] instead feeds the same structural data through two
+//! decorrelated [`fxhash::FxHasher`] lanes in one pass, yielding a 128-bit
+//! fingerprint whose collision probability is negligible at corpus scale
+//! (~2⁻⁶⁴ for a billion distinct keys), with zero heap traffic.
+//!
+//! `Fp128` implements [`std::hash::Hasher`], so anything `Hash` can be
+//! folded in — including the structural visitors
+//! [`crate::sympoly::SymPoly::hash_into`] and
+//! [`crate::sympoly::Monomial::hash_into`], which exist so fingerprints
+//! never have to materialize `Display` renders of polynomials.
+//!
+//! The fingerprint is **stable within a process run and a build** — both
+//! lanes are seeded by compile-time constants, never by process-random
+//! state — which is what lets parallel workers, shared caches, and repeated
+//! runs agree on every key. It is *not* a serialization format; do not
+//! persist fingerprints across builds.
+
+use fxhash::FxHasher;
+use std::hash::Hasher;
+
+/// The second lane's initial state: the 64-bit golden-ratio constant, so
+/// the two lanes diverge from the very first word.
+const LANE_B_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A two-lane FxHash accumulator producing a [`u128`] fingerprint.
+///
+/// ```
+/// use delin_numeric::fp128::Fp128;
+/// use std::hash::{Hash, Hasher};
+///
+/// let mut a = Fp128::new();
+/// ("N", 2u32).hash(&mut a);
+/// let mut b = Fp128::new();
+/// ("N", 2u32).hash(&mut b);
+/// assert_eq!(a.finish128(), b.finish128());
+///
+/// let mut c = Fp128::new();
+/// ("N", 3u32).hash(&mut c);
+/// assert_ne!(a.finish128(), c.finish128());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fp128 {
+    a: FxHasher,
+    b: FxHasher,
+}
+
+impl Default for Fp128 {
+    fn default() -> Self {
+        Fp128::new()
+    }
+}
+
+impl Fp128 {
+    /// A fresh fingerprint accumulator.
+    pub fn new() -> Fp128 {
+        Fp128 { a: FxHasher::default(), b: FxHasher::with_state(LANE_B_SEED) }
+    }
+
+    /// The 128-bit fingerprint of everything written so far: lane A in the
+    /// high half, lane B in the low half.
+    pub fn finish128(&self) -> u128 {
+        (u128::from(self.a.finish()) << 64) | u128::from(self.b.finish())
+    }
+}
+
+impl Hasher for Fp128 {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.a.write(bytes);
+        self.b.write(bytes);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.a.write_u8(n);
+        self.b.write_u8(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.a.write_u32(n);
+        self.b.write_u32(n);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.a.write_u64(n);
+        self.b.write_u64(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.a.write_u128(n);
+        self.b.write_u128(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.a.write_usize(n);
+        self.b.write_usize(n);
+    }
+
+    /// Lane A's 64-bit view — the truncation used where a `u64` key is
+    /// needed (e.g. deterministic stats attribution).
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.a.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn fp<T: Hash>(v: &T) -> u128 {
+        let mut h = Fp128::new();
+        v.hash(&mut h);
+        h.finish128()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(fp(&(1u64, "x")), fp(&(1u64, "x")));
+        assert_ne!(fp(&(1u64, "x")), fp(&(2u64, "x")));
+        assert_ne!(fp(&(1u64, "x")), fp(&(1u64, "y")));
+    }
+
+    #[test]
+    fn lanes_are_decorrelated() {
+        // If both halves collapsed to the same function, the fingerprint
+        // would only be 64 bits wide in disguise.
+        let f = fp(&0xdead_beefu64);
+        assert_ne!((f >> 64) as u64, f as u64);
+    }
+
+    #[test]
+    fn finish_matches_high_lane() {
+        let mut h = Fp128::new();
+        77u64.hash(&mut h);
+        assert_eq!(u128::from(h.finish()), h.finish128() >> 64);
+    }
+
+    #[test]
+    fn no_cheap_prefix_collisions() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(fp(&i)), "collision at {i}");
+        }
+    }
+}

@@ -19,7 +19,10 @@
 //!   coefficients and symbolic [`SymPoly`] coefficients;
 //! * [`affine`] — affine forms `c0 + Σ ci·vi` over interned variables;
 //! * [`interval`] — exact integer interval arithmetic used for bounds
-//!   propagation.
+//!   propagation;
+//! * [`fp128`] — 128-bit structural fingerprints (two decorrelated FxHash
+//!   lanes over one traversal), the allocation-free cache keys of the
+//!   dependence engine's interning tables.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod affine;
 pub mod assume;
 pub mod coeff;
 pub mod error;
+pub mod fp128;
 pub mod int;
 pub mod interval;
 pub mod rational;

@@ -19,6 +19,7 @@ use crate::sign::{Sign, Trilean};
 use crate::sym::Sym;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::Hasher;
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// A power product of symbols, e.g. `N²·KK`. The empty monomial is `1`.
@@ -88,6 +89,21 @@ impl Monomial {
     /// Iterates `(symbol, exponent)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Sym, u32)> {
         self.0.iter().map(|(s, &e)| (s, e))
+    }
+
+    /// Feeds the monomial's structure into `state` without rendering it:
+    /// the factor count, then every `(symbol name, exponent)` pair in the
+    /// map's (sorted) order. Two monomials feed identical streams iff they
+    /// are equal, and the stream is length-prefixed at every level so
+    /// adjacent monomials in a larger feed cannot alias across boundaries.
+    pub fn hash_into<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.0.len());
+        for (s, &e) in &self.0 {
+            let name = s.name().as_bytes();
+            state.write_usize(name.len());
+            state.write(name);
+            state.write_u32(e);
+        }
     }
 }
 
@@ -442,6 +458,34 @@ impl SymPoly {
         syms
     }
 
+    /// Visits every symbol occurrence by reference, without allocating the
+    /// [`SymPoly::symbols`] vector. Occurrences repeat across terms; the
+    /// caller dedups if it needs a set. This is the borrow-only walk the
+    /// cache's environment-projection fingerprint is built on.
+    pub fn for_each_symbol<'a>(&'a self, f: &mut impl FnMut(&'a Sym)) {
+        for m in self.terms.keys() {
+            for (s, _) in m.iter() {
+                f(s);
+            }
+        }
+    }
+
+    /// Feeds the polynomial's structure into `state` without rendering it:
+    /// the term count, then every `(monomial, coefficient)` pair in the
+    /// term map's (graded-lexicographic) order. Because terms are stored
+    /// normalized — zero coefficients never stored, one entry per monomial
+    /// — two polynomials feed identical streams iff they are equal, which
+    /// makes this the allocation-free substitute for hashing the `Display`
+    /// render. The feed is deterministic across runs, worker threads, and
+    /// insertion histories.
+    pub fn hash_into<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.terms.len());
+        for (m, &c) in &self.terms {
+            m.hash_into(state);
+            state.write_u128(c as u128);
+        }
+    }
+
     /// Shifts every symbol by its assumed lower bound (`s := lb + s`), so
     /// that in the result every symbol ranges over `[0, ∞)`.
     fn shift_by_assumptions(&self, a: &Assumptions) -> Result<SymPoly, NumericError> {
@@ -621,6 +665,10 @@ mod tests {
         SymPoly::constant(x)
     }
 
+    fn m() -> SymPoly {
+        SymPoly::symbol("M")
+    }
+
     #[test]
     fn construction_and_basics() {
         assert!(SymPoly::zero().is_zero());
@@ -751,6 +799,59 @@ mod tests {
         let q = p.normalize_sign();
         assert_eq!(q, &n() * &n() + &c(3));
         assert_eq!(SymPoly::zero().normalize_sign(), SymPoly::zero());
+    }
+
+    /// The structural hash feed must discriminate exactly like equality:
+    /// equal polynomials feed identical streams, structurally different
+    /// ones (coefficient, exponent, symbol name, or term-count changes)
+    /// feed different fingerprints — without any `Display` rendering.
+    #[test]
+    fn hash_into_tracks_structural_equality() {
+        use crate::fp128::Fp128;
+        let fp = |p: &SymPoly| {
+            let mut h = Fp128::new();
+            p.hash_into(&mut h);
+            h.finish128()
+        };
+        let p = &(&n() * &n()) + &(&c(3) * &m());
+        let q = &(&n() * &n()) + &(&c(3) * &m());
+        assert_eq!(fp(&p), fp(&q));
+        assert_ne!(fp(&p), fp(&(&p + &c(1))), "constant shift must change the fp");
+        assert_ne!(fp(&n()), fp(&m()), "symbol name is structural");
+        assert_ne!(fp(&n()), fp(&(&n() * &n())), "exponent is structural");
+        assert_ne!(fp(&SymPoly::zero()), fp(&(&c(0) + &c(1))));
+        // A two-term poly must not alias the concatenation of its parts.
+        let ab = &n() + &m();
+        assert_ne!(fp(&ab), fp(&n()));
+        // The monomial feed is self-delimiting too.
+        let mono_fp = |mo: &Monomial| {
+            let mut h = Fp128::new();
+            mo.hash_into(&mut h);
+            h.finish128()
+        };
+        assert_ne!(
+            mono_fp(&Monomial::symbol("NX")),
+            mono_fp(&Monomial::symbol("N").mul(&Monomial::symbol("X")))
+        );
+    }
+
+    /// The borrow-only symbol walk visits the same set `symbols()` returns.
+    #[test]
+    fn for_each_symbol_matches_symbols() {
+        let p = &(&n() * &m()) + &(&n() + &c(7));
+        let mut seen: Vec<Sym> = Vec::new();
+        p.for_each_symbol(&mut |s| {
+            if !seen.contains(s) {
+                seen.push(s.clone());
+            }
+        });
+        let mut expect = p.symbols();
+        expect.sort();
+        seen.sort();
+        assert_eq!(seen, expect);
+        let mut count = 0;
+        SymPoly::constant(5).for_each_symbol(&mut |_| count += 1);
+        assert_eq!(count, 0, "concrete polynomials visit nothing");
     }
 
     fn arb_poly() -> impl Strategy<Value = SymPoly> {

@@ -67,7 +67,7 @@
 //!   backoff is bounded). Only the final attempt's report is kept, which
 //!   keeps reports deterministic.
 
-use crate::cache::VerdictCache;
+use crate::cache::{KeyMode, VerdictCache};
 use crate::chaos::{ChaosCtx, ChaosPlan, FaultKind};
 use crate::deps::{
     incremental_from_env, workers_from_env, DepEdge, DepStats, TestChoice, VerdictStats,
@@ -125,6 +125,12 @@ pub struct BatchConfig {
     pub shared_cache: bool,
     /// With `shared_cache` off, still memoize within each unit.
     pub cache: bool,
+    /// Verdict-cache key representation (see [`KeyMode`]): structural
+    /// fingerprints (default) or rendered strings (the A/B baseline).
+    /// Applies to the shared cross-unit cache and to per-unit private
+    /// caches alike. Pure perf knob — every report is byte-identical
+    /// either way. The default reads `DELIN_KEYING`.
+    pub keying: KeyMode,
     /// Incremental exact solving (see
     /// [`crate::deps::EngineConfig::incremental`]): refinement queries
     /// replay memoized solve subtrees, and cached verdicts carry their
@@ -157,6 +163,7 @@ impl Default for BatchConfig {
             unit_parallelism: 0,
             shared_cache: true,
             cache: true,
+            keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
             induction: true,
             linearize: true,
@@ -367,6 +374,15 @@ impl BatchStats {
         let decided: Vec<String> =
             t.decided_by.iter().map(|(name, n)| format!("{name}={n}")).collect();
         let _ = writeln!(out, "decided-by: {}", decided.join(" "));
+        // Attributes degradation to its budget axis (nodes / deadline /
+        // cancelled); absent on clean runs, so those keep the historical
+        // render. This is what makes a ctrl-C'd corpus report legible as
+        // "partial because cancelled" rather than merely degraded.
+        if t.degraded_pairs > 0 {
+            let reasons: Vec<String> =
+                t.degraded_by.iter().map(|(reason, n)| format!("{reason}={n}")).collect();
+            let _ = writeln!(out, "degraded-by: {}", reasons.join(" "));
+        }
         // Rendered only when the engine refined at all, so battery-only
         // corpora keep the historical render.
         if t.refine_queries > 0 {
@@ -426,7 +442,8 @@ impl BatchRunner {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
         let (unit_workers, engine_workers) = self.config.worker_split();
-        let shared = self.config.shared_cache.then(VerdictCache::shared);
+        let shared =
+            self.config.shared_cache.then(|| VerdictCache::shared_with(self.config.keying));
         let stream_panics = AtomicUsize::new(0);
 
         let mut reports: Vec<UnitReport> = if unit_workers <= 1 {
@@ -590,6 +607,7 @@ impl BatchRunner {
             infer_loop_assumptions: self.config.infer_loop_assumptions,
             workers: engine_workers,
             cache: self.config.cache,
+            keying: self.config.keying,
             incremental: self.config.incremental,
             budget,
             chaos,
@@ -786,6 +804,38 @@ mod tests {
         assert!(report.stats.degraded_pairs > 0, "{:?}", report.stats);
         assert!(report.render_row().contains(" degraded="), "{}", report.render_row());
         assert!(stats.render().contains(" degraded="), "{}", stats.render());
+    }
+
+    /// A cancelled batch still produces a *conservative partial report*:
+    /// every unit is analyzed (no failures), every dependence decision
+    /// degrades to the sound `Unknown` verdict attributed to cancellation,
+    /// and no independence is claimed anywhere. This is what the corpus
+    /// binary's ctrl-C handler relies on — it only trips the token.
+    #[test]
+    fn cancelled_batch_degrades_conservatively() {
+        let cancel = delin_dep::budget::CancelToken::new();
+        cancel.cancel(); // ctrl-C arrived before (or during) the batch
+        let config = BatchConfig {
+            workers: 2,
+            budget: BudgetSpec { cancel: Some(cancel), ..BudgetSpec::nodes_only(1_000_000) },
+            retry: RetryPolicy { max_retries: 1, escalation: 4 },
+            ..BatchConfig::default()
+        };
+        let stats = BatchRunner::new(config).run(units());
+        assert_eq!(stats.units.len(), 4);
+        assert_eq!(stats.failed_units, 0);
+        let totals = stats.totals.verdict_stats();
+        // Escalated retries cannot out-budget a cancellation, so every
+        // tested pair stays degraded-by-cancellation and conservative.
+        assert_eq!(totals.degraded_pairs, totals.pairs_tested, "{totals:?}");
+        assert_eq!(
+            totals.degraded_by.get(&delin_dep::budget::DegradeReason::Cancelled).copied(),
+            Some(totals.pairs_tested),
+            "{totals:?}"
+        );
+        assert_eq!(totals.proven_independent, 0, "{totals:?}");
+        let render = stats.render();
+        assert!(render.contains("cancelled"), "degradation must be attributed:\n{render}");
     }
 
     /// An escalated retry turns a first-attempt degradation into a clean

@@ -19,6 +19,34 @@
 //! environments; symbolic problems from units with conflicting assumptions
 //! never collide (see `shared_cache_separates_assumption_environments`).
 //!
+//! # Keying modes
+//!
+//! The cache supports two interchangeable key representations, selected by
+//! [`KeyMode`] (env knob `DELIN_KEYING`, default fingerprints):
+//!
+//! * [`KeyMode::Fp`] — the hot path. Each lookup folds the canonical
+//!   structure (environment projection, bounds, common pairs, equations,
+//!   inequalities) through a 128-bit structural fingerprint
+//!   ([`delin_numeric::fp128::Fp128`], two decorrelated FxHash lanes) with
+//!   **no string rendering, no `SymPoly` clones, and no heap allocation**.
+//!   Equation-order insensitivity comes from combining per-equation
+//!   fingerprints commutatively (wrapping add), so the fingerprint never
+//!   needs the sorted order that the string key materializes. The shard
+//!   maps are `u128 → cell` behind [`fxhash::FxBuildHasher`], so a hit is
+//!   an integer hash plus one shard probe. The full string key — and the
+//!   canonical problem — are only produced on a miss, inside the cell's
+//!   compute slot; the rendered key is stashed in the cell for debug dumps
+//!   and the `--verify` keying A/B leg (see [`VerdictCache::debug_keys`]).
+//! * [`KeyMode::Str`] — the legacy baseline: every lookup eagerly renders
+//!   the environment key and the canonical string key and probes
+//!   `String`-keyed shards. Kept bit-for-bit faithful so `--verify` can
+//!   prove the two modes partition problems identically and measure the
+//!   fingerprint path's win honestly.
+//!
+//! Both modes key on the same information, so hits, misses, memoized
+//! verdicts and the final graphs are identical between them; only the cost
+//! of a lookup differs.
+//!
 //! The store is a sharded `RwLock` map of [`ComputeCell`]s: concurrent
 //! workers that race on the same key agree on a single cell, and exactly
 //! one of them runs the solver while the rest block on the cell. Every
@@ -40,15 +68,51 @@ use delin_dep::budget::DegradeReason;
 use delin_dep::exact::SubtreeStore;
 use delin_dep::problem::DependenceProblem;
 use delin_dep::verdict::Verdict;
+use delin_numeric::fp128::Fp128;
 use delin_numeric::{Assumptions, Sym, SymPoly};
+use fxhash::FxBuildHasher;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 
 /// Number of independent lock shards. A small power of two is plenty: the
 /// critical sections only insert/lookup an `Arc`, never solve.
 const SHARDS: usize = 16;
+
+/// How the verdict cache represents its keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyMode {
+    /// 128-bit structural fingerprints; canonical strings only on miss.
+    Fp,
+    /// Eagerly rendered canonical string keys (the legacy baseline).
+    Str,
+}
+
+impl KeyMode {
+    /// Reads `DELIN_KEYING`: `string`/`str` selects [`KeyMode::Str`],
+    /// anything else (including unset) the default [`KeyMode::Fp`].
+    pub fn from_env() -> KeyMode {
+        match std::env::var("DELIN_KEYING").as_deref() {
+            Ok("string") | Ok("str") => KeyMode::Str,
+            _ => KeyMode::Fp,
+        }
+    }
+
+    /// The name the bench/verify reports use for this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyMode::Fp => "fp",
+            KeyMode::Str => "string",
+        }
+    }
+}
+
+impl Default for KeyMode {
+    fn default() -> Self {
+        KeyMode::from_env()
+    }
+}
 
 /// The memoized result of deciding one canonical dependence problem.
 #[derive(Debug, Clone)]
@@ -95,6 +159,11 @@ pub struct CachedOutcome {
 struct ComputeCell {
     state: Mutex<CellState>,
     cond: Condvar,
+    /// The rendered canonical string key, set by the first compute under
+    /// fingerprint keying (string keying keeps the key in the shard map
+    /// instead). Exists for debug dumps and the keying A/B verification —
+    /// never consulted on the hit path.
+    rendered: OnceLock<String>,
 }
 
 enum CellState {
@@ -102,8 +171,10 @@ enum CellState {
     Idle,
     /// Some worker is running the solver; waiters block on the condvar.
     Computing,
-    /// A full-budget outcome is memoized.
-    Ready(CachedOutcome),
+    /// A full-budget outcome is memoized. Behind an `Arc` so a hit hands
+    /// out a reference-count bump instead of cloning the payload (the
+    /// `attempts` vector and solver-state handle in particular).
+    Ready(Arc<CachedOutcome>),
 }
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
@@ -115,7 +186,11 @@ fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 
 impl ComputeCell {
     fn new() -> ComputeCell {
-        ComputeCell { state: Mutex::new(CellState::Idle), cond: Condvar::new() }
+        ComputeCell {
+            state: Mutex::new(CellState::Idle),
+            cond: Condvar::new(),
+            rendered: OnceLock::new(),
+        }
     }
 
     /// `true` when a full-budget outcome is memoized in this cell.
@@ -125,12 +200,15 @@ impl ComputeCell {
 
     /// Returns the memoized outcome, computing it first if necessary.
     /// The boolean is `true` when *this* call ran `compute`.
-    fn get_or_compute(&self, compute: impl FnOnce() -> CachedOutcome) -> (CachedOutcome, bool) {
+    fn get_or_compute(
+        &self,
+        compute: impl FnOnce() -> CachedOutcome,
+    ) -> (Arc<CachedOutcome>, bool) {
         {
             let mut state = lock_recover(&self.state);
             loop {
                 match &*state {
-                    CellState::Ready(out) => return (out.clone(), false),
+                    CellState::Ready(out) => return (Arc::clone(out), false),
                     CellState::Computing => {
                         state = self.cond.wait(state).unwrap_or_else(PoisonError::into_inner);
                     }
@@ -144,9 +222,9 @@ impl ComputeCell {
         // degraded outcome below. Either way waiters wake up and the next
         // lookup retries the computation.
         let mut guard = ComputeReset { cell: self, disarm: false };
-        let outcome = compute();
+        let outcome = Arc::new(compute());
         if outcome.degraded.is_none() {
-            *lock_recover(&self.state) = CellState::Ready(outcome.clone());
+            *lock_recover(&self.state) = CellState::Ready(Arc::clone(&outcome));
             self.cond.notify_all();
             guard.disarm = true;
         }
@@ -172,8 +250,8 @@ impl Drop for ComputeReset<'_> {
 /// The result of one cache lookup.
 #[derive(Debug, Clone)]
 pub struct CacheLookup {
-    /// The (possibly memoized) outcome.
-    pub outcome: CachedOutcome,
+    /// The (possibly memoized) outcome, shared with the cache entry.
+    pub outcome: Arc<CachedOutcome>,
     /// `true` when *this* lookup ran the solver (a global cache miss).
     pub computed: bool,
     /// A 64-bit fingerprint of the full cache key (environment key plus
@@ -183,48 +261,131 @@ pub struct CacheLookup {
     pub key_fp: u64,
 }
 
+/// The shard array in either key representation. Both variants map the
+/// same partition of problems to cells; see the module docs.
+enum ShardMap {
+    Fp(Vec<RwLock<HashMap<u128, Arc<ComputeCell>, FxBuildHasher>>>),
+    Str(Vec<RwLock<HashMap<String, Arc<ComputeCell>>>>),
+}
+
 /// A verdict cache keyed by canonicalized dependence problems.
 ///
 /// Construct with [`VerdictCache::new`] for a single graph construction
 /// under one assumption environment, or with [`VerdictCache::shared`] for a
 /// cache shared across program units with *different* environments (every
 /// lookup then goes through [`VerdictCache::lookup`], which keys on the
-/// per-unit assumptions).
+/// per-unit assumptions). Both pick their [`KeyMode`] from the
+/// `DELIN_KEYING` environment knob; the `_with` constructors pin it
+/// explicitly (the `--verify` keying A/B runs both side by side).
 pub struct VerdictCache {
-    shards: Vec<RwLock<HashMap<String, Arc<ComputeCell>>>>,
+    shards: ShardMap,
     /// The environment baked in by [`VerdictCache::new`]; `None` for shared
     /// caches, whose lookups carry their environment explicitly.
     env: Option<Assumptions>,
 }
 
 impl VerdictCache {
-    /// An empty cache for one run under the given assumptions.
+    /// An empty cache for one run under the given assumptions, keyed per
+    /// [`KeyMode::from_env`].
     pub fn new(assumptions: &Assumptions) -> VerdictCache {
-        VerdictCache { shards: new_shards(), env: Some(assumptions.clone()) }
+        VerdictCache::new_with(assumptions, KeyMode::from_env())
+    }
+
+    /// An empty cache for one run under the given assumptions, with an
+    /// explicit key representation.
+    pub fn new_with(assumptions: &Assumptions, mode: KeyMode) -> VerdictCache {
+        VerdictCache { shards: new_shards(mode), env: Some(assumptions.clone()) }
     }
 
     /// An empty cache safe to share across program units analyzed under
-    /// different assumption environments.
+    /// different assumption environments, keyed per [`KeyMode::from_env`].
     pub fn shared() -> VerdictCache {
-        VerdictCache { shards: new_shards(), env: None }
+        VerdictCache::shared_with(KeyMode::from_env())
+    }
+
+    /// An empty shareable cache with an explicit key representation.
+    pub fn shared_with(mode: KeyMode) -> VerdictCache {
+        VerdictCache { shards: new_shards(mode), env: None }
+    }
+
+    /// The key representation this cache was built with.
+    pub fn key_mode(&self) -> KeyMode {
+        match &self.shards {
+            ShardMap::Fp(_) => KeyMode::Fp,
+            ShardMap::Str(_) => KeyMode::Str,
+        }
     }
 
     /// Number of memoized outcomes across all shards (distinct canonical
     /// problems decided under a full budget). Cells whose computation
     /// panicked or degraded hold no outcome and are not counted.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                let map = s.read().unwrap_or_else(PoisonError::into_inner);
-                map.values().filter(|c| c.is_ready()).count()
-            })
-            .sum()
+        self.for_each_cell_count(|c| c.is_ready())
     }
 
     /// `true` when no problem has been memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    fn for_each_cell_count(&self, pred: impl Fn(&ComputeCell) -> bool) -> usize {
+        let count_in =
+            |cells: &mut dyn Iterator<Item = Arc<ComputeCell>>| cells.filter(|c| pred(c)).count();
+        match &self.shards {
+            ShardMap::Fp(shards) => shards
+                .iter()
+                .map(|s| {
+                    let map = s.read().unwrap_or_else(PoisonError::into_inner);
+                    count_in(&mut map.values().cloned())
+                })
+                .sum(),
+            ShardMap::Str(shards) => shards
+                .iter()
+                .map(|s| {
+                    let map = s.read().unwrap_or_else(PoisonError::into_inner);
+                    count_in(&mut map.values().cloned())
+                })
+                .sum(),
+        }
+    }
+
+    /// The rendered canonical string keys of every memoized entry, sorted.
+    ///
+    /// Under string keying these are the shard-map keys themselves; under
+    /// fingerprint keying they are the strings rendered once per miss and
+    /// stashed in the cells. Either way the result describes the same
+    /// partition, which is exactly what the keying A/B verification
+    /// asserts: if two distinct canonical strings ever collided into one
+    /// fingerprint cell, the fingerprint cache would report fewer keys
+    /// here than the string cache.
+    pub fn debug_keys(&self) -> Vec<String> {
+        let mut keys = Vec::new();
+        match &self.shards {
+            ShardMap::Fp(shards) => {
+                for s in shards {
+                    let map = s.read().unwrap_or_else(PoisonError::into_inner);
+                    for cell in map.values() {
+                        if cell.is_ready() {
+                            if let Some(k) = cell.rendered.get() {
+                                keys.push(k.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            ShardMap::Str(shards) => {
+                for s in shards {
+                    let map = s.read().unwrap_or_else(PoisonError::into_inner);
+                    for (k, cell) in map.iter() {
+                        if cell.is_ready() {
+                            keys.push(k.clone());
+                        }
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys
     }
 
     /// Looks up the canonical form of `problem` under the environment baked
@@ -240,9 +401,9 @@ impl VerdictCache {
         &self,
         problem: &DependenceProblem<SymPoly>,
         compute: impl FnOnce(&DependenceProblem<SymPoly>) -> CachedOutcome,
-    ) -> (CachedOutcome, bool) {
-        let env = self.env.clone().expect("shared caches must use lookup()");
-        let l = self.lookup(&env, problem, compute);
+    ) -> (Arc<CachedOutcome>, bool) {
+        let env = self.env.as_ref().expect("shared caches must use lookup()");
+        let l = self.lookup_in(env, problem, compute);
         (l.outcome, !l.computed)
     }
 
@@ -253,39 +414,92 @@ impl VerdictCache {
     /// `compute` receives the *canonical* problem, so the stored verdict is
     /// a pure function of the cache key — this is what keeps parallel and
     /// multi-unit runs deterministic regardless of which worker (or which
-    /// unit) populates an entry first.
+    /// unit) populates an entry first. Under fingerprint keying, a hit
+    /// performs no string rendering, no `SymPoly` clone and no heap
+    /// allocation: the canonical problem (and its string key) only
+    /// materialize inside the cell's compute slot on a miss.
     pub fn lookup(
         &self,
         assumptions: &Assumptions,
         problem: &DependenceProblem<SymPoly>,
         compute: impl FnOnce(&DependenceProblem<SymPoly>) -> CachedOutcome,
     ) -> CacheLookup {
-        let env = env_key(problem, assumptions);
-        let (key, canonical) = canonicalize(problem, &env);
-        let key_fp = fingerprint(&key);
-        let shard = &self.shards[shard_index(&key)];
-        let cell = {
-            // Fast path: the key is already present. A poisoned shard lock
-            // only means some worker panicked while holding it; the map
-            // itself is never left mid-mutation (inserts are single entry
-            // operations), so recover the guard and keep going.
-            let read = shard.read().unwrap_or_else(PoisonError::into_inner);
-            read.get(&key).cloned()
-        };
-        let cell = match cell {
-            Some(c) => c,
-            None => {
-                let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
-                write.entry(key).or_insert_with(|| Arc::new(ComputeCell::new())).clone()
+        self.lookup_in(assumptions, problem, compute)
+    }
+
+    fn lookup_in(
+        &self,
+        assumptions: &Assumptions,
+        problem: &DependenceProblem<SymPoly>,
+        compute: impl FnOnce(&DependenceProblem<SymPoly>) -> CachedOutcome,
+    ) -> CacheLookup {
+        match &self.shards {
+            ShardMap::Fp(shards) => {
+                let fp = fingerprint_problem(problem, assumptions);
+                // Lane A (the high half) doubles as the 64-bit attribution
+                // fingerprint; lane B picks the shard, so attribution and
+                // shard choice stay decorrelated.
+                let key_fp = (fp >> 64) as u64;
+                let shard = &shards[(fp as usize) % SHARDS];
+                let cell = probe(shard, &fp);
+                let (outcome, computed) = cell.get_or_compute(|| {
+                    // Miss: now (and only now) materialize the canonical
+                    // problem for the solver and the string key for debug.
+                    let env = env_key(problem, assumptions);
+                    let (key, canonical) = canonicalize(problem, &env);
+                    let _ = cell.rendered.set(key);
+                    compute(&canonical)
+                });
+                CacheLookup { outcome, computed, key_fp }
             }
-        };
-        let (outcome, computed) = cell.get_or_compute(|| compute(&canonical));
-        CacheLookup { outcome, computed, key_fp }
+            ShardMap::Str(shards) => {
+                // The legacy baseline: render everything eagerly per lookup.
+                let env = env_key(problem, assumptions);
+                let (key, canonical) = canonicalize(problem, &env);
+                let key_fp = fingerprint(&key);
+                let shard = &shards[(key_fp as usize) % SHARDS];
+                let cell = {
+                    let read = shard.read().unwrap_or_else(PoisonError::into_inner);
+                    read.get(&key).cloned()
+                };
+                let cell = match cell {
+                    Some(c) => c,
+                    None => {
+                        let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
+                        write.entry(key).or_insert_with(|| Arc::new(ComputeCell::new())).clone()
+                    }
+                };
+                let (outcome, computed) = cell.get_or_compute(|| compute(&canonical));
+                CacheLookup { outcome, computed, key_fp }
+            }
+        }
     }
 }
 
-fn new_shards() -> Vec<RwLock<HashMap<String, Arc<ComputeCell>>>> {
-    (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
+/// Fast path probe for the fingerprint shard: read-lock first (hits never
+/// take the write lock), insert an idle cell under the write lock on miss.
+/// A poisoned shard lock only means some worker panicked while holding it;
+/// the map itself is never left mid-mutation (inserts are single entry
+/// operations), so recover the guard and keep going.
+fn probe(
+    shard: &RwLock<HashMap<u128, Arc<ComputeCell>, FxBuildHasher>>,
+    fp: &u128,
+) -> Arc<ComputeCell> {
+    {
+        let read = shard.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = read.get(fp) {
+            return Arc::clone(c);
+        }
+    }
+    let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(write.entry(*fp).or_insert_with(|| Arc::new(ComputeCell::new())))
+}
+
+fn new_shards(mode: KeyMode) -> ShardMap {
+    match mode {
+        KeyMode::Fp => ShardMap::Fp((0..SHARDS).map(|_| RwLock::new(HashMap::default())).collect()),
+        KeyMode::Str => ShardMap::Str((0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()),
+    }
 }
 
 fn fingerprint(key: &str) -> u64 {
@@ -294,8 +508,117 @@ fn fingerprint(key: &str) -> u64 {
     hasher.finish()
 }
 
-fn shard_index(key: &str) -> usize {
-    (fingerprint(key) as usize) % SHARDS
+/// Computes the 128-bit structural fingerprint of `problem` under the
+/// projection of `assumptions` onto its symbols — the exact information the
+/// canonical string key renders, folded through [`Fp128`] without
+/// materializing any string or cloning any polynomial.
+///
+/// Two problems receive the same fingerprint exactly when [`canonicalize`]
+/// (with [`env_key`]) would give them the same string key, modulo the
+/// negligible 128-bit collision probability:
+///
+/// * variable *names* never enter the hash (positions and upper bounds do),
+///   matching the key's renaming invariance;
+/// * per-equation fingerprints are combined with a commutative wrapping
+///   add, so equation order is invisible without ever sorting — the string
+///   key achieves the same by sorting rendered equations;
+/// * inequalities, bounds and common pairs hash in order, matching the
+///   key's order-sensitive rendering of those sections;
+/// * the environment section hashes the sorted, deduplicated symbols the
+///   problem mentions with their effective lower bounds plus the default
+///   bound — and hashes *nothing* for concrete problems, matching the
+///   empty [`env_key`] that lets concrete entries shard across any
+///   environments.
+///
+/// Every section is length-prefixed and tagged, so sections cannot bleed
+/// into one another. For a concrete problem this function performs no heap
+/// allocation at all (the symbol scratch vector never grows past zero).
+pub fn fingerprint_problem(
+    problem: &DependenceProblem<SymPoly>,
+    assumptions: &Assumptions,
+) -> u128 {
+    let mut h = Fp128::new();
+
+    // Environment projection (tag 1): sorted deduped symbols with bounds.
+    fn collect_symbols<'a>(p: &'a DependenceProblem<SymPoly>, syms: &mut Vec<&'a Sym>) {
+        let mut add = |s: &'a Sym| syms.push(s);
+        for v in p.vars() {
+            v.upper.for_each_symbol(&mut add);
+        }
+        for eq in p.equations() {
+            eq.c0.for_each_symbol(&mut add);
+            for c in &eq.coeffs {
+                c.for_each_symbol(&mut add);
+            }
+        }
+        for iq in p.inequalities() {
+            iq.c0.for_each_symbol(&mut add);
+            for c in &iq.coeffs {
+                c.for_each_symbol(&mut add);
+            }
+        }
+    }
+    let mut syms: Vec<&Sym> = Vec::new();
+    collect_symbols(problem, &mut syms);
+    syms.sort_unstable();
+    syms.dedup();
+    h.write_u8(1);
+    if !syms.is_empty() {
+        h.write_usize(syms.len());
+        for s in &syms {
+            let name = s.name().as_bytes();
+            h.write_usize(name.len());
+            h.write(name);
+            h.write_u128(assumptions.lower_bound(s) as u128);
+        }
+        h.write_u128(assumptions.default_lower_bound() as u128);
+    }
+
+    // Variable bounds in position order (tag 2); names are canonicalized
+    // away, so only the upper-bound polynomials enter.
+    h.write_u8(2);
+    h.write_usize(problem.vars().len());
+    for v in problem.vars() {
+        v.upper.hash_into(&mut h);
+    }
+
+    // Common loop pairs in order (tag 3).
+    h.write_u8(3);
+    h.write_usize(problem.common_loops().len());
+    for (x, y) in problem.common_loops() {
+        h.write_usize(*x);
+        h.write_usize(*y);
+    }
+
+    // Equations as an order-free multiset (tag 4): sum of per-equation
+    // fingerprints. Duplicate equations contribute multiplicity times.
+    h.write_u8(4);
+    h.write_usize(problem.equations().len());
+    let mut eq_acc: u128 = 0;
+    for eq in problem.equations() {
+        let mut eh = Fp128::new();
+        eq.c0.hash_into(&mut eh);
+        eh.write_usize(eq.coeffs.len());
+        for c in &eq.coeffs {
+            c.hash_into(&mut eh);
+        }
+        eq_acc = eq_acc.wrapping_add(eh.finish128());
+    }
+    h.write_u128(eq_acc);
+
+    // Inequalities in order (tag 5) — the string key renders them in
+    // order too, so order sensitivity here matches its partition.
+    h.write_u8(5);
+    h.write_usize(problem.inequalities().len());
+    for iq in problem.inequalities() {
+        iq.c0.hash_into(&mut h);
+        h.write_usize(iq.coeffs.len());
+        for c in &iq.coeffs {
+            c.hash_into(&mut h);
+        }
+    }
+
+    h.finish128()
 }
 
 /// Renders the assumption environment restricted to the symbols `problem`
@@ -481,6 +804,93 @@ mod tests {
         assert_ne!(ka, kc);
     }
 
+    /// The structural fingerprint partitions problems exactly like the
+    /// canonical string key: invariant under renaming and equation order,
+    /// sensitive to structure and to relevant assumptions only.
+    #[test]
+    fn fingerprint_matches_string_key_partition() {
+        let env = Assumptions::new();
+        // Equation order is invisible.
+        assert_eq!(
+            fingerprint_problem(&two_eq_problem([0, 1]), &env),
+            fingerprint_problem(&two_eq_problem([1, 0]), &env),
+        );
+        // Variable names are invisible.
+        let mut renamed = DependenceProblem::<SymPoly>::builder();
+        renamed.var("totally", poly(4));
+        renamed.var("different", poly(9));
+        renamed.equation(poly(-5), vec![poly(1), poly(10)]);
+        renamed.equation(poly(3), vec![poly(2), poly(0)]);
+        assert_eq!(
+            fingerprint_problem(&two_eq_problem([0, 1]), &env),
+            fingerprint_problem(&renamed.build(), &env),
+        );
+        // A different constant is visible.
+        let mut b = DependenceProblem::<SymPoly>::builder();
+        b.var("x", poly(4));
+        b.var("y", poly(9));
+        b.equation(poly(-6), vec![poly(1), poly(10)]);
+        b.equation(poly(3), vec![poly(2), poly(0)]);
+        assert_ne!(
+            fingerprint_problem(&two_eq_problem([0, 1]), &env),
+            fingerprint_problem(&b.build(), &env),
+        );
+        // Concrete problems ignore every environment (empty projection).
+        let mut rich = Assumptions::new();
+        rich.set_lower_bound("N", 5).set_lower_bound("M", 2);
+        assert_eq!(
+            fingerprint_problem(&two_eq_problem([0, 1]), &env),
+            fingerprint_problem(&two_eq_problem([0, 1]), &rich),
+        );
+        // Symbolic problems see bounds on their own symbols, the default
+        // bound, and nothing else.
+        let sym = symbolic_problem();
+        let mut n2 = Assumptions::new();
+        n2.set_lower_bound("N", 2);
+        let mut n2_extra = n2.clone();
+        n2_extra.set_lower_bound("UNRELATED", 9);
+        assert_eq!(fingerprint_problem(&sym, &n2), fingerprint_problem(&sym, &n2_extra));
+        assert_ne!(fingerprint_problem(&sym, &n2), fingerprint_problem(&sym, &env));
+        assert_ne!(
+            fingerprint_problem(&sym, &n2),
+            fingerprint_problem(&sym, &Assumptions::with_default_lower_bound(1)),
+        );
+    }
+
+    /// Both key modes produce the same hit/miss pattern and the same set of
+    /// rendered canonical keys over a mixed workload — the unit-scale
+    /// version of the `--verify` keying A/B.
+    #[test]
+    fn key_modes_partition_identically() {
+        let fp_cache = VerdictCache::shared_with(KeyMode::Fp);
+        let str_cache = VerdictCache::shared_with(KeyMode::Str);
+        assert_eq!(fp_cache.key_mode(), KeyMode::Fp);
+        assert_eq!(str_cache.key_mode(), KeyMode::Str);
+
+        let mut n2 = Assumptions::new();
+        n2.set_lower_bound("N", 2);
+        let lookups: Vec<(Assumptions, DependenceProblem<SymPoly>)> = vec![
+            (Assumptions::new(), two_eq_problem([0, 1])),
+            (Assumptions::new(), two_eq_problem([1, 0])),
+            (n2.clone(), two_eq_problem([0, 1])),
+            (Assumptions::new(), symbolic_problem()),
+            (n2.clone(), symbolic_problem()),
+            (n2, symbolic_problem()),
+        ];
+        for (env, p) in &lookups {
+            let a = fp_cache.lookup(env, p, |_| outcome(1));
+            let b = str_cache.lookup(env, p, |_| outcome(1));
+            assert_eq!(a.computed, b.computed, "modes must hit and miss together");
+        }
+        assert_eq!(fp_cache.len(), str_cache.len());
+        assert_eq!(
+            fp_cache.debug_keys(),
+            str_cache.debug_keys(),
+            "fingerprint cells must carry the exact canonical strings"
+        );
+        assert_eq!(fp_cache.debug_keys().len(), fp_cache.len());
+    }
+
     #[test]
     fn env_key_projects_onto_problem_symbols() {
         // Concrete problems have an empty environment key under any env.
@@ -508,62 +918,80 @@ mod tests {
     /// Regression test for the cross-unit collision audit: two units with
     /// byte-identical (renamed) equations but different assumption
     /// environments must not share a cache entry, while a third unit whose
-    /// environment agrees on the relevant symbol must.
+    /// environment agrees on the relevant symbol must. Pinned in both key
+    /// modes.
     #[test]
     fn shared_cache_separates_assumption_environments() {
-        let cache = VerdictCache::shared();
-        let p = symbolic_problem();
-        let mut unit_a = Assumptions::new();
-        unit_a.set_lower_bound("N", 1);
-        let mut unit_b = Assumptions::new();
-        unit_b.set_lower_bound("N", 8);
-        let mut unit_c = unit_a.clone();
-        unit_c.set_lower_bound("OTHER", 3); // irrelevant to `p`
+        for mode in [KeyMode::Fp, KeyMode::Str] {
+            let cache = VerdictCache::shared_with(mode);
+            let p = symbolic_problem();
+            let mut unit_a = Assumptions::new();
+            unit_a.set_lower_bound("N", 1);
+            let mut unit_b = Assumptions::new();
+            unit_b.set_lower_bound("N", 8);
+            let mut unit_c = unit_a.clone();
+            unit_c.set_lower_bound("OTHER", 3); // irrelevant to `p`
 
-        let a = cache.lookup(&unit_a, &p, |_| outcome(1));
-        let b = cache.lookup(&unit_b, &p, |_| outcome(2));
-        let c = cache.lookup(&unit_c, &p, |_| outcome(3));
-        assert!(a.computed, "first sighting under env A must compute");
-        assert!(b.computed, "env B must not reuse env A's entry");
-        assert!(!c.computed, "env C agrees with A on N, must share");
-        assert_ne!(a.key_fp, b.key_fp);
-        assert_eq!(a.key_fp, c.key_fp);
-        assert_eq!(c.outcome.solver_nodes, 1, "C must see A's entry");
-        assert_eq!(cache.len(), 2);
+            let a = cache.lookup(&unit_a, &p, |_| outcome(1));
+            let b = cache.lookup(&unit_b, &p, |_| outcome(2));
+            let c = cache.lookup(&unit_c, &p, |_| outcome(3));
+            assert!(a.computed, "first sighting under env A must compute");
+            assert!(b.computed, "env B must not reuse env A's entry");
+            assert!(!c.computed, "env C agrees with A on N, must share");
+            assert_ne!(a.key_fp, b.key_fp);
+            assert_eq!(a.key_fp, c.key_fp);
+            assert_eq!(c.outcome.solver_nodes, 1, "C must see A's entry");
+            assert_eq!(cache.len(), 2);
+        }
     }
 
     #[test]
     fn cache_computes_each_canonical_form_once() {
-        let cache = VerdictCache::new(&Assumptions::new());
-        let mut runs = 0;
-        for order in [[0, 1], [1, 0], [0, 1]] {
-            let p = two_eq_problem(order);
-            let (out, _) = cache.get_or_compute(&p, |_| {
-                runs += 1;
-                outcome(11)
-            });
-            assert!(out.verdict.is_independent());
-            assert_eq!(out.solver_nodes, 11);
+        for mode in [KeyMode::Fp, KeyMode::Str] {
+            let cache = VerdictCache::new_with(&Assumptions::new(), mode);
+            let mut runs = 0;
+            for order in [[0, 1], [1, 0], [0, 1]] {
+                let p = two_eq_problem(order);
+                let (out, _) = cache.get_or_compute(&p, |_| {
+                    runs += 1;
+                    outcome(11)
+                });
+                assert!(out.verdict.is_independent());
+                assert_eq!(out.solver_nodes, 11);
+            }
+            assert_eq!(runs, 1, "equation order must not defeat the cache");
+            assert_eq!(cache.len(), 1);
+            assert!(!cache.is_empty());
         }
-        assert_eq!(runs, 1, "equation order must not defeat the cache");
-        assert_eq!(cache.len(), 1);
-        assert!(!cache.is_empty());
     }
 
     #[test]
     fn cache_reports_hits_and_stable_fingerprints() {
-        let cache = VerdictCache::new(&Assumptions::new());
+        for mode in [KeyMode::Fp, KeyMode::Str] {
+            let cache = VerdictCache::new_with(&Assumptions::new(), mode);
+            let p = two_eq_problem([0, 1]);
+            let (_, hit) = cache.get_or_compute(&p, |_| outcome(0));
+            assert!(!hit);
+            let (_, hit) = cache.get_or_compute(&p, |_| outcome(0));
+            assert!(hit);
+            // The two equation orders share one key fingerprint.
+            let env = Assumptions::new();
+            let a = cache.lookup(&env, &two_eq_problem([0, 1]), |_| outcome(0));
+            let b = cache.lookup(&env, &two_eq_problem([1, 0]), |_| outcome(0));
+            assert_eq!(a.key_fp, b.key_fp);
+            assert!(!a.computed && !b.computed);
+        }
+    }
+
+    /// A hit hands back the cache's own `Arc`, not a payload clone.
+    #[test]
+    fn hits_share_the_memoized_allocation() {
+        let cache = VerdictCache::new_with(&Assumptions::new(), KeyMode::Fp);
         let p = two_eq_problem([0, 1]);
-        let (_, hit) = cache.get_or_compute(&p, |_| outcome(0));
-        assert!(!hit);
-        let (_, hit) = cache.get_or_compute(&p, |_| outcome(0));
+        let (first, _) = cache.get_or_compute(&p, |_| outcome(1));
+        let (second, hit) = cache.get_or_compute(&p, |_| outcome(2));
         assert!(hit);
-        // The two equation orders share one key fingerprint.
-        let env = Assumptions::new();
-        let a = cache.lookup(&env, &two_eq_problem([0, 1]), |_| outcome(0));
-        let b = cache.lookup(&env, &two_eq_problem([1, 0]), |_| outcome(0));
-        assert_eq!(a.key_fp, b.key_fp);
-        assert!(!a.computed && !b.computed);
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the stored Arc");
     }
 
     #[test]
@@ -578,42 +1006,46 @@ mod tests {
     /// lands it is the one memoized.
     #[test]
     fn degraded_outcomes_are_not_memoized() {
-        let cache = VerdictCache::new(&Assumptions::new());
-        let p = two_eq_problem([0, 1]);
-        let degraded = CachedOutcome {
-            verdict: Verdict::Unknown,
-            degraded: Some(delin_dep::budget::DegradeReason::Nodes),
-            ..outcome(7)
-        };
-        let (out, hit) = cache.get_or_compute(&p, |_| degraded.clone());
-        assert!(!hit);
-        assert!(out.degraded.is_some());
-        assert_eq!(cache.len(), 0, "degraded outcome must not be stored");
-        // Recompute with a full budget: stored this time.
-        let (out, hit) = cache.get_or_compute(&p, |_| outcome(9));
-        assert!(!hit, "idle cell must recompute, not replay the degraded run");
-        assert_eq!(out.solver_nodes, 9);
-        assert_eq!(cache.len(), 1);
-        let (out, hit) = cache.get_or_compute(&p, |_| outcome(99));
-        assert!(hit);
-        assert_eq!(out.solver_nodes, 9, "full-budget outcome is the memoized one");
+        for mode in [KeyMode::Fp, KeyMode::Str] {
+            let cache = VerdictCache::new_with(&Assumptions::new(), mode);
+            let p = two_eq_problem([0, 1]);
+            let degraded = CachedOutcome {
+                verdict: Verdict::Unknown,
+                degraded: Some(delin_dep::budget::DegradeReason::Nodes),
+                ..outcome(7)
+            };
+            let (out, hit) = cache.get_or_compute(&p, |_| degraded.clone());
+            assert!(!hit);
+            assert!(out.degraded.is_some());
+            assert_eq!(cache.len(), 0, "degraded outcome must not be stored");
+            // Recompute with a full budget: stored this time.
+            let (out, hit) = cache.get_or_compute(&p, |_| outcome(9));
+            assert!(!hit, "idle cell must recompute, not replay the degraded run");
+            assert_eq!(out.solver_nodes, 9);
+            assert_eq!(cache.len(), 1);
+            let (out, hit) = cache.get_or_compute(&p, |_| outcome(99));
+            assert!(hit);
+            assert_eq!(out.solver_nodes, 9, "full-budget outcome is the memoized one");
+        }
     }
 
     /// A panic inside the compute closure leaves the cell (and its shard
     /// lock) usable: the same key can be looked up again and computed.
     #[test]
     fn panicking_compute_leaves_cache_usable() {
-        let cache = VerdictCache::new(&Assumptions::new());
-        let p = two_eq_problem([0, 1]);
-        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache.get_or_compute(&p, |_| panic!("injected solver fault"))
-        }));
-        assert!(unwound.is_err());
-        assert_eq!(cache.len(), 0);
-        let (out, hit) = cache.get_or_compute(&p, |_| outcome(5));
-        assert!(!hit, "post-panic lookup must recompute");
-        assert_eq!(out.solver_nodes, 5);
-        assert_eq!(cache.len(), 1);
+        for mode in [KeyMode::Fp, KeyMode::Str] {
+            let cache = VerdictCache::new_with(&Assumptions::new(), mode);
+            let p = two_eq_problem([0, 1]);
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache.get_or_compute(&p, |_| panic!("injected solver fault"))
+            }));
+            assert!(unwound.is_err());
+            assert_eq!(cache.len(), 0);
+            let (out, hit) = cache.get_or_compute(&p, |_| outcome(5));
+            assert!(!hit, "post-panic lookup must recompute");
+            assert_eq!(out.solver_nodes, 5);
+            assert_eq!(cache.len(), 1);
+        }
     }
 
     /// The memoized outcome carries the incremental solver state: every
@@ -631,22 +1063,32 @@ mod tests {
         // Equation order must not defeat the state either.
         let (hit, was_hit) = cache.get_or_compute(&two_eq_problem([1, 0]), |_| outcome(0));
         assert!(was_hit);
-        let carried = hit.solver_state.expect("hit must carry the stored solver state");
+        let carried = hit.solver_state.clone().expect("hit must carry the stored solver state");
         assert!(Arc::ptr_eq(&carried, &store));
-        let first = miss.0.solver_state.expect("miss returns the state it stored");
+        let first = miss.0.solver_state.clone().expect("miss returns the state it stored");
         assert!(Arc::ptr_eq(&first, &store));
     }
 
     #[test]
     fn compute_sees_the_canonical_problem() {
-        let cache = VerdictCache::new(&Assumptions::new());
-        let p = two_eq_problem([1, 0]); // reversed order on purpose
-        cache.get_or_compute(&p, |canon| {
-            // Sorted structural order puts the -5 equation first (its
-            // rendition sorts before the "3|2,0," one).
-            assert_eq!(canon.equations().len(), 2);
-            assert_eq!(canon.vars().len(), 2);
-            outcome(0)
-        });
+        for mode in [KeyMode::Fp, KeyMode::Str] {
+            let cache = VerdictCache::new_with(&Assumptions::new(), mode);
+            let p = two_eq_problem([1, 0]); // reversed order on purpose
+            cache.get_or_compute(&p, |canon| {
+                // Sorted structural order puts the -5 equation first (its
+                // rendition sorts before the "3|2,0," one).
+                assert_eq!(canon.equations().len(), 2);
+                assert_eq!(canon.vars().len(), 2);
+                outcome(0)
+            });
+        }
+    }
+
+    #[test]
+    fn key_mode_env_knob_parses() {
+        // `from_env` itself reads the live environment (unsafe to mutate in
+        // a threaded test harness), so pin the match arms directly.
+        assert_eq!(KeyMode::Fp.label(), "fp");
+        assert_eq!(KeyMode::Str.label(), "string");
     }
 }

@@ -16,7 +16,7 @@
 //! edges are identical for any worker count; `workers = 1` runs the exact
 //! serial code path.
 
-use crate::cache::{CacheLookup, CachedOutcome, VerdictCache};
+use crate::cache::{CacheLookup, CachedOutcome, KeyMode, VerdictCache};
 use crate::chaos::{ChaosCtx, FaultKind};
 use delin_core::DelinearizationTest;
 use delin_dep::acyclic::AcyclicTest;
@@ -272,10 +272,11 @@ impl DepStats {
     /// Folds one pair's outcome in, attributing cached work to the first
     /// reference of each canonical problem in fold (source-pair) order.
     /// `seen_keys` is the per-run set of already-charged key fingerprints.
-    fn absorb(&mut self, outcome: &PairOutcome, seen_keys: &mut HashSet<u64>) {
+    fn absorb(&mut self, pair: &PairOutcome, seen_keys: &mut HashSet<u64>) {
+        let outcome = &*pair.outcome;
         self.pairs_tested += 1;
         *self.decided_by.entry(outcome.tested_by).or_insert(0) += 1;
-        let charged = match outcome.key_fp {
+        let charged = match pair.key_fp {
             Some(fp) => {
                 let first = seen_keys.insert(fp);
                 if first {
@@ -306,8 +307,8 @@ impl DepStats {
             self.degraded_pairs += 1;
             *self.degraded_by.entry(reason).or_insert(0) += 1;
         }
-        self.test_nanos += outcome.nanos;
-        *self.nanos_by.entry(outcome.tested_by).or_insert(0) += outcome.nanos;
+        self.test_nanos += pair.nanos;
+        *self.nanos_by.entry(outcome.tested_by).or_insert(0) += pair.nanos;
     }
 }
 
@@ -366,6 +367,13 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Memoize verdicts of canonicalized problems (see [`crate::cache`]).
     pub cache: bool,
+    /// Key representation for the verdict cache (see [`KeyMode`]): 128-bit
+    /// structural fingerprints (the default hot path) or eagerly rendered
+    /// canonical strings (the A/B baseline). Pure perf knob — hits, misses,
+    /// verdicts and edges are identical either way. Defaults to
+    /// [`KeyMode::from_env`] (`DELIN_KEYING`). Ignored when a shared cache
+    /// is passed in (the cache carries its own mode).
+    pub keying: KeyMode,
     /// Incremental exact solving: direction-refinement queries replay
     /// memoized solve subtrees (see [`delin_dep::exact::SubtreeStore`])
     /// instead of re-enumerating, and the verdict cache stores each
@@ -391,6 +399,7 @@ impl Default for EngineConfig {
             choice: TestChoice::default(),
             workers: workers_from_env(),
             cache: true,
+            keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
@@ -445,28 +454,21 @@ pub fn build_dependence_graph(
 
 /// The outcome of testing one reference pair, recorded off-thread and
 /// folded into the graph in source-pair order.
+///
+/// Holds the cache's `Arc` directly: a cache hit costs one reference-count
+/// bump, never a clone of the outcome payload (the per-entry `attempts`
+/// vector in particular). Verdict, attempts and the incremental-solving
+/// counters are pure functions of the cache key; the fold charges them to
+/// the first reference of the key in source-pair order, never to later
+/// hits.
 struct PairOutcome {
-    verdict: Verdict,
-    tested_by: &'static str,
-    /// The test invocations stored for this pair's canonical problem (a
-    /// pure function of the cache key). The fold charges them to the first
-    /// reference of the key in source-pair order, never to later hits.
-    attempts: Vec<&'static str>,
+    outcome: Arc<CachedOutcome>,
+    /// Wall-clock spent by *this* pair (lookup included), not by whoever
+    /// computed the entry.
     nanos: u128,
     /// Fingerprint of the canonical cache key; `None` when the cache is
     /// disabled (every pair then counts as its own first reference).
     key_fp: Option<u64>,
-    solver_nodes: u64,
-    /// Incremental-solving counters for this pair's canonical problem —
-    /// like `attempts`, pure functions of the cache key, charged by the
-    /// fold only at the key's first reference.
-    refine_queries: u64,
-    subtree_reuses: u64,
-    nodes_saved: u64,
-    /// `Some(reason)` when this pair's verdict degraded under an exhausted
-    /// budget. Cached outcomes are always `None` (degraded outcomes are
-    /// never memoized).
-    degraded: Option<DegradeReason>,
 }
 
 /// Builds the dependence graph of a program under an explicit engine
@@ -523,7 +525,8 @@ pub fn build_dependence_graph_in(
         }
     }
 
-    let private = (shared.is_none() && config.cache).then(VerdictCache::shared);
+    let private =
+        (shared.is_none() && config.cache).then(|| VerdictCache::shared_with(config.keying));
     let cache = shared.or(private.as_ref());
     let workers = config.effective_workers(worklist.len());
     // Arm once: the deadline clock covers the whole construction. Pairs
@@ -664,16 +667,9 @@ fn test_pair(
                     ctx.incremental,
                 );
                 return PairOutcome {
-                    verdict: computed.verdict,
-                    tested_by: computed.tested_by,
-                    attempts: computed.attempts,
+                    outcome: Arc::new(computed),
                     nanos: started.elapsed().as_nanos(),
                     key_fp: None,
-                    solver_nodes: computed.solver_nodes,
-                    refine_queries: computed.refine_queries,
-                    subtree_reuses: computed.subtree_reuses,
-                    nodes_saved: computed.nodes_saved,
-                    degraded: computed.degraded,
                 };
             }
             None => {}
@@ -687,34 +683,13 @@ fn test_pair(
                 cache.lookup(ctx.assumptions, &problem, |canonical| {
                     decide_counted(canonical, ctx.assumptions, ctx.choice, &budget, ctx.incremental)
                 });
-            PairOutcome {
-                verdict: outcome.verdict,
-                tested_by: outcome.tested_by,
-                attempts: outcome.attempts,
-                nanos: 0,
-                key_fp: Some(key_fp),
-                solver_nodes: outcome.solver_nodes,
-                refine_queries: outcome.refine_queries,
-                subtree_reuses: outcome.subtree_reuses,
-                nodes_saved: outcome.nodes_saved,
-                degraded: outcome.degraded,
-            }
+            // A hit shares the cache entry's `Arc` — no payload clone.
+            PairOutcome { outcome, nanos: 0, key_fp: Some(key_fp) }
         }
         None => {
             let computed =
                 decide_counted(&problem, ctx.assumptions, ctx.choice, &budget, ctx.incremental);
-            PairOutcome {
-                verdict: computed.verdict,
-                tested_by: computed.tested_by,
-                attempts: computed.attempts,
-                nanos: 0,
-                key_fp: None,
-                solver_nodes: computed.solver_nodes,
-                refine_queries: computed.refine_queries,
-                subtree_reuses: computed.subtree_reuses,
-                nodes_saved: computed.nodes_saved,
-                degraded: computed.degraded,
-            }
+            PairOutcome { outcome: Arc::new(computed), nanos: 0, key_fp: None }
         }
     };
     PairOutcome { nanos: started.elapsed().as_nanos(), ..outcome }
@@ -919,7 +894,8 @@ fn decide(
 
 /// Applies one pair's outcome to the graph: bumps verdict counters and
 /// emits the classified edges. Called in source-pair order.
-fn fold_outcome(a: &AccessSite, b: &AccessSite, outcome: &PairOutcome, graph: &mut DepGraph) {
+fn fold_outcome(a: &AccessSite, b: &AccessSite, pair: &PairOutcome, graph: &mut DepGraph) {
+    let outcome = &*pair.outcome;
     let common = a.common_loops_with(b);
     match &outcome.verdict {
         Verdict::Independent => {

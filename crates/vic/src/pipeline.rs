@@ -4,7 +4,7 @@
 //! `EQUIVALENCE`-aliased arrays → dependence analysis → Allen–Kennedy
 //! vectorization → FORTRAN-90-style output.
 
-use crate::cache::VerdictCache;
+use crate::cache::{KeyMode, VerdictCache};
 use crate::chaos::ChaosCtx;
 use crate::codegen::{vectorize, VectorizeResult};
 use crate::deps::{
@@ -38,6 +38,11 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Memoize verdicts of canonicalized dependence problems.
     pub cache: bool,
+    /// Verdict-cache key representation (see [`KeyMode`]): structural
+    /// fingerprints by default, rendered strings as the A/B baseline. Pure
+    /// perf knob; the default reads `DELIN_KEYING` (`string` selects the
+    /// baseline).
+    pub keying: KeyMode,
     /// Incremental exact solving (see [`EngineConfig::incremental`]): a
     /// pure perf knob, identical edges and verdicts either way. The
     /// default reads `DELIN_INCREMENTAL` (`0` disables).
@@ -60,6 +65,7 @@ impl Default for PipelineConfig {
             infer_loop_assumptions: true,
             workers: workers_from_env(),
             cache: true,
+            keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
@@ -159,6 +165,7 @@ pub fn run_pipeline_in(
         choice: config.choice,
         workers: config.workers,
         cache: config.cache,
+        keying: config.keying,
         incremental: config.incremental,
         budget: config.budget.clone(),
         chaos: config.chaos.clone(),

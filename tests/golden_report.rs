@@ -13,6 +13,7 @@
 use delinearization::corpus::stream::riceps_units;
 use delinearization::dep::budget::BudgetSpec;
 use delinearization::vic::batch::{BatchConfig, BatchRunner, BatchUnit, RetryPolicy};
+use delinearization::vic::cache::KeyMode;
 use delinearization::vic::deps::TestChoice;
 
 const GOLDEN_PATH: &str = "tests/golden/riceps_batch_report.txt";
@@ -30,6 +31,7 @@ fn pinned_report() -> String {
         unit_parallelism: 0,
         shared_cache: true,
         cache: true,
+        keying: KeyMode::Fp,
         incremental: true,
         induction: true,
         linearize: true,

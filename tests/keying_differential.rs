@@ -1,0 +1,95 @@
+//! Differential test of the verdict-cache key representations.
+//!
+//! [`KeyMode::Fp`] (structural fingerprints, the hot path) and
+//! [`KeyMode::Str`] (eagerly rendered canonical strings, the legacy
+//! baseline) are two encodings of the *same* partition of dependence
+//! problems, so swapping one for the other must be observationally
+//! invisible: byte-identical batch reports, identical per-unit verdict
+//! statistics, and the same set of memoized canonical problems — across
+//! worker counts and unit arrival orders, on the pinned corpus and on
+//! randomized ones.
+
+use delinearization::corpus::stream::{generated_units, refinement_units, riceps_units};
+use delinearization::vic::batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit};
+use delinearization::vic::cache::{KeyMode, VerdictCache};
+use delinearization::vic::pipeline::{run_pipeline_in, PipelineConfig};
+use proptest::prelude::*;
+
+/// A mixed corpus small enough for CI: size-reduced RiCEPS, generated
+/// nests (concrete and symbolic environments), refinement-heavy nests.
+fn corpus() -> Vec<BatchUnit> {
+    riceps_units(Some(120)).chain(generated_units(8, 99)).chain(refinement_units(6, 99)).collect()
+}
+
+fn run(units: Vec<BatchUnit>, keying: KeyMode, workers: usize, reversed: bool) -> BatchStats {
+    let mut units = units;
+    if reversed {
+        units.reverse();
+    }
+    let config = BatchConfig { keying, workers, ..BatchConfig::default() };
+    BatchRunner::new(config).run(units)
+}
+
+/// The corpus sweep: every (workers, arrival order) cell must agree between
+/// the two keyings — on the rendered bytes and on the per-unit fields.
+#[test]
+fn keyings_render_identically_across_workers_and_orders() {
+    for workers in [1usize, 4] {
+        for reversed in [false, true] {
+            let fp = run(corpus(), KeyMode::Fp, workers, reversed);
+            let st = run(corpus(), KeyMode::Str, workers, reversed);
+            assert_eq!(
+                fp.render(),
+                st.render(),
+                "workers={workers} reversed={reversed}: keying leaked into the report"
+            );
+            assert_eq!(fp.distinct_problems, st.distinct_problems);
+            assert_eq!(fp.cross_unit_hits, st.cross_unit_hits);
+            for (a, b) in fp.units.iter().zip(&st.units) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.edges_fp, b.edges_fp, "unit {}", a.name);
+                assert_eq!(a.stats.verdict_stats(), b.stats.verdict_stats(), "unit {}", a.name);
+            }
+        }
+    }
+}
+
+/// Both keyings memoize the same canonical key set: the fingerprint cache
+/// renders its string keys lazily (once per miss), and a fingerprint
+/// collision would merge two strings into one cell — so equal sorted key
+/// sets on a shared corpus-scale cache is the collision check.
+#[test]
+fn keyings_memoize_the_same_canonical_key_set() {
+    let mut keys = Vec::new();
+    for mode in [KeyMode::Fp, KeyMode::Str] {
+        let cache = VerdictCache::shared_with(mode);
+        let config = PipelineConfig::default();
+        for unit in corpus() {
+            let config = PipelineConfig { assumptions: unit.assumptions.clone(), ..config.clone() };
+            let _ = run_pipeline_in(&unit.source, &config, Some(&cache));
+        }
+        assert!(!cache.is_empty());
+        keys.push(cache.debug_keys());
+    }
+    assert_eq!(keys[0], keys[1], "fingerprint and string caches partition differently");
+}
+
+proptest! {
+    /// Randomized corpora: any mix of generated and refinement units, any
+    /// seed, serial or parallel — the keying knob never shows.
+    #[test]
+    fn random_corpora_are_keying_invariant(
+        seed in 0u64..1000,
+        gen_count in 1usize..6,
+        ref_count in 1usize..6,
+        parallel in 0usize..2,
+    ) {
+        let workers = [1usize, 4][parallel];
+        let units: Vec<BatchUnit> = generated_units(gen_count, seed)
+            .chain(refinement_units(ref_count, seed))
+            .collect();
+        let fp = run(units.clone(), KeyMode::Fp, workers, false);
+        let st = run(units, KeyMode::Str, workers, false);
+        prop_assert_eq!(fp.render(), st.render());
+    }
+}

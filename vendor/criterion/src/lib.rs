@@ -22,14 +22,9 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 const MAX_ITERS: u64 = 10_000;
 
 /// The benchmark harness handle passed to every bench function.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

@@ -1,0 +1,177 @@
+//! Minimal offline stand-in for the `fxhash` crate.
+//!
+//! The build environment has no network access and no registry cache, so —
+//! like `vendor/rand` — this path crate provides the small API subset the
+//! workspace actually uses: [`FxHasher`] (the Firefox/rustc multiply-rotate
+//! hash), the [`FxBuildHasher`] state, and the [`FxHashMap`] /
+//! [`FxHashSet`] aliases.
+//!
+//! FxHash is a *non-cryptographic* hasher: a rotate, an xor, and a multiply
+//! per word. It is several times faster than the standard library's
+//! SipHash-1-3 on short keys and is the conventional choice for interning
+//! tables keyed by values that are themselves already well-mixed (such as
+//! the precomputed structural fingerprints of `delin_vic::cache`). It
+//! provides **no** HashDoS resistance; never expose it to adversarial keys
+//! that were not pre-hashed.
+//!
+//! Beyond the upstream API this shim adds [`FxHasher::with_state`], used by
+//! `delin_numeric::fp128` to run two differently-seeded lanes over one
+//! traversal and produce a 128-bit fingerprint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the Firefox/rustc FxHash implementation: the
+/// fractional part of the golden ratio, scaled to 64 bits and made odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Bits rotated before each word is mixed in.
+const ROTATE: u32 = 5;
+
+/// A builder producing default-state [`FxHasher`]s, for `HashMap`-family
+/// containers.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// The FxHash streaming hasher: one rotate-xor-multiply per 64-bit word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// A hasher whose accumulator starts at `state` instead of zero. Two
+    /// hashers with different initial states run *decorrelated lanes* over
+    /// the same input — the basis of 128-bit fingerprinting.
+    pub fn with_state(state: u64) -> FxHasher {
+        FxHasher { hash: state }
+    }
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            // Mix the tail length in so "ab" + "c" != "a" + "bc".
+            self.add_to_hash(u64::from_le_bytes(word) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hashes one value with a default-state [`FxHasher`].
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash64("delinearization"), hash64("delinearization"));
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+    }
+
+    #[test]
+    fn distinct_inputs_hash_distinct() {
+        assert_ne!(hash64("a"), hash64("b"));
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+        // Chunk-boundary shifts must not collide.
+        assert_ne!(hash64(&("ab", "c")), hash64(&("a", "bc")));
+    }
+
+    #[test]
+    fn seeded_lanes_differ() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::with_state(0x9e37_79b9_7f4a_7c15);
+        a.write_u64(7);
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn byte_stream_matches_wordwise_padding_rules() {
+        // 8-byte exact chunks hash as words; the tail is length-tagged.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(h1.finish(), h2.finish());
+        let mut short = FxHasher::default();
+        short.write(&[1, 2, 3]);
+        let mut padded = FxHasher::default();
+        padded.write(&[1, 2, 3, 0]);
+        assert_ne!(short.finish(), padded.finish());
+    }
+}
