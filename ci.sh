@@ -20,17 +20,34 @@ PROPTEST_CASES=1024 DELIN_WORKERS=4 cargo test -q --release --test oracle_differ
 DELIN_WORKERS=1 cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
 DELIN_WORKERS=4 cargo run --release -q -p delin-bench --bin batch_corpus -- --verify --units 18 > /dev/null
 # Bench harness smoke: the three pinned workloads under both keying modes
-# must render byte-identically and emit a schema-valid BENCH_5.json.
+# plus the cold-vs-warm persistent-cache pass must render byte-identically
+# and emit a schema-valid bench JSON at the requested --bench-out path.
 cargo build --release -q -p delin-bench
 repo_root="$(pwd)"
 bench_tmp="$(mktemp -d)"
-(cd "$bench_tmp" && "$repo_root/target/release/batch_corpus" --bench --units 18 > /dev/null)
+(cd "$bench_tmp" && "$repo_root/target/release/batch_corpus" --bench --units 18 \
+  --bench-out bench_smoke.json > /dev/null)
 for key in '"schema": "delin-bench"' '"name": "riceps"' '"name": "generated"' \
-           '"name": "refinement"' '"dep_nanos_delta_pct"' '"totals"' '"reports_identical": true'; do
-  grep -qF "$key" "$bench_tmp/BENCH_5.json" \
-    || { echo "BENCH_5.json missing $key" >&2; exit 1; }
+           '"name": "refinement"' '"dep_nanos_delta_pct"' '"totals"' '"reports_identical": true' \
+           '"warm_start"' '"persistent_hits"'; do
+  grep -qF "$key" "$bench_tmp/bench_smoke.json" \
+    || { echo "bench_smoke.json missing $key" >&2; exit 1; }
 done
 rm -rf "$bench_tmp"
+# Warm-start gate: a cold run writes the persistent verdict cache, a warm
+# rerun loads it; stdout must be byte-identical and the warm run must
+# report nonzero persistent hits on stderr.
+warm_tmp="$(mktemp -d)"
+"$repo_root/target/release/batch_corpus" --units 18 --cache-file "$warm_tmp/cache.bin" \
+  > "$warm_tmp/cold.out" 2> "$warm_tmp/cold.err"
+"$repo_root/target/release/batch_corpus" --units 18 --cache-file "$warm_tmp/cache.bin" \
+  > "$warm_tmp/warm.out" 2> "$warm_tmp/warm.err"
+diff "$warm_tmp/cold.out" "$warm_tmp/warm.out" \
+  || { echo "warm-start report differs from cold report" >&2; exit 1; }
+grep -qE 'persistent-cache: loaded=[1-9][0-9]* hits=[1-9][0-9]* saved=[1-9][0-9]*' \
+  "$warm_tmp/warm.err" \
+  || { echo "warm run reported no persistent-cache traffic:" >&2; cat "$warm_tmp/warm.err" >&2; exit 1; }
+rm -rf "$warm_tmp"
 # Fault-injection suite: seeded chaos (panics, zero-node budgets, expired
 # deadlines) must leave reports byte-identical across worker counts.
 cargo test -q --features chaos --test chaos_suite

@@ -16,11 +16,24 @@
 //!   keying A/B (fingerprint vs string cache keys) and fail unless the
 //!   reports are byte-identical and both modes memoize the same canonical
 //!   key set (a fingerprint collision would shrink the fp side's key set);
+//!   then run the warm-start A/B (a cold run that writes the persistent
+//!   tier, a warm run that loads it) and fail unless the two reports are
+//!   byte-identical and the warm run actually hit disk-seeded entries;
 //! * `--bench` — measure the three pinned workloads (RiCEPS, generated,
-//!   refinement-heavy) under both keying modes, best-of-`--reps` runs, and
-//!   write the machine-readable `BENCH_5.json` next to the working
-//!   directory (see the README's Performance section for the schema);
+//!   refinement-heavy) under both keying modes plus a cold-vs-warm
+//!   persistent-cache pass, best-of-`--reps` runs, and write the
+//!   machine-readable bench JSON (default `BENCH_6.json`; see the README's
+//!   Performance section for the schema);
+//! * `--bench-out PATH` — where `--bench` writes its JSON (so a new bench
+//!   never silently overwrites a committed baseline);
 //! * `--reps N` — repetitions per bench measurement (default 3);
+//! * `--cache-file PATH` — persistent verdict cache: seed the shared cache
+//!   from `PATH` before the run and rewrite it atomically after, so a
+//!   later invocation starts warm. Stale or corrupt files degrade to a
+//!   cold start. The `persistent-cache:` summary goes to stderr, keeping
+//!   stdout byte-identical between cold and warm runs;
+//! * `--cache-cap N` — bound the verdict caches to `N` entries with LRU
+//!   eviction (default: `DELIN_CACHE_CAP`, 0 = unbounded);
 //! * `--no-incremental` — disable incremental exact solving (the A/B
 //!   baseline; equivalent to `DELIN_INCREMENTAL=0`);
 //! * `--chaos` — inject deterministic faults (panics, zero-node budgets,
@@ -38,14 +51,15 @@
 use delin_corpus::stream::{generated_units, refinement_units, riceps_units};
 use delin_dep::budget::{BudgetSpec, CancelToken};
 use delin_vic::batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit};
-use delin_vic::cache::KeyMode;
+use delin_vic::cache::{cache_cap_from_env, KeyMode};
 use delin_vic::chaos::ChaosPlan;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 const GENERATED_SEED: u64 = 20260805;
-const BENCH_PATH: &str = "BENCH_5.json";
+const DEFAULT_BENCH_PATH: &str = "BENCH_6.json";
 
 fn corpus(full: bool, gen_units: usize) -> Vec<BatchUnit> {
     let lines = if full { None } else { Some(400) };
@@ -55,6 +69,11 @@ fn corpus(full: bool, gen_units: usize) -> Vec<BatchUnit> {
 fn arg_value(name: &str) -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
 /// Everything one batch run needs; `--verify` and `--bench` legs derive
@@ -68,6 +87,8 @@ struct RunSpec {
     chaos: Option<ChaosPlan>,
     incremental: bool,
     keying: KeyMode,
+    cache_cap: usize,
+    cache_file: Option<PathBuf>,
     cancel: CancelToken,
 }
 
@@ -78,6 +99,8 @@ impl RunSpec {
             chaos: self.chaos,
             incremental: self.incremental,
             keying: self.keying,
+            cache_cap: self.cache_cap,
+            cache_file: self.cache_file.clone(),
             budget: BudgetSpec { cancel: Some(self.cancel.clone()), ..BudgetSpec::default() },
             ..BatchConfig::default()
         }
@@ -100,32 +123,38 @@ fn run(spec: &RunSpec) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut expect_value = false;
+    let mut expect_count = false;
+    let mut expect_path = false;
     for a in &args {
         match a.as_str() {
-            "--full" | "--verify" | "--bench" | "--chaos" | "--no-incremental" => {
-                expect_value = false;
-            }
-            "--units" | "--workers" | "--reps" => expect_value = true,
-            _ if expect_value => {
+            _ if expect_count => {
                 if a.parse::<usize>().is_err() {
                     eprintln!("invalid count: {a}");
                     std::process::exit(2);
                 }
-                expect_value = false;
+                expect_count = false;
             }
+            _ if expect_path => expect_path = false,
+            "--full" | "--verify" | "--bench" | "--chaos" | "--no-incremental" => {}
+            "--units" | "--workers" | "--reps" | "--cache-cap" => expect_count = true,
+            "--cache-file" | "--bench-out" => expect_path = true,
             _ => {
                 eprintln!("unknown argument: {a}");
                 eprintln!(
                     "usage: batch_corpus [--full] [--verify] [--bench] [--chaos] \
-                     [--no-incremental] [--units N] [--workers N] [--reps N]"
+                     [--no-incremental] [--units N] [--workers N] [--reps N] \
+                     [--cache-cap N] [--cache-file PATH] [--bench-out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if expect_value {
-        eprintln!("missing count after --units/--workers/--reps");
+    if expect_count {
+        eprintln!("missing count after --units/--workers/--reps/--cache-cap");
+        std::process::exit(2);
+    }
+    if expect_path {
+        eprintln!("missing path after --cache-file/--bench-out");
         std::process::exit(2);
     }
     let full = args.iter().any(|a| a == "--full");
@@ -148,12 +177,15 @@ fn main() {
         chaos,
         incremental,
         keying: KeyMode::from_env(),
+        cache_cap: arg_value("--cache-cap").unwrap_or_else(cache_cap_from_env),
+        cache_file: arg_str("--cache-file").map(PathBuf::from),
         cancel,
     };
 
     if bench {
         let reps = arg_value("--reps").unwrap_or(3).max(1);
-        std::process::exit(run_bench(&spec, reps));
+        let bench_out = PathBuf::from(arg_str("--bench-out").unwrap_or(DEFAULT_BENCH_PATH.into()));
+        std::process::exit(run_bench(&spec, reps, &bench_out));
     }
 
     println!("batch engine: RiCEPS + {gen_units} generated units, shared verdict cache");
@@ -196,6 +228,10 @@ fn main() {
             eprintln!("FAIL keying A/B: {msg}");
             std::process::exit(1);
         }
+        if let Err(msg) = verify_persistence_ab(&spec) {
+            eprintln!("FAIL warm-start A/B: {msg}");
+            std::process::exit(1);
+        }
         println!();
         println!("all runs byte-identical; reference report:");
         println!();
@@ -203,8 +239,26 @@ fn main() {
         finish(&spec.cancel);
     }
 
-    print!("{}", run(&spec));
+    let stats = stats(&spec);
+    print!("{}", stats.render());
+    report_persistence(&spec, &stats);
     finish(&spec.cancel);
+}
+
+/// The `--cache-file` summary. Deliberately on stderr: stdout must stay
+/// byte-identical between a cold and a warm run (the determinism contract),
+/// while these counters are exactly what differs between them.
+fn report_persistence(spec: &RunSpec, stats: &BatchStats) {
+    if spec.cache_file.is_none() {
+        return;
+    }
+    eprintln!(
+        "persistent-cache: loaded={} hits={} saved={}",
+        stats.persistent_loaded, stats.persistent_hits, stats.persistent_saved
+    );
+    if let Some(e) = &stats.persist_error {
+        eprintln!("persistent-cache: flush failed: {e}");
+    }
 }
 
 /// Exits, reporting cancellation: a run interrupted by ctrl-C still printed
@@ -301,6 +355,47 @@ fn verify_keying_ab(spec: &RunSpec) -> Result<(), String> {
     Ok(())
 }
 
+/// The warm-start A/B leg of `--verify`: a cold run writes the persistent
+/// verdict cache, a warm run of the same corpus loads it. Because cache
+/// attribution is charged at decide time (never read back from live cache
+/// state), disk-seeded entries may change only *where* a verdict comes
+/// from, never what is reported — so the two renders must be byte-identical
+/// while the warm run demonstrably hits the persistent tier.
+fn verify_persistence_ab(spec: &RunSpec) -> Result<(), String> {
+    let path = std::env::temp_dir().join(format!("delin-verify-cache-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    // Persistence is fingerprint-only; pin the keying so the leg still
+    // exercises the tier under `DELIN_KEYING=string`.
+    let ab = RunSpec { cache_file: Some(path.clone()), keying: KeyMode::Fp, ..spec.clone() };
+    let cold = stats(&ab);
+    let warm = stats(&ab);
+    let verdict = (|| {
+        if let Some(e) = &cold.persist_error {
+            return Err(format!("cold run failed to flush: {e}"));
+        }
+        if cold.persistent_saved == 0 {
+            return Err("cold run persisted no entries".into());
+        }
+        if warm.persistent_loaded == 0 {
+            return Err("warm run loaded no entries".into());
+        }
+        if warm.persistent_hits == 0 {
+            return Err("warm run never hit a disk-seeded entry".into());
+        }
+        if cold.render() != warm.render() {
+            return Err("warm report differs from cold report".into());
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_file(&path);
+    verdict?;
+    println!(
+        "OK   warm-start A/B: reports byte-identical, {} persisted, {} loaded, {} disk hits",
+        cold.persistent_saved, warm.persistent_loaded, warm.persistent_hits
+    );
+    Ok(())
+}
+
 /// Resolves the fault-injection plan for this invocation. Without `--chaos`
 /// the environment gate applies as everywhere else (`DELIN_CHAOS_SEED`,
 /// feature-gated); with `--chaos` a plan is mandatory, so the flag is a
@@ -380,6 +475,7 @@ struct WorkloadBench {
     distinct_problems: usize,
     fp: KeyingMeasure,
     string: KeyingMeasure,
+    warm: WarmStart,
 }
 
 impl WorkloadBench {
@@ -395,6 +491,29 @@ impl WorkloadBench {
     }
 }
 
+/// The persistent-tier measurement: the same workload run cold (writing the
+/// cache file) and then warm (loading it).
+struct WarmStart {
+    cold_dep_nanos: u128,
+    warm_dep_nanos: u128,
+    persistent_loaded: usize,
+    persistent_hits: u64,
+    reports_identical: bool,
+}
+
+impl WarmStart {
+    /// How much cheaper the warm run's dependence-test nanos are than the
+    /// cold run's, in percent (positive = warm start wins).
+    fn delta_pct(&self) -> f64 {
+        if self.cold_dep_nanos == 0 {
+            return 0.0;
+        }
+        let cold = self.cold_dep_nanos as f64;
+        let warm = self.warm_dep_nanos as f64;
+        (cold - warm) * 100.0 / cold
+    }
+}
+
 /// The three pinned workloads. Regenerated per rep (the generators are pure
 /// functions of `(seed, index)`), so no rep sees another's allocations.
 fn bench_workloads(full: bool, gen_units: usize) -> Vec<(&'static str, Vec<BatchUnit>)> {
@@ -405,9 +524,47 @@ fn bench_workloads(full: bool, gen_units: usize) -> Vec<(&'static str, Vec<Batch
     ]
 }
 
-fn run_bench(spec: &RunSpec, reps: usize) -> i32 {
+/// Cold-vs-warm measurement for one workload: each rep deletes the cache
+/// file, runs cold (flushing the tier), and reruns warm. Best rep = lowest
+/// warm dependence-test nanos.
+fn bench_warm_start(spec: &RunSpec, name: &str, reps: usize) -> Option<WarmStart> {
+    let path =
+        std::env::temp_dir().join(format!("delin-bench-cache-{}-{name}.bin", std::process::id()));
+    let workload = |full, gen_units| {
+        bench_workloads(full, gen_units)
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, u)| u)
+            .unwrap_or_default()
+    };
+    let mut best: Option<WarmStart> = None;
+    for _ in 0..reps {
+        if spec.cancel.is_cancelled() {
+            break;
+        }
+        let _ = std::fs::remove_file(&path);
+        let config =
+            BatchConfig { keying: KeyMode::Fp, cache_file: Some(path.clone()), ..spec.config() };
+        let cold = BatchRunner::new(config.clone()).run(workload(spec.full, spec.gen_units));
+        let warm = BatchRunner::new(config).run(workload(spec.full, spec.gen_units));
+        let measure = WarmStart {
+            cold_dep_nanos: cold.totals.test_nanos,
+            warm_dep_nanos: warm.totals.test_nanos,
+            persistent_loaded: warm.persistent_loaded,
+            persistent_hits: warm.persistent_hits,
+            reports_identical: cold.render() == warm.render(),
+        };
+        if best.as_ref().is_none_or(|b| measure.warm_dep_nanos < b.warm_dep_nanos) {
+            best = Some(measure);
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    best
+}
+
+fn run_bench(spec: &RunSpec, reps: usize, bench_out: &Path) -> i32 {
     println!(
-        "bench: 3 pinned workloads x 2 keying modes, best of {reps} rep(s), \
+        "bench: 3 pinned workloads x 2 keying modes + warm-start pass, best of {reps} rep(s), \
          workers={}, gen_units={}",
         if spec.workers == 0 { "auto".into() } else { spec.workers.to_string() },
         spec.gen_units
@@ -457,6 +614,18 @@ fn run_bench(spec: &RunSpec, reps: usize) -> i32 {
             eprintln!("FAIL {name}: report differs between fp and string keying");
             failures += 1;
         }
+        let Some(warm) = bench_warm_start(spec, name, reps) else {
+            eprintln!("interrupted: bench aborted, no BENCH file written");
+            return 130;
+        };
+        if !warm.reports_identical {
+            eprintln!("FAIL {name}: warm-start report differs from cold report");
+            failures += 1;
+        }
+        if warm.persistent_hits == 0 {
+            eprintln!("FAIL {name}: warm run hit no persisted entries");
+            failures += 1;
+        }
         let (units, pairs_tested, solver_nodes, cache_hits, cache_misses, distinct_problems) =
             shape.expect("at least one rep ran");
         let record = WorkloadBench {
@@ -469,6 +638,7 @@ fn run_bench(spec: &RunSpec, reps: usize) -> i32 {
             distinct_problems,
             fp,
             string,
+            warm,
         };
         println!(
             "  {:<11} {:>3} units  {:>6} pairs  dep nanos fp {:>12} / string {:>12}  ({:+.1}%)",
@@ -479,15 +649,23 @@ fn run_bench(spec: &RunSpec, reps: usize) -> i32 {
             record.string.dep_nanos,
             record.dep_nanos_delta_pct()
         );
+        println!(
+            "  {:<11} warm-start dep nanos cold {:>12} / warm {:>12}  ({:+.1}%, {} disk hits)",
+            "",
+            record.warm.cold_dep_nanos,
+            record.warm.warm_dep_nanos,
+            record.warm.delta_pct(),
+            record.warm.persistent_hits
+        );
         records.push(record);
     }
     if failures > 0 {
-        eprintln!("{failures} keying mismatch(es); no BENCH file written");
+        eprintln!("{failures} bench invariant violation(s); no BENCH file written");
         return 1;
     }
     let json = render_bench_json(spec, reps, &records);
-    if let Err(e) = std::fs::write(BENCH_PATH, &json) {
-        eprintln!("cannot write {BENCH_PATH}: {e}");
+    if let Err(e) = std::fs::write(bench_out, &json) {
+        eprintln!("cannot write {}: {e}", bench_out.display());
         return 1;
     }
     let total_fp: u128 = records.iter().map(|r| r.fp.dep_nanos).sum();
@@ -497,9 +675,18 @@ fn run_bench(spec: &RunSpec, reps: usize) -> i32 {
     } else {
         (total_st as f64 - total_fp as f64) * 100.0 / total_st as f64
     };
+    let total_cold: u128 = records.iter().map(|r| r.warm.cold_dep_nanos).sum();
+    let total_warm: u128 = records.iter().map(|r| r.warm.warm_dep_nanos).sum();
+    let warm_delta = if total_cold == 0 {
+        0.0
+    } else {
+        (total_cold as f64 - total_warm as f64) * 100.0 / total_cold as f64
+    };
     println!();
     println!(
-        "total dep nanos: fp {total_fp} / string {total_st} ({delta:+.1}%); wrote {BENCH_PATH}"
+        "total dep nanos: fp {total_fp} / string {total_st} ({delta:+.1}%); \
+         warm-start cold {total_cold} / warm {total_warm} ({warm_delta:+.1}%); wrote {}",
+        bench_out.display()
     );
     0
 }
@@ -512,13 +699,13 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Hand-rolled writer for `BENCH_5.json` — the workspace deliberately has
+/// Hand-rolled writer for the bench JSON — the workspace deliberately has
 /// no serde; the schema is small, flat, and documented in the README.
 fn render_bench_json(spec: &RunSpec, reps: usize, records: &[WorkloadBench]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"delin-bench\",");
-    let _ = writeln!(out, "  \"bench_id\": 5,");
+    let _ = writeln!(out, "  \"bench_id\": 6,");
     let _ = writeln!(out, "  \"config\": {{");
     let _ = writeln!(out, "    \"workers\": {},", spec.workers);
     let _ = writeln!(out, "    \"gen_units\": {},", spec.gen_units);
@@ -548,6 +735,14 @@ fn render_bench_json(spec: &RunSpec, reps: usize, records: &[WorkloadBench]) -> 
         let _ = writeln!(out, "      }},");
         let _ =
             writeln!(out, "      \"dep_nanos_delta_pct\": {},", json_f64(r.dep_nanos_delta_pct()));
+        let _ = writeln!(out, "      \"warm_start\": {{");
+        let _ = writeln!(out, "        \"cold_dep_test_nanos\": {},", r.warm.cold_dep_nanos);
+        let _ = writeln!(out, "        \"warm_dep_test_nanos\": {},", r.warm.warm_dep_nanos);
+        let _ = writeln!(out, "        \"dep_nanos_delta_pct\": {},", json_f64(r.warm.delta_pct()));
+        let _ = writeln!(out, "        \"persistent_loaded\": {},", r.warm.persistent_loaded);
+        let _ = writeln!(out, "        \"persistent_hits\": {},", r.warm.persistent_hits);
+        let _ = writeln!(out, "        \"reports_identical\": {}", r.warm.reports_identical);
+        let _ = writeln!(out, "      }},");
         let _ = writeln!(out, "      \"reports_identical\": true");
         let _ = writeln!(out, "    }}{}", if i + 1 < records.len() { "," } else { "" });
     }
@@ -561,12 +756,22 @@ fn render_bench_json(spec: &RunSpec, reps: usize, records: &[WorkloadBench]) -> 
     } else {
         (total_st as f64 - total_fp as f64) * 100.0 / total_st as f64
     };
+    let total_cold: u128 = records.iter().map(|r| r.warm.cold_dep_nanos).sum();
+    let total_warm: u128 = records.iter().map(|r| r.warm.warm_dep_nanos).sum();
+    let warm_delta = if total_cold == 0 {
+        0.0
+    } else {
+        (total_cold as f64 - total_warm as f64) * 100.0 / total_cold as f64
+    };
     let _ = writeln!(out, "  \"totals\": {{");
     let _ = writeln!(out, "    \"dep_test_nanos_fp\": {total_fp},");
     let _ = writeln!(out, "    \"dep_test_nanos_string\": {total_st},");
     let _ = writeln!(out, "    \"dep_nanos_delta_pct\": {},", json_f64(delta));
     let _ = writeln!(out, "    \"wall_ms_fp\": {},", json_f64(total_wall_fp as f64 / 1.0e6));
-    let _ = writeln!(out, "    \"wall_ms_string\": {}", json_f64(total_wall_st as f64 / 1.0e6));
+    let _ = writeln!(out, "    \"wall_ms_string\": {},", json_f64(total_wall_st as f64 / 1.0e6));
+    let _ = writeln!(out, "    \"warm_start_cold_dep_test_nanos\": {total_cold},");
+    let _ = writeln!(out, "    \"warm_start_warm_dep_test_nanos\": {total_warm},");
+    let _ = writeln!(out, "    \"warm_start_delta_pct\": {}", json_f64(warm_delta));
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out

@@ -274,6 +274,12 @@ pub struct SubtreeStore {
     trees: Mutex<HashMap<u128, SolveTree, FxBuildHasher>>,
 }
 
+/// One exported solve tree: the base problem's fingerprint plus its
+/// refinements as `(direction prefix, outcome, nodes spent)` triples — the
+/// plain-data shape [`SubtreeStore::export`] produces and
+/// [`SubtreeStore::import`] accepts.
+pub type TreeRecord = (u128, Vec<(Vec<Dir>, SolveOutcome, u64)>);
+
 impl SubtreeStore {
     /// An enabled store (the default configuration).
     pub fn new() -> SubtreeStore {
@@ -299,6 +305,48 @@ impl SubtreeStore {
     /// `true` when no tree has been memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Every memoized solve tree as plain data, in deterministic order:
+    /// base-problem fingerprints ascending, each tree's refinements in the
+    /// `BTreeMap` key order. This is the serialization boundary the
+    /// persistent verdict cache uses; degraded outcomes never enter a tree,
+    /// so the export only ever contains replayable proofs.
+    pub fn export(&self) -> Vec<TreeRecord> {
+        let trees = self.lock();
+        let mut out: Vec<_> = trees
+            .iter()
+            .map(|(k, tree)| {
+                let entries = tree
+                    .entries
+                    .iter()
+                    .map(|(dirs, e)| (dirs.clone(), e.outcome.clone(), e.nodes))
+                    .collect();
+                (*k, entries)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Rebuilds memoized trees from records produced by
+    /// [`SubtreeStore::export`]. Degraded outcomes are skipped (they are
+    /// never storable), and a disabled store imports nothing.
+    pub fn import(&self, records: &[TreeRecord]) {
+        if !self.enabled {
+            return;
+        }
+        let mut trees = self.lock();
+        for (k, entries) in records {
+            let tree = trees.entry(*k).or_default();
+            for (dirs, outcome, nodes) in entries {
+                if outcome.is_degraded() {
+                    continue;
+                }
+                tree.entries
+                    .insert(dirs.clone(), TreeEntry { outcome: outcome.clone(), nodes: *nodes });
+            }
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u128, SolveTree, FxBuildHasher>> {

@@ -67,11 +67,12 @@
 //!   backoff is bounded). Only the final attempt's report is kept, which
 //!   keeps reports deterministic.
 
-use crate::cache::{KeyMode, VerdictCache};
+use crate::cache::{cache_cap_from_env, KeyMode, VerdictCache};
 use crate::chaos::{ChaosCtx, ChaosPlan, FaultKind};
 use crate::deps::{
     incremental_from_env, workers_from_env, DepEdge, DepStats, TestChoice, VerdictStats,
 };
+use crate::persist;
 use crate::pipeline::{run_pipeline_in, PipelineConfig};
 use delin_dep::budget::BudgetSpec;
 use delin_numeric::Assumptions;
@@ -79,6 +80,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// One program unit of a batch: a named mini-FORTRAN source plus the
@@ -144,6 +146,20 @@ pub struct BatchConfig {
     pub linearize: bool,
     /// Derive symbol bounds from loop bounds (loops execute at least once).
     pub infer_loop_assumptions: bool,
+    /// Entry capacity of the shared cross-unit cache — and of per-unit
+    /// private caches — in entries; `0` = unbounded (the historical
+    /// behavior). Bounded caches evict least-recently-used entries;
+    /// per-unit rows and corpus totals are byte-identical under any
+    /// capacity (only the eviction counter itself, rendered only when a
+    /// capacity is set, observes eviction). The default reads
+    /// `DELIN_CACHE_CAP`.
+    pub cache_cap: usize,
+    /// Persistent verdict-cache file (see [`crate::persist`]). When set
+    /// (and the shared cache is enabled under fingerprint keying), the
+    /// runner seeds the shared cache from this file before the batch and
+    /// rewrites it atomically after — a later run starts warm. Stale,
+    /// corrupt, truncated or wrong-version files degrade to a cold start.
+    pub cache_file: Option<PathBuf>,
     /// Per-unit resource budget for dependence analysis. Armed afresh for
     /// every unit attempt, so one slow unit cannot consume another's
     /// allowance. The default reads `DELIN_DEADLINE_MS`.
@@ -168,6 +184,8 @@ impl Default for BatchConfig {
             induction: true,
             linearize: true,
             infer_loop_assumptions: true,
+            cache_cap: cache_cap_from_env(),
+            cache_file: None,
             budget: BudgetSpec::default(),
             retry: RetryPolicy::default(),
             chaos: ChaosPlan::from_env(),
@@ -326,6 +344,26 @@ pub struct BatchStats {
     pub cross_unit_hits: usize,
     /// Total vectorized statements across units.
     pub vectorized_statements: usize,
+    /// Shared-cache entry capacity in force (`0` = unbounded). Rendered
+    /// (with [`BatchStats::cache_evictions`]) only when nonzero, so
+    /// unbounded corpora keep the historical render.
+    pub cache_capacity: usize,
+    /// Entries the shared cache evicted during this run. Deterministic for
+    /// a fixed arrival order on one worker; scheduling-dependent otherwise,
+    /// which is why it lives outside [`VerdictStats`] and the per-unit rows.
+    pub cache_evictions: u64,
+    /// Verdicts seeded into the shared cache from [`BatchConfig::cache_file`]
+    /// before the run. `0` when no file was given (or it was cold/invalid).
+    pub persistent_loaded: usize,
+    /// Unit lookups answered by a disk-seeded entry: the work the
+    /// persistent tier saved this process. Excluded from [`BatchStats::render`]
+    /// so warm and cold runs stay byte-identical.
+    pub persistent_hits: u64,
+    /// Entries written back to [`BatchConfig::cache_file`] after the run.
+    pub persistent_saved: usize,
+    /// I/O error from the post-run flush, if any: persistence failures
+    /// never fail the batch, they surface here.
+    pub persist_error: Option<String>,
 }
 
 impl BatchStats {
@@ -394,9 +432,21 @@ impl BatchStats {
         }
         match self.distinct_problems {
             Some(d) => {
+                // The capacity segment appears only when a bound is set:
+                // unbounded corpora keep the historical line, and the
+                // eviction counter (the one scheduling-sensitive figure)
+                // stays out of determinism-checked renders by default.
+                let mut cache_tail = String::new();
+                if self.cache_capacity > 0 {
+                    let _ = write!(
+                        cache_tail,
+                        " capacity={} evictions={}",
+                        self.cache_capacity, self.cache_evictions
+                    );
+                }
                 let _ = writeln!(
                     out,
-                    "shared-cache: distinct={} cross-unit-hits={}",
+                    "shared-cache: distinct={} cross-unit-hits={}{cache_tail}",
                     d, self.cross_unit_hits
                 );
             }
@@ -442,8 +492,16 @@ impl BatchRunner {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
         let (unit_workers, engine_workers) = self.config.worker_split();
-        let shared =
-            self.config.shared_cache.then(|| VerdictCache::shared_with(self.config.keying));
+        let shared = self
+            .config
+            .shared_cache
+            .then(|| VerdictCache::shared_with_cap(self.config.keying, self.config.cache_cap));
+        // Warm start: seed the shared cache from the persistent tier before
+        // any unit runs. Invalid files load partially or not at all.
+        let mut persistent_loaded = 0;
+        if let (Some(cache), Some(path)) = (shared.as_ref(), self.config.cache_file.as_ref()) {
+            persistent_loaded = persist::load(cache, path).loaded;
+        }
         let stream_panics = AtomicUsize::new(0);
 
         let mut reports: Vec<UnitReport> = if unit_workers <= 1 {
@@ -513,6 +571,17 @@ impl BatchRunner {
         // other unit had already charged it.
         let cross_unit_hits =
             distinct_problems.map_or(0, |d| totals.cache_misses.saturating_sub(d));
+        // Flush the persistent tier on the way out (clean or cancelled runs
+        // alike — degraded verdicts are never memoized, so the cache holds
+        // only sound entries). I/O failure degrades to a reported error.
+        let mut persistent_saved = 0;
+        let mut persist_error = None;
+        if let (Some(cache), Some(path)) = (shared.as_ref(), self.config.cache_file.as_ref()) {
+            match persist::save(cache, path) {
+                Ok(n) => persistent_saved = n,
+                Err(e) => persist_error = Some(format!("{path:?}: {e}")),
+            }
+        }
         BatchStats {
             units: reports,
             parse_failures,
@@ -522,6 +591,12 @@ impl BatchRunner {
             distinct_problems,
             cross_unit_hits,
             vectorized_statements,
+            cache_capacity: shared.as_ref().map_or(0, |c| c.capacity()),
+            cache_evictions: shared.as_ref().map_or(0, |c| c.evictions()),
+            persistent_loaded,
+            persistent_hits: shared.as_ref().map_or(0, |c| c.persistent_hits()),
+            persistent_saved,
+            persist_error,
         }
     }
 
@@ -609,6 +684,7 @@ impl BatchRunner {
             cache: self.config.cache,
             keying: self.config.keying,
             incremental: self.config.incremental,
+            cache_cap: self.config.cache_cap,
             budget,
             chaos,
         };

@@ -63,6 +63,32 @@
 //!   Every cached entry is therefore a full-budget verdict, which keeps
 //!   cached results a pure function of the canonical key even when units
 //!   run under different (or escalating retry) budgets.
+//!
+//! # Bounded capacity
+//!
+//! The cache is bounded by an optional capacity
+//! ([`VerdictCache::capacity`], env knob `DELIN_CACHE_CAP`, `0` =
+//! unbounded — bit-compatible with the historical cache). Capacity is split
+//! evenly across the shards; when an insert pushes a shard over its share,
+//! the least-recently-touched entry is evicted — except entries whose
+//! compute slot is in flight (`Computing`), which are never evicted. Eviction is invisible to every determinism contract: per-run
+//! hit/miss/attempt statistics are attributed at fold time from key
+//! fingerprints (see [`crate::deps::DepStats::attempts_by`]), not from live
+//! cache state, and a re-computed entry is a pure function of its canonical
+//! key — so edges, verdicts and reports are byte-identical under any
+//! capacity. Only the [`VerdictCache::evictions`] counter itself observes
+//! eviction; it is deterministic for a serial run with a fixed arrival
+//! order and excluded from `VerdictStats` and all rendered reports (the
+//! corpus render appends it only when a capacity is set).
+//!
+//! # Persistent tier
+//!
+//! [`crate::persist`] serializes memoized entries (fingerprint, rendered
+//! canonical key, outcome, solver state) to a versioned, checksummed file
+//! and seeds them back at startup. Seeded cells are marked, so
+//! [`VerdictCache::persistent_hits`] counts the lookups a warm start
+//! answered without solving. Only full-budget outcomes ever reach the
+//! cache, so a warm start can never replay a degraded verdict.
 
 use delin_dep::budget::DegradeReason;
 use delin_dep::exact::SubtreeStore;
@@ -74,11 +100,19 @@ use fxhash::FxBuildHasher;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 
 /// Number of independent lock shards. A small power of two is plenty: the
 /// critical sections only insert/lookup an `Arc`, never solve.
 const SHARDS: usize = 16;
+
+/// The default cache capacity: the `DELIN_CACHE_CAP` environment variable
+/// when set to a number of entries, else `0` — unbounded, bit-compatible
+/// with the historical cache.
+pub fn cache_cap_from_env() -> usize {
+    std::env::var("DELIN_CACHE_CAP").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0)
+}
 
 /// How the verdict cache represents its keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +198,10 @@ struct ComputeCell {
     /// instead). Exists for debug dumps and the keying A/B verification —
     /// never consulted on the hit path.
     rendered: OnceLock<String>,
+    /// `true` when this cell was seeded from the persistent tier; hits on
+    /// such cells count toward [`VerdictCache::persistent_hits`]. Fixed at
+    /// construction, so the hit path reads a plain bool.
+    from_disk: bool,
 }
 
 enum CellState {
@@ -190,12 +228,34 @@ impl ComputeCell {
             state: Mutex::new(CellState::Idle),
             cond: Condvar::new(),
             rendered: OnceLock::new(),
+            from_disk: false,
         }
+    }
+
+    /// A cell seeded from the persistent tier: born `Ready` with its
+    /// rendered key attached and marked so hits on it count as persistent.
+    fn seeded(rendered: String, outcome: CachedOutcome) -> ComputeCell {
+        let cell = ComputeCell {
+            state: Mutex::new(CellState::Ready(Arc::new(outcome))),
+            cond: Condvar::new(),
+            rendered: OnceLock::new(),
+            from_disk: true,
+        };
+        let _ = cell.rendered.set(rendered);
+        cell
     }
 
     /// `true` when a full-budget outcome is memoized in this cell.
     fn is_ready(&self) -> bool {
         matches!(*lock_recover(&self.state), CellState::Ready(_))
+    }
+
+    /// `true` unless some worker is computing into this cell right now:
+    /// in-flight compute slots are never evicted (the worker holds the
+    /// cell `Arc`, so eviction would orphan its memoization, and waiters
+    /// parked on the condvar must find the outcome where they left it).
+    fn is_evictable(&self) -> bool {
+        !matches!(*lock_recover(&self.state), CellState::Computing)
     }
 
     /// Returns the memoized outcome, computing it first if necessary.
@@ -261,11 +321,21 @@ pub struct CacheLookup {
     pub key_fp: u64,
 }
 
+/// One shard-map slot: the cell plus its LRU stamp.
+struct Slot {
+    cell: Arc<ComputeCell>,
+    /// Value of the cache clock at this slot's last touch; the eviction
+    /// scan removes the smallest stamp first. Atomic so hits can refresh
+    /// it under the shard's *read* lock, keeping the hit path wait-free
+    /// with respect to other readers.
+    last_use: AtomicU64,
+}
+
 /// The shard array in either key representation. Both variants map the
 /// same partition of problems to cells; see the module docs.
 enum ShardMap {
-    Fp(Vec<RwLock<HashMap<u128, Arc<ComputeCell>, FxBuildHasher>>>),
-    Str(Vec<RwLock<HashMap<String, Arc<ComputeCell>>>>),
+    Fp(Vec<RwLock<HashMap<u128, Slot, FxBuildHasher>>>),
+    Str(Vec<RwLock<HashMap<String, Slot>>>),
 }
 
 /// A verdict cache keyed by canonicalized dependence problems.
@@ -282,30 +352,90 @@ pub struct VerdictCache {
     /// The environment baked in by [`VerdictCache::new`]; `None` for shared
     /// caches, whose lookups carry their environment explicitly.
     env: Option<Assumptions>,
+    /// Total entry capacity; `0` = unbounded (the historical behavior).
+    capacity: usize,
+    /// Per-shard entry cap derived from `capacity` (`0` = unbounded).
+    shard_cap: usize,
+    /// Monotonic logical clock stamping every touch, for LRU eviction.
+    clock: AtomicU64,
+    /// Entries evicted to stay within `capacity`.
+    evictions: AtomicU64,
+    /// Lookups answered by an entry seeded from the persistent tier.
+    persistent_hits: AtomicU64,
+    /// Entries seeded from the persistent tier at load time.
+    persistent_seeded: AtomicU64,
 }
 
 impl VerdictCache {
     /// An empty cache for one run under the given assumptions, keyed per
-    /// [`KeyMode::from_env`].
+    /// [`KeyMode::from_env`] and bounded per [`cache_cap_from_env`].
     pub fn new(assumptions: &Assumptions) -> VerdictCache {
         VerdictCache::new_with(assumptions, KeyMode::from_env())
     }
 
     /// An empty cache for one run under the given assumptions, with an
-    /// explicit key representation.
+    /// explicit key representation (capacity per [`cache_cap_from_env`]).
     pub fn new_with(assumptions: &Assumptions, mode: KeyMode) -> VerdictCache {
-        VerdictCache { shards: new_shards(mode), env: Some(assumptions.clone()) }
+        VerdictCache::with_parts(mode, Some(assumptions.clone()), cache_cap_from_env())
     }
 
     /// An empty cache safe to share across program units analyzed under
-    /// different assumption environments, keyed per [`KeyMode::from_env`].
+    /// different assumption environments, keyed per [`KeyMode::from_env`]
+    /// and bounded per [`cache_cap_from_env`].
     pub fn shared() -> VerdictCache {
         VerdictCache::shared_with(KeyMode::from_env())
     }
 
-    /// An empty shareable cache with an explicit key representation.
+    /// An empty shareable cache with an explicit key representation
+    /// (capacity per [`cache_cap_from_env`]).
     pub fn shared_with(mode: KeyMode) -> VerdictCache {
-        VerdictCache { shards: new_shards(mode), env: None }
+        VerdictCache::with_parts(mode, None, cache_cap_from_env())
+    }
+
+    /// An empty shareable cache with an explicit key representation and an
+    /// explicit entry capacity (`0` = unbounded).
+    pub fn shared_with_cap(mode: KeyMode, capacity: usize) -> VerdictCache {
+        VerdictCache::with_parts(mode, None, capacity)
+    }
+
+    fn with_parts(mode: KeyMode, env: Option<Assumptions>, capacity: usize) -> VerdictCache {
+        VerdictCache {
+            shards: new_shards(mode),
+            env,
+            capacity,
+            shard_cap: capacity.div_ceil(SHARDS),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            persistent_hits: AtomicU64::new(0),
+            persistent_seeded: AtomicU64::new(0),
+        }
+    }
+
+    /// The entry capacity this cache enforces (`0` = unbounded). Capacity
+    /// splits evenly across the shards, so a shard may evict while the
+    /// total entry count is still a little below this number.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries have been evicted to respect [`VerdictCache::capacity`].
+    /// Deterministic for a serial run with a fixed arrival order; under
+    /// concurrent workers the victim choice depends on scheduling, so this
+    /// counter is surfaced but never enters any determinism-checked report.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered by an entry seeded from the persistent tier (every
+    /// hit on a seeded cell counts, so one warm entry referenced by many
+    /// pairs counts many times).
+    pub fn persistent_hits(&self) -> u64 {
+        self.persistent_hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries seeded from the persistent tier at load time.
+    pub fn persistent_seeded(&self) -> u64 {
+        self.persistent_seeded.load(Ordering::Relaxed)
     }
 
     /// The key representation this cache was built with.
@@ -330,20 +460,20 @@ impl VerdictCache {
 
     fn for_each_cell_count(&self, pred: impl Fn(&ComputeCell) -> bool) -> usize {
         let count_in =
-            |cells: &mut dyn Iterator<Item = Arc<ComputeCell>>| cells.filter(|c| pred(c)).count();
+            |slots: &mut dyn Iterator<Item = Arc<ComputeCell>>| slots.filter(|c| pred(c)).count();
         match &self.shards {
             ShardMap::Fp(shards) => shards
                 .iter()
                 .map(|s| {
                     let map = s.read().unwrap_or_else(PoisonError::into_inner);
-                    count_in(&mut map.values().cloned())
+                    count_in(&mut map.values().map(|slot| Arc::clone(&slot.cell)))
                 })
                 .sum(),
             ShardMap::Str(shards) => shards
                 .iter()
                 .map(|s| {
                     let map = s.read().unwrap_or_else(PoisonError::into_inner);
-                    count_in(&mut map.values().cloned())
+                    count_in(&mut map.values().map(|slot| Arc::clone(&slot.cell)))
                 })
                 .sum(),
         }
@@ -364,9 +494,9 @@ impl VerdictCache {
             ShardMap::Fp(shards) => {
                 for s in shards {
                     let map = s.read().unwrap_or_else(PoisonError::into_inner);
-                    for cell in map.values() {
-                        if cell.is_ready() {
-                            if let Some(k) = cell.rendered.get() {
+                    for slot in map.values() {
+                        if slot.cell.is_ready() {
+                            if let Some(k) = slot.cell.rendered.get() {
                                 keys.push(k.clone());
                             }
                         }
@@ -376,8 +506,8 @@ impl VerdictCache {
             ShardMap::Str(shards) => {
                 for s in shards {
                     let map = s.read().unwrap_or_else(PoisonError::into_inner);
-                    for (k, cell) in map.iter() {
-                        if cell.is_ready() {
+                    for (k, slot) in map.iter() {
+                        if slot.cell.is_ready() {
                             keys.push(k.clone());
                         }
                     }
@@ -392,17 +522,23 @@ impl VerdictCache {
     /// in at construction, running `compute` on it on the first sighting.
     /// Returns the outcome and whether it was a hit.
     ///
-    /// # Panics
-    ///
-    /// Panics on a cache built with [`VerdictCache::shared`] — shared
-    /// lookups must pass their environment to [`VerdictCache::lookup`].
-    #[allow(clippy::expect_used)] // documented contract, pinned by a test
+    /// On a cache built with [`VerdictCache::shared`] — no baked-in
+    /// environment — this degrades to a conservative no-memoize path: the
+    /// canonical problem is computed and the outcome returned, but nothing
+    /// is stored or reused, because without an environment the entry's key
+    /// would be wrong for symbolic problems. Shared lookups that want
+    /// memoization must pass their environment to [`VerdictCache::lookup`].
+    /// (This misuse used to panic, which poisoned the calling worker; see
+    /// `envless_get_or_compute_degrades_to_no_memoize`.)
     pub fn get_or_compute(
         &self,
         problem: &DependenceProblem<SymPoly>,
         compute: impl FnOnce(&DependenceProblem<SymPoly>) -> CachedOutcome,
     ) -> (Arc<CachedOutcome>, bool) {
-        let env = self.env.as_ref().expect("shared caches must use lookup()");
+        let Some(env) = self.env.as_ref() else {
+            let (_, canonical) = canonicalize(problem, "");
+            return (Arc::new(compute(&canonical)), false);
+        };
         let l = self.lookup_in(env, problem, compute);
         (l.outcome, !l.computed)
     }
@@ -441,7 +577,7 @@ impl VerdictCache {
                 // shard choice stay decorrelated.
                 let key_fp = (fp >> 64) as u64;
                 let shard = &shards[(fp as usize) % SHARDS];
-                let cell = probe(shard, &fp);
+                let cell = self.probe_fp(shard, fp);
                 let (outcome, computed) = cell.get_or_compute(|| {
                     // Miss: now (and only now) materialize the canonical
                     // problem for the solver and the string key for debug.
@@ -450,6 +586,9 @@ impl VerdictCache {
                     let _ = cell.rendered.set(key);
                     compute(&canonical)
                 });
+                if !computed && cell.from_disk {
+                    self.persistent_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 CacheLookup { outcome, computed, key_fp }
             }
             ShardMap::Str(shards) => {
@@ -458,41 +597,146 @@ impl VerdictCache {
                 let (key, canonical) = canonicalize(problem, &env);
                 let key_fp = fingerprint(&key);
                 let shard = &shards[(key_fp as usize) % SHARDS];
-                let cell = {
-                    let read = shard.read().unwrap_or_else(PoisonError::into_inner);
-                    read.get(&key).cloned()
-                };
-                let cell = match cell {
-                    Some(c) => c,
-                    None => {
-                        let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
-                        write.entry(key).or_insert_with(|| Arc::new(ComputeCell::new())).clone()
-                    }
-                };
+                let cell = self.probe_str(shard, key);
                 let (outcome, computed) = cell.get_or_compute(|| compute(&canonical));
                 CacheLookup { outcome, computed, key_fp }
             }
         }
     }
-}
 
-/// Fast path probe for the fingerprint shard: read-lock first (hits never
-/// take the write lock), insert an idle cell under the write lock on miss.
-/// A poisoned shard lock only means some worker panicked while holding it;
-/// the map itself is never left mid-mutation (inserts are single entry
-/// operations), so recover the guard and keep going.
-fn probe(
-    shard: &RwLock<HashMap<u128, Arc<ComputeCell>, FxBuildHasher>>,
-    fp: &u128,
-) -> Arc<ComputeCell> {
-    {
-        let read = shard.read().unwrap_or_else(PoisonError::into_inner);
-        if let Some(c) = read.get(fp) {
-            return Arc::clone(c);
+    /// Fast path probe for the fingerprint shard: read-lock first (hits
+    /// never take the write lock, refreshing their LRU stamp atomically),
+    /// insert an idle cell under the write lock on miss and evict if the
+    /// shard ran over its share of the capacity. A poisoned shard lock only
+    /// means some worker panicked while holding it; the map itself is never
+    /// left mid-mutation (inserts are single entry operations), so recover
+    /// the guard and keep going.
+    fn probe_fp(
+        &self,
+        shard: &RwLock<HashMap<u128, Slot, FxBuildHasher>>,
+        fp: u128,
+    ) -> Arc<ComputeCell> {
+        {
+            let read = shard.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(slot) = read.get(&fp) {
+                self.touch(slot);
+                return Arc::clone(&slot.cell);
+            }
+        }
+        let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = write.get(&fp) {
+            self.touch(slot);
+            return Arc::clone(&slot.cell);
+        }
+        let cell = Arc::new(ComputeCell::new());
+        write.insert(fp, self.new_slot(Arc::clone(&cell)));
+        self.evict_over_cap(&mut write, &fp);
+        cell
+    }
+
+    /// The string-keyed analogue of `probe_fp`.
+    fn probe_str(&self, shard: &RwLock<HashMap<String, Slot>>, key: String) -> Arc<ComputeCell> {
+        {
+            let read = shard.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(slot) = read.get(&key) {
+                self.touch(slot);
+                return Arc::clone(&slot.cell);
+            }
+        }
+        let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = write.get(&key) {
+            self.touch(slot);
+            return Arc::clone(&slot.cell);
+        }
+        let cell = Arc::new(ComputeCell::new());
+        let guard_key = key.clone();
+        write.insert(key, self.new_slot(Arc::clone(&cell)));
+        self.evict_over_cap(&mut write, &guard_key);
+        cell
+    }
+
+    /// Refreshes a slot's LRU stamp.
+    fn touch(&self, slot: &Slot) {
+        slot.last_use.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn new_slot(&self, cell: Arc<ComputeCell>) -> Slot {
+        Slot { cell, last_use: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)) }
+    }
+
+    /// Evicts least-recently-touched entries until the shard is back under
+    /// its share of the capacity. The entry just inserted and entries with
+    /// a compute in flight are never victims; if nothing else is evictable
+    /// the shard briefly exceeds its share instead.
+    fn evict_over_cap<K: Hash + Eq + Clone, S: std::hash::BuildHasher>(
+        &self,
+        map: &mut HashMap<K, Slot, S>,
+        just_inserted: &K,
+    ) {
+        if self.shard_cap == 0 {
+            return;
+        }
+        while map.len() > self.shard_cap {
+            let victim = map
+                .iter()
+                .filter(|(k, slot)| *k != just_inserted && slot.cell.is_evictable())
+                .min_by_key(|(_, slot)| slot.last_use.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
         }
     }
-    let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
-    Arc::clone(write.entry(*fp).or_insert_with(|| Arc::new(ComputeCell::new())))
+
+    /// Seeds one entry loaded from the persistent tier: inserted `Ready`
+    /// with its rendered canonical key attached, marked so later hits count
+    /// as persistent. Returns `false` (storing nothing) for string-keyed
+    /// caches (persistence is fingerprint-only), for degraded outcomes
+    /// (never persisted, and never memoized even if a file claimed one),
+    /// and for fingerprints already present.
+    pub(crate) fn seed_entry(&self, fp: u128, rendered: String, outcome: CachedOutcome) -> bool {
+        let ShardMap::Fp(shards) = &self.shards else { return false };
+        if outcome.degraded.is_some() {
+            return false;
+        }
+        let shard = &shards[(fp as usize) % SHARDS];
+        let mut write = shard.write().unwrap_or_else(PoisonError::into_inner);
+        if write.contains_key(&fp) {
+            return false;
+        }
+        let cell = Arc::new(ComputeCell::seeded(rendered, outcome));
+        write.insert(fp, self.new_slot(cell));
+        self.evict_over_cap(&mut write, &fp);
+        self.persistent_seeded.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Every memoized fingerprint entry with its rendered canonical key and
+    /// outcome, sorted by fingerprint — the deterministic export the
+    /// persistent tier serializes. Empty for string-keyed caches (the
+    /// string baseline exists only for A/B verification).
+    pub(crate) fn export_entries(&self) -> Vec<(u128, String, Arc<CachedOutcome>)> {
+        let ShardMap::Fp(shards) = &self.shards else { return Vec::new() };
+        let mut out = Vec::new();
+        for s in shards {
+            let map = s.read().unwrap_or_else(PoisonError::into_inner);
+            for (fp, slot) in map.iter() {
+                let ready = match &*lock_recover(&slot.cell.state) {
+                    CellState::Ready(o) => Some(Arc::clone(o)),
+                    _ => None,
+                };
+                if let (Some(outcome), Some(key)) = (ready, slot.cell.rendered.get()) {
+                    out.push((*fp, key.clone(), outcome));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(fp, _, _)| *fp);
+        out
+    }
 }
 
 fn new_shards(mode: KeyMode) -> ShardMap {
@@ -994,11 +1238,111 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second), "hit must share the stored Arc");
     }
 
+    /// Regression: an envless `get_or_compute` on a shared cache used to
+    /// panic (`expect("shared caches must use lookup()")`), turning an API
+    /// misuse into a poisoned worker. It now degrades to a conservative
+    /// no-memoize path: the canonical problem is computed and returned on
+    /// every call, and nothing is ever stored.
     #[test]
-    #[should_panic(expected = "shared caches must use lookup()")]
-    fn shared_cache_rejects_envless_lookups() {
+    fn envless_get_or_compute_degrades_to_no_memoize() {
         let cache = VerdictCache::shared();
-        let _ = cache.get_or_compute(&two_eq_problem([0, 1]), |_| outcome(0));
+        let mut runs = 0;
+        for _ in 0..2 {
+            let (out, hit) = cache.get_or_compute(&two_eq_problem([0, 1]), |canon| {
+                assert_eq!(canon.equations().len(), 2, "compute still sees the canonical form");
+                runs += 1;
+                outcome(runs)
+            });
+            assert!(!hit, "the no-memoize path can never report a hit");
+            assert_eq!(out.solver_nodes, runs);
+        }
+        assert_eq!(runs, 2, "every envless call recomputes");
+        assert!(cache.is_empty(), "nothing may be memoized without an environment");
+    }
+
+    /// A bounded cache evicts least-recently-touched entries once a shard
+    /// exceeds its share of the capacity, stays bounded, keeps answering
+    /// correctly for evicted keys (by recomputing), and counts evictions
+    /// deterministically for a fixed serial arrival order.
+    #[test]
+    fn capacity_bounds_entries_and_counts_evictions_deterministically() {
+        fn problem(c: i128) -> DependenceProblem<SymPoly> {
+            let mut b = DependenceProblem::<SymPoly>::builder();
+            b.var("x", poly(4));
+            b.var("y", poly(9));
+            b.equation(poly(c), vec![poly(1), poly(10)]);
+            b.build()
+        }
+        let mut counts = Vec::new();
+        for _ in 0..2 {
+            let cache = VerdictCache::shared_with_cap(KeyMode::Fp, 1);
+            assert_eq!(cache.capacity(), 1);
+            let env = Assumptions::new();
+            for c in 0..50 {
+                let l = cache.lookup(&env, &problem(c), |_| outcome(c as u64));
+                assert!(l.computed, "distinct structures always miss");
+            }
+            // Capacity 1 rounds up to one entry per shard.
+            assert!(cache.len() <= SHARDS, "cache must stay bounded, got {}", cache.len());
+            assert!(cache.evictions() >= (50 - SHARDS) as u64);
+            // Evicted keys recompute and still answer correctly.
+            let l = cache.lookup(&env, &problem(0), |_| outcome(0));
+            assert_eq!(l.outcome.solver_nodes, 0);
+            counts.push(cache.evictions());
+        }
+        assert_eq!(counts[0], counts[1], "serial eviction counts must be reproducible");
+
+        // Unbounded (capacity 0) never evicts.
+        let cache = VerdictCache::shared_with_cap(KeyMode::Fp, 0);
+        let env = Assumptions::new();
+        for c in 0..50 {
+            let _ = cache.lookup(&env, &problem(c), |_| outcome(0));
+        }
+        assert_eq!(cache.len(), 50);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    /// Entries whose compute slot is in flight are never evicted: a cell
+    /// that inserts heavy pressure *during its own compute* still gets
+    /// memoized and hits afterwards.
+    #[test]
+    fn in_flight_compute_slots_are_never_evicted() {
+        fn problem(c: i128) -> DependenceProblem<SymPoly> {
+            let mut b = DependenceProblem::<SymPoly>::builder();
+            b.var("x", poly(4));
+            b.var("y", poly(9));
+            b.equation(poly(c), vec![poly(1), poly(10)]);
+            b.build()
+        }
+        let cache = VerdictCache::shared_with_cap(KeyMode::Fp, 1);
+        let env = Assumptions::new();
+        let l = cache.lookup(&env, &problem(1000), |_| {
+            // While this cell is `Computing`, flood every shard.
+            for c in 0..50 {
+                let _ = cache.lookup(&env, &problem(c), |_| outcome(0));
+            }
+            outcome(77)
+        });
+        assert!(l.computed);
+        let again = cache.lookup(&env, &problem(1000), |_| outcome(0));
+        assert!(!again.computed, "the in-flight cell must have survived the flood");
+        assert_eq!(again.outcome.solver_nodes, 77);
+    }
+
+    /// Both key modes evict; the string baseline stays behaviorally aligned.
+    #[test]
+    fn string_keyed_caches_evict_too() {
+        let cache = VerdictCache::shared_with_cap(KeyMode::Str, 1);
+        let env = Assumptions::new();
+        for c in 0..50 {
+            let mut b = DependenceProblem::<SymPoly>::builder();
+            b.var("x", poly(4));
+            b.var("y", poly(9));
+            b.equation(poly(c), vec![poly(1), poly(10)]);
+            let _ = cache.lookup(&env, &b.build(), |_| outcome(0));
+        }
+        assert!(cache.len() <= SHARDS);
+        assert!(cache.evictions() > 0);
     }
 
     /// Degraded outcomes reach their caller but never the store: the next

@@ -114,6 +114,17 @@ pub struct DepStats {
     /// Exact-solver nodes the subtree replays avoided re-spending (the
     /// incremental win; compare against [`DepStats::solver_nodes`]).
     pub nodes_saved: u64,
+    /// Entries evicted from the verdict cache while this run executed, to
+    /// respect [`DepStats::cache_capacity`]. Deterministic for a serial run
+    /// with a fixed arrival order; under concurrent workers (or a cache
+    /// shared with concurrently-running units) the victim choice depends on
+    /// scheduling. Deliberately **excluded** from [`VerdictStats`] and every
+    /// determinism-checked report — eviction never changes verdicts or
+    /// attribution, only who re-computes. `0` with an unbounded cache.
+    pub cache_evictions: u64,
+    /// The verdict-cache entry capacity in force (`0` = unbounded; see
+    /// `DELIN_CACHE_CAP`).
+    pub cache_capacity: usize,
     /// Pairs whose verdict was reached under an exhausted resource budget
     /// and therefore degraded to a conservative answer. Deterministic for
     /// node-limit budgets; deadline and cancellation trips depend on wall
@@ -215,6 +226,15 @@ impl DepStats {
                 self.refine_queries, self.subtree_reuses, self.nodes_saved
             );
         }
+        // Only rendered when a bounded cache actually evicted, keeping the
+        // historical summary shape for unbounded runs.
+        if self.cache_evictions > 0 {
+            let _ = writeln!(
+                out,
+                "evictions: {} (capacity {})",
+                self.cache_evictions, self.cache_capacity
+            );
+        }
         // Only rendered when something actually degraded, so budget-clean
         // runs keep the historical byte-identical summary.
         if self.degraded_pairs > 0 {
@@ -255,6 +275,8 @@ impl DepStats {
         }
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_capacity = self.cache_capacity.max(other.cache_capacity);
         self.solver_nodes += other.solver_nodes;
         self.refine_queries += other.refine_queries;
         self.subtree_reuses += other.subtree_reuses;
@@ -382,6 +404,13 @@ pub struct EngineConfig {
     /// edges are identical either way. Defaults to
     /// [`incremental_from_env`].
     pub incremental: bool,
+    /// Entry capacity for the private verdict cache (`0` = unbounded; see
+    /// [`crate::cache::cache_cap_from_env`] / `DELIN_CACHE_CAP`). Bounded
+    /// caches evict least-recently-used entries; edges, verdicts and all
+    /// determinism-checked statistics are identical under any capacity.
+    /// Ignored when a shared cache is passed in (the cache carries its own
+    /// capacity).
+    pub cache_cap: usize,
     /// Resource budget specification. Armed once per graph construction
     /// (the deadline covers the whole run); each pair then observes the
     /// armed limits through a fresh trip flag, so exhaustion degrades that
@@ -401,6 +430,7 @@ impl Default for EngineConfig {
             cache: true,
             keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
+            cache_cap: crate::cache::cache_cap_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
         }
@@ -525,9 +555,13 @@ pub fn build_dependence_graph_in(
         }
     }
 
-    let private =
-        (shared.is_none() && config.cache).then(|| VerdictCache::shared_with(config.keying));
+    let private = (shared.is_none() && config.cache)
+        .then(|| VerdictCache::shared_with_cap(config.keying, config.cache_cap));
     let cache = shared.or(private.as_ref());
+    // Snapshot so a shared cache only charges this run the evictions that
+    // happened during it (best-effort attribution under concurrency; exact
+    // for private caches — and excluded from all determinism contracts).
+    let evictions_before = cache.map_or(0, VerdictCache::evictions);
     let workers = config.effective_workers(worklist.len());
     // Arm once: the deadline clock covers the whole construction. Pairs
     // derive per-pair trip flags from this via `ResourceBudget::fresh`.
@@ -555,6 +589,9 @@ pub fn build_dependence_graph_in(
     let mut charged: Vec<u64> = seen_keys.into_iter().collect();
     charged.sort_unstable();
     graph.charged_keys = charged;
+    graph.stats.cache_capacity = cache.map_or(0, VerdictCache::capacity);
+    graph.stats.cache_evictions =
+        cache.map_or(0, VerdictCache::evictions).saturating_sub(evictions_before);
     graph
 }
 

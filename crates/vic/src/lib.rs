@@ -20,7 +20,8 @@
 //!    linearize aliased arrays → analyze → vectorize → print;
 //! 5. [`batch`] — the corpus driver: stream many program units through the
 //!    pipeline on a bounded worker pool, sharing one verdict cache across
-//!    units, with a deterministic corpus-level report. The runner is
+//!    units (optionally bounded via `DELIN_CACHE_CAP` and persisted across
+//!    processes via [`persist`]), with a deterministic corpus-level report. The runner is
 //!    fault-tolerant: each unit runs under a resource budget ([`delin_dep::budget`])
 //!    and behind a panic boundary, so a pathological or crashing unit
 //!    degrades to a per-unit failure row instead of taking the batch down;
@@ -37,15 +38,17 @@ pub mod cache;
 pub mod chaos;
 pub mod codegen;
 pub mod deps;
+pub mod persist;
 pub mod pipeline;
 pub mod scc;
 
 pub use batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit, UnitOutcome, UnitReport};
-pub use cache::{env_key, CacheLookup, CachedOutcome, VerdictCache};
+pub use cache::{cache_cap_from_env, env_key, CacheLookup, CachedOutcome, VerdictCache};
 pub use chaos::{ChaosCtx, ChaosPlan, FaultKind};
 pub use codegen::{vectorize, VectorStmt};
 pub use deps::{
     build_dependence_graph, build_dependence_graph_in, build_dependence_graph_with,
     workers_from_env, DepEdge, DepGraph, DepKind, DepStats, EngineConfig, TestChoice, VerdictStats,
 };
+pub use persist::LoadReport;
 pub use pipeline::{run_pipeline, run_pipeline_in, PipelineConfig, PipelineReport};

@@ -47,6 +47,10 @@ pub struct PipelineConfig {
     /// pure perf knob, identical edges and verdicts either way. The
     /// default reads `DELIN_INCREMENTAL` (`0` disables).
     pub incremental: bool,
+    /// Verdict-cache entry capacity (see [`EngineConfig::cache_cap`]);
+    /// `0` = unbounded. The default reads `DELIN_CACHE_CAP`. Ignored when
+    /// a shared cache is passed in.
+    pub cache_cap: usize,
     /// Resource budget for dependence analysis (armed once per run; see
     /// [`EngineConfig::budget`]). The default reads `DELIN_DEADLINE_MS`.
     pub budget: BudgetSpec,
@@ -67,6 +71,7 @@ impl Default for PipelineConfig {
             cache: true,
             keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
+            cache_cap: crate::cache::cache_cap_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
         }
@@ -167,6 +172,7 @@ pub fn run_pipeline_in(
         cache: config.cache,
         keying: config.keying,
         incremental: config.incremental,
+        cache_cap: config.cache_cap,
         budget: config.budget.clone(),
         chaos: config.chaos.clone(),
     };

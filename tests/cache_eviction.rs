@@ -1,0 +1,95 @@
+//! Bounded verdict-cache eviction is invisible to every reported number.
+//!
+//! The cache charges hit/miss attribution at decide time from the problem's
+//! structural fingerprint and a per-run `seen` set — never from live cache
+//! state — so evicting an entry can only cause recomputation, never change
+//! a verdict or a counter. These tests pin that contract across a capacity
+//! × worker-count × arrival-order matrix: every cell must reproduce the
+//! unbounded baseline's per-unit rows and corpus totals exactly, while the
+//! tiny-capacity cells must actually evict. The eviction counter itself is
+//! the one scheduling-sensitive figure, so it is asserted deterministic
+//! only where scheduling is fixed (serial, same order).
+
+use delinearization::corpus::stream::{generated_units, riceps_units};
+use delinearization::vic::batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit};
+
+fn corpus() -> Vec<BatchUnit> {
+    riceps_units(Some(150)).chain(generated_units(6, 7)).collect()
+}
+
+fn run(cache_cap: usize, workers: usize, reversed: bool) -> BatchStats {
+    let mut units = corpus();
+    if reversed {
+        units.reverse();
+    }
+    let config = BatchConfig { cache_cap, workers, ..BatchConfig::default() };
+    BatchRunner::new(config).run(units)
+}
+
+/// Everything the report derives from must match the unbounded baseline.
+fn assert_same_analysis(got: &BatchStats, baseline: &BatchStats, label: &str) {
+    assert_eq!(got.units.len(), baseline.units.len(), "{label}");
+    for (a, b) in got.units.iter().zip(&baseline.units) {
+        assert_eq!(a.name, b.name, "{label}");
+        assert_eq!(a.edges, b.edges, "{label}: {}", a.name);
+        assert_eq!(a.edges_fp, b.edges_fp, "{label}: {}", a.name);
+        assert_eq!(a.vectorized_statements, b.vectorized_statements, "{label}: {}", a.name);
+        assert_eq!(a.stats.verdict_stats(), b.stats.verdict_stats(), "{label}: {}", a.name);
+    }
+    assert_eq!(got.totals.verdict_stats(), baseline.totals.verdict_stats(), "{label}");
+    assert_eq!(got.distinct_problems, baseline.distinct_problems, "{label}");
+    assert_eq!(got.cross_unit_hits, baseline.cross_unit_hits, "{label}");
+}
+
+/// A bounded run's render differs from the unbounded baseline's only in the
+/// ` capacity=N evictions=M` tail of the shared-cache line.
+fn strip_capacity_tail(render: &str) -> String {
+    match render.find(" capacity=") {
+        None => render.to_string(),
+        Some(start) => {
+            let end = render[start..].find('\n').map_or(render.len(), |i| start + i);
+            format!("{}{}", &render[..start], &render[end..])
+        }
+    }
+}
+
+#[test]
+fn capacity_matrix_reproduces_the_unbounded_analysis() {
+    let baseline = run(0, 1, false);
+    assert_eq!(baseline.cache_capacity, 0);
+    assert_eq!(baseline.cache_evictions, 0);
+    let exact = baseline.distinct_problems.expect("shared cache on");
+    assert!(exact > 4, "corpus too small to exercise eviction");
+
+    for cap in [4, exact, 0] {
+        for workers in [1, 4] {
+            for reversed in [false, true] {
+                let label = format!("cap={cap} workers={workers} reversed={reversed}");
+                let got = run(cap, workers, reversed);
+                assert_same_analysis(&got, &baseline, &label);
+                assert_eq!(got.cache_capacity, cap, "{label}");
+                if cap == 0 {
+                    assert_eq!(got.render(), baseline.render(), "{label}");
+                    assert_eq!(got.cache_evictions, 0, "{label}");
+                } else {
+                    assert_eq!(strip_capacity_tail(&got.render()), baseline.render(), "{label}");
+                }
+                if cap == 4 {
+                    // A 4-entry bound over `exact` distinct problems must
+                    // actually evict; attribution above proved it silently.
+                    assert!(got.cache_evictions > 0, "{label}: no evictions");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_eviction_counts_are_deterministic() {
+    for reversed in [false, true] {
+        let a = run(4, 1, reversed);
+        let b = run(4, 1, reversed);
+        assert_eq!(a.cache_evictions, b.cache_evictions, "reversed={reversed}");
+        assert!(a.cache_evictions > 0);
+    }
+}

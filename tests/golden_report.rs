@@ -36,6 +36,8 @@ fn pinned_report() -> String {
         induction: true,
         linearize: true,
         infer_loop_assumptions: true,
+        cache_cap: 0,
+        cache_file: None,
         budget: BudgetSpec::nodes_only(1_000_000),
         retry: RetryPolicy::default(),
         chaos: None,
