@@ -48,6 +48,32 @@ grep -qE 'persistent-cache: loaded=[1-9][0-9]* hits=[1-9][0-9]* saved=[1-9][0-9]
   "$warm_tmp/warm.err" \
   || { echo "warm run reported no persistent-cache traffic:" >&2; cat "$warm_tmp/warm.err" >&2; exit 1; }
 rm -rf "$warm_tmp"
+# Daemon smoke gate: the golden request script through the delin_serve
+# binary must reproduce the pinned response stream byte-for-byte (the
+# serve protocol/robustness/budget suites already ran at DELIN_WORKERS=1
+# and =4 above, as part of the whole-suite runs). The env scrub keeps
+# ambient DELIN_* knobs from perturbing the pinned bytes.
+serve_env() {
+  env -u DELIN_DEADLINE_MS -u DELIN_INCREMENTAL -u DELIN_KEYING \
+      -u DELIN_CACHE_CAP -u DELIN_CHAOS_SEED DELIN_WORKERS=1 "$@"
+}
+serve_tmp="$(mktemp -d)"
+serve_env "$repo_root/target/release/delin_serve" --workers 1 \
+  < tests/golden/serve_requests.jsonl > "$serve_tmp/responses.jsonl" 2> /dev/null
+diff tests/golden/serve_responses.jsonl "$serve_tmp/responses.jsonl" \
+  || { echo "delin_serve responses differ from tests/golden/serve_responses.jsonl" >&2; exit 1; }
+# Warm daemon restart: a cold session writes the persistent cache, a
+# restarted daemon must answer the same script identically on stdout while
+# reporting nonzero disk hits on stderr.
+serve_env "$repo_root/target/release/delin_serve" --workers 1 --cache-file "$serve_tmp/cache.bin" \
+  < tests/golden/serve_requests.jsonl > "$serve_tmp/cold.jsonl" 2> /dev/null
+serve_env "$repo_root/target/release/delin_serve" --workers 1 --cache-file "$serve_tmp/cache.bin" \
+  < tests/golden/serve_requests.jsonl > "$serve_tmp/warm.jsonl" 2> "$serve_tmp/warm.err"
+diff "$serve_tmp/cold.jsonl" "$serve_tmp/warm.jsonl" \
+  || { echo "warm daemon restart answered differently from cold" >&2; exit 1; }
+grep -qE 'persistent-cache: loaded=[1-9][0-9]* hits=[1-9][0-9]*' "$serve_tmp/warm.err" \
+  || { echo "warm daemon restart reported no disk hits:" >&2; cat "$serve_tmp/warm.err" >&2; exit 1; }
+rm -rf "$serve_tmp"
 # Fault-injection suite: seeded chaos (panics, zero-node budgets, expired
 # deadlines) must leave reports byte-identical across worker counts.
 cargo test -q --features chaos --test chaos_suite

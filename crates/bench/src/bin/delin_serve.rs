@@ -1,0 +1,228 @@
+//! Analysis as a service: the long-lived jsonl daemon over the batch
+//! engine ([`delin_vic::serve`]).
+//!
+//! Reads newline-delimited JSON requests from stdin (default) or a Unix
+//! socket, and streams one JSON response per request — verdict edges,
+//! scheduling-independent statistics, degradation reasons — tagged with the
+//! client's request id. See the README's "Serving" section for the
+//! request/response schemas.
+//!
+//! Flags:
+//!
+//! * `--workers N` — total worker budget for the analysis pool (default:
+//!   auto / `DELIN_WORKERS`);
+//! * `--max-in-flight N` — admission bound: requests in flight at once;
+//!   further requests are rejected with an `overloaded` error (default 64);
+//! * `--nodes N` — default per-request solver-node budget (overridden by a
+//!   request's own `budget.nodes`);
+//! * `--deadline-ms N` — default per-request deadline, enforced from the
+//!   moment each request's analysis starts (overridden by
+//!   `budget.deadline_ms`);
+//! * `--cache-file PATH` — persistent verdict cache: seed the shared cache
+//!   from `PATH` before serving and rewrite it atomically after, so a
+//!   restarted daemon answers repeat requests from disk;
+//! * `--cache-cap N` — bound the shared cache to `N` entries with LRU
+//!   eviction (default: `DELIN_CACHE_CAP`, 0 = unbounded);
+//! * `--socket PATH` — serve sequential connections on a Unix socket
+//!   instead of stdin/stdout. One shared verdict cache warms across
+//!   connections; a client's `{"shutdown": true}` ends its own session,
+//!   SIGINT ends the daemon.
+//!
+//! Ctrl-C trips the daemon-wide [`CancelToken`]: in-flight requests degrade
+//! conservatively (their responses still arrive, attributed `cancelled`),
+//! the per-session summary still prints to stderr, and the process exits
+//! with the conventional 130.
+
+use delin_dep::budget::CancelToken;
+use delin_vic::cache::VerdictCache;
+use delin_vic::persist;
+use delin_vic::serve::{serve, serve_in, ServeConfig, ServeSummary};
+use std::io::BufReader;
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const USAGE: &str = "usage: delin_serve [--workers N] [--max-in-flight N] [--nodes N] \
+[--deadline-ms N] [--cache-file PATH] [--cache-cap N] [--socket PATH]";
+
+fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn check_args() {
+    let known = [
+        "--workers",
+        "--max-in-flight",
+        "--nodes",
+        "--deadline-ms",
+        "--cache-file",
+        "--cache-cap",
+        "--socket",
+    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if !known.contains(&arg) {
+            eprintln!("delin_serve: unknown argument {arg:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        if args.get(i + 1).is_none() {
+            eprintln!("delin_serve: {arg} needs a value");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+}
+
+fn main() {
+    check_args();
+    let shutdown = install_ctrl_c();
+    let mut config = ServeConfig::default();
+    if let Some(workers) = arg_value("--workers") {
+        config.batch.workers = workers;
+    }
+    if let Some(bound) = arg_value("--max-in-flight") {
+        config.max_in_flight = bound;
+    }
+    if let Some(nodes) = arg_value("--nodes") {
+        config.batch.budget.node_limit = nodes as u64;
+    }
+    if let Some(ms) = arg_value("--deadline-ms") {
+        config.batch.budget.deadline_ms = Some(ms as u64);
+    }
+    if let Some(cap) = arg_value("--cache-cap") {
+        config.batch.cache_cap = cap;
+    }
+    let cache_file = arg_str("--cache-file").map(PathBuf::from);
+
+    if let Some(path) = arg_str("--socket") {
+        if let Err(e) = run_socket(Path::new(&path), &config, &shutdown, cache_file.as_deref()) {
+            eprintln!("delin_serve: socket {path:?}: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        config.batch.cache_file = cache_file;
+        let stdin = std::io::stdin();
+        let summary = serve(stdin.lock(), std::io::stdout(), &config, &shutdown);
+        report(&summary);
+    }
+    if shutdown.is_cancelled() {
+        eprintln!("delin_serve: interrupted; in-flight requests degraded conservatively");
+        std::process::exit(130);
+    }
+}
+
+/// Sequential connections on a Unix socket, all warming one externally
+/// owned verdict cache (persisted around the accept loop, not per
+/// session). Accepting is non-blocking + polled so SIGINT ends the daemon
+/// even while it sits idle between connections.
+fn run_socket(
+    path: &Path,
+    config: &ServeConfig,
+    shutdown: &CancelToken,
+    cache_file: Option<&Path>,
+) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let cache = VerdictCache::shared_with_cap(config.batch.keying, config.batch.cache_cap);
+    if let Some(file) = cache_file {
+        let loaded = persist::load(&cache, file);
+        eprintln!("persistent-cache: loaded={} rejected={}", loaded.loaded, loaded.rejected);
+    }
+    while !shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let writer = stream.try_clone()?;
+                let summary =
+                    serve_in(BufReader::new(stream), writer, config, shutdown, Some(&cache));
+                report(&summary);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(e);
+            }
+        }
+    }
+    if let Some(file) = cache_file {
+        match persist::save(&cache, file) {
+            Ok(saved) => eprintln!("persistent-cache: saved={saved}"),
+            Err(e) => eprintln!("persistent-cache: flush failed: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// The per-session summary, on stderr so stdout stays pure protocol.
+fn report(summary: &ServeSummary) {
+    eprintln!(
+        "serve: admitted={} completed={} rejected={} cancels={} errors={}",
+        summary.admitted,
+        summary.completed,
+        summary.rejected,
+        summary.cancel_requests,
+        summary.protocol_errors
+    );
+    if summary.batch.persistent_loaded > 0
+        || summary.batch.persistent_hits > 0
+        || summary.batch.persistent_saved > 0
+    {
+        eprintln!(
+            "persistent-cache: loaded={} hits={} saved={}",
+            summary.batch.persistent_loaded,
+            summary.batch.persistent_hits,
+            summary.batch.persistent_saved
+        );
+    }
+    if let Some(e) = &summary.batch.persist_error {
+        eprintln!("persistent-cache: flush failed: {e}");
+    }
+    if let Some(e) = &summary.io_error {
+        eprintln!("serve: transport error: {e}");
+    }
+}
+
+// Signal wiring mirrors `batch_corpus`: the library crates forbid unsafe
+// code, so the one unsafe operation — registering a C signal handler —
+// lives in the binary. The handler only performs async-signal-safe work.
+
+const SIGINT: i32 = 2;
+
+static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(token) = CANCEL.get() {
+        token.cancel();
+    }
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+/// Installs the SIGINT handler once and returns the process-wide token it
+/// trips — the daemon-level shutdown token [`serve`] watches.
+fn install_ctrl_c() -> CancelToken {
+    let token = CANCEL.get_or_init(CancelToken::new).clone();
+    // SAFETY: `on_sigint` matches the C `void (*)(int)` handler signature
+    // and performs only async-signal-safe operations (see above).
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    token
+}

@@ -111,6 +111,33 @@ impl BatchUnit {
     }
 }
 
+/// One scheduled item of a channel-fed batch: a [`BatchUnit`] plus the
+/// per-job controls the serving layer needs. [`BatchRunner::run`] wraps
+/// plain units into default jobs; [`BatchRunner::run_jobs`] accepts them
+/// directly (for example off an [`std::sync::mpsc::Receiver`], which turns
+/// the runner's pull loop into a long-lived work queue).
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The unit to analyze.
+    pub unit: BatchUnit,
+    /// Per-job resource budget; `None` inherits [`BatchConfig::budget`].
+    /// Like the config-level budget it is armed afresh per attempt, so
+    /// deadlines are per-unit, never per-batch.
+    pub budget: Option<BudgetSpec>,
+    /// Collect the full dependence edge list into [`UnitReport::dep_edges`]
+    /// (off for plain batch runs, which only need counts + fingerprints).
+    pub want_edges: bool,
+    /// Opaque tag echoed to the completion sink; the serving layer keys
+    /// responses by it. Plain batch runs leave it `0`.
+    pub tag: u64,
+}
+
+impl From<BatchUnit> for BatchJob {
+    fn from(unit: BatchUnit) -> BatchJob {
+        BatchJob { unit, budget: None, want_edges: false, tag: 0 }
+    }
+}
+
 /// Configuration of the batch engine.
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
@@ -264,6 +291,10 @@ pub struct UnitReport {
     /// (see [`crate::deps::DepGraph::charged_keys`]); the batch unions them
     /// to count corpus-wide distinct problems.
     pub charged_keys: Vec<u64>,
+    /// The full dependence edge list, populated only when the job asked for
+    /// it ([`BatchJob::want_edges`]); empty for plain [`BatchRunner::run`]
+    /// batches, which report only [`UnitReport::edges`]/[`UnitReport::edges_fp`].
+    pub dep_edges: Vec<DepEdge>,
 }
 
 impl UnitReport {
@@ -319,8 +350,14 @@ impl UnitReport {
 #[derive(Debug, Clone)]
 pub struct BatchStats {
     /// Per-unit reports, sorted by unit name (ties broken structurally) so
-    /// arrival order cannot leak into the output.
+    /// arrival order cannot leak into the output. Empty when the caller
+    /// opted out of collection ([`BatchRunner::run_jobs`] with
+    /// `collect_reports = false` — long-lived servers stream reports
+    /// through the sink instead of accumulating them here).
     pub units: Vec<UnitReport>,
+    /// Units processed. Equal to `units.len()` when reports were collected;
+    /// still counts every unit when they were not.
+    pub unit_count: usize,
     /// Units that failed to parse.
     pub parse_failures: usize,
     /// Units whose every attempt panicked ([`UnitOutcome::Failed`]).
@@ -399,7 +436,7 @@ impl BatchStats {
             out,
             "corpus: units={} failures={} pairs={} independent={} conservative={} \
              cache={}h/{}m nodes={} vectorized={}{tail}",
-            self.units.len(),
+            self.unit_count,
             self.parse_failures,
             t.pairs_tested,
             t.proven_independent,
@@ -489,28 +526,80 @@ impl BatchRunner {
         I: IntoIterator<Item = BatchUnit>,
         I::IntoIter: Send,
     {
+        self.run_jobs(units.into_iter().map(BatchJob::from), true, |_, _| {})
+    }
+
+    /// Runs every job the iterator yields, invoking `sink(tag, report)` as
+    /// each unit completes. This is the channel-fed entry point: handing it
+    /// an [`std::sync::mpsc::Receiver`]'s iterator turns the worker pool
+    /// into a long-lived service loop that blocks for work and drains when
+    /// the sender side hangs up.
+    ///
+    /// `collect_reports` controls whether per-unit reports are also
+    /// accumulated into [`BatchStats::units`]; servers pass `false` so an
+    /// unbounded request stream cannot grow the report table without bound
+    /// (corpus totals are still aggregated incrementally).
+    ///
+    /// The sink runs on the worker that finished the unit, outside all
+    /// runner locks, so it may block (e.g. on response back-pressure)
+    /// without stalling other workers.
+    pub fn run_jobs<I, F>(&self, jobs: I, collect_reports: bool, sink: F) -> BatchStats
+    where
+        I: IntoIterator<Item = BatchJob>,
+        I::IntoIter: Send,
+        F: Fn(u64, &UnitReport) + Sync,
+    {
+        self.run_jobs_in(jobs, None, collect_reports, sink)
+    }
+
+    /// [`BatchRunner::run_jobs`] against a caller-owned shared cache.
+    ///
+    /// When `external` is `Some`, it is used as the shared verdict cache
+    /// regardless of [`BatchConfig::shared_cache`], and the persistent tier
+    /// ([`BatchConfig::cache_file`]) is **not** loaded or saved here — the
+    /// cache outlives this batch, so its owner decides when to persist.
+    /// Cache counters in the returned stats ([`BatchStats::cache_evictions`],
+    /// [`BatchStats::persistent_hits`]) are deltas over this run.
+    pub fn run_jobs_in<I, F>(
+        &self,
+        jobs: I,
+        external: Option<&VerdictCache>,
+        collect_reports: bool,
+        sink: F,
+    ) -> BatchStats
+    where
+        I: IntoIterator<Item = BatchJob>,
+        I::IntoIter: Send,
+        F: Fn(u64, &UnitReport) + Sync,
+    {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
         let (unit_workers, engine_workers) = self.config.worker_split();
-        let shared = self
-            .config
-            .shared_cache
+        let owned = (external.is_none() && self.config.shared_cache)
             .then(|| VerdictCache::shared_with_cap(self.config.keying, self.config.cache_cap));
-        // Warm start: seed the shared cache from the persistent tier before
-        // any unit runs. Invalid files load partially or not at all.
+        let shared = external.or(owned.as_ref());
+        // Warm start: seed an owned shared cache from the persistent tier
+        // before any unit runs. Invalid files load partially or not at all.
+        // External caches are seeded (and flushed) by their owner.
         let mut persistent_loaded = 0;
-        if let (Some(cache), Some(path)) = (shared.as_ref(), self.config.cache_file.as_ref()) {
+        if let (Some(cache), Some(path)) = (owned.as_ref(), self.config.cache_file.as_ref()) {
             persistent_loaded = persist::load(cache, path).loaded;
         }
+        // Counter snapshots: an owned cache starts at zero, an external one
+        // carries history from earlier batches — report this run's share.
+        let evictions_before = shared.map_or(0, VerdictCache::evictions);
+        let persistent_hits_before = shared.map_or(0, VerdictCache::persistent_hits);
         let stream_panics = AtomicUsize::new(0);
 
-        let mut reports: Vec<UnitReport> = if unit_workers <= 1 {
-            let mut it = units.into_iter();
-            let mut out = Vec::new();
+        let mut agg = if unit_workers <= 1 {
+            let mut it = jobs.into_iter();
+            let mut agg = Aggregate::new(collect_reports);
             loop {
                 match catch_unwind(AssertUnwindSafe(|| it.next())) {
-                    Ok(Some(unit)) => {
-                        out.push(self.run_unit(&unit, engine_workers, shared.as_ref()));
+                    Ok(Some(job)) => {
+                        let report = self.run_unit(&job, engine_workers, shared);
+                        sink(job.tag, &report);
+                        agg.absorb(report);
                     }
                     Ok(None) => break,
                     Err(_) => {
@@ -519,10 +608,10 @@ impl BatchRunner {
                     }
                 }
             }
-            out
+            agg
         } else {
-            let stream = Mutex::new(units.into_iter());
-            let sink = Mutex::new(Vec::new());
+            let stream = Mutex::new(jobs.into_iter());
+            let agg = Mutex::new(Aggregate::new(collect_reports));
             std::thread::scope(|scope| {
                 for _ in 0..unit_workers {
                     scope.spawn(|| loop {
@@ -531,90 +620,90 @@ impl BatchRunner {
                         // previously-poisoned lock is recovered (the
                         // iterator state is whatever the panicking `next`
                         // left behind), and a panicking pull is treated as
-                        // end-of-stream for this worker.
-                        let unit = {
+                        // end-of-stream for this worker. A blocking pull
+                        // (a channel with no job ready) holds the lock —
+                        // which is fine: the stream is the one source of
+                        // work, so waiting workers would block either way.
+                        let job = {
                             let mut guard = lock_recover(&stream);
                             match catch_unwind(AssertUnwindSafe(|| guard.next())) {
-                                Ok(u) => u,
+                                Ok(j) => j,
                                 Err(_) => {
                                     stream_panics.fetch_add(1, Ordering::SeqCst);
                                     None
                                 }
                             }
                         };
-                        let Some(unit) = unit else { break };
-                        let report = self.run_unit(&unit, engine_workers, shared.as_ref());
-                        lock_recover(&sink).push(report);
+                        let Some(job) = job else { break };
+                        let report = self.run_unit(&job, engine_workers, shared);
+                        sink(job.tag, &report);
+                        lock_recover(&agg).absorb(report);
                     });
                 }
             });
-            sink.into_inner().unwrap_or_else(PoisonError::into_inner)
+            agg.into_inner().unwrap_or_else(PoisonError::into_inner)
         };
 
         // Name-sorted output: arrival order and scheduling cannot leak.
-        reports.sort_by(|a, b| (&a.name, a.edges_fp, a.edges).cmp(&(&b.name, b.edges_fp, b.edges)));
+        agg.reports
+            .sort_by(|a, b| (&a.name, a.edges_fp, a.edges).cmp(&(&b.name, b.edges_fp, b.edges)));
 
-        let mut totals = DepStats::default();
-        let mut parse_failures = 0;
-        let mut failed_units = 0;
-        let mut vectorized_statements = 0;
-        let mut charged: HashSet<u64> = HashSet::new();
-        for r in &reports {
-            totals.merge(&r.stats);
-            parse_failures += usize::from(matches!(r.outcome, UnitOutcome::ParseError(_)));
-            failed_units += usize::from(matches!(r.outcome, UnitOutcome::Failed { .. }));
-            vectorized_statements += r.vectorized_statements;
-            charged.extend(r.charged_keys.iter().copied());
-        }
-        let distinct_problems = self.config.shared_cache.then_some(charged.len());
+        let distinct_problems = shared.is_some().then_some(agg.charged.len());
         // Every unit-local miss is a globally distinct problem unless some
         // other unit had already charged it.
         let cross_unit_hits =
-            distinct_problems.map_or(0, |d| totals.cache_misses.saturating_sub(d));
+            distinct_problems.map_or(0, |d| agg.totals.cache_misses.saturating_sub(d));
         // Flush the persistent tier on the way out (clean or cancelled runs
         // alike — degraded verdicts are never memoized, so the cache holds
         // only sound entries). I/O failure degrades to a reported error.
         let mut persistent_saved = 0;
         let mut persist_error = None;
-        if let (Some(cache), Some(path)) = (shared.as_ref(), self.config.cache_file.as_ref()) {
+        if let (Some(cache), Some(path)) = (owned.as_ref(), self.config.cache_file.as_ref()) {
             match persist::save(cache, path) {
                 Ok(n) => persistent_saved = n,
                 Err(e) => persist_error = Some(format!("{path:?}: {e}")),
             }
         }
         BatchStats {
-            units: reports,
-            parse_failures,
-            failed_units,
+            units: agg.reports,
+            unit_count: agg.count,
+            parse_failures: agg.parse_failures,
+            failed_units: agg.failed_units,
             stream_failures: stream_panics.into_inner(),
-            totals,
+            totals: agg.totals,
             distinct_problems,
             cross_unit_hits,
-            vectorized_statements,
-            cache_capacity: shared.as_ref().map_or(0, |c| c.capacity()),
-            cache_evictions: shared.as_ref().map_or(0, |c| c.evictions()),
+            vectorized_statements: agg.vectorized_statements,
+            cache_capacity: shared.map_or(0, |c| c.capacity()),
+            cache_evictions: shared.map_or(0, |c| c.evictions()).saturating_sub(evictions_before),
             persistent_loaded,
-            persistent_hits: shared.as_ref().map_or(0, |c| c.persistent_hits()),
+            persistent_hits: shared
+                .map_or(0, |c| c.persistent_hits())
+                .saturating_sub(persistent_hits_before),
             persistent_saved,
             persist_error,
         }
     }
 
     /// Processes one unit: attempt, catch panics, retry under an escalated
-    /// budget, and always return a report.
+    /// budget, and always return a report. The job's own budget (when set)
+    /// replaces the config budget as the base of the escalation ladder, so
+    /// per-request allowances are honored exactly when retries are off.
     fn run_unit(
         &self,
-        unit: &BatchUnit,
+        job: &BatchJob,
         engine_workers: usize,
         shared: Option<&VerdictCache>,
     ) -> UnitReport {
+        let unit = &job.unit;
+        let base_budget = job.budget.as_ref().unwrap_or(&self.config.budget);
         let attempts = self.config.retry.max_retries.saturating_add(1);
         let mut reason = String::new();
         for attempt in 0..attempts {
             let mut budget = if attempt == 0 {
-                self.config.budget.clone()
+                base_budget.clone()
             } else {
-                self.config.budget.escalated(self.config.retry.escalation.saturating_pow(attempt))
+                base_budget.escalated(self.config.retry.escalation.saturating_pow(attempt))
             };
             let chaos =
                 self.config.chaos.map(|plan| ChaosCtx { plan, unit: unit.name.clone(), attempt });
@@ -635,7 +724,7 @@ impl BatchRunner {
                 if unit_fault == Some(FaultKind::Panic) {
                     panic!("{}", crate::chaos::CHAOS_PANIC_MSG);
                 }
-                self.process_unit_attempt(unit, engine_workers, attempt_shared, budget, chaos)
+                self.process_unit_attempt(job, engine_workers, attempt_shared, budget, chaos)
             }));
             // Drain the thread-local solver node and refinement counters
             // unconditionally: a panic mid-solve would otherwise leak this
@@ -663,17 +752,19 @@ impl BatchRunner {
             vectorized_statements: 0,
             stats: DepStats::default(),
             charged_keys: Vec::new(),
+            dep_edges: Vec::new(),
         }
     }
 
     fn process_unit_attempt(
         &self,
-        unit: &BatchUnit,
+        job: &BatchJob,
         engine_workers: usize,
         shared: Option<&VerdictCache>,
         budget: BudgetSpec,
         chaos: Option<ChaosCtx>,
     ) -> UnitReport {
+        let unit = &job.unit;
         let config = PipelineConfig {
             choice: self.config.choice,
             induction: self.config.induction,
@@ -697,6 +788,7 @@ impl BatchRunner {
                 vectorized_statements: report.vectorization.vectorized_statements,
                 stats: report.stats,
                 charged_keys: report.graph.charged_keys.clone(),
+                dep_edges: if job.want_edges { report.graph.edges } else { Vec::new() },
             },
             Err(e) => UnitReport {
                 name: unit.name.clone(),
@@ -706,7 +798,49 @@ impl BatchRunner {
                 vectorized_statements: 0,
                 stats: DepStats::default(),
                 charged_keys: Vec::new(),
+                dep_edges: Vec::new(),
             },
+        }
+    }
+}
+
+/// Incrementally folded corpus totals: what [`BatchStats`] needs beyond the
+/// (optional) report table, accumulated per completed unit so a server that
+/// never collects reports still gets exact totals.
+struct Aggregate {
+    reports: Vec<UnitReport>,
+    collect: bool,
+    count: usize,
+    totals: DepStats,
+    parse_failures: usize,
+    failed_units: usize,
+    vectorized_statements: usize,
+    charged: HashSet<u64>,
+}
+
+impl Aggregate {
+    fn new(collect: bool) -> Aggregate {
+        Aggregate {
+            reports: Vec::new(),
+            collect,
+            count: 0,
+            totals: DepStats::default(),
+            parse_failures: 0,
+            failed_units: 0,
+            vectorized_statements: 0,
+            charged: HashSet::new(),
+        }
+    }
+
+    fn absorb(&mut self, report: UnitReport) {
+        self.count += 1;
+        self.totals.merge(&report.stats);
+        self.parse_failures += usize::from(matches!(report.outcome, UnitOutcome::ParseError(_)));
+        self.failed_units += usize::from(matches!(report.outcome, UnitOutcome::Failed { .. }));
+        self.vectorized_statements += report.vectorized_statements;
+        self.charged.extend(report.charged_keys.iter().copied());
+        if self.collect {
+            self.reports.push(report);
         }
     }
 }

@@ -666,13 +666,34 @@ fn run_sharded(
     for (k, outcome) in chunks.into_iter().flatten() {
         slots[k] = Some(outcome);
     }
-    slots
-        .into_iter()
-        .map(|s| match s {
-            Some(outcome) => outcome,
-            None => unreachable!("every worklist index produces exactly one outcome"),
-        })
-        .collect()
+    // Every worklist index should have produced exactly one outcome. If a
+    // slot is nevertheless empty (a worker ended without reporting — which
+    // the join/re-raise above is designed to prevent), substitute the
+    // conservative degraded outcome instead of crashing the engine: the
+    // pair keeps every direction vector and is attributed to
+    // [`DegradeReason::Lost`].
+    slots.into_iter().map(|s| s.unwrap_or_else(lost_outcome)).collect()
+}
+
+/// The conservative stand-in for a pair whose outcome never arrived:
+/// `Unknown` (all directions survive), charged as its own reference,
+/// degraded by [`DegradeReason::Lost`] so reports attribute the gap.
+fn lost_outcome() -> PairOutcome {
+    PairOutcome {
+        outcome: Arc::new(CachedOutcome {
+            verdict: Verdict::Unknown,
+            tested_by: "degraded",
+            attempts: Vec::new(),
+            solver_nodes: 0,
+            refine_queries: 0,
+            subtree_reuses: 0,
+            nodes_saved: 0,
+            solver_state: None,
+            degraded: Some(DegradeReason::Lost),
+        }),
+        nanos: 0,
+        key_fp: None,
+    }
 }
 
 /// Tests one reference pair, through the verdict cache when enabled.

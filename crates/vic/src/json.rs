@@ -1,0 +1,471 @@
+//! A minimal JSON reader/writer for the serving layer.
+//!
+//! The workspace is offline (no serde), and the jsonl protocol of
+//! [`crate::serve`] needs exactly two things: a strict recursive-descent
+//! parser that turns one request line into a [`Json`] value (rejecting
+//! garbage with a position-bearing error instead of panicking), and an
+//! escaping writer for response strings. Both live here, dependency-free.
+//!
+//! Numbers are kept as their raw source token. The protocol only ever reads
+//! integers (`as_u64`/`as_i64`), so deferring numeric interpretation keeps
+//! the parser total: any RFC 8259 number token parses, and out-of-range
+//! values surface as a protocol-level error rather than a parse panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source token (see module docs).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is preserved as a sorted map; duplicate keys
+    /// are a parse error (a request with two `id` fields is ambiguous, and
+    /// ambiguity in a protocol is better rejected than resolved silently).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer token in
+    /// range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if this is an integer token in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it was noticed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+/// Parses exactly one JSON value spanning the whole input (surrounding
+/// whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending byte: truncated
+/// input, trailing garbage, bad escapes, duplicate object keys, or any
+/// token RFC 8259 does not allow.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+/// Nesting guard: a request line of `[[[[...` must not overflow the parser
+/// stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key_offset = self.pos;
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(ParseError {
+                    message: format!("duplicate key {key:?}"),
+                    offset: key_offset,
+                });
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.error("control character in string")),
+                _ => {
+                    // Re-walk the UTF-8 sequence the byte starts; the input
+                    // is a &str, so sequences are valid by construction.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return Err(self.error("invalid utf-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let first = self.hex4()?;
+        // Surrogate pair: a leading surrogate must be followed by
+        // `\uXXXX` with a trailing surrogate.
+        if (0xd800..0xdc00).contains(&first) {
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                self.eat(b'u')?;
+                let second = self.hex4()?;
+                if (0xdc00..0xe000).contains(&second) {
+                    let combined = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| self.error("invalid surrogate pair"));
+                }
+            }
+            return Err(self.error("unpaired surrogate"));
+        }
+        if (0xdc00..0xe000).contains(&first) {
+            return Err(self.error("unpaired surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.error("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let Some(c) = self.peek() else {
+                return Err(self.error("truncated \\u escape"));
+            };
+            let digit = match c {
+                b'0'..=b'9' => u32::from(c - b'0'),
+                b'a'..=b'f' => u32::from(c - b'a') + 10,
+                b'A'..=b'F' => u32::from(c - b'A') + 10,
+                _ => return Err(self.error("invalid hex digit in \\u escape")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("invalid number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("invalid number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        match std::str::from_utf8(&self.bytes[start..self.pos]) {
+            Ok(raw) => Ok(Json::Num(raw.to_string())),
+            Err(_) => Err(self.error("invalid number")),
+        }
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string token.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a quoted, escaped JSON string token.
+pub fn str_token(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_str(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Json)]) -> Json {
+        Json::Obj(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Num("42".into()));
+        assert_eq!(parse("-0.5e3").unwrap(), Json::Num("-0.5e3".into()));
+        assert_eq!(parse(r#""hi""#).unwrap(), Json::Str("hi".into()));
+        assert_eq!(
+            parse(r#"[1, "a", []]"#).unwrap(),
+            Json::Arr(vec![Json::Num("1".into()), Json::Str("a".into()), Json::Arr(vec![])])
+        );
+        assert_eq!(
+            parse(r#"{"a": 1, "b": {"c": null}}"#).unwrap(),
+            obj(&[("a", Json::Num("1".into())), ("b", obj(&[("c", Json::Null)]))])
+        );
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        assert_eq!(parse(r#""a\n\t\\\"Aé""#).unwrap(), Json::Str("a\n\t\\\"Aé".into()));
+        // Surrogate pair escape (and the literal glyph): U+1D11E MUSICAL
+        // SYMBOL G CLEF.
+        assert_eq!(parse("\"\\ud834\\udd1e\"").unwrap(), Json::Str("\u{1d11e}".into()));
+        assert_eq!(parse("\"\u{1d11e}\"").unwrap(), Json::Str("\u{1d11e}".into()));
+        assert_eq!(parse("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"abc",
+            r#""\q""#,
+            r#""\u12g4""#,
+            r#""\ud834""#,
+            "{\"a\":1,}",
+            "{\"a\" 1}",
+            "[1 2]",
+            "{\"a\":1} extra",
+            "{\"a\":1,\"a\":2}",
+            "\"\u{0007}\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // Deep nesting is bounded, not stack-fatal.
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn accessors_read_the_expected_shapes() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("-7").unwrap().as_u64(), None);
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse(r#""x""#).unwrap().as_str(), Some("x"));
+        assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+        assert!(parse("{}").unwrap().as_obj().is_some_and(BTreeMap::is_empty));
+    }
+
+    #[test]
+    fn writer_round_trips_through_the_parser() {
+        for s in ["", "plain", "quo\"te", "back\\slash", "new\nline", "tab\t", "ctrl\u{0001}", "é☃"]
+        {
+            let token = str_token(s);
+            assert_eq!(parse(&token).unwrap(), Json::Str(s.to_string()), "{token}");
+        }
+    }
+}

@@ -26,7 +26,10 @@
 //!    and behind a panic boundary, so a pathological or crashing unit
 //!    degrades to a per-unit failure row instead of taking the batch down;
 //! 6. [`chaos`] — a deterministic, seeded fault-injection harness (compiled
-//!    out unless the `chaos` cargo feature is on) that proves the above.
+//!    out unless the `chaos` cargo feature is on) that proves the above;
+//! 7. [`serve`] — analysis as a service: a long-lived jsonl request/response
+//!    loop over the batch engine (hand-rolled JSON lives in [`json`]), with
+//!    per-request budgets, bounded admission, and cancellation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,11 +41,15 @@ pub mod cache;
 pub mod chaos;
 pub mod codegen;
 pub mod deps;
+pub mod json;
 pub mod persist;
 pub mod pipeline;
 pub mod scc;
+pub mod serve;
 
-pub use batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit, UnitOutcome, UnitReport};
+pub use batch::{
+    BatchConfig, BatchJob, BatchRunner, BatchStats, BatchUnit, UnitOutcome, UnitReport,
+};
 pub use cache::{cache_cap_from_env, env_key, CacheLookup, CachedOutcome, VerdictCache};
 pub use chaos::{ChaosCtx, ChaosPlan, FaultKind};
 pub use codegen::{vectorize, VectorStmt};
@@ -52,3 +59,4 @@ pub use deps::{
 };
 pub use persist::LoadReport;
 pub use pipeline::{run_pipeline, run_pipeline_in, PipelineConfig, PipelineReport};
+pub use serve::{serve, serve_in, ServeConfig, ServeSummary};

@@ -1,0 +1,811 @@
+//! Analysis as a service: a long-lived jsonl daemon over the batch engine.
+//!
+//! [`serve`] reads newline-delimited JSON requests from any [`BufRead`],
+//! feeds them through a channel into [`BatchRunner::run_jobs_in`]'s worker
+//! pool, and streams one JSON response per unit back over any
+//! [`Write`] — tagged with the client's request id, carrying the verdict
+//! edges, the scheduling-independent [`crate::deps::VerdictStats`], and any
+//! degradation reasons. The request protocol (documented in the repository
+//! README's "Serving" section):
+//!
+//! * **Analyze** — `{"id": "r1", "source": "...", "name"?: "...",
+//!   "assumptions"?: {"N": 1}, "budget"?: {"nodes": 10000,
+//!   "deadline_ms": 500}, "edges"?: false}`. `assumptions` maps symbols to
+//!   lower bounds; `budget` overrides the configured per-request allowance
+//!   (enforced **per unit** — each request's deadline clock starts when its
+//!   analysis starts, not when the daemon did).
+//! * **Cancel** — `{"cancel": "r1"}` trips the in-flight request's
+//!   [`CancelToken`]; its analysis degrades conservatively (the response
+//!   still arrives, attributed `cancelled`).
+//! * **Shutdown** — `{"shutdown": true}` stops admission, acknowledges, and
+//!   drains in-flight work.
+//!
+//! Every response is a single line with a `"type"` field: `"result"`,
+//! `"cancel_ok"`, `"shutdown"`, or `"error"` (machine-readable `error`
+//! codes: `invalid_json`, `invalid_request`, `oversized`, `overloaded`,
+//! `unknown_id`, `internal`). Malformed input of any shape gets a
+//! structured error, never a panic or a hang.
+//!
+//! # Admission control
+//!
+//! At most [`ServeConfig::max_in_flight`] requests are admitted at once —
+//! admitted meaning "response not yet written". Excess requests are
+//! rejected immediately with an `overloaded` error: the daemon never queues
+//! unboundedly and never blocks the reader on analysis progress.
+//!
+//! # Determinism
+//!
+//! Result responses are a pure function of the request (source,
+//! assumptions, budget) — the per-unit fold-time attribution of
+//! [`crate::batch`] makes the embedded statistics independent of worker
+//! count, arrival order, and cache sharing, so the *bytes* of each
+//! response are too. Response *interleaving* is scheduling-dependent under
+//! parallel workers; with `workers = 1` responses additionally arrive in
+//! request order (what the golden-stream gate pins).
+//!
+//! # Shutdown
+//!
+//! The caller owns the daemon-level [`CancelToken`]: tripping it (e.g. from
+//! a SIGINT handler) stops admission at the next input line and cancels
+//! every in-flight request's token, so the daemon drains fast — each
+//! remaining response degrades conservatively rather than running its full
+//! budget. A reader blocked on a quiet input stream stays blocked until
+//! the next line or EOF; binaries that need harder guarantees close the
+//! input instead.
+
+use crate::batch::{
+    BatchConfig, BatchJob, BatchRunner, BatchStats, BatchUnit, UnitOutcome, UnitReport,
+};
+use crate::cache::VerdictCache;
+use crate::deps::DepEdge;
+use crate::json::{self, Json};
+use delin_dep::budget::CancelToken;
+use delin_numeric::Assumptions;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Configuration of the serving layer.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The batch engine configuration requests run under. Per-request
+    /// budgets override [`BatchConfig::budget`]; a config-level
+    /// cancellation token is superseded by the per-request tokens (use the
+    /// `shutdown` argument of [`serve`] for daemon-wide cancellation).
+    ///
+    /// [`ServeConfig::default`] disables retries so a client's budget is
+    /// honored exactly — a degraded verdict is reported, not silently
+    /// re-run under an escalated allowance.
+    pub batch: BatchConfig,
+    /// Requests admitted at once (admitted = response not yet written);
+    /// further requests are rejected with an `overloaded` error. Clamped to
+    /// at least 1.
+    pub max_in_flight: usize,
+    /// Longest accepted request line in bytes; longer lines are consumed
+    /// (bounded memory) and rejected with an `oversized` error.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch: BatchConfig {
+                retry: crate::batch::RetryPolicy { max_retries: 0, escalation: 1 },
+                ..BatchConfig::default()
+            },
+            max_in_flight: 64,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What one serving session did, returned when the input ends (EOF,
+/// shutdown request, or daemon cancellation).
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Analyze requests admitted into the worker pool.
+    pub admitted: usize,
+    /// Result responses written.
+    pub completed: usize,
+    /// Analyze requests rejected with `overloaded`.
+    pub rejected: usize,
+    /// Cancel messages received (known or unknown id).
+    pub cancel_requests: usize,
+    /// Error responses written for malformed or unserviceable input
+    /// (everything except `overloaded`, which [`ServeSummary::rejected`]
+    /// counts).
+    pub protocol_errors: usize,
+    /// Corpus-level totals from the underlying batch run.
+    pub batch: BatchStats,
+    /// First I/O error observed while reading requests or writing
+    /// responses, if any. Output errors stop nothing (later writes are
+    /// attempted); input errors end the session like EOF.
+    pub io_error: Option<String>,
+}
+
+/// One admitted request awaiting its response.
+struct Pending {
+    id: String,
+    cancel: CancelToken,
+}
+
+/// Serves one jsonl session over the given transport. See the module docs
+/// for the protocol. Returns when the input reaches EOF, a shutdown request
+/// arrives, or `shutdown` is tripped (checked before each line).
+pub fn serve<R, W>(
+    input: R,
+    output: W,
+    config: &ServeConfig,
+    shutdown: &CancelToken,
+) -> ServeSummary
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    serve_in(input, output, config, shutdown, None)
+}
+
+/// [`serve`] against a caller-owned shared verdict cache, which then warms
+/// across sessions (and, if the owner persists it, across restarts). When
+/// `cache` is `None` the session owns its cache and
+/// [`BatchConfig::cache_file`] is honored directly.
+pub fn serve_in<R, W>(
+    input: R,
+    output: W,
+    config: &ServeConfig,
+    shutdown: &CancelToken,
+    cache: Option<&VerdictCache>,
+) -> ServeSummary
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let (tx, rx) = mpsc::channel::<BatchJob>();
+    let pending: Mutex<HashMap<u64, Pending>> = Mutex::new(HashMap::new());
+    let out = Mutex::new(output);
+    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    let completed = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let runner = BatchRunner::new(config.batch.clone());
+    let max_in_flight = config.max_in_flight.max(1);
+
+    let mut admitted = 0usize;
+    let mut rejected = 0usize;
+    let mut cancel_requests = 0usize;
+    let mut protocol_errors = 0usize;
+
+    let batch = std::thread::scope(|scope| {
+        // Completion sink: render and stream the response on the worker
+        // that finished the unit, then release the admission slot. The
+        // pending entry is removed only *after* the write, so back-pressure
+        // on the output keeps the slot occupied — that is what makes
+        // "overloaded" deterministic instead of racy for a blocked client.
+        let sink = |tag: u64, report: &UnitReport| {
+            let id = lock_recover(&pending).get(&tag).map(|p| p.id.clone());
+            let line = render_result(id.as_deref(), report);
+            write_line(&out, &io_error, &line);
+            lock_recover(&pending).remove(&tag);
+            completed.fetch_add(1, Ordering::SeqCst);
+        };
+        let runner_handle = scope.spawn(move || runner.run_jobs_in(rx, cache, false, sink));
+        // Shutdown watcher: daemon-level cancellation must reach in-flight
+        // work immediately, not at the next input line (the reader may be
+        // blocked mid-read). Polling at 10 ms keeps this dependency-free.
+        scope.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                if shutdown.is_cancelled() {
+                    for p in lock_recover(&pending).values() {
+                        p.cancel.cancel();
+                    }
+                    break;
+                }
+                std::thread::park_timeout(Duration::from_millis(10));
+            }
+        });
+
+        let mut input = input;
+        let mut next_tag = 0u64;
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            if shutdown.is_cancelled() {
+                break;
+            }
+            let read = match read_line_bounded(&mut input, config.max_request_bytes, &mut buf) {
+                Ok(read) => read,
+                // A signal (e.g. the SIGINT that trips `shutdown`) lands as
+                // an interrupted read; re-check the token at the loop top
+                // instead of treating it as a transport failure.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    let mut slot = lock_recover(&io_error);
+                    if slot.is_none() {
+                        *slot = Some(e.to_string());
+                    }
+                    break;
+                }
+            };
+            let oversized = match read {
+                LineRead::Eof => break,
+                LineRead::Line { oversized } => oversized,
+            };
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            if oversized {
+                protocol_errors += 1;
+                write_line(
+                    &out,
+                    &io_error,
+                    &render_error(None, "oversized", "request line too long"),
+                );
+                continue;
+            }
+            if buf.iter().all(|b| b.is_ascii_whitespace()) {
+                continue;
+            }
+            let Ok(line) = std::str::from_utf8(&buf) else {
+                protocol_errors += 1;
+                write_line(&out, &io_error, &render_error(None, "invalid_json", "invalid utf-8"));
+                continue;
+            };
+            let value = match json::parse(line) {
+                Ok(value) => value,
+                Err(e) => {
+                    protocol_errors += 1;
+                    write_line(
+                        &out,
+                        &io_error,
+                        &render_error(None, "invalid_json", &e.to_string()),
+                    );
+                    continue;
+                }
+            };
+            match interpret(&value) {
+                Ok(Request::Shutdown) => {
+                    write_line(&out, &io_error, "{\"type\":\"shutdown\"}");
+                    break;
+                }
+                Ok(Request::Cancel(id)) => {
+                    cancel_requests += 1;
+                    let mut found = false;
+                    for p in lock_recover(&pending).values() {
+                        if p.id == id {
+                            p.cancel.cancel();
+                            found = true;
+                        }
+                    }
+                    if found {
+                        let mut line = String::from("{\"id\":");
+                        json::write_str(&mut line, &id);
+                        line.push_str(",\"type\":\"cancel_ok\"}");
+                        write_line(&out, &io_error, &line);
+                    } else {
+                        protocol_errors += 1;
+                        write_line(
+                            &out,
+                            &io_error,
+                            &render_error(Some(&id), "unknown_id", "no such request in flight"),
+                        );
+                    }
+                }
+                Ok(Request::Analyze(req)) => {
+                    {
+                        let slots = lock_recover(&pending).len();
+                        if slots >= max_in_flight {
+                            rejected += 1;
+                            write_line(
+                                &out,
+                                &io_error,
+                                &render_error(
+                                    Some(&req.id),
+                                    "overloaded",
+                                    "too many requests in flight",
+                                ),
+                            );
+                            continue;
+                        }
+                    }
+                    let cancel = CancelToken::new();
+                    let tag = next_tag;
+                    next_tag += 1;
+                    lock_recover(&pending)
+                        .insert(tag, Pending { id: req.id.clone(), cancel: cancel.clone() });
+                    let mut spec = config.batch.budget.clone();
+                    if let Some(nodes) = req.budget_nodes {
+                        spec.node_limit = nodes;
+                    }
+                    if let Some(ms) = req.budget_deadline_ms {
+                        spec.deadline_ms = Some(ms);
+                    }
+                    spec.cancel = Some(cancel);
+                    let name = req.name.unwrap_or_else(|| req.id.clone());
+                    let unit = BatchUnit::new(name, req.source).with_assumptions(req.assumptions);
+                    let job = BatchJob { unit, budget: Some(spec), want_edges: req.edges, tag };
+                    admitted += 1;
+                    if tx.send(job).is_err() {
+                        // The runner is gone (it cannot exit before `tx`
+                        // drops in normal operation); degrade structurally.
+                        admitted -= 1;
+                        lock_recover(&pending).remove(&tag);
+                        protocol_errors += 1;
+                        write_line(
+                            &out,
+                            &io_error,
+                            &render_error(Some(&req.id), "internal", "worker pool unavailable"),
+                        );
+                    }
+                }
+                Err((id, detail)) => {
+                    protocol_errors += 1;
+                    write_line(
+                        &out,
+                        &io_error,
+                        &render_error(id.as_deref(), "invalid_request", &detail),
+                    );
+                }
+            }
+        }
+        drop(tx);
+        let batch = runner_handle.join();
+        done.store(true, Ordering::Release);
+        batch
+    });
+
+    let batch = match batch {
+        Ok(stats) => stats,
+        // The runner survives unit and stream panics by design; a panic
+        // escaping it is a bug, reported as an empty session rather than
+        // propagated into the daemon loop.
+        Err(_) => BatchStats {
+            units: Vec::new(),
+            unit_count: 0,
+            parse_failures: 0,
+            failed_units: 0,
+            stream_failures: 1,
+            totals: crate::deps::DepStats::default(),
+            distinct_problems: None,
+            cross_unit_hits: 0,
+            vectorized_statements: 0,
+            cache_capacity: 0,
+            cache_evictions: 0,
+            persistent_loaded: 0,
+            persistent_hits: 0,
+            persistent_saved: 0,
+            persist_error: None,
+        },
+    };
+    ServeSummary {
+        admitted,
+        completed: completed.into_inner(),
+        rejected,
+        cancel_requests,
+        protocol_errors,
+        batch,
+        io_error: io_error.into_inner().unwrap_or_else(PoisonError::into_inner),
+    }
+}
+
+/// A validated analyze request.
+struct AnalyzeRequest {
+    id: String,
+    name: Option<String>,
+    source: String,
+    assumptions: Assumptions,
+    budget_nodes: Option<u64>,
+    budget_deadline_ms: Option<u64>,
+    edges: bool,
+}
+
+enum Request {
+    Analyze(AnalyzeRequest),
+    Cancel(String),
+    Shutdown,
+}
+
+/// Validates one parsed request. The protocol is strict: unknown fields are
+/// rejected (with the offending name in the error detail), so a client typo
+/// like `"budgets"` fails loudly instead of silently running unbudgeted.
+/// Errors carry the request's `id` when one was legible, for correlation.
+fn interpret(value: &Json) -> Result<Request, (Option<String>, String)> {
+    let Some(map) = value.as_obj() else {
+        return Err((None, "request must be a JSON object".to_string()));
+    };
+    let legible_id = map.get("id").and_then(Json::as_str).map(str::to_string);
+    let fail = |detail: &str| Err((legible_id.clone(), detail.to_string()));
+
+    if map.contains_key("cancel") {
+        if map.len() != 1 {
+            return fail("cancel takes no other fields");
+        }
+        return match map.get("cancel").and_then(Json::as_str) {
+            Some(id) => Ok(Request::Cancel(id.to_string())),
+            None => fail("cancel must name a request id string"),
+        };
+    }
+    if map.contains_key("shutdown") {
+        if map.len() != 1 {
+            return fail("shutdown takes no other fields");
+        }
+        return match map.get("shutdown").and_then(Json::as_bool) {
+            Some(true) => Ok(Request::Shutdown),
+            _ => fail("shutdown must be true"),
+        };
+    }
+
+    for key in map.keys() {
+        if !matches!(key.as_str(), "id" | "name" | "source" | "assumptions" | "budget" | "edges") {
+            return fail(&format!("unknown field {key:?}"));
+        }
+    }
+    let Some(id) = map.get("id").and_then(Json::as_str) else {
+        return fail("id must be a string");
+    };
+    let Some(source) = map.get("source").and_then(Json::as_str) else {
+        return fail("source must be a string");
+    };
+    let name = match map.get("name") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(s) => Some(s.to_string()),
+            None => return fail("name must be a string"),
+        },
+    };
+    let mut assumptions = Assumptions::new();
+    if let Some(v) = map.get("assumptions") {
+        let Some(bounds) = v.as_obj() else {
+            return fail("assumptions must map symbols to integer lower bounds");
+        };
+        for (sym, bound) in bounds {
+            let Some(lb) = bound.as_i64() else {
+                return fail("assumptions must map symbols to integer lower bounds");
+            };
+            assumptions.set_lower_bound(sym.as_str(), i128::from(lb));
+        }
+    }
+    let mut budget_nodes = None;
+    let mut budget_deadline_ms = None;
+    if let Some(v) = map.get("budget") {
+        let Some(budget) = v.as_obj() else {
+            return fail("budget must be an object");
+        };
+        for key in budget.keys() {
+            if !matches!(key.as_str(), "nodes" | "deadline_ms") {
+                return fail(&format!("unknown budget field {key:?}"));
+            }
+        }
+        if let Some(v) = budget.get("nodes") {
+            match v.as_u64() {
+                Some(n) => budget_nodes = Some(n),
+                None => return fail("budget.nodes must be a non-negative integer"),
+            }
+        }
+        if let Some(v) = budget.get("deadline_ms") {
+            match v.as_u64() {
+                Some(ms) => budget_deadline_ms = Some(ms),
+                None => return fail("budget.deadline_ms must be a non-negative integer"),
+            }
+        }
+    }
+    let edges = match map.get("edges") {
+        None => true,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return fail("edges must be a boolean"),
+        },
+    };
+    Ok(Request::Analyze(AnalyzeRequest {
+        id: id.to_string(),
+        name,
+        source: source.to_string(),
+        assumptions,
+        budget_nodes,
+        budget_deadline_ms,
+        edges,
+    }))
+}
+
+/// Renders one error response line. `id` is `null` when the offending line
+/// never yielded one.
+fn render_error(id: Option<&str>, code: &str, detail: &str) -> String {
+    let mut out = String::from("{\"id\":");
+    match id {
+        Some(id) => json::write_str(&mut out, id),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"type\":\"error\",\"error\":");
+    json::write_str(&mut out, code);
+    out.push_str(",\"detail\":");
+    json::write_str(&mut out, detail);
+    out.push('}');
+    out
+}
+
+/// Renders one result response line. Every field is deterministic for a
+/// given request: the statistics come from
+/// [`crate::deps::DepStats::verdict_stats`] (no wall-clock figures), the
+/// edge list and fingerprint from the fold in source-pair order.
+fn render_result(id: Option<&str>, report: &UnitReport) -> String {
+    let mut out = String::from("{\"id\":");
+    match id {
+        Some(id) => json::write_str(&mut out, id),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"type\":\"result\",\"name\":");
+    json::write_str(&mut out, &report.name);
+    match &report.outcome {
+        UnitOutcome::Analyzed => out.push_str(",\"outcome\":\"analyzed\""),
+        UnitOutcome::ParseError(e) => {
+            out.push_str(",\"outcome\":\"parse_error\",\"error\":");
+            json::write_str(&mut out, e);
+        }
+        UnitOutcome::Failed { reason, attempts } => {
+            out.push_str(",\"outcome\":\"failed\",\"error\":");
+            json::write_str(&mut out, reason);
+            out.push_str(&format!(",\"attempts\":{attempts}"));
+        }
+    }
+    out.push_str(&format!(
+        ",\"edges\":{},\"edges_fp\":\"{:016x}\",\"vectorized\":{}",
+        report.edges, report.edges_fp, report.vectorized_statements
+    ));
+    out.push_str(",\"dep_edges\":[");
+    for (i, edge) in report.dep_edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_edge(&mut out, edge);
+    }
+    out.push(']');
+    let v = report.stats.verdict_stats();
+    out.push_str(&format!(
+        ",\"stats\":{{\"pairs\":{},\"independent\":{},\"conservative\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"solver_nodes\":{},\"refine_queries\":{},\"subtree_reuses\":{},\
+         \"nodes_saved\":{},\"degraded\":{}",
+        v.pairs_tested,
+        v.proven_independent,
+        v.conservative_pairs,
+        v.cache_hits,
+        v.cache_misses,
+        v.solver_nodes,
+        v.refine_queries,
+        v.subtree_reuses,
+        v.nodes_saved,
+        v.degraded_pairs
+    ));
+    out.push_str(",\"degraded_by\":{");
+    for (i, (reason, n)) in v.degraded_by.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, &reason.to_string());
+        out.push_str(&format!(":{n}"));
+    }
+    out.push('}');
+    for (label, counts) in [("decided_by", &v.decided_by), ("independent_by", &v.independent_by)] {
+        out.push_str(&format!(",\"{label}\":{{"));
+        for (i, (name, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            out.push_str(&format!(":{n}"));
+        }
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
+}
+
+fn render_edge(out: &mut String, edge: &DepEdge) {
+    out.push_str(&format!("{{\"src\":{},\"dst\":{},\"kind\":", edge.src.0, edge.dst.0));
+    json::write_str(
+        out,
+        match edge.kind {
+            crate::deps::DepKind::True => "true",
+            crate::deps::DepKind::Anti => "anti",
+            crate::deps::DepKind::Output => "output",
+        },
+    );
+    out.push_str(",\"array\":");
+    json::write_str(out, &edge.array);
+    out.push_str(",\"dirs\":[");
+    for (i, dv) in edge.dir_vecs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(out, &dv.to_string());
+    }
+    out.push_str("],\"level\":");
+    match edge.level {
+        Some(level) => out.push_str(&level.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"tested_by\":");
+    json::write_str(out, edge.tested_by);
+    out.push('}');
+}
+
+/// Appends one response line (plus newline) to the shared output, flushing
+/// so interactive clients see it immediately. The first write error is
+/// recorded; later writes are still attempted (the transport may recover,
+/// and a dead transport fails them harmlessly).
+fn write_line<W: Write>(out: &Mutex<W>, io_error: &Mutex<Option<String>>, line: &str) {
+    let mut guard = lock_recover(out);
+    let result = guard
+        .write_all(line.as_bytes())
+        .and_then(|()| guard.write_all(b"\n"))
+        .and_then(|()| guard.flush());
+    if let Err(e) = result {
+        let mut slot = lock_recover(io_error);
+        if slot.is_none() {
+            *slot = Some(e.to_string());
+        }
+    }
+}
+
+enum LineRead {
+    Eof,
+    Line { oversized: bool },
+}
+
+/// Reads one `\n`-terminated line into `buf` (cleared first), never keeping
+/// more than `max + 1` bytes: the tail of an oversized line is consumed and
+/// discarded, so a hostile client cannot grow daemon memory with one giant
+/// line. A final line without a terminator is returned as a line (mid-
+/// stream EOF still gets a response).
+fn read_line_bounded<R: BufRead>(
+    input: &mut R,
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let mut total = 0usize;
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if total == 0 {
+                LineRead::Eof
+            } else {
+                LineRead::Line { oversized: total > max }
+            });
+        }
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => (&available[..newline], true),
+            None => (available, false),
+        };
+        let keep = chunk.len().min((max + 1).saturating_sub(buf.len()));
+        buf.extend_from_slice(&chunk[..keep]);
+        total += chunk.len();
+        let consumed = chunk.len() + usize::from(done);
+        input.consume(consumed);
+        if done {
+            return Ok(LineRead::Line { oversized: total > max });
+        }
+    }
+}
+
+/// Locks a mutex, recovering the guard when a previous holder panicked. The
+/// protected values (the pending-request registry, the output writer, the
+/// error slot) are only observed between whole operations, so recovery is
+/// safe.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn req(id: &str, source: &str) -> String {
+        format!("{{\"id\":{},\"source\":{}}}", json::str_token(id), json::str_token(source))
+    }
+
+    const SRC: &str = "REAL A(0:99)\nDO 1 i = 1, 50\n1   A(i) = A(i - 1)\nEND\n";
+
+    fn serve_script(script: &str, config: &ServeConfig) -> (Vec<String>, ServeSummary) {
+        let mut out: Vec<u8> = Vec::new();
+        let summary = serve(Cursor::new(script.as_bytes()), &mut out, config, &CancelToken::new());
+        let text = String::from_utf8(out).expect("responses are utf-8");
+        (text.lines().map(str::to_string).collect(), summary)
+    }
+
+    #[test]
+    fn analyze_request_round_trips() {
+        let script = format!("{}\n", req("r1", SRC));
+        let config = ServeConfig {
+            batch: BatchConfig { workers: 1, ..BatchConfig::default() },
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = serve_script(&script, &config);
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(
+            lines[0].starts_with("{\"id\":\"r1\",\"type\":\"result\",\"name\":\"r1\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"outcome\":\"analyzed\""));
+        assert!(lines[0].contains("\"dep_edges\":[{\"src\":"));
+        assert_eq!(summary.admitted, 1);
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.protocol_errors, 0);
+        assert_eq!(summary.io_error, None);
+        // The response is itself valid JSON under our own parser.
+        assert!(json::parse(&lines[0]).is_ok());
+    }
+
+    #[test]
+    fn malformed_lines_get_structured_errors() {
+        let script = "not json\n{\"id\":\"a\"}\n{\"cancel\":\"nope\"}\n{\"shutdown\":true}\n";
+        let (lines, summary) = serve_script(script, &ServeConfig::default());
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert!(lines[0].contains("\"error\":\"invalid_json\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"error\":\"invalid_request\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"error\":\"unknown_id\""), "{}", lines[2]);
+        assert_eq!(lines[3], "{\"type\":\"shutdown\"}");
+        assert_eq!(summary.protocol_errors, 3);
+        assert_eq!(summary.admitted, 0);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_the_field_name() {
+        let script = "{\"id\":\"x\",\"source\":\"END\\n\",\"bogus\":1}\n";
+        let (lines, _) = serve_script(script, &ServeConfig::default());
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"id\":\"x\""), "{}", lines[0]);
+        assert!(lines[0].contains("unknown field \\\"bogus\\\""), "{}", lines[0]);
+    }
+
+    #[test]
+    fn oversized_lines_are_consumed_and_rejected() {
+        let big = "x".repeat(4096);
+        let script = format!("{{\"id\":\"{big}\"}}\n{}\n", req("after", SRC));
+        let config = ServeConfig {
+            max_request_bytes: 1024,
+            batch: BatchConfig { workers: 1, ..BatchConfig::default() },
+            ..ServeConfig::default()
+        };
+        let (lines, summary) = serve_script(&script, &config);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"error\":\"oversized\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"id\":\"after\""), "the stream recovers: {}", lines[1]);
+        assert_eq!(summary.admitted, 1);
+    }
+
+    #[test]
+    fn bounded_reader_handles_split_lines() {
+        // A reader that hands out one byte at a time exercises every
+        // chunk-boundary path in read_line_bounded.
+        struct OneByte<'a>(&'a [u8]);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let data = b"abc\ndefgh\nij";
+        let mut reader = std::io::BufReader::with_capacity(1, OneByte(data));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_bounded(&mut reader, 5, &mut buf).unwrap(),
+            LineRead::Line { oversized: false }
+        ));
+        assert_eq!(buf, b"abc");
+        assert!(matches!(
+            read_line_bounded(&mut reader, 4, &mut buf).unwrap(),
+            LineRead::Line { oversized: true }
+        ));
+        assert!(matches!(
+            read_line_bounded(&mut reader, 5, &mut buf).unwrap(),
+            LineRead::Line { oversized: false }
+        ));
+        assert_eq!(buf, b"ij", "unterminated final line is still a line");
+        assert!(matches!(read_line_bounded(&mut reader, 5, &mut buf).unwrap(), LineRead::Eof));
+    }
+}
