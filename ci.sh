@@ -74,6 +74,37 @@ diff "$serve_tmp/cold.jsonl" "$serve_tmp/warm.jsonl" \
 grep -qE 'persistent-cache: loaded=[1-9][0-9]* hits=[1-9][0-9]*' "$serve_tmp/warm.err" \
   || { echo "warm daemon restart reported no disk hits:" >&2; cat "$serve_tmp/warm.err" >&2; exit 1; }
 rm -rf "$serve_tmp"
+# Concurrent-socket gate: a real daemon on a Unix socket serving four
+# simultaneous loadgen clients, one of which gets a seeded mid-stream
+# disconnect (its socket dies after 37 request bytes). The surviving
+# clients' responses must be byte-identical to a fresh sequential replay
+# (loadgen --verify), the survivor/replay counters are deterministic, and
+# the daemon must record the kill as client-gone, not a transport error.
+loadgen_tmp="$(mktemp -d)"
+# Backgrounded inline (not via the serve_env function): a backgrounded
+# function call forks a subshell, so $! would be the subshell — which does
+# not forward SIGINT — and the shutdown wait below would hang. A simple
+# backgrounded `env` execs straight into the daemon, keeping the pid.
+env -u DELIN_DEADLINE_MS -u DELIN_INCREMENTAL -u DELIN_KEYING \
+    -u DELIN_CACHE_CAP -u DELIN_CHAOS_SEED DELIN_WORKERS=1 \
+  "$repo_root/target/release/delin_serve" --workers 4 \
+  --socket "$loadgen_tmp/delin.sock" 2> "$loadgen_tmp/serve.err" &
+serve_pid=$!
+for _ in $(seq 50); do [ -S "$loadgen_tmp/delin.sock" ] && break; sleep 0.1; done
+[ -S "$loadgen_tmp/delin.sock" ] \
+  || { echo "delin_serve socket never appeared" >&2; cat "$loadgen_tmp/serve.err" >&2; exit 1; }
+"$repo_root/target/release/delin_loadgen" --socket "$loadgen_tmp/delin.sock" \
+  --clients 4 --requests 8 --disconnect 2 --verify --out "$loadgen_tmp/loadgen.json" > /dev/null \
+  || { echo "delin_loadgen gate failed" >&2; cat "$loadgen_tmp/serve.err" >&2; exit 1; }
+kill -INT "$serve_pid" && wait "$serve_pid" || true # 130 on SIGINT by design
+for key in '"verified": true' '"surviving_clients": 3' '"replayed": 24' \
+           '"replay_mismatches": 0'; do
+  grep -qF "$key" "$loadgen_tmp/loadgen.json" \
+    || { echo "loadgen.json missing $key" >&2; cat "$loadgen_tmp/loadgen.json" >&2; exit 1; }
+done
+grep -qE 'client_gone=[1-9]' "$loadgen_tmp/serve.err" \
+  || { echo "daemon did not record the injected disconnect:" >&2; cat "$loadgen_tmp/serve.err" >&2; exit 1; }
+rm -rf "$loadgen_tmp"
 # Fault-injection suite: seeded chaos (panics, zero-node budgets, expired
 # deadlines) must leave reports byte-identical across worker counts.
 cargo test -q --features chaos --test chaos_suite

@@ -1,0 +1,390 @@
+//! Load generator and correctness prover for the concurrent serving layer.
+//!
+//! Hammers a running `delin_serve --socket` daemon with N concurrent
+//! clients, optionally injecting connection-level transport faults (a
+//! mid-stream disconnect via [`delin_vic::chaos::FaultyWriter`]) and a
+//! greedy client that bursts its whole request list without reading
+//! responses (drawing per-connection `overloaded` rejections while polite
+//! clients still admit). Afterwards it can replay every surviving client's
+//! requests over one sequential connection and verify the concurrent
+//! responses were **byte-identical** — the serving determinism contract
+//! under real sockets, real threads, and real faults.
+//!
+//! Writes latency percentiles plus admission/rejection/fairness counters
+//! as JSON (the committed `BENCH_8.json`).
+//!
+//! Flags:
+//!
+//! * `--socket PATH` — the daemon's Unix socket (required);
+//! * `--clients N` — concurrent client connections (default 4);
+//! * `--requests N` — requests per client (default 8);
+//! * `--greedy N` — client `N` writes all requests before reading any
+//!   responses (default: none);
+//! * `--disconnect N` — client `N` gets a seeded transport fault: its
+//!   socket dies mid-stream after `--disconnect-after` request bytes
+//!   (default: none);
+//! * `--disconnect-after B` — bytes before the injected cut (default 37,
+//!   which lands mid-request-line);
+//! * `--verify` — sequentially replay surviving clients' requests and fail
+//!   unless every concurrent result response is byte-identical;
+//! * `--out PATH` — write the JSON report there (default: stdout).
+//!
+//! Exit status: 0 on success, 1 on protocol violations or a failed verify.
+
+use delin_vic::chaos::{FaultyWriter, TransportFault};
+use delin_vic::json;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: delin_loadgen --socket PATH [--clients N] [--requests N] \
+[--greedy N] [--disconnect N] [--disconnect-after B] [--verify] [--out PATH]";
+
+/// How long a client waits for one response line before declaring the
+/// daemon hung (fails the run rather than wedging CI).
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let value = args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))?;
+    match value.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("delin_loadgen: {name} needs a number, got {value:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn check_args() {
+    let valued = [
+        "--socket",
+        "--clients",
+        "--requests",
+        "--greedy",
+        "--disconnect",
+        "--disconnect-after",
+        "--out",
+    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--verify" {
+            i += 1;
+            continue;
+        }
+        if !valued.contains(&arg) {
+            eprintln!("delin_loadgen: unknown argument {arg:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        if args.get(i + 1).is_none() {
+            eprintln!("delin_loadgen: {arg} needs a value");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+}
+
+/// The request workload: a compact rotation of units with distinct
+/// analysis profiles (a recurrence with real dependences, the paper's
+/// delinearization independence case, a generated nest), so the daemon's
+/// cache and solver paths all see traffic.
+const SOURCES: [&str; 3] = [
+    "REAL A(0:99)\nDO 1 i = 1, 50\n1   A(i) = A(i - 1)\nEND\n",
+    "REAL C(0:399)\nDO 1 i = 0, 4\nDO 1 j = 0, 9\n1   C(i + 10*j) = C(i + 10*j + 5)\nEND\n",
+    "REAL B(0:199)\nDO 1 i = 0, 9\nDO 1 j = 0, 9\n1   B(10*i + j) = B(10*i + j)\nEND\n",
+];
+
+fn request_line(id: &str, source: &str) -> String {
+    format!("{{\"id\":{},\"source\":{}}}\n", json::str_token(id), json::str_token(source))
+}
+
+/// The deterministic request list of client `c`.
+fn client_requests(c: usize, requests: usize) -> Vec<(String, &'static str)> {
+    (0..requests).map(|i| (format!("c{c}-r{i}"), SOURCES[(c * 7 + i) % SOURCES.len()])).collect()
+}
+
+/// What one client observed: every response line keyed by request id, plus
+/// per-request latencies and whether the connection survived to the end.
+struct ClientReport {
+    client: usize,
+    sent: usize,
+    responses: BTreeMap<String, String>,
+    latencies_ms: Vec<f64>,
+    overloaded: usize,
+    other_errors: usize,
+    survived: bool,
+}
+
+fn response_field(line: &str, field: &str) -> Option<String> {
+    json::parse(line).ok()?.as_obj()?.get(field)?.as_str().map(str::to_string)
+}
+
+/// Runs one client: writes its request list (interleaving reads unless
+/// greedy), collects one response per request, and classifies them.
+fn run_client(
+    socket: &str,
+    client: usize,
+    requests: usize,
+    greedy: bool,
+    fault: Option<TransportFault>,
+) -> std::io::Result<ClientReport> {
+    let stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = FaultyWriter::new(stream, fault);
+    let mut report = ClientReport {
+        client,
+        sent: 0,
+        responses: BTreeMap::new(),
+        latencies_ms: Vec::new(),
+        overloaded: 0,
+        other_errors: 0,
+        survived: fault.is_none(),
+    };
+    let mut started: BTreeMap<String, Instant> = BTreeMap::new();
+    let mut read_one =
+        |report: &mut ClientReport, started: &BTreeMap<String, Instant>| -> std::io::Result<bool> {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Ok(false);
+            }
+            let line = line.trim_end_matches('\n').to_string();
+            let id = response_field(&line, "id").unwrap_or_default();
+            if let Some(t0) = started.get(&id) {
+                report.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            match response_field(&line, "error").as_deref() {
+                Some("overloaded") => report.overloaded += 1,
+                Some(_) => report.other_errors += 1,
+                None => {}
+            }
+            report.responses.insert(id, line);
+            Ok(true)
+        };
+
+    for (id, source) in client_requests(client, requests) {
+        let line = request_line(&id, source);
+        started.insert(id, Instant::now());
+        if writer.write_all(line.as_bytes()).and_then(|()| writer.flush()).is_err() {
+            // The injected cut fired (or the daemon dropped us): stop
+            // writing, drain whatever responses still arrive, report as a
+            // faulted connection.
+            report.survived = false;
+            break;
+        }
+        report.sent += 1;
+        // A polite client reads as it goes; a greedy one bursts first.
+        if !greedy {
+            if !read_one(&mut report, &started)? {
+                report.survived = false;
+                break;
+            }
+        }
+    }
+    // Collect the outstanding responses (all of them, for the greedy
+    // client). Every request owes exactly one response line.
+    while report.responses.len() < report.sent {
+        match read_one(&mut report, &started) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(_) => break,
+        }
+    }
+    Ok(report)
+}
+
+/// Sequentially replays `ids_and_sources` on a fresh connection and
+/// returns the response line per id.
+fn replay(
+    socket: &str,
+    requests: &[(String, &'static str)],
+) -> std::io::Result<BTreeMap<String, String>> {
+    let stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut out = BTreeMap::new();
+    for (id, source) in requests {
+        writer.write_all(request_line(id, source).as_bytes())?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        out.insert(id.clone(), line.trim_end_matches('\n').to_string());
+    }
+    Ok(out)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    check_args();
+    let Some(socket) = arg_str("--socket") else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let clients = arg_value("--clients").unwrap_or(4).max(1);
+    let requests = arg_value("--requests").unwrap_or(8).max(1);
+    let greedy = arg_value("--greedy");
+    let disconnect = arg_value("--disconnect");
+    let cut_after = arg_value("--disconnect-after").unwrap_or(37);
+    let verify = arg_flag("--verify");
+
+    let reports: Vec<std::io::Result<ClientReport>> = std::thread::scope(|scope| {
+        let socket = socket.as_str();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    run_client(
+                        socket,
+                        c,
+                        requests,
+                        greedy == Some(c),
+                        (disconnect == Some(c))
+                            .then_some(TransportFault::CutWrite { after: cut_after }),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+
+    let mut failures = 0usize;
+    let mut all = Vec::new();
+    for (c, result) in reports.into_iter().enumerate() {
+        match result {
+            Ok(report) => all.push(report),
+            Err(e) => {
+                eprintln!("delin_loadgen: client {c}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // Verify: every *result* response a surviving client saw concurrently
+    // must be byte-identical under a sequential replay — rejections are
+    // load-dependent and excluded by construction.
+    let mut replay_mismatches = 0usize;
+    let mut replayed = 0usize;
+    if verify {
+        for report in all.iter().filter(|r| r.survived) {
+            let requests_list = client_requests(report.client, requests);
+            let result_ids: Vec<(String, &'static str)> = requests_list
+                .into_iter()
+                .filter(|(id, _)| {
+                    report
+                        .responses
+                        .get(id)
+                        .is_some_and(|line| response_field(line, "error").is_none())
+                })
+                .collect();
+            match replay(&socket, &result_ids) {
+                Ok(sequential) => {
+                    for (id, _) in &result_ids {
+                        replayed += 1;
+                        if sequential.get(id) != report.responses.get(id) {
+                            replay_mismatches += 1;
+                            eprintln!(
+                                "delin_loadgen: client {} request {id}: concurrent response \
+                                 diverges from sequential replay",
+                                report.client
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("delin_loadgen: replay for client {}: {e}", report.client);
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    let mut latencies: Vec<f64> =
+        all.iter().filter(|r| r.survived).flat_map(|r| r.latencies_ms.iter().copied()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let results_total: usize = all
+        .iter()
+        .map(|r| r.responses.values().filter(|l| response_field(l, "error").is_none()).count())
+        .sum();
+    let overloaded_total: usize = all.iter().map(|r| r.overloaded).sum();
+    let errors_total: usize = all.iter().map(|r| r.other_errors).sum();
+    let sent_total: usize = all.iter().map(|r| r.sent).sum();
+    let survivors = all.iter().filter(|r| r.survived).count();
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve_loadgen\",\n");
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!("  \"requests_per_client\": {requests},\n"));
+    let opt = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+    out.push_str(&format!("  \"greedy_client\": {},\n", opt(greedy)));
+    out.push_str(&format!("  \"disconnect_client\": {},\n", opt(disconnect)));
+    out.push_str(&format!("  \"sent\": {sent_total},\n"));
+    out.push_str(&format!("  \"results\": {results_total},\n"));
+    out.push_str(&format!("  \"overloaded\": {overloaded_total},\n"));
+    out.push_str(&format!("  \"other_errors\": {errors_total},\n"));
+    out.push_str(&format!("  \"surviving_clients\": {survivors},\n"));
+    out.push_str(&format!(
+        "  \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        percentile(&latencies, 1.0),
+    ));
+    out.push_str("  \"per_client\": [\n");
+    for (i, r) in all.iter().enumerate() {
+        let results = r.responses.values().filter(|l| response_field(l, "error").is_none()).count();
+        out.push_str(&format!(
+            "    {{\"client\": {}, \"sent\": {}, \"results\": {}, \"overloaded\": {}, \
+             \"errors\": {}, \"survived\": {}}}{}\n",
+            r.client,
+            r.sent,
+            results,
+            r.overloaded,
+            r.other_errors,
+            r.survived,
+            if i + 1 < all.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"verified\": {},\n", verify && replay_mismatches == 0));
+    out.push_str(&format!("  \"replayed\": {replayed},\n"));
+    out.push_str(&format!("  \"replay_mismatches\": {replay_mismatches}\n"));
+    out.push_str("}\n");
+
+    match arg_str("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &out) {
+                eprintln!("delin_loadgen: writing {path:?}: {e}");
+                failures += 1;
+            }
+        }
+        None => print!("{out}"),
+    }
+
+    if failures > 0 || replay_mismatches > 0 {
+        std::process::exit(1);
+    }
+}

@@ -11,8 +11,9 @@
 //!
 //! * `--workers N` — total worker budget for the analysis pool (default:
 //!   auto / `DELIN_WORKERS`);
-//! * `--max-in-flight N` — admission bound: requests in flight at once;
-//!   further requests are rejected with an `overloaded` error (default 64);
+//! * `--max-in-flight N` — global admission bound: requests in flight at
+//!   once across all connections; further requests are rejected with an
+//!   `overloaded` error (default 64);
 //! * `--nodes N` — default per-request solver-node budget (overridden by a
 //!   request's own `budget.nodes`);
 //! * `--deadline-ms N` — default per-request deadline, enforced from the
@@ -23,32 +24,57 @@
 //!   restarted daemon answers repeat requests from disk;
 //! * `--cache-cap N` — bound the shared cache to `N` entries with LRU
 //!   eviction (default: `DELIN_CACHE_CAP`, 0 = unbounded);
-//! * `--socket PATH` — serve sequential connections on a Unix socket
-//!   instead of stdin/stdout. One shared verdict cache warms across
-//!   connections; a client's `{"shutdown": true}` ends its own session,
-//!   SIGINT ends the daemon.
+//! * `--socket PATH` — serve **concurrent** connections on a Unix socket
+//!   instead of stdin/stdout, multiplexed onto one worker pool and one
+//!   shared verdict cache. A client's `{"shutdown": true}` ends its own
+//!   session; SIGINT drains and ends the daemon.
+//! * `--max-connections N` — concurrent connection cap (default 8); excess
+//!   connections get one `{"type":"error","error":"busy",...}` line;
+//! * `--conn-quota N` — per-connection in-flight quota under the global
+//!   bound (default 8): a greedy client draws `overloaded` while other
+//!   connections still admit;
+//! * `--idle-timeout-ms N` — end a connection that sends nothing for `N`
+//!   ms with a structured `idle_timeout` error (default 30000; 0 disables).
 //!
-//! Ctrl-C trips the daemon-wide [`CancelToken`]: in-flight requests degrade
-//! conservatively (their responses still arrive, attributed `cancelled`),
-//! the per-session summary still prints to stderr, and the process exits
-//! with the conventional 130.
+//! Ctrl-C trips the daemon-wide [`CancelToken`]: admission stops, in-flight
+//! requests degrade conservatively (their responses still flush, attributed
+//! `cancelled`), the summary prints to stderr, and the process exits with
+//! the conventional 130. The wakeup is event-driven end to end: the signal
+//! handler writes one byte to a self-pipe; a watcher thread turns that into
+//! a loopback connection that unblocks `accept`; readers observe the token
+//! at their next read-timeout probe.
 
 use delin_dep::budget::CancelToken;
 use delin_vic::cache::VerdictCache;
 use delin_vic::persist;
-use delin_vic::serve::{serve, serve_in, ServeConfig, ServeSummary};
+use delin_vic::serve::multi::{serve_connections, Accept, MultiConfig, MultiSummary};
+use delin_vic::serve::{serve, ServeConfig, ServeSummary};
 use std::io::BufReader;
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::OnceLock;
 use std::time::Duration;
 
 const USAGE: &str = "usage: delin_serve [--workers N] [--max-in-flight N] [--nodes N] \
-[--deadline-ms N] [--cache-file PATH] [--cache-cap N] [--socket PATH]";
+[--deadline-ms N] [--cache-file PATH] [--cache-cap N] [--socket PATH] \
+[--max-connections N] [--conn-quota N] [--idle-timeout-ms N]";
+
+/// How often a blocked connection read wakes to probe the idle clock and
+/// the shutdown token (the OS-level read timeout set on accepted sockets).
+const READ_PROBE: Duration = Duration::from_millis(100);
 
 fn arg_value(name: &str) -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    let value = args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))?;
+    match value.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("delin_serve: {name} needs a number, got {value:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn arg_str(name: &str) -> Option<String> {
@@ -65,6 +91,9 @@ fn check_args() {
         "--cache-file",
         "--cache-cap",
         "--socket",
+        "--max-connections",
+        "--conn-quota",
+        "--idle-timeout-ms",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -104,9 +133,20 @@ fn main() {
         config.batch.cache_cap = cap;
     }
     let cache_file = arg_str("--cache-file").map(PathBuf::from);
+    // Parsed unconditionally so a malformed value exits 2 in either mode,
+    // even though only socket mode consumes them.
+    let idle_timeout_ms = arg_value("--idle-timeout-ms");
+    let max_connections = arg_value("--max-connections").unwrap_or(8);
+    let conn_quota = arg_value("--conn-quota").unwrap_or(8);
 
     if let Some(path) = arg_str("--socket") {
-        if let Err(e) = run_socket(Path::new(&path), &config, &shutdown, cache_file.as_deref()) {
+        config.idle_timeout_ms = match idle_timeout_ms {
+            Some(0) => None,
+            Some(ms) => Some(ms as u64),
+            None => Some(30_000),
+        };
+        let multi = MultiConfig { serve: config, max_connections, conn_quota };
+        if let Err(e) = run_socket(Path::new(&path), &multi, &shutdown, cache_file.as_deref()) {
             eprintln!("delin_serve: socket {path:?}: {e}");
             std::process::exit(1);
         }
@@ -122,42 +162,59 @@ fn main() {
     }
 }
 
-/// Sequential connections on a Unix socket, all warming one externally
-/// owned verdict cache (persisted around the accept loop, not per
-/// session). Accepting is non-blocking + polled so SIGINT ends the daemon
-/// even while it sits idle between connections.
+/// Accepts Unix-socket connections for [`serve_connections`]. Blocking
+/// accept; the SIGINT watcher wakes it with a loopback connection, which
+/// the shutdown re-check then converts into `Ok(None)` (end of accepting).
+struct SocketAcceptor<'a> {
+    listener: UnixListener,
+    shutdown: &'a CancelToken,
+}
+
+impl Accept for SocketAcceptor<'_> {
+    type Reader = BufReader<UnixStream>;
+    type Writer = UnixStream;
+    fn accept(&mut self) -> std::io::Result<Option<(Self::Reader, Self::Writer)>> {
+        loop {
+            if self.shutdown.is_cancelled() {
+                return Ok(None);
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutdown.is_cancelled() {
+                        return Ok(None);
+                    }
+                    stream.set_read_timeout(Some(READ_PROBE))?;
+                    let writer = stream.try_clone()?;
+                    return Ok(Some((BufReader::new(stream), writer)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Concurrent connections on a Unix socket, multiplexed onto one worker
+/// pool and one externally owned verdict cache (persisted around the whole
+/// run, not per session).
 fn run_socket(
     path: &Path,
-    config: &ServeConfig,
+    config: &MultiConfig,
     shutdown: &CancelToken,
     cache_file: Option<&Path>,
 ) -> std::io::Result<()> {
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
-    listener.set_nonblocking(true)?;
-    let cache = VerdictCache::shared_with_cap(config.batch.keying, config.batch.cache_cap);
+    let cache =
+        VerdictCache::shared_with_cap(config.serve.batch.keying, config.serve.batch.cache_cap);
     if let Some(file) = cache_file {
         let loaded = persist::load(&cache, file);
         eprintln!("persistent-cache: loaded={} rejected={}", loaded.loaded, loaded.rejected);
     }
-    while !shutdown.is_cancelled() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let writer = stream.try_clone()?;
-                let summary =
-                    serve_in(BufReader::new(stream), writer, config, shutdown, Some(&cache));
-                report(&summary);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => {
-                let _ = std::fs::remove_file(path);
-                return Err(e);
-            }
-        }
-    }
+    spawn_sigint_waker(path.to_path_buf());
+    let acceptor = SocketAcceptor { listener, shutdown };
+    let summary = serve_connections(acceptor, config, shutdown, Some(&cache));
+    report_multi(&summary);
     if let Some(file) = cache_file {
         match persist::save(&cache, file) {
             Ok(saved) => eprintln!("persistent-cache: saved={saved}"),
@@ -197,22 +254,58 @@ fn report(summary: &ServeSummary) {
     }
 }
 
+/// The whole-daemon summary for socket mode.
+fn report_multi(summary: &MultiSummary) {
+    eprintln!(
+        "serve: connections={} busy={} admitted={} completed={} rejected={} cancels={} \
+         errors={} idle_timeouts={} client_gone={}",
+        summary.connections,
+        summary.rejected_connections,
+        summary.admitted,
+        summary.completed,
+        summary.rejected,
+        summary.cancel_requests,
+        summary.protocol_errors,
+        summary.idle_timeouts,
+        summary.client_gone
+    );
+    if let Some(e) = &summary.io_error {
+        eprintln!("serve: transport error: {e}");
+    }
+}
+
 // Signal wiring mirrors `batch_corpus`: the library crates forbid unsafe
-// code, so the one unsafe operation — registering a C signal handler —
-// lives in the binary. The handler only performs async-signal-safe work.
+// code, so the unsafe operations — registering a C signal handler and the
+// self-pipe it writes — live in the binary. The handler only performs
+// async-signal-safe work: one atomic store (the token) and one write(2)
+// to the pipe.
 
 const SIGINT: i32 = 2;
 
 static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+/// Write end of the self-pipe (-1 until socket mode arms it).
+static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
 extern "C" fn on_sigint(_signum: i32) {
     if let Some(token) = CANCEL.get() {
         token.cancel();
     }
+    let fd = WAKE_FD.load(Ordering::Acquire);
+    if fd >= 0 {
+        let byte = 1u8;
+        // SAFETY: write(2) on a valid pipe fd with a one-byte buffer; it is
+        // async-signal-safe by POSIX.
+        unsafe {
+            write(fd, std::ptr::addr_of!(byte).cast(), 1);
+        }
+    }
 }
 
 extern "C" {
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    fn pipe(fds: *mut i32) -> i32;
+    fn write(fd: i32, buf: *const std::ffi::c_void, count: usize) -> isize;
+    fn read(fd: i32, buf: *mut std::ffi::c_void, count: usize) -> isize;
 }
 
 /// Installs the SIGINT handler once and returns the process-wide token it
@@ -225,4 +318,34 @@ fn install_ctrl_c() -> CancelToken {
         signal(SIGINT, on_sigint);
     }
     token
+}
+
+/// Arms the event-driven shutdown path for socket mode: the SIGINT handler
+/// writes one byte into a self-pipe; this watcher thread blocks on the read
+/// end and, when the byte arrives, opens a throwaway loopback connection to
+/// `path` so the blocking `accept` wakes and observes the tripped token.
+fn spawn_sigint_waker(path: PathBuf) {
+    let mut fds = [-1i32; 2];
+    // SAFETY: pipe(2) with a valid out-array of two fds.
+    if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        eprintln!("delin_serve: self-pipe unavailable; Ctrl-C may wait for a connection");
+        return;
+    }
+    WAKE_FD.store(fds[1], Ordering::Release);
+    let rd = fds[0];
+    std::thread::spawn(move || {
+        let mut byte = 0u8;
+        loop {
+            // SAFETY: blocking read(2) on our own pipe's read end.
+            let n = unsafe { read(rd, std::ptr::addr_of_mut!(byte).cast(), 1) };
+            if n == 1 {
+                let _ = UnixStream::connect(&path);
+                return;
+            }
+            if n == 0 {
+                return; // write end closed: process is exiting anyway
+            }
+            // n < 0: EINTR or transient error; retry.
+        }
+    });
 }

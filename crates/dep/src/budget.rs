@@ -53,26 +53,78 @@ impl std::fmt::Display for DegradeReason {
     }
 }
 
+/// One node of a cancellation tree: a flag plus an optional parent link.
+/// Cancellation is observed *upward* — a token is cancelled when its own
+/// flag or any ancestor's flag is set — so tripping a root reaches every
+/// descendant at the very next probe, with no watcher thread fanning the
+/// signal out.
+#[derive(Debug, Default)]
+struct CancelNode {
+    flag: AtomicBool,
+    parent: Option<Arc<CancelNode>>,
+}
+
+impl CancelNode {
+    fn is_set(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        let mut node = &self.parent;
+        while let Some(parent) = node {
+            if parent.flag.load(Ordering::Acquire) {
+                return true;
+            }
+            node = &parent.parent;
+        }
+        false
+    }
+}
+
 /// A shared cancellation flag: cloned freely, cancelled once, observed by
 /// every budget holding a clone.
+///
+/// Tokens form a tree (see [`CancelToken::child`]): cancelling a token
+/// cancels every token derived from it, while a child's own cancellation
+/// leaves its parent (and siblings) untouched. This is how the serving
+/// layer scopes cancellation — daemon shutdown > connection > request —
+/// without any polling thread relaying the daemon-wide signal into
+/// per-request tokens.
+///
+/// [`CancelToken::cancel`] performs a single atomic store: it is safe to
+/// call from a signal handler.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<CancelNode>);
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled root token.
     pub fn new() -> CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation. Idempotent; analyses drain quickly by
-    /// degrading every remaining decision to `Unknown`.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+    /// A token cancelled when *either* it or `self` (or any ancestor of
+    /// `self`) is cancelled. Cancelling the child does not affect the
+    /// parent. Chains stay shallow in practice (shutdown > connection >
+    /// request is three levels); [`CancelToken::is_cancelled`] walks the
+    /// chain with one atomic load per level.
+    #[must_use]
+    pub fn child(&self) -> CancelToken {
+        CancelToken(Arc::new(CancelNode {
+            flag: AtomicBool::new(false),
+            parent: Some(self.0.clone()),
+        }))
     }
 
-    /// `true` once [`CancelToken::cancel`] has been called.
+    /// Requests cancellation of this token and every descendant. Idempotent;
+    /// analyses drain quickly by degrading every remaining decision to
+    /// `Unknown`. A single atomic store — async-signal-safe.
+    pub fn cancel(&self) {
+        self.0.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on this token or
+    /// any of its ancestors.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.0.is_set()
     }
 }
 
@@ -309,6 +361,44 @@ mod tests {
         let b = ResourceBudget::unlimited().deadline_at(Instant::now());
         assert_eq!(b.exhausted(), Some(DegradeReason::Deadline));
         assert_eq!(b.tripped(), Some(DegradeReason::Deadline));
+    }
+
+    #[test]
+    fn child_tokens_observe_ancestors_not_siblings() {
+        let root = CancelToken::new();
+        let conn = root.child();
+        let req_a = conn.child();
+        let req_b = conn.child();
+
+        // A leaf's own cancellation stays scoped to the leaf.
+        req_a.cancel();
+        assert!(req_a.is_cancelled());
+        assert!(!req_b.is_cancelled(), "sibling unaffected");
+        assert!(!conn.is_cancelled(), "parent unaffected");
+        assert!(!root.is_cancelled());
+
+        // Cancelling an interior node reaches every descendant.
+        conn.cancel();
+        assert!(req_b.is_cancelled());
+        assert!(!root.is_cancelled());
+
+        // And a root cancellation reaches a fresh grandchild instantly —
+        // this is the event path that replaced the serve-layer watcher
+        // thread: no relay, the probe itself sees the ancestor flag.
+        let root2 = CancelToken::new();
+        let leaf = root2.child().child();
+        root2.cancel();
+        assert!(leaf.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancellation_degrades_budgets() {
+        let shutdown = CancelToken::new();
+        let request = shutdown.child();
+        let b = ResourceBudget::unlimited().with_cancel(request.clone());
+        assert_eq!(b.exhausted(), None);
+        shutdown.cancel();
+        assert_eq!(b.exhausted(), Some(DegradeReason::Cancelled));
     }
 
     #[test]

@@ -176,21 +176,219 @@ impl ChaosCtx {
 }
 
 /// splitmix64-style avalanche: decisions depend on every bit of the seed
-/// and the site identity, nothing else.
-#[cfg(feature = "chaos")]
+/// and the site identity, nothing else. (Used by both the feature-gated
+/// engine faults and the always-compiled transport faults below.)
 fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
 }
 
-#[cfg(feature = "chaos")]
 fn site_hash(seed: u64, site: &str) -> u64 {
     let mut h = mix(seed ^ 0x9e37_79b9_7f4a_7c15);
     for b in site.bytes() {
         h = mix(h ^ u64::from(b));
     }
     h
+}
+
+// ---------------------------------------------------------------------------
+// Transport faults
+// ---------------------------------------------------------------------------
+//
+// Unlike the engine faults above, the transport layer is **always
+// compiled**: the wrappers are pure adapter types over any reader/writer,
+// cost nothing unless a transport is actually wrapped, and are needed by
+// the (always-built) `delin_loadgen` bench binary and the serving test
+// suites. The same determinism contract applies: every decision is a pure
+// function of `(seed, connection index)`.
+
+/// A connection-level transport fault, injected by wrapping one side of a
+/// client connection. Each models a distinct real-world failure the
+/// multi-connection daemon must confine to the faulted client:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportFault {
+    /// The peer vanishes after `after` bytes of its request stream have
+    /// been read — a mid-request disconnect (possibly mid-line: the
+    /// half-written-line case) or a killed socket. Reads then fail with
+    /// `ConnectionReset`.
+    CutRead {
+        /// Bytes readable before the reset.
+        after: usize,
+    },
+    /// The peer's socket dies on the response side after `after` response
+    /// bytes — writes then fail with `BrokenPipe` (the client-gone path).
+    CutWrite {
+        /// Bytes writable before the pipe breaks.
+        after: usize,
+    },
+    /// The peer goes silent: reads yield `WouldBlock` forever (a stalled
+    /// writer on the client side; trips the daemon's idle timeout).
+    Stall,
+}
+
+/// A seeded per-connection transport fault plan: which connections of a
+/// multi-client run are faulted, and how, as a pure function of
+/// `(seed, connection index)` — the same connection set faults identically
+/// for any accept order or thread schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportPlan {
+    /// Seed mixed into every connection decision.
+    pub seed: u64,
+    /// Faulted-connection rate in permille (out of 1000).
+    pub rate: u16,
+}
+
+impl TransportPlan {
+    /// A plan with the default rate: roughly one connection in four.
+    pub fn new(seed: u64) -> TransportPlan {
+        TransportPlan { seed, rate: 250 }
+    }
+
+    /// The fault (if any) for connection number `conn`. Cut points land in
+    /// `[1, 257)` bytes, early enough to interrupt the first requests.
+    pub fn connection_fault(&self, conn: u64) -> Option<TransportFault> {
+        let h = site_hash(self.seed, &format!("conn:{conn}"));
+        if h % 1000 >= u64::from(self.rate) {
+            return None;
+        }
+        let after = 1 + (h / 1000 % 256) as usize;
+        Some(match (h / 256_000) % 3 {
+            0 => TransportFault::CutRead { after },
+            1 => TransportFault::CutWrite { after },
+            _ => TransportFault::Stall,
+        })
+    }
+}
+
+/// A reader that injects [`TransportFault::CutRead`] / [`TransportFault::Stall`]
+/// over any inner reader. Wrap it in a `BufReader` to feed the daemon.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    fault: Option<TransportFault>,
+    seen: usize,
+}
+
+impl<R: std::io::Read> FaultyReader<R> {
+    /// Wraps `inner` under `fault` (write-side faults are ignored here).
+    pub fn new(inner: R, fault: Option<TransportFault>) -> FaultyReader<R> {
+        FaultyReader { inner, fault, seen: 0 }
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.fault {
+            Some(TransportFault::Stall) => Err(std::io::ErrorKind::WouldBlock.into()),
+            Some(TransportFault::CutRead { after }) => {
+                if self.seen >= after {
+                    return Err(std::io::ErrorKind::ConnectionReset.into());
+                }
+                let cap = buf.len().min(after - self.seen);
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.seen += n;
+                Ok(n)
+            }
+            _ => self.inner.read(buf),
+        }
+    }
+}
+
+/// A writer that injects [`TransportFault::CutWrite`] over any inner
+/// writer: after the cut point, every write fails with `BrokenPipe` — how
+/// a vanished client looks to the daemon's response path.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    fault: Option<TransportFault>,
+    seen: usize,
+}
+
+impl<W: std::io::Write> FaultyWriter<W> {
+    /// Wraps `inner` under `fault` (read-side faults are ignored here).
+    pub fn new(inner: W, fault: Option<TransportFault>) -> FaultyWriter<W> {
+        FaultyWriter { inner, fault, seen: 0 }
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.fault {
+            Some(TransportFault::CutWrite { after }) => {
+                if self.seen >= after {
+                    return Err(std::io::ErrorKind::BrokenPipe.into());
+                }
+                let cap = buf.len().min(after - self.seen);
+                let n = self.inner.write(&buf[..cap])?;
+                self.seen += n;
+                Ok(n)
+            }
+            _ => self.inner.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod transport_tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn plans_are_deterministic_and_cover_all_faults() {
+        let plan = TransportPlan::new(11);
+        for conn in 0..100 {
+            assert_eq!(plan.connection_fault(conn), plan.connection_fault(conn));
+        }
+        let kinds: std::collections::HashSet<_> = (0..4000)
+            .filter_map(|c| plan.connection_fault(c))
+            .map(|f| std::mem::discriminant(&f))
+            .collect();
+        assert_eq!(kinds.len(), 3, "all three transport faults must occur");
+        let fired = (0..4000).filter(|&c| plan.connection_fault(c).is_some()).count();
+        assert!((600..1400).contains(&fired), "faults fired: {fired}");
+    }
+
+    #[test]
+    fn cut_read_delivers_a_prefix_then_resets() {
+        let data = b"hello world";
+        let mut r = FaultyReader::new(&data[..], Some(TransportFault::CutRead { after: 5 }));
+        let mut buf = Vec::new();
+        let err = r.read_to_end(&mut buf).expect_err("must reset");
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert_eq!(buf, b"hello", "exactly the prefix before the cut");
+    }
+
+    #[test]
+    fn stall_yields_would_block() {
+        let mut r = FaultyReader::new(&b"x"[..], Some(TransportFault::Stall));
+        let mut buf = [0u8; 1];
+        assert_eq!(r.read(&mut buf).unwrap_err().kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn cut_write_accepts_a_prefix_then_breaks() {
+        let mut sink = Vec::new();
+        let mut w = FaultyWriter::new(&mut sink, Some(TransportFault::CutWrite { after: 3 }));
+        assert_eq!(w.write(b"abcdef").unwrap(), 3);
+        assert_eq!(w.write(b"def").unwrap_err().kind(), std::io::ErrorKind::BrokenPipe);
+        assert_eq!(sink, b"abc");
+    }
+
+    #[test]
+    fn unfaulted_wrappers_are_transparent() {
+        let mut r = FaultyReader::new(&b"pass"[..], None);
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"pass");
+        let mut sink = Vec::new();
+        let mut w = FaultyWriter::new(&mut sink, None);
+        w.write_all(b"pass").unwrap();
+        assert_eq!(sink, b"pass");
+    }
 }
 
 #[cfg(all(test, feature = "chaos"))]

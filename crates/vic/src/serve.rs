@@ -46,12 +46,35 @@
 //! # Shutdown
 //!
 //! The caller owns the daemon-level [`CancelToken`]: tripping it (e.g. from
-//! a SIGINT handler) stops admission at the next input line and cancels
-//! every in-flight request's token, so the daemon drains fast — each
-//! remaining response degrades conservatively rather than running its full
-//! budget. A reader blocked on a quiet input stream stays blocked until
-//! the next line or EOF; binaries that need harder guarantees close the
-//! input instead.
+//! a SIGINT handler) stops admission at the next input line and reaches
+//! every in-flight request *immediately* — per-request tokens are
+//! [`CancelToken::child`]ren of the session token, itself a child of the
+//! daemon token, so the very next budget probe inside the solver observes
+//! the ancestor flag. No watcher thread, no polling: the session spawns
+//! exactly one auxiliary thread (the runner pool) and none survive it. A
+//! reader blocked on a quiet input stream stays blocked until the next
+//! line, EOF, or (on transports with read timeouts) the next idle probe;
+//! binaries that need harder guarantees close the input instead.
+//!
+//! # Client-gone and idle clients
+//!
+//! A response write (or request read) failing with `EPIPE`/`ECONNRESET`
+//! means the client vanished: the session treats that as the *connection's*
+//! cancellation —
+//! pending requests degrade conservatively, their (unsendable) responses
+//! are dropped on the dead transport, and the session ends with
+//! [`ServeSummary::client_gone`] set instead of a transport error. With
+//! [`ServeConfig::idle_timeout_ms`] set and a transport whose reads time
+//! out (returning `WouldBlock`/`TimedOut`, e.g. a Unix socket with a read
+//! timeout), a client that sends nothing for that long gets a structured
+//! `idle_timeout` error and its session is drained the same way.
+//!
+//! # Concurrent connections
+//!
+//! This module serves **one** transport. [`multi`] multiplexes many
+//! concurrent connections onto one shared runner and cache with
+//! per-connection fairness quotas — that is what `delin_serve --socket`
+//! runs.
 
 use crate::batch::{
     BatchConfig, BatchJob, BatchRunner, BatchStats, BatchUnit, UnitOutcome, UnitReport,
@@ -59,13 +82,16 @@ use crate::batch::{
 use crate::cache::VerdictCache;
 use crate::deps::DepEdge;
 use crate::json::{self, Json};
-use delin_dep::budget::CancelToken;
+use delin_dep::budget::{BudgetSpec, CancelToken};
 use delin_numeric::Assumptions;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+#[path = "serve_multi.rs"]
+pub mod multi;
 
 /// Configuration of the serving layer.
 #[derive(Debug, Clone)]
@@ -86,6 +112,13 @@ pub struct ServeConfig {
     /// Longest accepted request line in bytes; longer lines are consumed
     /// (bounded memory) and rejected with an `oversized` error.
     pub max_request_bytes: usize,
+    /// Maximum quiet time on the request stream before the session is ended
+    /// with an `idle_timeout` error (pending requests degrade
+    /// conservatively, their responses are still flushed). `None` disables.
+    /// Enforced only on transports whose reads time out — a read returning
+    /// `WouldBlock`/`TimedOut` is the idle probe; a transport that blocks
+    /// forever is never probed (stdin sessions are not idle-limited).
+    pub idle_timeout_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +130,7 @@ impl Default for ServeConfig {
             },
             max_in_flight: 64,
             max_request_bytes: 1 << 20,
+            idle_timeout_ms: None,
         }
     }
 }
@@ -121,8 +155,17 @@ pub struct ServeSummary {
     pub batch: BatchStats,
     /// First I/O error observed while reading requests or writing
     /// responses, if any. Output errors stop nothing (later writes are
-    /// attempted); input errors end the session like EOF.
+    /// attempted); input errors end the session like EOF. Client-gone
+    /// write failures (`EPIPE`/`ECONNRESET`) are *not* recorded here —
+    /// they set [`ServeSummary::client_gone`] instead.
     pub io_error: Option<String>,
+    /// The client vanished mid-session (a response write or request read
+    /// failed with `EPIPE`/`ECONNRESET`/`ECONNABORTED`): its pending
+    /// requests were cancelled and drained conservatively.
+    pub client_gone: bool,
+    /// Sessions ended by [`ServeConfig::idle_timeout_ms`] (0 or 1 for a
+    /// single session; a counter so the multi-connection layer can sum it).
+    pub idle_timeouts: usize,
 }
 
 /// One admitted request awaiting its response.
@@ -164,17 +207,22 @@ where
 {
     let (tx, rx) = mpsc::channel::<BatchJob>();
     let pending: Mutex<HashMap<u64, Pending>> = Mutex::new(HashMap::new());
-    let out = Mutex::new(output);
-    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    // The session token: a child of the daemon-wide shutdown token, the
+    // parent of every per-request token. Daemon shutdown reaches in-flight
+    // budgets through the ancestor chain (event-driven, no watcher
+    // thread); a client-gone write failure cancels just this session.
+    let session = shutdown.child();
+    let out = SessionOut::new(output, session.clone());
     let completed = AtomicUsize::new(0);
-    let done = AtomicBool::new(false);
     let runner = BatchRunner::new(config.batch.clone());
     let max_in_flight = config.max_in_flight.max(1);
+    let idle_timeout = config.idle_timeout_ms.map(Duration::from_millis);
 
     let mut admitted = 0usize;
     let mut rejected = 0usize;
     let mut cancel_requests = 0usize;
     let mut protocol_errors = 0usize;
+    let mut idle_timeouts = 0usize;
 
     let batch = std::thread::scope(|scope| {
         // Completion sink: render and stream the response on the worker
@@ -185,61 +233,70 @@ where
         let sink = |tag: u64, report: &UnitReport| {
             let id = lock_recover(&pending).get(&tag).map(|p| p.id.clone());
             let line = render_result(id.as_deref(), report);
-            write_line(&out, &io_error, &line);
+            out.line(&line);
             lock_recover(&pending).remove(&tag);
             completed.fetch_add(1, Ordering::SeqCst);
         };
         let runner_handle = scope.spawn(move || runner.run_jobs_in(rx, cache, false, sink));
-        // Shutdown watcher: daemon-level cancellation must reach in-flight
-        // work immediately, not at the next input line (the reader may be
-        // blocked mid-read). Polling at 10 ms keeps this dependency-free.
-        scope.spawn(|| {
-            while !done.load(Ordering::Acquire) {
-                if shutdown.is_cancelled() {
-                    for p in lock_recover(&pending).values() {
-                        p.cancel.cancel();
-                    }
-                    break;
-                }
-                std::thread::park_timeout(Duration::from_millis(10));
-            }
-        });
 
         let mut input = input;
         let mut next_tag = 0u64;
-        let mut buf: Vec<u8> = Vec::new();
+        let mut reader = LineBuf::new();
+        let mut idle_since = Instant::now();
         loop {
-            if shutdown.is_cancelled() {
+            if session.is_cancelled() {
                 break;
             }
-            let read = match read_line_bounded(&mut input, config.max_request_bytes, &mut buf) {
+            let read = match reader.read_line(&mut input, config.max_request_bytes) {
                 Ok(read) => read,
                 // A signal (e.g. the SIGINT that trips `shutdown`) lands as
                 // an interrupted read; re-check the token at the loop top
                 // instead of treating it as a transport failure.
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {
-                    let mut slot = lock_recover(&io_error);
-                    if slot.is_none() {
-                        *slot = Some(e.to_string());
+                    // A peer-reset read is the same client-gone case as a
+                    // broken-pipe write: drain, don't error.
+                    if is_client_gone(e.kind()) {
+                        out.client_vanished();
+                    } else {
+                        out.record_io_error(&e.to_string());
                     }
                     break;
                 }
             };
             let oversized = match read {
                 LineRead::Eof => break,
+                // The transport's read timed out mid-wait: the idle probe.
+                // Partial-line progress is preserved in `reader`; a slow
+                // writer that never completes a line is idle all the same.
+                LineRead::Idle => {
+                    if session.is_cancelled() {
+                        break;
+                    }
+                    if let Some(limit) = idle_timeout {
+                        if idle_since.elapsed() >= limit {
+                            idle_timeouts += 1;
+                            out.line(&render_error(
+                                None,
+                                "idle_timeout",
+                                "no request within the idle timeout",
+                            ));
+                            // Drain pending work conservatively: cancel the
+                            // session (children degrade), then fall out of
+                            // the loop to flush responses.
+                            session.cancel();
+                            break;
+                        }
+                    }
+                    continue;
+                }
                 LineRead::Line { oversized } => oversized,
             };
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
-            }
+            idle_since = Instant::now();
+            let buf = reader.take();
             if oversized {
                 protocol_errors += 1;
-                write_line(
-                    &out,
-                    &io_error,
-                    &render_error(None, "oversized", "request line too long"),
-                );
+                out.line(&render_error(None, "oversized", "request line too long"));
                 continue;
             }
             if buf.iter().all(|b| b.is_ascii_whitespace()) {
@@ -247,24 +304,20 @@ where
             }
             let Ok(line) = std::str::from_utf8(&buf) else {
                 protocol_errors += 1;
-                write_line(&out, &io_error, &render_error(None, "invalid_json", "invalid utf-8"));
+                out.line(&render_error(None, "invalid_json", "invalid utf-8"));
                 continue;
             };
             let value = match json::parse(line) {
                 Ok(value) => value,
                 Err(e) => {
                     protocol_errors += 1;
-                    write_line(
-                        &out,
-                        &io_error,
-                        &render_error(None, "invalid_json", &e.to_string()),
-                    );
+                    out.line(&render_error(None, "invalid_json", &e.to_string()));
                     continue;
                 }
             };
             match interpret(&value) {
                 Ok(Request::Shutdown) => {
-                    write_line(&out, &io_error, "{\"type\":\"shutdown\"}");
+                    out.line("{\"type\":\"shutdown\"}");
                     break;
                 }
                 Ok(Request::Cancel(id)) => {
@@ -277,17 +330,14 @@ where
                         }
                     }
                     if found {
-                        let mut line = String::from("{\"id\":");
-                        json::write_str(&mut line, &id);
-                        line.push_str(",\"type\":\"cancel_ok\"}");
-                        write_line(&out, &io_error, &line);
+                        out.line(&render_cancel_ok(&id));
                     } else {
                         protocol_errors += 1;
-                        write_line(
-                            &out,
-                            &io_error,
-                            &render_error(Some(&id), "unknown_id", "no such request in flight"),
-                        );
+                        out.line(&render_error(
+                            Some(&id),
+                            "unknown_id",
+                            "no such request in flight",
+                        ));
                     }
                 }
                 Ok(Request::Analyze(req)) => {
@@ -295,62 +345,42 @@ where
                         let slots = lock_recover(&pending).len();
                         if slots >= max_in_flight {
                             rejected += 1;
-                            write_line(
-                                &out,
-                                &io_error,
-                                &render_error(
-                                    Some(&req.id),
-                                    "overloaded",
-                                    "too many requests in flight",
-                                ),
-                            );
+                            out.line(&render_error(
+                                Some(&req.id),
+                                "overloaded",
+                                "too many requests in flight",
+                            ));
                             continue;
                         }
                     }
-                    let cancel = CancelToken::new();
+                    let cancel = session.child();
                     let tag = next_tag;
                     next_tag += 1;
                     lock_recover(&pending)
                         .insert(tag, Pending { id: req.id.clone(), cancel: cancel.clone() });
-                    let mut spec = config.batch.budget.clone();
-                    if let Some(nodes) = req.budget_nodes {
-                        spec.node_limit = nodes;
-                    }
-                    if let Some(ms) = req.budget_deadline_ms {
-                        spec.deadline_ms = Some(ms);
-                    }
-                    spec.cancel = Some(cancel);
-                    let name = req.name.unwrap_or_else(|| req.id.clone());
-                    let unit = BatchUnit::new(name, req.source).with_assumptions(req.assumptions);
-                    let job = BatchJob { unit, budget: Some(spec), want_edges: req.edges, tag };
+                    let job = job_for(req, &config.batch.budget, cancel, tag);
                     admitted += 1;
                     if tx.send(job).is_err() {
                         // The runner is gone (it cannot exit before `tx`
                         // drops in normal operation); degrade structurally.
                         admitted -= 1;
-                        lock_recover(&pending).remove(&tag);
+                        let id = lock_recover(&pending).remove(&tag).map(|p| p.id);
                         protocol_errors += 1;
-                        write_line(
-                            &out,
-                            &io_error,
-                            &render_error(Some(&req.id), "internal", "worker pool unavailable"),
-                        );
+                        out.line(&render_error(
+                            id.as_deref(),
+                            "internal",
+                            "worker pool unavailable",
+                        ));
                     }
                 }
                 Err((id, detail)) => {
                     protocol_errors += 1;
-                    write_line(
-                        &out,
-                        &io_error,
-                        &render_error(id.as_deref(), "invalid_request", &detail),
-                    );
+                    out.line(&render_error(id.as_deref(), "invalid_request", &detail));
                 }
             }
         }
         drop(tx);
-        let batch = runner_handle.join();
-        done.store(true, Ordering::Release);
-        batch
+        runner_handle.join()
     });
 
     let batch = match batch {
@@ -358,24 +388,9 @@ where
         // The runner survives unit and stream panics by design; a panic
         // escaping it is a bug, reported as an empty session rather than
         // propagated into the daemon loop.
-        Err(_) => BatchStats {
-            units: Vec::new(),
-            unit_count: 0,
-            parse_failures: 0,
-            failed_units: 0,
-            stream_failures: 1,
-            totals: crate::deps::DepStats::default(),
-            distinct_problems: None,
-            cross_unit_hits: 0,
-            vectorized_statements: 0,
-            cache_capacity: 0,
-            cache_evictions: 0,
-            persistent_loaded: 0,
-            persistent_hits: 0,
-            persistent_saved: 0,
-            persist_error: None,
-        },
+        Err(_) => empty_batch_stats(1),
     };
+    let (io_error, client_gone) = out.into_parts();
     ServeSummary {
         admitted,
         completed: completed.into_inner(),
@@ -383,22 +398,77 @@ where
         cancel_requests,
         protocol_errors,
         batch,
-        io_error: io_error.into_inner().unwrap_or_else(PoisonError::into_inner),
+        io_error,
+        client_gone,
+        idle_timeouts,
+    }
+}
+
+/// The `cancel_ok` acknowledgement line for request `id`.
+pub(crate) fn render_cancel_ok(id: &str) -> String {
+    let mut line = String::from("{\"id\":");
+    json::write_str(&mut line, id);
+    line.push_str(",\"type\":\"cancel_ok\"}");
+    line
+}
+
+/// Builds the batch job for a validated analyze request: the request's
+/// budget overrides layered over `base`, the per-request cancellation token
+/// attached.
+pub(crate) fn job_for(
+    req: AnalyzeRequest,
+    base: &BudgetSpec,
+    cancel: CancelToken,
+    tag: u64,
+) -> BatchJob {
+    let mut spec = base.clone();
+    if let Some(nodes) = req.budget_nodes {
+        spec.node_limit = nodes;
+    }
+    if let Some(ms) = req.budget_deadline_ms {
+        spec.deadline_ms = Some(ms);
+    }
+    spec.cancel = Some(cancel);
+    let name = req.name.unwrap_or_else(|| req.id.clone());
+    let unit = BatchUnit::new(name, req.source).with_assumptions(req.assumptions);
+    BatchJob { unit, budget: Some(spec), want_edges: req.edges, tag }
+}
+
+/// The all-zero [`BatchStats`] reported when a runner panic escapes (a bug
+/// by construction; the session degrades to an empty report instead of
+/// propagating).
+pub(crate) fn empty_batch_stats(stream_failures: usize) -> BatchStats {
+    BatchStats {
+        units: Vec::new(),
+        unit_count: 0,
+        parse_failures: 0,
+        failed_units: 0,
+        stream_failures,
+        totals: crate::deps::DepStats::default(),
+        distinct_problems: None,
+        cross_unit_hits: 0,
+        vectorized_statements: 0,
+        cache_capacity: 0,
+        cache_evictions: 0,
+        persistent_loaded: 0,
+        persistent_hits: 0,
+        persistent_saved: 0,
+        persist_error: None,
     }
 }
 
 /// A validated analyze request.
-struct AnalyzeRequest {
-    id: String,
-    name: Option<String>,
-    source: String,
-    assumptions: Assumptions,
-    budget_nodes: Option<u64>,
-    budget_deadline_ms: Option<u64>,
-    edges: bool,
+pub(crate) struct AnalyzeRequest {
+    pub(crate) id: String,
+    pub(crate) name: Option<String>,
+    pub(crate) source: String,
+    pub(crate) assumptions: Assumptions,
+    pub(crate) budget_nodes: Option<u64>,
+    pub(crate) budget_deadline_ms: Option<u64>,
+    pub(crate) edges: bool,
 }
 
-enum Request {
+pub(crate) enum Request {
     Analyze(AnalyzeRequest),
     Cancel(String),
     Shutdown,
@@ -408,7 +478,7 @@ enum Request {
 /// rejected (with the offending name in the error detail), so a client typo
 /// like `"budgets"` fails loudly instead of silently running unbudgeted.
 /// Errors carry the request's `id` when one was legible, for correlation.
-fn interpret(value: &Json) -> Result<Request, (Option<String>, String)> {
+pub(crate) fn interpret(value: &Json) -> Result<Request, (Option<String>, String)> {
     let Some(map) = value.as_obj() else {
         return Err((None, "request must be a JSON object".to_string()));
     };
@@ -508,7 +578,7 @@ fn interpret(value: &Json) -> Result<Request, (Option<String>, String)> {
 
 /// Renders one error response line. `id` is `null` when the offending line
 /// never yielded one.
-fn render_error(id: Option<&str>, code: &str, detail: &str) -> String {
+pub(crate) fn render_error(id: Option<&str>, code: &str, detail: &str) -> String {
     let mut out = String::from("{\"id\":");
     match id {
         Some(id) => json::write_str(&mut out, id),
@@ -526,7 +596,7 @@ fn render_error(id: Option<&str>, code: &str, detail: &str) -> String {
 /// given request: the statistics come from
 /// [`crate::deps::DepStats::verdict_stats`] (no wall-clock figures), the
 /// edge list and fingerprint from the fold in source-pair order.
-fn render_result(id: Option<&str>, report: &UnitReport) -> String {
+pub(crate) fn render_result(id: Option<&str>, report: &UnitReport) -> String {
     let mut out = String::from("{\"id\":");
     match id {
         Some(id) => json::write_str(&mut out, id),
@@ -627,61 +697,163 @@ fn render_edge(out: &mut String, edge: &DepEdge) {
     out.push('}');
 }
 
-/// Appends one response line (plus newline) to the shared output, flushing
-/// so interactive clients see it immediately. The first write error is
-/// recorded; later writes are still attempted (the transport may recover,
-/// and a dead transport fails them harmlessly).
-fn write_line<W: Write>(out: &Mutex<W>, io_error: &Mutex<Option<String>>, line: &str) {
-    let mut guard = lock_recover(out);
-    let result = guard
-        .write_all(line.as_bytes())
-        .and_then(|()| guard.write_all(b"\n"))
-        .and_then(|()| guard.flush());
-    if let Err(e) = result {
-        let mut slot = lock_recover(io_error);
-        if slot.is_none() {
-            *slot = Some(e.to_string());
+/// Write-error kinds that mean the client vanished rather than the
+/// transport misbehaving: the session drains instead of recording a fatal
+/// error, and the daemon (in the multi-connection layer) keeps serving
+/// everyone else.
+pub(crate) fn is_client_gone(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// The session's shared response sink: the writer, the first transport
+/// error, and the client-gone flag behind one lock, so response lines never
+/// interleave. A client-gone write failure ([`is_client_gone`]) cancels the
+/// session token — pending requests degrade and drain — instead of landing
+/// in the fatal error slot; other write errors are recorded (first wins)
+/// and later writes are still attempted, since the transport may recover.
+pub(crate) struct SessionOut<W> {
+    out: Mutex<W>,
+    io_error: Mutex<Option<String>>,
+    gone: AtomicBool,
+    session: CancelToken,
+}
+
+impl<W: Write> SessionOut<W> {
+    pub(crate) fn new(out: W, session: CancelToken) -> SessionOut<W> {
+        SessionOut {
+            out: Mutex::new(out),
+            io_error: Mutex::new(None),
+            gone: AtomicBool::new(false),
+            session,
         }
+    }
+
+    /// Appends one response line (plus newline), flushing so interactive
+    /// clients see it immediately. After client-gone, writes become no-ops:
+    /// the responses are undeliverable by definition.
+    pub(crate) fn line(&self, line: &str) {
+        if self.gone.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = lock_recover(&self.out);
+        let result = guard
+            .write_all(line.as_bytes())
+            .and_then(|()| guard.write_all(b"\n"))
+            .and_then(|()| guard.flush());
+        drop(guard);
+        if let Err(e) = result {
+            if is_client_gone(e.kind()) {
+                self.client_vanished();
+            } else {
+                self.record_io_error(&e.to_string());
+            }
+        }
+    }
+
+    /// Marks the client gone (idempotent) and cancels the session so
+    /// pending requests degrade and drain.
+    pub(crate) fn client_vanished(&self) {
+        if !self.gone.swap(true, Ordering::AcqRel) {
+            self.session.cancel();
+        }
+    }
+
+    /// Records a fatal transport error (first one wins).
+    pub(crate) fn record_io_error(&self, detail: &str) {
+        let mut slot = lock_recover(&self.io_error);
+        if slot.is_none() {
+            *slot = Some(detail.to_string());
+        }
+    }
+
+    /// Consumes the sink: `(io_error, client_gone)` for the summary.
+    pub(crate) fn into_parts(self) -> (Option<String>, bool) {
+        let io_error = self.io_error.into_inner().unwrap_or_else(PoisonError::into_inner);
+        (io_error, self.gone.into_inner())
     }
 }
 
-enum LineRead {
+pub(crate) enum LineRead {
     Eof,
-    Line { oversized: bool },
+    /// The transport's read timed out (`WouldBlock`/`TimedOut`) with no
+    /// complete line available: the idle probe. Partial-line progress is
+    /// preserved for the next call.
+    Idle,
+    Line {
+        oversized: bool,
+    },
 }
 
-/// Reads one `\n`-terminated line into `buf` (cleared first), never keeping
-/// more than `max + 1` bytes: the tail of an oversized line is consumed and
-/// discarded, so a hostile client cannot grow daemon memory with one giant
-/// line. A final line without a terminator is returned as a line (mid-
-/// stream EOF still gets a response).
-fn read_line_bounded<R: BufRead>(
-    input: &mut R,
-    max: usize,
-    buf: &mut Vec<u8>,
-) -> std::io::Result<LineRead> {
-    buf.clear();
-    let mut total = 0usize;
-    loop {
-        let available = input.fill_buf()?;
-        if available.is_empty() {
-            return Ok(if total == 0 {
-                LineRead::Eof
-            } else {
-                LineRead::Line { oversized: total > max }
-            });
+/// A bounded, idle-aware line accumulator. Never keeps more than `max + 1`
+/// bytes: the tail of an oversized line is consumed and discarded, so a
+/// hostile client cannot grow daemon memory with one giant line. A final
+/// line without a terminator is returned as a line (mid-stream EOF still
+/// gets a response), and partial progress survives [`LineRead::Idle`]
+/// returns, so a request split across read timeouts still reassembles.
+pub(crate) struct LineBuf {
+    buf: Vec<u8>,
+    total: usize,
+}
+
+impl LineBuf {
+    pub(crate) fn new() -> LineBuf {
+        LineBuf { buf: Vec::new(), total: 0 }
+    }
+
+    /// Takes the completed line (call once per [`LineRead::Line`]),
+    /// resetting for the next one. One trailing `\r` is stripped, so CRLF
+    /// clients are served transparently.
+    pub(crate) fn take(&mut self) -> Vec<u8> {
+        self.total = 0;
+        let mut buf = std::mem::take(&mut self.buf);
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
         }
-        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
-            Some(newline) => (&available[..newline], true),
-            None => (available, false),
-        };
-        let keep = chunk.len().min((max + 1).saturating_sub(buf.len()));
-        buf.extend_from_slice(&chunk[..keep]);
-        total += chunk.len();
-        let consumed = chunk.len() + usize::from(done);
-        input.consume(consumed);
-        if done {
-            return Ok(LineRead::Line { oversized: total > max });
+        buf
+    }
+
+    pub(crate) fn read_line<R: BufRead>(
+        &mut self,
+        input: &mut R,
+        max: usize,
+    ) -> std::io::Result<LineRead> {
+        loop {
+            let available = match input.fill_buf() {
+                Ok(available) => available,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(LineRead::Idle);
+                }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                return Ok(if self.total == 0 {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line { oversized: self.total > max }
+                });
+            }
+            let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+                Some(newline) => (&available[..newline], true),
+                None => (available, false),
+            };
+            let keep = chunk.len().min((max + 1).saturating_sub(self.buf.len()));
+            self.buf.extend_from_slice(&chunk[..keep]);
+            self.total += chunk.len();
+            let consumed = chunk.len() + usize::from(done);
+            input.consume(consumed);
+            if done {
+                return Ok(LineRead::Line { oversized: self.total > max });
+            }
         }
     }
 }
@@ -791,21 +963,60 @@ mod tests {
         }
         let data = b"abc\ndefgh\nij";
         let mut reader = std::io::BufReader::with_capacity(1, OneByte(data));
-        let mut buf = Vec::new();
+        let mut lines = LineBuf::new();
         assert!(matches!(
-            read_line_bounded(&mut reader, 5, &mut buf).unwrap(),
+            lines.read_line(&mut reader, 5).unwrap(),
             LineRead::Line { oversized: false }
         ));
-        assert_eq!(buf, b"abc");
+        assert_eq!(lines.take(), b"abc");
         assert!(matches!(
-            read_line_bounded(&mut reader, 4, &mut buf).unwrap(),
+            lines.read_line(&mut reader, 4).unwrap(),
             LineRead::Line { oversized: true }
         ));
+        lines.take();
         assert!(matches!(
-            read_line_bounded(&mut reader, 5, &mut buf).unwrap(),
+            lines.read_line(&mut reader, 5).unwrap(),
             LineRead::Line { oversized: false }
         ));
-        assert_eq!(buf, b"ij", "unterminated final line is still a line");
-        assert!(matches!(read_line_bounded(&mut reader, 5, &mut buf).unwrap(), LineRead::Eof));
+        assert_eq!(lines.take(), b"ij", "unterminated final line is still a line");
+        assert!(matches!(lines.read_line(&mut reader, 5).unwrap(), LineRead::Eof));
+    }
+
+    #[test]
+    fn partial_lines_survive_idle_probes() {
+        // A reader that alternates one payload byte with a WouldBlock
+        // models a socket under a read timeout: the accumulated prefix must
+        // persist across Idle returns and reassemble into one line.
+        struct Stutter<'a>(&'a [u8], bool);
+        impl std::io::Read for Stutter<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 {
+                    self.1 = false;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.1 = true;
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut reader = std::io::BufReader::with_capacity(1, Stutter(b"wx\r\nyz", false));
+        let mut lines = LineBuf::new();
+        let mut idles = 0usize;
+        loop {
+            match lines.read_line(&mut reader, 64).unwrap() {
+                LineRead::Idle => idles += 1,
+                LineRead::Line { oversized } => {
+                    assert!(!oversized);
+                    break;
+                }
+                LineRead::Eof => panic!("line arrives before EOF"),
+            }
+        }
+        assert!(idles >= 2, "every other read stalls");
+        assert_eq!(lines.take(), b"wx", "CR stripped, progress preserved across idles");
     }
 }

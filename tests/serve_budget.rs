@@ -43,6 +43,7 @@ fn config_with(cache_file: Option<PathBuf>) -> ServeConfig {
         },
         max_in_flight: 64,
         max_request_bytes: 1 << 20,
+        idle_timeout_ms: None,
     }
 }
 

@@ -46,6 +46,7 @@ fn pinned_config(workers: usize) -> ServeConfig {
         },
         max_in_flight: 256,
         max_request_bytes: 1 << 20,
+        idle_timeout_ms: None,
     }
 }
 

@@ -6,14 +6,15 @@
 
 use delinearization::dep::budget::{BudgetSpec, CancelToken};
 use delinearization::vic::batch::{BatchConfig, RetryPolicy};
+use delinearization::vic::chaos::{FaultyReader, TransportFault};
 use delinearization::vic::json::Json;
 use delinearization::vic::serve::{serve, ServeConfig};
 use proptest::prelude::*;
-use std::io::Cursor;
+use std::io::{BufReader, Cursor};
 
 #[path = "util/serve_io.rs"]
 mod serve_io;
-use serve_io::{analyze_request, parse_response, response_type, Session, RECURRENCE};
+use serve_io::{analyze_request, parse_response, response_type, PollReader, Session, RECURRENCE};
 
 /// Serial, modestly budgeted, with a small line bound so oversized-input
 /// handling is cheap to exercise.
@@ -27,6 +28,7 @@ fn small_config() -> ServeConfig {
         },
         max_in_flight: 8,
         max_request_bytes: 4096,
+        idle_timeout_ms: None,
     }
 }
 
@@ -141,6 +143,74 @@ fn mid_stream_eof_is_answered() {
     let lines = one_shot(b"{\"cancel\":\"ghost\"}");
     assert_eq!(lines.len(), 1, "{lines:?}");
     assert!(lines[0].contains("\"error\":\"unknown_id\""), "{}", lines[0]);
+}
+
+/// A client that disconnects mid-request — the transport yields part of a
+/// line, then resets — is a clean connection cancellation: completed work
+/// is answered, the session ends without a hang, and the reset is recorded
+/// as client-gone rather than a session-fatal transport error.
+#[test]
+fn mid_request_disconnect_is_clean_cancellation() {
+    // The first line is answered synchronously by the reader (so its
+    // response provably precedes the cut); the second is severed halfway.
+    let first = "{\"cancel\":\"ghost\"}";
+    let second = analyze_request("never-arrives", RECURRENCE);
+    let script = format!("{first}\n{second}\n");
+    let cut = first.len() + 1 + second.len() / 2;
+    let input = BufReader::new(FaultyReader::new(
+        Cursor::new(script.into_bytes()),
+        Some(TransportFault::CutRead { after: cut }),
+    ));
+    let mut out: Vec<u8> = Vec::new();
+    let summary = serve(input, &mut out, &small_config(), &CancelToken::new());
+    assert!(summary.client_gone, "reset on read is the client vanishing");
+    assert_eq!(summary.io_error, None, "client-gone is not a transport error");
+    assert_eq!(summary.admitted, 0, "the severed request never admitted");
+    let text = String::from_utf8(out).expect("responses are utf-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("\"error\":\"unknown_id\""), "{}", lines[0]);
+}
+
+/// A connection that ends with a half-written line — a complete request,
+/// then a truncated one with no trailing newline at EOF — answers both:
+/// the whole request normally, the fragment with a structured error.
+#[test]
+fn half_written_final_line_is_answered_at_eof() {
+    let whole = analyze_request("whole", RECURRENCE);
+    let fragment = &analyze_request("torn", RECURRENCE)[..20];
+    let lines = one_shot(format!("{whole}\n{fragment}").as_bytes());
+    // Protocol errors are written by the reader, results by the workers,
+    // so the two lines may arrive in either order.
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    let result = lines.iter().find(|l| l.contains("\"id\":\"whole\""));
+    assert!(result.unwrap().contains("\"outcome\":\"analyzed\""), "{lines:?}");
+    assert!(lines.iter().any(|l| l.contains("\"error\":\"invalid_json\"")), "{lines:?}");
+}
+
+/// A reader that stalls past the idle-timeout — the transport keeps
+/// yielding read-timeout probes but no bytes — ends the session with a
+/// structured `idle_timeout` error instead of blocking forever.
+#[test]
+fn stalled_reader_trips_the_idle_timeout() {
+    let mut config = small_config();
+    config.idle_timeout_ms = Some(50);
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    tx.send(format!("{}\n", analyze_request("only", RECURRENCE)).into_bytes()).unwrap();
+    // The sender stays alive: no EOF. The poll interval models an OS read
+    // timeout, so the daemon sees idle probes, not a blocked read.
+    let input = BufReader::new(PollReader::new(rx, Some(std::time::Duration::from_millis(5))));
+    let mut out: Vec<u8> = Vec::new();
+    let summary = serve(input, &mut out, &config, &CancelToken::new());
+    drop(tx);
+    assert_eq!(summary.idle_timeouts, 1);
+    assert_eq!(summary.io_error, None);
+    assert_eq!(summary.completed, 1);
+    let text = String::from_utf8(out).expect("responses are utf-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].contains("\"id\":\"only\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"error\":\"idle_timeout\""), "{}", lines[1]);
 }
 
 /// A request split across arbitrary transport chunks is reassembled: the

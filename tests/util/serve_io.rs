@@ -5,10 +5,12 @@
 #![allow(dead_code)]
 
 use delinearization::dep::budget::CancelToken;
+use delinearization::vic::chaos::{FaultyReader, TransportFault};
 use delinearization::vic::json::{self, Json};
+use delinearization::vic::serve::multi::{serve_connections, MultiConfig, MultiSummary};
 use delinearization::vic::serve::{serve, ServeConfig, ServeSummary};
 use std::io::{BufReader, Read, Write};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::time::Duration;
 
 /// How long a test waits for one response line before declaring the daemon
@@ -38,6 +40,51 @@ impl Read for ChannelReader {
                     self.pos = 0;
                 }
                 Err(_) => return Ok(0),
+            }
+        }
+        let n = (self.pending.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A [`ChannelReader`] with an optional poll interval: when set, a quiet
+/// channel yields `WouldBlock` after that long instead of blocking forever
+/// — modelling a socket with an OS read timeout, which is what drives the
+/// daemon's idle probes and shutdown re-checks.
+pub struct PollReader {
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    pos: usize,
+    poll: Option<Duration>,
+}
+
+impl PollReader {
+    pub fn new(rx: Receiver<Vec<u8>>, poll: Option<Duration>) -> PollReader {
+        PollReader { rx, pending: Vec::new(), pos: 0, poll }
+    }
+}
+
+impl Read for PollReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        while self.pos >= self.pending.len() {
+            let chunk = match self.poll {
+                None => self.rx.recv().map_err(|_| ()),
+                Some(poll) => match self.rx.recv_timeout(poll) {
+                    Ok(chunk) => Ok(chunk),
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(std::io::ErrorKind::WouldBlock.into());
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(()),
+                },
+            };
+            match chunk {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pos = 0;
+                }
+                Err(()) => return Ok(0),
             }
         }
         let n = (self.pending.len() - self.pos).min(buf.len());
@@ -163,6 +210,128 @@ impl Session {
         let mut lines = Vec::new();
         while let Ok(line) = self.output.recv_timeout(RESPONSE_TIMEOUT) {
             lines.push(line);
+        }
+        lines
+    }
+}
+
+/// The transport pair the multi-connection harness hands the daemon: a
+/// fault-injectable, poll-capable reader and the line-channel writer.
+type HarnessConn = (BufReader<FaultyReader<PollReader>>, ChannelWriter);
+
+/// An in-process multi-connection daemon ([`serve_connections`]) driven by
+/// a channel-fed acceptor: the test opens connections on demand, each a
+/// [`MultiClient`]. Closing the harness ends accepting (the daemon drains
+/// every live connection and returns its [`MultiSummary`]).
+pub struct MultiHarness {
+    accept_tx: Option<Sender<HarnessConn>>,
+    handle: Option<std::thread::JoinHandle<MultiSummary>>,
+    /// The daemon-level shutdown token (what SIGINT trips in the binary).
+    pub shutdown: CancelToken,
+}
+
+impl MultiHarness {
+    pub fn spawn(config: MultiConfig) -> MultiHarness {
+        let (accept_tx, accept_rx) = std::sync::mpsc::channel::<HarnessConn>();
+        let shutdown = CancelToken::new();
+        let token = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            let acceptor = move || Ok(accept_rx.recv().ok());
+            serve_connections(acceptor, &config, &token, None)
+        });
+        MultiHarness { accept_tx: Some(accept_tx), handle: Some(handle), shutdown }
+    }
+
+    /// Opens a plain blocking connection.
+    pub fn connect(&self) -> MultiClient {
+        self.connect_with(None, None, false)
+    }
+
+    /// Opens a connection with an injected transport fault, a read-poll
+    /// interval (enables idle probing), or rendezvous response delivery
+    /// (each response write blocks until the test `recv`s it).
+    pub fn connect_with(
+        &self,
+        fault: Option<TransportFault>,
+        poll: Option<Duration>,
+        rendezvous: bool,
+    ) -> MultiClient {
+        let (in_tx, in_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let (tx, output) = if rendezvous {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<String>(0);
+            (LineSender::Rendezvous(tx), rx)
+        } else {
+            let (tx, rx) = std::sync::mpsc::channel::<String>();
+            (LineSender::Plain(tx), rx)
+        };
+        let reader = BufReader::new(FaultyReader::new(PollReader::new(in_rx, poll), fault));
+        let writer = ChannelWriter { tx, buf: Vec::new() };
+        self.accept_tx
+            .as_ref()
+            .expect("harness already closed")
+            .send((reader, writer))
+            .expect("daemon acceptor gone");
+        MultiClient { input: Some(in_tx), output: Some(output) }
+    }
+
+    /// Ends accepting and joins the daemon for its summary. Live
+    /// connections drain first: close or drop the clients' inputs (or
+    /// cancel `shutdown`) before calling this, or it will block on them.
+    pub fn close(&mut self) -> MultiSummary {
+        drop(self.accept_tx.take());
+        self.handle.take().expect("harness already closed").join().expect("daemon panicked")
+    }
+}
+
+/// One client connection of a [`MultiHarness`].
+pub struct MultiClient {
+    input: Option<Sender<Vec<u8>>>,
+    output: Option<Receiver<String>>,
+}
+
+impl MultiClient {
+    /// Sends one request line (newline appended).
+    pub fn send(&self, line: &str) {
+        self.send_raw(format!("{line}\n").as_bytes());
+    }
+
+    /// Sends raw bytes verbatim.
+    pub fn send_raw(&self, bytes: &[u8]) {
+        self.input
+            .as_ref()
+            .expect("input already closed")
+            .send(bytes.to_vec())
+            .expect("daemon reader gone");
+    }
+
+    /// Receives one response line; panics after [`RESPONSE_TIMEOUT`] so a
+    /// hung daemon fails the test instead of wedging the binary.
+    pub fn recv(&self) -> String {
+        self.output
+            .as_ref()
+            .expect("output already dropped")
+            .recv_timeout(RESPONSE_TIMEOUT)
+            .expect("daemon hung: no response within timeout")
+    }
+
+    /// Closes this connection's input: the daemon sees EOF.
+    pub fn close_input(&mut self) {
+        drop(self.input.take());
+    }
+
+    /// Drops the response receiver: the daemon's next write to this
+    /// connection fails with `BrokenPipe` — the client-gone case.
+    pub fn drop_output(&mut self) {
+        drop(self.output.take());
+    }
+
+    /// Drains every remaining response line until the connection closes.
+    pub fn drain(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        if let Some(output) = &self.output {
+            while let Ok(line) = output.recv_timeout(RESPONSE_TIMEOUT) {
+                lines.push(line);
+            }
         }
         lines
     }
