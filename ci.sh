@@ -48,6 +48,67 @@ grep -qE 'persistent-cache: loaded=[1-9][0-9]* hits=[1-9][0-9]* saved=[1-9][0-9]
   "$warm_tmp/warm.err" \
   || { echo "warm run reported no persistent-cache traffic:" >&2; cat "$warm_tmp/warm.err" >&2; exit 1; }
 rm -rf "$warm_tmp"
+# Trace round-trip gate: recording the CI suite twice is byte-identical,
+# the recorded trace replays through the batch engine with the full unit
+# count, and a flipped byte is rejected (exit 1) with the structured
+# checksum error instead of silently analyzing a damaged corpus.
+trace_tmp="$(mktemp -d)"
+"$repo_root/target/release/delin_trace" record --out "$trace_tmp/a.trace" \
+  --suite benchmarks/ci/config.json > /dev/null
+"$repo_root/target/release/delin_trace" record --out "$trace_tmp/b.trace" \
+  --suite benchmarks/ci/config.json > /dev/null
+cmp "$trace_tmp/a.trace" "$trace_tmp/b.trace" \
+  || { echo "recording the same suite twice produced different bytes" >&2; exit 1; }
+"$repo_root/target/release/delin_trace" replay --trace "$trace_tmp/a.trace" \
+  > "$trace_tmp/replay.out"
+grep -qE '^trace-replay: units=64 pairs=[1-9][0-9]*' "$trace_tmp/replay.out" \
+  || { echo "trace replay did not process the recorded CI suite:" >&2; cat "$trace_tmp/replay.out" >&2; exit 1; }
+python3 - "$trace_tmp/a.trace" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[40] ^= 0x01  # flip one payload bit past the header
+open(path, 'wb').write(data)
+EOF
+if "$repo_root/target/release/delin_trace" replay --trace "$trace_tmp/a.trace" \
+  > /dev/null 2> "$trace_tmp/corrupt.err"; then
+  echo "corrupt trace replayed successfully" >&2; exit 1
+fi
+grep -q 'checksum mismatch' "$trace_tmp/corrupt.err" \
+  || { echo "corrupt trace did not fail with the checksum error:" >&2; cat "$trace_tmp/corrupt.err" >&2; exit 1; }
+rm -rf "$trace_tmp"
+# Sampled-bench gate: the SimPoint-style weighted subset of the fidelity
+# suite must extrapolate the full-corpus verdict mix within the suite's
+# pinned tolerance (the binary exits 1 on a breach). Finishes in seconds —
+# this is the gate that lets the benched corpora keep growing.
+sampled_tmp="$(mktemp -d)"
+"$repo_root/target/release/batch_corpus" --sampled-check \
+  --suite benchmarks/verify/config.json > "$sampled_tmp/sampled.out" \
+  || { echo "sampled-check gate failed:" >&2; cat "$sampled_tmp/sampled.out" >&2; exit 1; }
+grep -q 'OK   sampled-check' "$sampled_tmp/sampled.out" \
+  || { echo "sampled-check did not report its verdict:" >&2; cat "$sampled_tmp/sampled.out" >&2; exit 1; }
+# Trajectory smoke: a --trajectory run appends a schema-valid BENCH_9 row.
+"$repo_root/target/release/batch_corpus" --trajectory --label ci-smoke \
+  --bench-out "$sampled_tmp/bench9.json" > /dev/null \
+  || { echo "trajectory gate failed" >&2; exit 1; }
+for key in '"schema": "delin-trajectory"' '"bench_id": 9' '"label": "ci-smoke"' \
+           '"mix_error_pct"' '"tolerance_pct"' '"within_tolerance": true' \
+           '"hit_rate_pct"' '"pairs_est"' '"speedup"'; do
+  grep -qF "$key" "$sampled_tmp/bench9.json" \
+    || { echo "bench9.json missing $key" >&2; cat "$sampled_tmp/bench9.json" >&2; exit 1; }
+done
+rm -rf "$sampled_tmp"
+# Malformed-flag gate: every corpus binary rejects a non-numeric count with
+# exit code 2 via the shared strict parser (delin_bench::cli).
+for bad in "batch_corpus --workers four" "delin_serve --cache-cap many" \
+           "delin_loadgen --clients x" "delin_trace replay --workers x"; do
+  set +e
+  # shellcheck disable=SC2086
+  "$repo_root/target/release/"$bad > /dev/null 2>&1
+  code=$?
+  set -e
+  [ "$code" -eq 2 ] || { echo "'$bad' exited $code, expected 2" >&2; exit 1; }
+done
 # Daemon smoke gate: the golden request script through the delin_serve
 # binary must reproduce the pinned response stream byte-for-byte (the
 # serve protocol/robustness/budget suites already ran at DELIN_WORKERS=1

@@ -45,60 +45,6 @@ const USAGE: &str = "usage: delin_loadgen --socket PATH [--clients N] [--request
 /// daemon hung (fails the run rather than wedging CI).
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
 
-fn arg_value(name: &str) -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let value = args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))?;
-    match value.parse() {
-        Ok(n) => Some(n),
-        Err(_) => {
-            eprintln!("delin_loadgen: {name} needs a number, got {value:?}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn arg_str(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
-}
-
-fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
-fn check_args() {
-    let valued = [
-        "--socket",
-        "--clients",
-        "--requests",
-        "--greedy",
-        "--disconnect",
-        "--disconnect-after",
-        "--out",
-    ];
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        if arg == "--verify" {
-            i += 1;
-            continue;
-        }
-        if !valued.contains(&arg) {
-            eprintln!("delin_loadgen: unknown argument {arg:?}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-        if args.get(i + 1).is_none() {
-            eprintln!("delin_loadgen: {arg} needs a value");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-        i += 2;
-    }
-}
-
 /// The request workload: a compact rotation of units with distinct
 /// analysis profiles (a recurrence with real dependences, the paper's
 /// delinearization independence case, a generated nest), so the daemon's
@@ -240,17 +186,29 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 fn main() {
-    check_args();
-    let Some(socket) = arg_str("--socket") else {
+    let cli = delin_bench::cli::Cli::from_env("delin_loadgen", USAGE);
+    cli.validate_or_exit(
+        &["--verify"],
+        &[
+            "--socket",
+            "--clients",
+            "--requests",
+            "--greedy",
+            "--disconnect",
+            "--disconnect-after",
+            "--out",
+        ],
+    );
+    let Some(socket) = cli.string("--socket") else {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let clients = arg_value("--clients").unwrap_or(4).max(1);
-    let requests = arg_value("--requests").unwrap_or(8).max(1);
-    let greedy = arg_value("--greedy");
-    let disconnect = arg_value("--disconnect");
-    let cut_after = arg_value("--disconnect-after").unwrap_or(37);
-    let verify = arg_flag("--verify");
+    let clients = cli.count_or_exit("--clients").unwrap_or(4).max(1);
+    let requests = cli.count_or_exit("--requests").unwrap_or(8).max(1);
+    let greedy = cli.count_or_exit("--greedy");
+    let disconnect = cli.count_or_exit("--disconnect");
+    let cut_after = cli.count_or_exit("--disconnect-after").unwrap_or(37);
+    let verify = cli.flag("--verify");
 
     let reports: Vec<std::io::Result<ClientReport>> = std::thread::scope(|scope| {
         let socket = socket.as_str();
@@ -374,7 +332,7 @@ fn main() {
     out.push_str(&format!("  \"replay_mismatches\": {replay_mismatches}\n"));
     out.push_str("}\n");
 
-    match arg_str("--out") {
+    match cli.string("--out") {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, &out) {
                 eprintln!("delin_loadgen: writing {path:?}: {e}");

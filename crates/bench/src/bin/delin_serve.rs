@@ -64,82 +64,48 @@ const USAGE: &str = "usage: delin_serve [--workers N] [--max-in-flight N] [--nod
 /// the shutdown token (the OS-level read timeout set on accepted sockets).
 const READ_PROBE: Duration = Duration::from_millis(100);
 
-fn arg_value(name: &str) -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let value = args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))?;
-    match value.parse() {
-        Ok(n) => Some(n),
-        Err(_) => {
-            eprintln!("delin_serve: {name} needs a number, got {value:?}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-    }
-}
-
-fn arg_str(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
-}
-
-fn check_args() {
-    let known = [
-        "--workers",
-        "--max-in-flight",
-        "--nodes",
-        "--deadline-ms",
-        "--cache-file",
-        "--cache-cap",
-        "--socket",
-        "--max-connections",
-        "--conn-quota",
-        "--idle-timeout-ms",
-    ];
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        if !known.contains(&arg) {
-            eprintln!("delin_serve: unknown argument {arg:?}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-        if args.get(i + 1).is_none() {
-            eprintln!("delin_serve: {arg} needs a value");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-        i += 2;
-    }
-}
-
 fn main() {
-    check_args();
+    let cli = delin_bench::cli::Cli::from_env("delin_serve", USAGE);
+    cli.validate_or_exit(
+        &[],
+        &[
+            "--workers",
+            "--max-in-flight",
+            "--nodes",
+            "--deadline-ms",
+            "--cache-file",
+            "--cache-cap",
+            "--socket",
+            "--max-connections",
+            "--conn-quota",
+            "--idle-timeout-ms",
+        ],
+    );
     let shutdown = install_ctrl_c();
     let mut config = ServeConfig::default();
-    if let Some(workers) = arg_value("--workers") {
+    if let Some(workers) = cli.count_or_exit("--workers") {
         config.batch.workers = workers;
     }
-    if let Some(bound) = arg_value("--max-in-flight") {
+    if let Some(bound) = cli.count_or_exit("--max-in-flight") {
         config.max_in_flight = bound;
     }
-    if let Some(nodes) = arg_value("--nodes") {
+    if let Some(nodes) = cli.count_or_exit("--nodes") {
         config.batch.budget.node_limit = nodes as u64;
     }
-    if let Some(ms) = arg_value("--deadline-ms") {
+    if let Some(ms) = cli.count_or_exit("--deadline-ms") {
         config.batch.budget.deadline_ms = Some(ms as u64);
     }
-    if let Some(cap) = arg_value("--cache-cap") {
+    if let Some(cap) = cli.count_or_exit("--cache-cap") {
         config.batch.cache_cap = cap;
     }
-    let cache_file = arg_str("--cache-file").map(PathBuf::from);
+    let cache_file = cli.string("--cache-file").map(PathBuf::from);
     // Parsed unconditionally so a malformed value exits 2 in either mode,
     // even though only socket mode consumes them.
-    let idle_timeout_ms = arg_value("--idle-timeout-ms");
-    let max_connections = arg_value("--max-connections").unwrap_or(8);
-    let conn_quota = arg_value("--conn-quota").unwrap_or(8);
+    let idle_timeout_ms = cli.count_or_exit("--idle-timeout-ms");
+    let max_connections = cli.count_or_exit("--max-connections").unwrap_or(8);
+    let conn_quota = cli.count_or_exit("--conn-quota").unwrap_or(8);
 
-    if let Some(path) = arg_str("--socket") {
+    if let Some(path) = cli.string("--socket") {
         config.idle_timeout_ms = match idle_timeout_ms {
             Some(0) => None,
             Some(ms) => Some(ms as u64),

@@ -3,12 +3,18 @@
 //!
 //! Each experiment is a plain function returning structured rows so the
 //! same code backs the printing binaries in `src/bin/` and the Criterion
-//! benchmarks in `benches/`.
+//! benchmarks in `benches/`. The corpus binaries additionally share their
+//! strict flag parsing ([`cli`]) and their config-driven benchmark suites
+//! ([`suite`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+pub mod suite;
 pub mod table;
 
+pub use cli::{Cli, CliError, BAD_USAGE};
+pub use suite::{StreamSpec, SuiteConfig};
 pub use table::render_table;

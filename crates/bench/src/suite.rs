@@ -1,0 +1,288 @@
+//! Config-driven benchmark suites (`benchmarks/<suite>/config.json`).
+//!
+//! A suite names a corpus declaratively — which unit streams, at what
+//! sizes and seeds — plus the sampling parameters and the fidelity
+//! tolerance that CI holds the sampler to. The corpus binaries load a
+//! suite instead of hardcoding workloads, so growing the benched corpus is
+//! a config edit reviewed like one, not a code change to every binary.
+//!
+//! The format is the workspace's hand-rolled strict JSON
+//! (`delin_vic::json` — no serde): a `delin-suite` schema marker, a
+//! `streams` array of generator invocations, a `sample` object, and an
+//! integer `tolerance_pct`. Unknown stream kinds, missing fields, and
+//! non-integer sizes are structured load errors naming the offending
+//! field, never defaults — a suite that CI gates on must not silently
+//! shrink because of a typo.
+
+use delin_corpus::sample::SampleConfig;
+use delin_corpus::stream::{dense_units, generated_units, refinement_units, riceps_units};
+use delin_vic::batch::BatchUnit;
+use delin_vic::json::{self, Json};
+use std::path::{Path, PathBuf};
+
+/// The `schema` marker every suite config must carry.
+pub const SUITE_SCHEMA: &str = "delin-suite";
+
+/// One generator invocation inside a suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamSpec {
+    /// The eight synthetic RiCEPS programs, optionally size-reduced.
+    Riceps {
+        /// Approximate lines per program; `None` = the paper's full sizes.
+        lines: Option<usize>,
+    },
+    /// The mixed generated workload (`delin_corpus::stream::generated_units`).
+    Generated {
+        /// Unit count.
+        units: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The refinement-heavy workload.
+    Refinement {
+        /// Unit count.
+        units: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The pair-dense workload that scales full runs to millions of pairs.
+    Dense {
+        /// Unit count.
+        units: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl StreamSpec {
+    /// The stream as a lazy unit iterator.
+    pub fn units(&self) -> Box<dyn Iterator<Item = BatchUnit> + Send> {
+        match *self {
+            StreamSpec::Riceps { lines } => Box::new(riceps_units(lines)),
+            StreamSpec::Generated { units, seed } => Box::new(generated_units(units, seed)),
+            StreamSpec::Refinement { units, seed } => Box::new(refinement_units(units, seed)),
+            StreamSpec::Dense { units, seed } => Box::new(dense_units(units, seed)),
+        }
+    }
+
+    /// How many units the stream will yield (RiCEPS is the fixed suite of
+    /// eight).
+    pub fn declared_units(&self) -> usize {
+        match *self {
+            StreamSpec::Riceps { .. } => 8,
+            StreamSpec::Generated { units, .. }
+            | StreamSpec::Refinement { units, .. }
+            | StreamSpec::Dense { units, .. } => units,
+        }
+    }
+}
+
+/// One loaded suite config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteConfig {
+    /// Suite name from the config (falls back to the directory name).
+    pub name: String,
+    /// Where the config was loaded from.
+    pub path: PathBuf,
+    /// The corpus, as an ordered list of generator invocations.
+    pub streams: Vec<StreamSpec>,
+    /// Sampling parameters for `--sampled` runs.
+    pub sample: SampleConfig,
+    /// The weighted-vs-full verdict-mix error bound, in percent, that
+    /// sampled-fidelity gates hold this suite to.
+    pub tolerance_pct: f64,
+}
+
+impl SuiteConfig {
+    /// Loads and validates `path`.
+    pub fn load(path: &Path) -> Result<SuiteConfig, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        SuiteConfig::parse(path, &text)
+    }
+
+    /// Parses a config text (exposed for tests; `path` is recorded and
+    /// used as the name fallback).
+    pub fn parse(path: &Path, text: &str) -> Result<SuiteConfig, String> {
+        let at = |field: &str| format!("{}: {field}", path.display());
+        let root = json::parse(text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let obj = root.as_obj().ok_or_else(|| at("config must be a JSON object"))?;
+        let schema = obj.get("schema").and_then(Json::as_str).unwrap_or_default();
+        if schema != SUITE_SCHEMA {
+            return Err(at(&format!("schema must be \"{SUITE_SCHEMA}\", got {schema:?}")));
+        }
+        let name = match obj.get("name").and_then(Json::as_str) {
+            Some(n) => n.to_string(),
+            None => path
+                .parent()
+                .and_then(|p| p.file_name())
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "suite".into()),
+        };
+        let Some(Json::Arr(raw_streams)) = obj.get("streams") else {
+            return Err(at("\"streams\" must be an array"));
+        };
+        if raw_streams.is_empty() {
+            return Err(at("\"streams\" must not be empty"));
+        }
+        let mut streams = Vec::with_capacity(raw_streams.len());
+        for (i, raw) in raw_streams.iter().enumerate() {
+            streams.push(parse_stream(raw).map_err(|e| at(&format!("streams[{i}]: {e}")))?);
+        }
+        let sample = match obj.get("sample") {
+            None => SampleConfig::default(),
+            Some(raw) => parse_sample(raw).map_err(|e| at(&format!("sample: {e}")))?,
+        };
+        let tolerance_pct = match obj.get("tolerance_pct") {
+            None => 10.0,
+            Some(v) => {
+                v.as_u64().ok_or_else(|| at("\"tolerance_pct\" must be a non-negative integer"))?
+                    as f64
+            }
+        };
+        Ok(SuiteConfig { name, path: path.to_path_buf(), streams, sample, tolerance_pct })
+    }
+
+    /// The whole corpus as one lazy stream, in config order.
+    pub fn units(&self) -> Box<dyn Iterator<Item = BatchUnit> + Send> {
+        let mut chained: Box<dyn Iterator<Item = BatchUnit> + Send> = Box::new(std::iter::empty());
+        for stream in &self.streams {
+            chained = Box::new(chained.chain(stream.units()));
+        }
+        chained
+    }
+
+    /// How many units the suite declares across all streams.
+    pub fn declared_units(&self) -> usize {
+        self.streams.iter().map(StreamSpec::declared_units).sum()
+    }
+}
+
+fn field_usize(
+    obj: &std::collections::BTreeMap<String, Json>,
+    name: &str,
+) -> Result<usize, String> {
+    obj.get(name)
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("\"{name}\" must be a non-negative integer"))
+}
+
+fn field_u64(obj: &std::collections::BTreeMap<String, Json>, name: &str) -> Result<u64, String> {
+    obj.get(name)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("\"{name}\" must be a non-negative integer"))
+}
+
+fn parse_stream(raw: &Json) -> Result<StreamSpec, String> {
+    let obj = raw.as_obj().ok_or("stream must be an object")?;
+    let kind = obj.get("kind").and_then(Json::as_str).ok_or("\"kind\" must be a string")?;
+    match kind {
+        "riceps" => {
+            let lines = match obj.get("lines") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    Some(v.as_u64().ok_or("\"lines\" must be a non-negative integer or null")?
+                        as usize)
+                }
+            };
+            Ok(StreamSpec::Riceps { lines })
+        }
+        "generated" => Ok(StreamSpec::Generated {
+            units: field_usize(obj, "units")?,
+            seed: field_u64(obj, "seed")?,
+        }),
+        "refinement" => Ok(StreamSpec::Refinement {
+            units: field_usize(obj, "units")?,
+            seed: field_u64(obj, "seed")?,
+        }),
+        "dense" => Ok(StreamSpec::Dense {
+            units: field_usize(obj, "units")?,
+            seed: field_u64(obj, "seed")?,
+        }),
+        other => Err(format!("unknown stream kind {other:?}")),
+    }
+}
+
+fn parse_sample(raw: &Json) -> Result<SampleConfig, String> {
+    let obj = raw.as_obj().ok_or("must be an object")?;
+    let mut config = SampleConfig::default();
+    if obj.get("clusters").is_some() {
+        config.clusters = field_usize(obj, "clusters")?;
+    }
+    if obj.get("seed").is_some() {
+        config.seed = field_u64(obj, "seed")?;
+    }
+    if obj.get("iterations").is_some() {
+        config.iterations = field_usize(obj, "iterations")?;
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<SuiteConfig, String> {
+        SuiteConfig::parse(Path::new("benchmarks/t/config.json"), text)
+    }
+
+    #[test]
+    fn a_full_config_round_trips() {
+        let suite = parse(
+            r#"{
+                "schema": "delin-suite",
+                "name": "demo",
+                "streams": [
+                    {"kind": "riceps", "lines": 120},
+                    {"kind": "generated", "units": 3, "seed": 7},
+                    {"kind": "refinement", "units": 2, "seed": 7},
+                    {"kind": "dense", "units": 2, "seed": 9}
+                ],
+                "sample": {"clusters": 4, "seed": 11, "iterations": 32},
+                "tolerance_pct": 7
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(suite.name, "demo");
+        assert_eq!(suite.streams.len(), 4);
+        assert_eq!(suite.declared_units(), 8 + 3 + 2 + 2);
+        assert_eq!(suite.sample, SampleConfig { clusters: 4, seed: 11, iterations: 32 });
+        assert_eq!(suite.tolerance_pct, 7.0);
+        let units: Vec<BatchUnit> = suite.units().collect();
+        assert_eq!(units.len(), suite.declared_units());
+        // Config order is corpus order.
+        assert!(units[0].name.starts_with("riceps/"));
+        assert!(units.last().unwrap().name.starts_with("dense/"));
+    }
+
+    #[test]
+    fn name_falls_back_to_the_directory() {
+        let suite = parse(r#"{"schema": "delin-suite", "streams": [{"kind": "riceps"}]}"#).unwrap();
+        assert_eq!(suite.name, "t");
+        assert_eq!(suite.streams, vec![StreamSpec::Riceps { lines: None }]);
+    }
+
+    #[test]
+    fn structured_errors_name_the_offending_field() {
+        let wrong_schema = parse(r#"{"schema": "delin-bench", "streams": []}"#).unwrap_err();
+        assert!(wrong_schema.contains("delin-suite"), "{wrong_schema}");
+
+        let unknown_kind =
+            parse(r#"{"schema": "delin-suite", "streams": [{"kind": "fortran"}]}"#).unwrap_err();
+        assert!(unknown_kind.contains("streams[0]"), "{unknown_kind}");
+        assert!(unknown_kind.contains("fortran"), "{unknown_kind}");
+
+        let bad_units = parse(
+            r#"{"schema": "delin-suite", "streams": [{"kind": "dense", "units": -4, "seed": 1}]}"#,
+        )
+        .unwrap_err();
+        assert!(bad_units.contains("units"), "{bad_units}");
+
+        let empty = parse(r#"{"schema": "delin-suite", "streams": []}"#).unwrap_err();
+        assert!(empty.contains("must not be empty"), "{empty}");
+
+        let garbage = parse("not json").unwrap_err();
+        assert!(garbage.contains("config.json"), "{garbage}");
+    }
+}

@@ -9,17 +9,24 @@
 //! generates the random linearized dependence problems used by the
 //! precision (E8) and scaling (E7) experiments. [`stream`] adapts the
 //! RiCEPS programs and a generated nest family into lazy
-//! `delin_vic::batch::BatchUnit` streams for the batch engine.
+//! `delin_vic::batch::BatchUnit` streams for the batch engine. [`trace`]
+//! records and replays unit streams as compact checksummed binary traces,
+//! and [`sample`] picks SimPoint-style weighted representative subsets of
+//! a corpus so CI measures seconds while full runs measure millions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod census;
 pub mod riceps;
+pub mod sample;
 pub mod stream;
+pub mod trace;
 pub mod workload;
 
 pub use census::{census, CensusResult};
 pub use riceps::{all_benchmarks, BenchmarkSpec, ExpectedCount};
-pub use stream::{generated_unit, generated_units, riceps_units};
+pub use sample::{sample_units, SampleConfig, SamplePlan, WeightedEstimate};
+pub use stream::{dense_units, generated_unit, generated_units, riceps_units};
+pub use trace::{TraceError, TraceReader, TraceWriter};
 pub use workload::{linearized_problem, scaling_problem, LinearizedSpec};

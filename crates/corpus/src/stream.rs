@@ -118,6 +118,41 @@ pub fn refinement_unit(seed: u64, index: usize) -> BatchUnit {
     BatchUnit::new(format!("ref/{index:04}-s{stride}o{offset}"), source)
 }
 
+/// `count` pair-dense units for `seed`: each unit is one two-deep nest with
+/// [`DENSE_STATEMENTS`] statements over the same linearized array, so a
+/// single unit yields hundreds of reference pairs while parsing stays
+/// cheap. Strides are drawn from a small pool, making a large corpus
+/// heavily cache-hit-dominated — this is the stream that lets trace-driven
+/// full runs reach millions of pairs in seconds.
+pub fn dense_units(count: usize, seed: u64) -> impl Iterator<Item = BatchUnit> {
+    (0..count).map(move |index| dense_unit(seed, index))
+}
+
+/// Statements per [`dense_unit`] nest.
+pub const DENSE_STATEMENTS: usize = 12;
+
+/// The `index`-th pair-dense unit of the `seed` workload — deterministic in
+/// `(seed, index)` alone.
+pub fn dense_unit(seed: u64, index: usize) -> BatchUnit {
+    let mut rng = SmallRng::seed_from_u64(
+        seed.wrapping_mul(0xa076_1d64_78bd_642f).wrapping_add(index as u64),
+    );
+    let stride = [16i128, 24, 32, 48][rng.gen_range(0..4)];
+    let base = rng.gen_range(0..3) as i128;
+    let mut source = String::from("REAL W(0:99999)\nDO 1 J = 0, 9\nDO 1 I = 0, 7\n");
+    for s in 0..DENSE_STATEMENTS {
+        // Distinct constant offsets per statement keep every reference in
+        // the same row family; offsets cycle through a small pool so the
+        // canonical problems repeat across units (cache-hit-dominated).
+        let off = base + (s as i128 % 4);
+        source.push_str(&format!(
+            "1 W(I + {stride}*J + {s}) = W(I + {stride}*J + {s} + {off}) + 1\n"
+        ));
+    }
+    source.push_str("END\n");
+    BatchUnit::new(format!("dense/{index:06}-s{stride}b{base}"), source)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +209,26 @@ mod tests {
             report.graph.edges.iter().any(|e| !e.dir_vecs.is_empty()),
             "dependence must carry refined direction vectors"
         );
+    }
+
+    #[test]
+    fn dense_units_are_pair_dense_and_deterministic() {
+        let units: Vec<BatchUnit> = dense_units(4, 5).collect();
+        let again: Vec<BatchUnit> = dense_units(4, 5).collect();
+        for (a, b) in units.iter().zip(&again) {
+            assert_eq!((&a.name, &a.source), (&b.name, &b.source));
+        }
+        for u in &units {
+            delin_frontend::parse_program(&u.source).unwrap_or_else(|e| panic!("{}: {e}", u.name));
+        }
+        // The stream's reason to exist: many pairs per parsed unit.
+        let stats = delin_vic::batch::BatchRunner::new(delin_vic::batch::BatchConfig {
+            workers: 1,
+            ..delin_vic::batch::BatchConfig::default()
+        })
+        .run(units);
+        let pairs = stats.totals.verdict_stats().pairs_tested;
+        assert!(pairs >= 4 * 100, "dense units must be pair-dense, got {pairs} pairs");
     }
 
     #[test]

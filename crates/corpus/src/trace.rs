@@ -1,0 +1,522 @@
+//! Compact binary record/replay of dependence-problem streams.
+//!
+//! A *trace* captures a [`BatchUnit`] stream — the exact corpus a bench or
+//! CI run analyzed — as a versioned, checksummed record file, so the same
+//! workload replays byte-identically later (and elsewhere) without
+//! regenerating it from generator code that may since have changed. This is
+//! the record half of the ROADMAP's trace-driven corpus scaling: CI replays
+//! a small recorded suite in seconds, `--full` replays (or streams) a
+//! multi-million-pair trace, and both are the *same bytes* the recording
+//! run produced.
+//!
+//! # Format
+//!
+//! A small fixed header followed by self-delimiting records, mirroring the
+//! persistent verdict-cache tier (`delin_vic::persist`):
+//!
+//! ```text
+//! magic    b"DELINTR\x01"                      8 bytes
+//! version  u32 LE                              format revision
+//! record*  u32 len · u64 checksum · payload    until end of file
+//! ```
+//!
+//! Each record payload packs one unit: name, mini-FORTRAN source, and the
+//! unit's assumption environment (default lower bound plus per-symbol
+//! bounds). Every record carries its own length prefix and FxHash checksum,
+//! so truncation, bit flips, and malformed payloads are all detected **at
+//! the first bad record** with a structured [`TraceError`] naming the
+//! record index — the valid prefix is still usable, but a replay that wants
+//! fidelity fails loudly instead of analyzing a silently shortened corpus.
+//!
+//! Unlike the verdict-cache tier, traces carry no fingerprints — only plain
+//! bytes — so a trace written by one build replays under any other build of
+//! the same format version.
+
+use delin_numeric::Assumptions;
+use delin_vic::batch::BatchUnit;
+use std::fmt;
+use std::hash::Hasher as _;
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: "DELINTR" plus a format byte.
+pub const MAGIC: &[u8; 8] = b"DELINTR\x01";
+
+/// Format revision; bump on any layout change.
+pub const VERSION: u32 = 1;
+
+/// A structured trace-format failure. Every decoding error names the
+/// zero-based record index at which trust ended; everything before it
+/// decoded cleanly.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file's format revision is not [`VERSION`].
+    BadVersion {
+        /// Revision found in the header.
+        found: u32,
+    },
+    /// The file ends mid-record: the length prefix promises more bytes
+    /// than remain.
+    Truncated {
+        /// Index of the incomplete record.
+        record: usize,
+    },
+    /// A record's payload does not match its checksum.
+    Corrupt {
+        /// Index of the mismatching record.
+        record: usize,
+    },
+    /// A record's framing and checksum were valid but its payload does not
+    /// decode as a unit (an encoder bug or a crafted file).
+    Malformed {
+        /// Index of the undecodable record.
+        record: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a delin trace (bad magic)"),
+            TraceError::BadVersion { found } => {
+                write!(f, "unsupported trace version {found} (expected {VERSION})")
+            }
+            TraceError::Truncated { record } => {
+                write!(f, "trace truncated at record {record}")
+            }
+            TraceError::Corrupt { record } => {
+                write!(f, "trace checksum mismatch at record {record}")
+            }
+            TraceError::Malformed { record } => {
+                write!(f, "trace record {record} is framed correctly but does not decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = fxhash::FxHasher::default();
+    h.write(payload);
+    h.finish()
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn push_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_i128(b: &mut Vec<u8>, v: i128) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_bytes(b: &mut Vec<u8>, v: &[u8]) {
+    push_u32(b, v.len() as u32);
+    b.extend_from_slice(v);
+}
+
+/// Packs one unit into a record payload (no framing).
+pub fn encode_unit(unit: &BatchUnit) -> Vec<u8> {
+    let mut b = Vec::with_capacity(unit.name.len() + unit.source.len() + 32);
+    push_bytes(&mut b, unit.name.as_bytes());
+    push_bytes(&mut b, unit.source.as_bytes());
+    push_i128(&mut b, unit.assumptions.default_lower_bound());
+    push_u32(&mut b, unit.assumptions.len() as u32);
+    for (sym, lb) in unit.assumptions.iter() {
+        push_bytes(&mut b, sym.name().as_bytes());
+        push_i128(&mut b, lb);
+    }
+    b
+}
+
+/// Decodes one record payload back into a unit. `None` means the payload
+/// is malformed (wrong structure, over-long lengths, trailing garbage).
+pub fn decode_unit(payload: &[u8]) -> Option<BatchUnit> {
+    struct R<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> R<'a> {
+        fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+            let end = self.pos.checked_add(n)?;
+            let out = self.buf.get(self.pos..end)?;
+            self.pos = end;
+            Some(out)
+        }
+        fn u32(&mut self) -> Option<u32> {
+            self.bytes(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        }
+        fn i128(&mut self) -> Option<i128> {
+            self.bytes(16).map(|b| i128::from_le_bytes(b.try_into().unwrap()))
+        }
+        fn blob(&mut self) -> Option<&'a [u8]> {
+            let n = self.u32()? as usize;
+            self.bytes(n)
+        }
+    }
+    let mut r = R { buf: payload, pos: 0 };
+    let name = String::from_utf8(r.blob()?.to_vec()).ok()?;
+    let source = String::from_utf8(r.blob()?.to_vec()).ok()?;
+    let default_lb = r.i128()?;
+    let mut assumptions = if default_lb == 0 {
+        Assumptions::new()
+    } else {
+        Assumptions::with_default_lower_bound(default_lb)
+    };
+    let n = r.u32()? as usize;
+    for _ in 0..n {
+        let sym = String::from_utf8(r.blob()?.to_vec()).ok()?;
+        assumptions.set_lower_bound(sym.as_str(), r.i128()?);
+    }
+    if r.pos != payload.len() {
+        return None; // trailing garbage inside a checksummed payload
+    }
+    Some(BatchUnit::new(name, source).with_assumptions(assumptions))
+}
+
+/// Frames one unit as `len · checksum · payload` onto `out`.
+pub fn frame_unit(out: &mut Vec<u8>, unit: &BatchUnit) {
+    let payload = encode_unit(unit);
+    push_u32(out, payload.len() as u32);
+    push_u64(out, checksum(&payload));
+    out.extend_from_slice(&payload);
+}
+
+// ------------------------------------------------------------------ writer
+
+/// Streams units into a trace, one framed record per unit. Nothing is
+/// buffered beyond the writer `W` itself, so multi-million-unit corpora
+/// record in constant memory.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    written: usize,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on `out` by writing the header.
+    pub fn new(mut out: W) -> std::io::Result<TraceWriter<W>> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        Ok(TraceWriter { out, written: 0 })
+    }
+
+    /// Appends one unit record.
+    pub fn write_unit(&mut self, unit: &BatchUnit) -> std::io::Result<()> {
+        let mut frame = Vec::new();
+        frame_unit(&mut frame, unit);
+        self.out.write_all(&frame)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the number of records written.
+    pub fn finish(mut self) -> std::io::Result<usize> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// Records every unit of `units` to `path` (written atomically via a
+/// sibling temporary file) and returns the record count.
+pub fn record<I>(path: &Path, units: I) -> std::io::Result<usize>
+where
+    I: IntoIterator<Item = BatchUnit>,
+{
+    let tmp = path.with_extension("tmp");
+    let file = std::fs::File::create(&tmp)?;
+    let mut writer = TraceWriter::new(std::io::BufWriter::new(file))?;
+    for unit in units {
+        writer.write_unit(&unit)?;
+    }
+    let written = writer.finish()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(written)
+}
+
+// ------------------------------------------------------------------ reader
+
+/// Streams units back out of a trace.
+///
+/// The reader is an `Iterator<Item = BatchUnit>` that stops at end-of-file
+/// *or* at the first invalid record; after iteration, [`TraceReader::error`]
+/// distinguishes the two. This split lets a replay feed the batch engine a
+/// plain unit iterator (the engine never sees half-decoded records) while
+/// the caller still fails loudly when the trace was not fully trusted.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    /// Records decoded so far.
+    decoded: usize,
+    /// The error that stopped iteration, if any.
+    error: Option<TraceError>,
+}
+
+impl TraceReader<BufReader<std::fs::File>> {
+    /// Opens `path` and validates the header.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        TraceReader::new(BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Validates the header on `input` and positions at the first record.
+    pub fn new(mut input: R) -> Result<TraceReader<R>, TraceError> {
+        let mut magic = [0u8; 8];
+        read_exact_or(&mut input, &mut magic, TraceError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut version = [0u8; 4];
+        read_exact_or(&mut input, &mut version, TraceError::BadVersion { found: 0 })?;
+        let found = u32::from_le_bytes(version);
+        if found != VERSION {
+            return Err(TraceError::BadVersion { found });
+        }
+        Ok(TraceReader { input, decoded: 0, error: None })
+    }
+
+    /// Records decoded so far.
+    pub fn decoded(&self) -> usize {
+        self.decoded
+    }
+
+    /// The error that ended iteration, if iteration did not end cleanly at
+    /// end-of-file.
+    pub fn error(&self) -> Option<&TraceError> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the reader, yielding `Ok(records_decoded)` on a clean
+    /// end-of-file and the stopping error otherwise.
+    pub fn finish(self) -> Result<usize, TraceError> {
+        match self.error {
+            None => Ok(self.decoded),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Reads the next framed record, or `None` at a clean end-of-file.
+    fn next_record(&mut self) -> Result<Option<BatchUnit>, TraceError> {
+        let record = self.decoded;
+        let mut len = [0u8; 4];
+        match self.input.read(&mut len)? {
+            0 => return Ok(None), // clean end of file
+            4 => {}
+            n => {
+                // A partial length prefix: try to complete it, treating a
+                // short read as truncation.
+                if self.input.read_exact(&mut len[n..]).is_err() {
+                    return Err(TraceError::Truncated { record });
+                }
+            }
+        }
+        let len = u32::from_le_bytes(len) as usize;
+        let mut sum = [0u8; 8];
+        read_exact_or(&mut self.input, &mut sum, TraceError::Truncated { record })?;
+        let sum = u64::from_le_bytes(sum);
+        let mut payload = vec![0u8; len];
+        read_exact_or(&mut self.input, &mut payload, TraceError::Truncated { record })?;
+        if checksum(&payload) != sum {
+            return Err(TraceError::Corrupt { record });
+        }
+        match decode_unit(&payload) {
+            Some(unit) => {
+                self.decoded += 1;
+                Ok(Some(unit))
+            }
+            None => Err(TraceError::Malformed { record }),
+        }
+    }
+}
+
+fn read_exact_or<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    err: TraceError,
+) -> Result<(), TraceError> {
+    input.read_exact(buf).map_err(|_| err)
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = BatchUnit;
+
+    fn next(&mut self) -> Option<BatchUnit> {
+        if self.error.is_some() {
+            return None; // fused: trust ended at the first bad record
+        }
+        match self.next_record() {
+            Ok(unit) => unit,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// Reads a whole trace into memory, failing on the first invalid record.
+pub fn read_all(path: &Path) -> Result<Vec<BatchUnit>, TraceError> {
+    let mut reader = TraceReader::open(path)?;
+    let units: Vec<BatchUnit> = reader.by_ref().collect();
+    reader.finish()?;
+    Ok(units)
+}
+
+/// Header-and-framing summary of a trace file, for `delin_trace info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// The file inspected.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Format revision from the header.
+    pub version: u32,
+    /// Records that decoded cleanly.
+    pub units: usize,
+    /// Total source bytes across decoded units.
+    pub source_bytes: u64,
+    /// Units carrying a non-empty assumption environment.
+    pub symbolic_units: usize,
+}
+
+/// Scans `path`, validating every record, and summarizes it.
+pub fn info(path: &Path) -> Result<TraceInfo, TraceError> {
+    let bytes = std::fs::metadata(path)?.len();
+    let mut reader = TraceReader::open(path)?;
+    let mut source_bytes = 0u64;
+    let mut symbolic_units = 0usize;
+    for unit in reader.by_ref() {
+        source_bytes += unit.source.len() as u64;
+        symbolic_units += usize::from(!unit.assumptions.is_empty());
+    }
+    let units = reader.finish()?;
+    Ok(TraceInfo {
+        path: path.to_path_buf(),
+        bytes,
+        version: VERSION,
+        units,
+        source_bytes,
+        symbolic_units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(i: usize) -> BatchUnit {
+        let mut assumptions = Assumptions::new();
+        if i % 2 == 1 {
+            assumptions.set_lower_bound("NX", 1 + i as i128);
+        }
+        BatchUnit::new(
+            format!("t/{i:03}"),
+            format!("REAL W(0:99)\nDO 1 I = 0, 9\n1 W(I + {i}) = W(I)\nEND\n"),
+        )
+        .with_assumptions(assumptions)
+    }
+
+    fn write_trace(units: &[BatchUnit]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        for u in units {
+            w.write_unit(u).unwrap();
+        }
+        w.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn unit_codec_round_trips() {
+        for i in 0..4 {
+            let u = unit(i);
+            let decoded = decode_unit(&encode_unit(&u)).expect("decodes");
+            assert_eq!(decoded.name, u.name);
+            assert_eq!(decoded.source, u.source);
+            assert_eq!(decoded.assumptions, u.assumptions);
+        }
+    }
+
+    #[test]
+    fn default_lower_bound_survives_the_codec() {
+        let u =
+            BatchUnit::new("d", "END\n").with_assumptions(Assumptions::with_default_lower_bound(3));
+        let decoded = decode_unit(&encode_unit(&u)).unwrap();
+        assert_eq!(decoded.assumptions.default_lower_bound(), 3);
+    }
+
+    #[test]
+    fn stream_round_trips_in_order() {
+        let units: Vec<BatchUnit> = (0..5).map(unit).collect();
+        let bytes = write_trace(&units);
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back: Vec<BatchUnit> = reader.by_ref().collect();
+        assert_eq!(reader.finish().unwrap(), 5);
+        assert_eq!(back.len(), units.len());
+        for (a, b) in units.iter().zip(&back) {
+            assert_eq!((&a.name, &a.source, &a.assumptions), (&b.name, &b.source, &b.assumptions));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_malformed() {
+        let mut payload = encode_unit(&unit(0));
+        payload.push(0x55);
+        assert!(decode_unit(&payload).is_none());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_streams_stop_at_first_bad_record() {
+        let units: Vec<BatchUnit> = (0..3).map(unit).collect();
+        let bytes = write_trace(&units);
+
+        // Truncation mid-final-record.
+        let cut = &bytes[..bytes.len() - 7];
+        let mut reader = TraceReader::new(cut).unwrap();
+        let ok: Vec<BatchUnit> = reader.by_ref().collect();
+        assert_eq!(ok.len(), 2);
+        assert!(matches!(reader.finish(), Err(TraceError::Truncated { record: 2 })));
+
+        // A bit flip inside the second record's payload.
+        let mut flipped = bytes.clone();
+        let second_start = 12 + 12 + encode_unit(&units[0]).len();
+        flipped[second_start + 12 + 4] ^= 0x01;
+        let mut reader = TraceReader::new(&flipped[..]).unwrap();
+        let ok: Vec<BatchUnit> = reader.by_ref().collect();
+        assert_eq!(ok.len(), 1);
+        assert!(matches!(reader.finish(), Err(TraceError::Corrupt { record: 1 })));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected_up_front() {
+        let bytes = write_trace(&[unit(0)]);
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(TraceReader::new(&bad_magic[..]), Err(TraceError::BadMagic)));
+
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 99;
+        assert!(matches!(
+            TraceReader::new(&bad_version[..]),
+            Err(TraceError::BadVersion { found: 99 })
+        ));
+    }
+}

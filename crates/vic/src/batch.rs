@@ -109,6 +109,24 @@ impl BatchUnit {
         self.assumptions = assumptions;
         self
     }
+
+    /// A stable structural fingerprint over everything that determines the
+    /// unit's analysis: name, source, and the full assumption environment.
+    /// Equal fingerprints mean a recorded trace replays this unit
+    /// byte-identically; the trace layer (`delin_corpus::trace`) and its
+    /// differential suites compare streams by this without materializing
+    /// both sides.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.source.hash(&mut h);
+        self.assumptions.default_lower_bound().hash(&mut h);
+        for (sym, lb) in self.assumptions.iter() {
+            sym.name().hash(&mut h);
+            lb.hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 /// One scheduled item of a channel-fed batch: a [`BatchUnit`] plus the
@@ -906,6 +924,20 @@ mod tests {
             unit("u2-other", 12, 7),
             BatchUnit::new("u3-bad", "DO 1 i = \nEND\n"),
         ]
+    }
+
+    #[test]
+    fn unit_fingerprint_tracks_every_field() {
+        let base = unit("u0", 10, 5);
+        assert_eq!(base.fingerprint(), unit("u0", 10, 5).fingerprint());
+        assert_ne!(base.fingerprint(), unit("u1", 10, 5).fingerprint());
+        assert_ne!(base.fingerprint(), unit("u0", 12, 5).fingerprint());
+        let mut assumptions = delin_numeric::Assumptions::new();
+        assumptions.set_lower_bound("NX", 2);
+        assert_ne!(
+            base.fingerprint(),
+            unit("u0", 10, 5).with_assumptions(assumptions).fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! The SimPoint-style corpus sampler: the plan is deterministic, the
+//! weighted estimate is scheduling-independent, and on the checked-in
+//! fidelity suite (`benchmarks/verify/config.json`) the weighted verdict
+//! mix matches the measured full corpus within the suite's own pinned
+//! tolerance — the same bound `batch_corpus --sampled-check` gates on.
+
+use delin_bench::suite::SuiteConfig;
+use delinearization::corpus::sample::{sample_units, SamplePlan, WeightedEstimate};
+use delinearization::vic::batch::{BatchConfig, BatchRunner, BatchUnit};
+use delinearization::vic::deps::VerdictStats;
+use std::path::Path;
+
+fn verify_suite() -> SuiteConfig {
+    SuiteConfig::load(Path::new("benchmarks/verify/config.json")).expect("checked-in suite loads")
+}
+
+/// Per-representative verdict stats for `plan`, analyzed at `workers`.
+fn representative_stats(
+    units: &[BatchUnit],
+    plan: &SamplePlan,
+    workers: usize,
+) -> Vec<VerdictStats> {
+    let reps: Vec<BatchUnit> =
+        plan.representatives.iter().map(|r| units[r.index].clone()).collect();
+    let stats = BatchRunner::new(BatchConfig { workers, ..BatchConfig::default() }).run(reps);
+    plan.representatives
+        .iter()
+        .map(|r| {
+            stats
+                .units
+                .iter()
+                .find(|u| u.name == units[r.index].name)
+                .expect("every representative gets a report")
+                .stats
+                .verdict_stats()
+        })
+        .collect()
+}
+
+#[test]
+fn the_plan_is_a_pure_function_of_suite_and_seed() {
+    let suite = verify_suite();
+    let units: Vec<BatchUnit> = suite.units().collect();
+    let a = sample_units(&units, &suite.sample);
+    let b = sample_units(&units, &suite.sample);
+    assert_eq!(a, b, "fixed seed must reproduce representatives, weights, and assignments");
+    assert!(!a.representatives.is_empty());
+    assert!(a.representatives.len() <= suite.sample.clusters);
+    let weight: usize = a.representatives.iter().map(|r| r.weight).sum();
+    assert_eq!(weight, units.len(), "weights must partition the corpus");
+}
+
+#[test]
+fn weighted_estimates_are_identical_across_worker_counts() {
+    let suite = verify_suite();
+    let units: Vec<BatchUnit> = suite.units().collect();
+    let plan = sample_units(&units, &suite.sample);
+    let serial = WeightedEstimate::from_stats(&plan, &representative_stats(&units, &plan, 1));
+    let parallel = WeightedEstimate::from_stats(&plan, &representative_stats(&units, &plan, 4));
+    assert_eq!(
+        serial, parallel,
+        "verdict statistics are scheduling-independent, so the extrapolation must be too"
+    );
+}
+
+#[test]
+fn weighted_mix_matches_the_full_corpus_within_the_pinned_tolerance() {
+    let suite = verify_suite();
+    let units: Vec<BatchUnit> = suite.units().collect();
+    let plan = sample_units(&units, &suite.sample);
+    assert!(
+        plan.sampled_fraction() < 0.25,
+        "sampling must be a real reduction, got {:.0}% of {} units",
+        plan.sampled_fraction() * 100.0,
+        units.len()
+    );
+
+    let est = WeightedEstimate::from_stats(&plan, &representative_stats(&units, &plan, 0));
+    let full = BatchRunner::new(BatchConfig::default()).run(units.clone());
+    let full_totals = full.totals.verdict_stats();
+    let error_pct = est.mix_error_pct(&full_totals);
+    assert!(
+        error_pct <= suite.tolerance_pct,
+        "weighted-vs-full verdict-mix error {error_pct:.2}% exceeds the suite's pinned \
+         tolerance {:.0}%",
+        suite.tolerance_pct
+    );
+    // The estimate is a real extrapolation, not a re-measurement: the
+    // sampled run analyzed strictly fewer pairs than it predicts.
+    let analyzed: usize = plan
+        .representatives
+        .iter()
+        .map(|r| {
+            full.units
+                .iter()
+                .find(|u| u.name == units[r.index].name)
+                .expect("representative exists in the full report")
+                .stats
+                .verdict_stats()
+                .pairs_tested
+        })
+        .sum();
+    assert!(
+        (analyzed as f64) < est.pairs_tested,
+        "representatives ({analyzed} pairs) must undercount the estimate ({:.0})",
+        est.pairs_tested
+    );
+}
