@@ -98,6 +98,30 @@ for key in '"schema": "delin-trajectory"' '"bench_id": 9' '"label": "ci-smoke"' 
     || { echo "bench9.json missing $key" >&2; cat "$sampled_tmp/bench9.json" >&2; exit 1; }
 done
 rm -rf "$sampled_tmp"
+# Committed trajectory: BENCH_9.json must carry the pr10 row, in tolerance.
+grep -qF '"label": "pr10"' BENCH_9.json \
+  || { echo "BENCH_9.json is missing the pr10 trajectory row" >&2; exit 1; }
+grep -qF '"within_tolerance": true' BENCH_9.json \
+  || { echo "BENCH_9.json has no in-tolerance row" >&2; exit 1; }
+# Miss-path bench schema smoke: the committed BENCH_10.json must stay
+# schema-valid (wall-clock fields vary by machine and are not checked).
+for key in '"schema": "delin-bench-misspath"' '"bench_id": 10' '"legs": ["legacy", "arena"]' \
+           '"pairs_tested"' '"solver_nodes"' '"cache_misses"' '"dep_test_nanos"' \
+           '"dep_nanos_reduction_pct"' '"reports_identical": true'; do
+  grep -qF "$key" BENCH_10.json \
+    || { echo "BENCH_10.json missing $key" >&2; exit 1; }
+done
+# Arena A/B gate: the arena rebuild of the miss path is a pure allocation
+# change, so the batch report must be byte-identical with the arena forced
+# on and with the legacy allocating path (DELIN_ARENA=0). The in-process
+# arena A/B leg already runs inside --verify above; this one proves the
+# env knob end to end through the binary.
+arena_tmp="$(mktemp -d)"
+DELIN_ARENA=1 "$repo_root/target/release/batch_corpus" --units 18 > "$arena_tmp/arena.out"
+DELIN_ARENA=0 "$repo_root/target/release/batch_corpus" --units 18 > "$arena_tmp/legacy.out"
+diff "$arena_tmp/arena.out" "$arena_tmp/legacy.out" \
+  || { echo "batch report differs between arena and legacy miss paths" >&2; exit 1; }
+rm -rf "$arena_tmp"
 # Malformed-flag gate: every corpus binary rejects a non-numeric count with
 # exit code 2 via the shared strict parser (delin_bench::cli).
 for bad in "batch_corpus --workers four" "delin_serve --cache-cap many" \

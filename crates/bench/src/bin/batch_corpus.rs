@@ -36,6 +36,8 @@
 //!   eviction (default: `DELIN_CACHE_CAP`, 0 = unbounded);
 //! * `--no-incremental` — disable incremental exact solving (the A/B
 //!   baseline; equivalent to `DELIN_INCREMENTAL=0`);
+//! * `--no-arena` — disable the arena miss path (the A/B baseline;
+//!   equivalent to `DELIN_ARENA=0`);
 //! * `--chaos` — inject deterministic faults (panics, zero-node budgets,
 //!   expired deadlines) from the seed in `DELIN_CHAOS_SEED` (default 42).
 //!   Requires building with `--features chaos`. Because every injection is
@@ -70,6 +72,7 @@ use delin_bench::suite::SuiteConfig;
 use delin_corpus::sample::{sample_units, WeightedEstimate};
 use delin_corpus::stream::{generated_units, refinement_units, riceps_units};
 use delin_dep::budget::{BudgetSpec, CancelToken};
+use delin_dep::exact::arena_from_env;
 use delin_vic::batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit};
 use delin_vic::cache::{cache_cap_from_env, KeyMode};
 use delin_vic::chaos::ChaosPlan;
@@ -85,7 +88,7 @@ const DEFAULT_TRAJECTORY_PATH: &str = "BENCH_9.json";
 const DEFAULT_SAMPLED_SUITE: &str = "benchmarks/verify/config.json";
 
 const USAGE: &str = "usage: batch_corpus [--full] [--verify] [--bench] [--chaos] \
-[--no-incremental] [--sampled] [--sampled-check] [--trajectory] [--units N] \
+[--no-incremental] [--no-arena] [--sampled] [--sampled-check] [--trajectory] [--units N] \
 [--workers N] [--reps N] [--cache-cap N] [--cache-file PATH] [--bench-out PATH] \
 [--suite PATH] [--label S]";
 
@@ -110,6 +113,7 @@ struct RunSpec {
     suite: Option<SuiteConfig>,
     chaos: Option<ChaosPlan>,
     incremental: bool,
+    arena: bool,
     keying: KeyMode,
     cache_cap: usize,
     cache_file: Option<PathBuf>,
@@ -122,6 +126,7 @@ impl RunSpec {
             workers: self.workers,
             chaos: self.chaos,
             incremental: self.incremental,
+            arena: self.arena,
             keying: self.keying,
             cache_cap: self.cache_cap,
             cache_file: self.cache_file.clone(),
@@ -154,6 +159,7 @@ fn main() {
             "--bench",
             "--chaos",
             "--no-incremental",
+            "--no-arena",
             "--sampled",
             "--sampled-check",
             "--trajectory",
@@ -181,6 +187,7 @@ fn main() {
     let cache_cap = cli.count_or_exit("--cache-cap").unwrap_or_else(cache_cap_from_env);
     let incremental =
         if cli.flag("--no-incremental") { false } else { delin_vic::deps::incremental_from_env() };
+    let arena = if cli.flag("--no-arena") { false } else { arena_from_env() };
     let suite_path = cli.string("--suite").map(PathBuf::from).or_else(|| {
         // Sampled modes are suite-driven by definition; without an explicit
         // suite they measure the fidelity corpus the trajectory gates pin.
@@ -203,6 +210,7 @@ fn main() {
         suite,
         chaos,
         incremental,
+        arena,
         keying: KeyMode::from_env(),
         cache_cap,
         cache_file: cli.string("--cache-file").map(PathBuf::from),
@@ -274,6 +282,10 @@ fn main() {
         }
         if let Err(msg) = verify_persistence_ab(&spec) {
             eprintln!("FAIL warm-start A/B: {msg}");
+            std::process::exit(1);
+        }
+        if let Err(msg) = verify_arena_ab(&spec) {
+            eprintln!("FAIL arena A/B: {msg}");
             std::process::exit(1);
         }
         println!();
@@ -436,6 +448,31 @@ fn verify_persistence_ab(spec: &RunSpec) -> Result<(), String> {
     println!(
         "OK   warm-start A/B: reports byte-identical, {} persisted, {} loaded, {} disk hits",
         cold.persistent_saved, warm.persistent_loaded, warm.persistent_hits
+    );
+    Ok(())
+}
+
+/// The arena A/B leg of `--verify`: the arena miss path (pooled problems
+/// and solver scratch) changes only where allocations come from, never what
+/// is searched — so the arena and legacy runs must render byte-identically
+/// and spend the same number of exact-solver nodes.
+fn verify_arena_ab(spec: &RunSpec) -> Result<(), String> {
+    let on = stats(&RunSpec { arena: true, ..spec.clone() });
+    let off = stats(&RunSpec { arena: false, ..spec.clone() });
+    if on.render() != off.render() {
+        return Err("report differs between arena and legacy miss paths".into());
+    }
+    let on_t = on.totals.verdict_stats();
+    let off_t = off.totals.verdict_stats();
+    if on_t.solver_nodes != off_t.solver_nodes {
+        return Err(format!(
+            "solver nodes differ between arena and legacy miss paths ({} vs {})",
+            on_t.solver_nodes, off_t.solver_nodes
+        ));
+    }
+    println!(
+        "OK   arena A/B: reports byte-identical, {} solver nodes both ways",
+        on_t.solver_nodes
     );
     Ok(())
 }

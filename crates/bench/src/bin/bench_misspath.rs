@@ -1,0 +1,267 @@
+//! The miss-path bench: cold passes over the verify suite with the arena
+//! miss path on and off, in the same process.
+//!
+//! Every run starts from a fresh shared verdict cache, so each dependence
+//! pair takes the full miss path — canonicalization, problem construction,
+//! the eleven techniques, and the exact solver. That is exactly the path
+//! the arena rebuild targets (inline-term polynomials, pooled problems,
+//! scratch-reusing solvers), so the legacy-vs-arena delta here is the
+//! PR's headline number.
+//!
+//! Flags:
+//!
+//! * `--suite PATH` — the suite to measure (default
+//!   `benchmarks/verify/config.json`, the same corpus the trajectory
+//!   gates pin);
+//! * `--reps N` — measurement rounds, each an adjacent legacy+arena pair
+//!   of cold passes; the round with the median reduction is reported
+//!   (default 5);
+//! * `--workers N` — worker budget (default: auto / `DELIN_WORKERS`);
+//! * `--bench-out PATH` — where the JSON goes (default `BENCH_10.json`).
+//!
+//! The two legs must render byte-identically and spend the same number of
+//! exact-solver nodes — the arena is a pure allocation change — otherwise
+//! the bench fails and no BENCH file is written. Ctrl-C degrades in-flight
+//! decisions and exits 130 without writing a file.
+
+use delin_bench::cli::Cli;
+use delin_bench::suite::SuiteConfig;
+use delin_dep::budget::{BudgetSpec, CancelToken};
+use delin_vic::batch::{BatchConfig, BatchRunner, BatchStats, BatchUnit};
+use delin_vic::cache::KeyMode;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+const DEFAULT_SUITE: &str = "benchmarks/verify/config.json";
+const DEFAULT_BENCH_PATH: &str = "BENCH_10.json";
+
+const USAGE: &str =
+    "usage: bench_misspath [--suite PATH] [--reps N] [--workers N] [--bench-out PATH]";
+
+/// One measured cold pass of a leg.
+struct LegMeasure {
+    wall_nanos: u128,
+    dep_nanos: u128,
+    stats: BatchStats,
+}
+
+fn measure_once(
+    units: &[BatchUnit],
+    arena: bool,
+    workers: usize,
+    cancel: &CancelToken,
+) -> LegMeasure {
+    let config = BatchConfig {
+        workers,
+        arena,
+        keying: KeyMode::Fp,
+        budget: BudgetSpec { cancel: Some(cancel.clone()), ..BudgetSpec::default() },
+        ..BatchConfig::default()
+    };
+    let started = Instant::now();
+    let stats = BatchRunner::new(config).run(units.to_vec());
+    LegMeasure {
+        wall_nanos: started.elapsed().as_nanos(),
+        dep_nanos: stats.totals.test_nanos,
+        stats,
+    }
+}
+
+/// Measures `reps` rounds, each an adjacent legacy-then-arena pair of cold
+/// passes, and returns the round with the *median* reduction percentage.
+///
+/// Adjacent passes share ambient machine conditions, so a round's ratio is
+/// far more stable than any cross-round comparison — a noisy-neighbor
+/// burst inflates both of a round's legs together and mostly cancels in
+/// the ratio, whereas per-leg minima across rounds can pair a calm legacy
+/// pass with a loud arena pass (or the reverse) and swing the headline
+/// number by ±5 points. Taking the median round discards the outliers in
+/// both directions and reports one internally consistent (legacy, arena,
+/// ratio) triple. Returns `None` when interrupted.
+fn measure_rounds(
+    units: &[BatchUnit],
+    workers: usize,
+    reps: usize,
+    cancel: &CancelToken,
+) -> Option<(LegMeasure, LegMeasure)> {
+    let mut rounds: Vec<(LegMeasure, LegMeasure)> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        let legacy = measure_once(units, false, workers, cancel);
+        if cancel.is_cancelled() {
+            return None;
+        }
+        let arena = measure_once(units, true, workers, cancel);
+        rounds.push((legacy, arena));
+    }
+    // Sort by the round's reduction ratio (ascending arena/legacy is
+    // descending reduction); integer cross-multiplication avoids floats.
+    rounds.sort_by(|(la, aa), (lb, ab)| {
+        (aa.dep_nanos * lb.dep_nanos).cmp(&(ab.dep_nanos * la.dep_nanos))
+    });
+    let mid = rounds.len() / 2;
+    Some(rounds.swap_remove(mid))
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn render_bench_json(
+    suite_name: &str,
+    workers: usize,
+    reps: usize,
+    units: usize,
+    legacy: &LegMeasure,
+    arena: &LegMeasure,
+    reduction_pct: f64,
+) -> String {
+    let totals = arena.stats.totals.verdict_stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"delin-bench-misspath\",");
+    let _ = writeln!(out, "  \"bench_id\": 10,");
+    let _ = writeln!(out, "  \"config\": {{");
+    let _ = writeln!(out, "    \"suite\": \"{suite_name}\",");
+    let _ = writeln!(out, "    \"units\": {units},");
+    let _ = writeln!(out, "    \"workers\": {workers},");
+    let _ = writeln!(out, "    \"reps\": {reps},");
+    let _ = writeln!(out, "    \"legs\": [\"legacy\", \"arena\"]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"pairs_tested\": {},", totals.pairs_tested);
+    let _ = writeln!(out, "  \"solver_nodes\": {},", totals.solver_nodes);
+    let _ = writeln!(out, "  \"cache_misses\": {},", totals.cache_misses);
+    let _ = writeln!(out, "  \"legs\": {{");
+    for (i, (label, m)) in [("legacy", legacy), ("arena", arena)].iter().enumerate() {
+        let _ = writeln!(out, "    \"{label}\": {{");
+        let _ = writeln!(out, "      \"wall_ms\": {},", json_f64(m.wall_nanos as f64 / 1.0e6));
+        let _ = writeln!(out, "      \"dep_test_nanos\": {}", m.dep_nanos);
+        let _ = writeln!(out, "    }}{}", if i == 0 { "," } else { "" });
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"dep_nanos_reduction_pct\": {},", json_f64(reduction_pct));
+    let _ = writeln!(out, "  \"reports_identical\": true");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let cli = Cli::from_env("bench_misspath", USAGE);
+    cli.validate_or_exit(&[], &["--suite", "--reps", "--workers", "--bench-out"]);
+    let reps = cli.count_or_exit("--reps").unwrap_or(5).max(1);
+    let workers = cli.count_or_exit("--workers").unwrap_or_else(delin_vic::deps::workers_from_env);
+    let suite_path = PathBuf::from(cli.string("--suite").unwrap_or(DEFAULT_SUITE.into()));
+    let bench_out = PathBuf::from(cli.string("--bench-out").unwrap_or(DEFAULT_BENCH_PATH.into()));
+    let suite = match SuiteConfig::load(&suite_path) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("bench_misspath: {e}");
+            std::process::exit(1);
+        }
+    };
+    let units: Vec<BatchUnit> = suite.units().collect();
+    let cancel = install_ctrl_c();
+    println!(
+        "miss-path bench: suite {} ({} units), cold passes, median of {reps} round(s), workers={}",
+        suite.name,
+        units.len(),
+        if workers == 0 { "auto".into() } else { workers.to_string() }
+    );
+    std::process::exit(run(&units, &suite.name, workers, reps, &cancel, &bench_out));
+}
+
+fn run(
+    units: &[BatchUnit],
+    suite_name: &str,
+    workers: usize,
+    reps: usize,
+    cancel: &CancelToken,
+    bench_out: &Path,
+) -> i32 {
+    let Some((legacy, arena)) = measure_rounds(units, workers, reps, cancel) else {
+        eprintln!("interrupted: bench aborted, no BENCH file written");
+        return 130;
+    };
+    let mut failures = 0;
+    if legacy.stats.render() != arena.stats.render() {
+        eprintln!("FAIL: report differs between legacy and arena miss paths");
+        failures += 1;
+    }
+    let legacy_t = legacy.stats.totals.verdict_stats();
+    let arena_t = arena.stats.totals.verdict_stats();
+    if legacy_t.solver_nodes != arena_t.solver_nodes {
+        eprintln!(
+            "FAIL: solver nodes differ between legacy and arena miss paths ({} vs {})",
+            legacy_t.solver_nodes, arena_t.solver_nodes
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        eprintln!("{failures} bench invariant violation(s); no BENCH file written");
+        return 1;
+    }
+    let reduction_pct = if legacy.dep_nanos == 0 {
+        0.0
+    } else {
+        (legacy.dep_nanos as f64 - arena.dep_nanos as f64) * 100.0 / legacy.dep_nanos as f64
+    };
+    println!(
+        "  legacy dep nanos {:>12}  wall {:>9.1} ms",
+        legacy.dep_nanos,
+        legacy.wall_nanos as f64 / 1.0e6
+    );
+    println!(
+        "  arena  dep nanos {:>12}  wall {:>9.1} ms",
+        arena.dep_nanos,
+        arena.wall_nanos as f64 / 1.0e6
+    );
+    println!(
+        "  reduction {reduction_pct:+.1}%  ({} pairs, {} solver nodes, reports byte-identical)",
+        arena_t.pairs_tested, arena_t.solver_nodes
+    );
+    let json =
+        render_bench_json(suite_name, workers, reps, units.len(), &legacy, &arena, reduction_pct);
+    if let Err(e) = std::fs::write(bench_out, &json) {
+        eprintln!("cannot write {}: {e}", bench_out.display());
+        return 1;
+    }
+    println!("wrote {}", bench_out.display());
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Ctrl-C → cooperative cancellation, mirroring batch_corpus: the analysis
+// libraries forbid unsafe code, so the signal registration lives in the
+// binary and the handler does only async-signal-safe work.
+
+const SIGINT: i32 = 2;
+
+static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(token) = CANCEL.get() {
+        token.cancel();
+    }
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+fn install_ctrl_c() -> CancelToken {
+    let token = CANCEL.get_or_init(CancelToken::new).clone();
+    // SAFETY: `on_sigint` matches the C `void (*)(int)` handler signature
+    // and performs only async-signal-safe operations (see above).
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    token
+}

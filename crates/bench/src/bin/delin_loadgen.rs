@@ -135,11 +135,9 @@ fn run_client(
         }
         report.sent += 1;
         // A polite client reads as it goes; a greedy one bursts first.
-        if !greedy {
-            if !read_one(&mut report, &started)? {
-                report.survived = false;
-                break;
-            }
+        if !greedy && !read_one(&mut report, &started)? {
+            report.survived = false;
+            break;
         }
     }
     // Collect the outstanding responses (all of them, for the greedy

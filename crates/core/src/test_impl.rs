@@ -19,7 +19,7 @@ use delin_dep::dirvec::{summarize, Dir, DirVec, DistDir, DistDirVec};
 use delin_dep::exact::{ExactSolver, SubtreeStore};
 use delin_dep::gcd::equation_divisible;
 use delin_dep::hierarchy;
-use delin_dep::problem::{DependenceProblem, LinEq};
+use delin_dep::problem::{CoeffRow, DependenceProblem, LinEq};
 use delin_dep::verdict::{DependenceInfo, DependenceTest, Verdict};
 use delin_numeric::{Coeff, SymPoly};
 
@@ -73,8 +73,7 @@ fn run<C: Coeff>(
                     let sub_eq = LinEq {
                         c0: dim.constant.clone(),
                         coeffs: {
-                            let mut v: Vec<C> =
-                                (0..problem.num_vars()).map(|_| C::zero()).collect();
+                            let mut v: CoeffRow<C> = CoeffRow::zeroed(problem.num_vars());
                             for (var, c) in &dim.terms {
                                 v[*var] = c.clone();
                             }
@@ -134,7 +133,7 @@ impl DependenceTest<i128> for DelinearizationTest {
             self.config.budget.clone().unwrap_or_else(|| {
                 ResourceBudget::with_node_limit(self.config.dimension_node_limit)
             });
-        let solver = ExactSolver::with_budget(budget.clone());
+        let solver = ExactSolver::with_budget(budget.clone()).with_arena(self.config.arena);
         // One subtree store spans the whole decision: the hierarchy walk
         // below and the distance extraction that follows query the same
         // per-dimension subproblems, so the distance phase's witness solves

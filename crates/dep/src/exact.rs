@@ -15,10 +15,23 @@ use crate::verdict::{DependenceInfo, DependenceTest, Verdict};
 use delin_numeric::fp128::Fp128;
 use delin_numeric::{gcd, Interval, NumericError};
 use fxhash::FxBuildHasher;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hasher as _;
 use std::sync::Mutex;
+
+/// The default arena switch: on, unless the `DELIN_ARENA` environment
+/// variable is set to `0` (or `off`).
+///
+/// The arena path reuses per-worker scratch — pooled DFS domain buffers in
+/// [`ExactSolver::solve`] and a recycled refinement problem in
+/// [`SubtreeStore::solve_refined`] — instead of allocating per node/query.
+/// It is a pure perf knob: search order, node accounting, verdicts and
+/// reports are byte-identical either way, which CI asserts with an A/B leg
+/// under `DELIN_ARENA=0`.
+pub fn arena_from_env() -> bool {
+    std::env::var("DELIN_ARENA").map(|v| v != "0" && v != "off").unwrap_or(true)
+}
 
 thread_local! {
     /// Search nodes explored by [`ExactSolver::solve`] on this thread since
@@ -149,6 +162,12 @@ pub struct ExactSolver {
     /// threads its own per-decision budget in via
     /// [`ExactSolver::with_budget`].
     pub budget: ResourceBudget,
+    /// Reuse this thread's [`SolveScratch`] (pooled DFS domain buffers,
+    /// recycled refinement problems) instead of allocating per node/query.
+    /// Defaults to [`arena_from_env`]; flip with [`ExactSolver::with_arena`]
+    /// for same-process A/B runs. Search order and node accounting are
+    /// identical either way.
+    pub arena: bool,
 }
 
 /// The default ground-truth node budget.
@@ -156,8 +175,33 @@ const DEFAULT_SOLVER_NODES: u64 = 5_000_000;
 
 impl Default for ExactSolver {
     fn default() -> Self {
-        ExactSolver { budget: ResourceBudget::with_node_limit(DEFAULT_SOLVER_NODES) }
+        ExactSolver::with_budget(ResourceBudget::with_node_limit(DEFAULT_SOLVER_NODES))
     }
+}
+
+/// Per-thread scratch for the arena solve path: the DFS buffers one solve
+/// leaves behind, picked up by the next solve on the same worker thread.
+/// After a handful of pairs the miss path stops allocating domain vectors
+/// entirely — every `dfs` child frame pops a recycled buffer from `pool`.
+#[derive(Default)]
+struct SolveScratch {
+    assignment: Vec<i128>,
+    assigned: Vec<bool>,
+    domains: Vec<Interval>,
+    pool: Vec<Vec<Interval>>,
+}
+
+thread_local! {
+    /// The worker's [`SolveScratch`]; `ExactSolver::solve` borrows it for
+    /// the duration of one search (the solver never re-enters itself, but a
+    /// failed borrow falls back to fresh buffers rather than panicking).
+    static SOLVE_SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::default());
+
+    /// The worker's recycled refinement problem: `fresh_solve` overwrites
+    /// it via `clone_from` + `impose_directions` instead of cloning the
+    /// base problem per query, so after warmup a refinement costs no
+    /// problem allocation at all.
+    static REFINE_SCRATCH: RefCell<Option<DependenceProblem<i128>>> = const { RefCell::new(None) };
 }
 
 struct Search<'a> {
@@ -166,6 +210,11 @@ struct Search<'a> {
     assigned: Vec<bool>,
     nodes: u64,
     budget: &'a ResourceBudget,
+    /// Recycled domain buffers for child DFS frames (arena path). When
+    /// `reuse_buffers` is off every child clones its parent's domains —
+    /// the legacy allocation pattern the A/B baseline preserves.
+    pool: Vec<Vec<Interval>>,
+    reuse_buffers: bool,
 }
 
 /// Propagation rounds are capped: bounds consistency can converge slowly
@@ -177,14 +226,20 @@ impl ExactSolver {
     /// Creates a solver with the given node budget (no deadline, no
     /// cancellation).
     pub fn with_limit(node_limit: u64) -> ExactSolver {
-        ExactSolver { budget: ResourceBudget::with_node_limit(node_limit) }
+        ExactSolver::with_budget(ResourceBudget::with_node_limit(node_limit))
     }
 
     /// Creates a solver bounded by an explicit budget. Exhaustion along any
     /// axis is recorded in the budget's trip flag and surfaced as
     /// [`SolveOutcome::Degraded`].
     pub fn with_budget(budget: ResourceBudget) -> ExactSolver {
-        ExactSolver { budget }
+        ExactSolver { budget, arena: arena_from_env() }
+    }
+
+    /// Overrides the scratch-reuse switch (see [`ExactSolver::arena`]).
+    pub fn with_arena(mut self, arena: bool) -> ExactSolver {
+        self.arena = arena;
+        self
     }
 
     /// The solver's search-node limit.
@@ -212,22 +267,73 @@ impl ExactSolver {
                 return SolveOutcome::NoSolution;
             }
         }
+        if self.arena {
+            SOLVE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+                Ok(mut scratch) => self.run_search(problem, n, &mut scratch),
+                // The solver never re-enters itself on one thread; if it
+                // somehow does, fresh buffers keep the search correct.
+                Err(_) => self.run_search(problem, n, &mut SolveScratch::default()),
+            })
+        } else {
+            let mut search = Search {
+                problem,
+                assignment: vec![0; n],
+                assigned: vec![false; n],
+                nodes: 0,
+                budget: &self.budget,
+                pool: Vec::new(),
+                reuse_buffers: false,
+            };
+            let mut domains: Vec<Interval> =
+                problem.vars().iter().map(|v| Interval::new(0, v.upper)).collect();
+            let result = search.dfs(&mut domains);
+            record_nodes(search.nodes);
+            match result {
+                Ok(true) => SolveOutcome::Solution(search.assignment),
+                Ok(false) => SolveOutcome::NoSolution,
+                Err(reason) => SolveOutcome::Degraded(reason),
+            }
+        }
+    }
+
+    /// The arena solve: identical search, but every buffer comes from (and
+    /// returns to) the thread's [`SolveScratch`]. After warmup a solve
+    /// allocates only the witness vector it hands back, and only when one
+    /// exists.
+    fn run_search(
+        &self,
+        problem: &DependenceProblem<i128>,
+        n: usize,
+        scratch: &mut SolveScratch,
+    ) -> SolveOutcome {
+        scratch.assignment.clear();
+        scratch.assignment.resize(n, 0);
+        scratch.assigned.clear();
+        scratch.assigned.resize(n, false);
+        let mut domains = std::mem::take(&mut scratch.domains);
+        domains.clear();
+        domains.extend(problem.vars().iter().map(|v| Interval::new(0, v.upper)));
         let mut search = Search {
             problem,
-            assignment: vec![0; n],
-            assigned: vec![false; n],
+            assignment: std::mem::take(&mut scratch.assignment),
+            assigned: std::mem::take(&mut scratch.assigned),
             nodes: 0,
             budget: &self.budget,
+            pool: std::mem::take(&mut scratch.pool),
+            reuse_buffers: true,
         };
-        let domains: Vec<Interval> =
-            problem.vars().iter().map(|v| Interval::new(0, v.upper)).collect();
-        let result = search.dfs(domains);
+        let result = search.dfs(&mut domains);
         record_nodes(search.nodes);
-        match result {
-            Ok(true) => SolveOutcome::Solution(search.assignment),
+        let outcome = match result {
+            Ok(true) => SolveOutcome::Solution(search.assignment.clone()),
             Ok(false) => SolveOutcome::NoSolution,
             Err(reason) => SolveOutcome::Degraded(reason),
-        }
+        };
+        scratch.assignment = search.assignment;
+        scratch.assigned = search.assigned;
+        scratch.pool = search.pool;
+        scratch.domains = domains;
+        outcome
     }
 }
 
@@ -450,15 +556,20 @@ impl SubtreeStore {
             }
         }
         // Fresh solve outside the lock: concurrent sharers may duplicate a
-        // solve (benign — last insert wins with an identical entry) but
-        // never serialize on each other's search.
+        // solve (benign — the duplicate entry is identical, the DFS being
+        // deterministic) but never serialize on each other's search.
         let (outcome, nodes) = self.fresh_solve(solver, base, dirs)?;
-        if !outcome.is_degraded() {
-            let mut trees = self.lock();
-            let tree = trees.entry(key).or_default();
-            tree.entries.insert(dirs.to_vec(), TreeEntry { outcome: outcome.clone(), nodes });
+        if outcome.is_degraded() {
+            return Ok(outcome);
         }
-        Ok(outcome)
+        let mut trees = self.lock();
+        let tree = trees.entry(key).or_default();
+        // Move the outcome into the tree and answer from the stored entry:
+        // a store costs the key allocation alone, not the key plus extra
+        // outcome clones (and cloning `NoSolution` — the common memoized
+        // case — back out is free).
+        let entry = tree.entries.entry(dirs.to_vec()).or_insert(TreeEntry { outcome, nodes });
+        Ok(entry.outcome.clone())
     }
 
     fn fresh_solve(
@@ -467,9 +578,29 @@ impl SubtreeStore {
         base: &DependenceProblem<i128>,
         dirs: &[Dir],
     ) -> Result<(SolveOutcome, u64), NumericError> {
-        let constrained = base.with_directions(dirs)?;
         let before = peek_thread_nodes();
-        let outcome = solver.solve(&constrained);
+        let outcome = if solver.arena {
+            // Overwrite the thread's recycled refinement problem in place:
+            // `clone_from` reuses every equation/inequality/name buffer the
+            // previous query left behind, so imposing the directions is the
+            // only work that grows it.
+            REFINE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+                Ok(mut slot) => {
+                    let scratch = match slot.as_mut() {
+                        Some(s) => {
+                            s.clone_from(base);
+                            s
+                        }
+                        None => slot.insert(base.clone()),
+                    };
+                    scratch.impose_directions(dirs)?;
+                    Ok(solver.solve(scratch))
+                }
+                Err(_) => Ok(solver.solve(&base.with_directions(dirs)?)),
+            })?
+        } else {
+            solver.solve(&base.with_directions(dirs)?)
+        };
         Ok((outcome, peek_thread_nodes().saturating_sub(before)))
     }
 }
@@ -566,7 +697,7 @@ fn equation_obviously_infeasible(
 impl Search<'_> {
     /// Returns `Ok(true)` on success, `Ok(false)` on exhaustion of the
     /// search space, `Err(reason)` on budget exhaustion.
-    fn dfs(&mut self, mut domains: Vec<Interval>) -> Result<bool, DegradeReason> {
+    fn dfs(&mut self, domains: &mut [Interval]) -> Result<bool, DegradeReason> {
         self.nodes += 1;
         self.budget.check(self.nodes)?;
         let n = self.problem.num_vars();
@@ -580,7 +711,7 @@ impl Search<'_> {
                 if self.assigned[var] {
                     continue;
                 }
-                let range = self.feasible_range(var, &domains).unwrap_or(domains[var]);
+                let range = self.feasible_range(var, domains).unwrap_or(domains[var]);
                 if range.is_empty() {
                     return Ok(false);
                 }
@@ -622,7 +753,20 @@ impl Search<'_> {
         self.assigned[var] = true;
         for v in range.lo..=range.hi {
             self.assignment[var] = v;
-            if self.dfs(domains.clone())? {
+            // Child frames copy the parent's post-propagation domains. The
+            // arena path round-trips a recycled buffer through the pool;
+            // the legacy path clones, exactly as the pre-arena engine did.
+            let found = if self.reuse_buffers {
+                let mut child = self.pool.pop().unwrap_or_default();
+                child.clear();
+                child.extend_from_slice(domains);
+                let found = self.dfs(&mut child);
+                self.pool.push(child);
+                found
+            } else {
+                self.dfs(&mut domains.to_owned())
+            };
+            if found? {
                 return Ok(true);
             }
         }
@@ -1098,6 +1242,36 @@ mod tests {
         let _ = store.solve_refined(&solver, &q, &[Dir::Lt]).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(take_thread_refine().subtree_reuses, 1);
+        reset_thread_nodes();
+    }
+
+    #[test]
+    fn arena_and_legacy_paths_agree_node_for_node() {
+        reset_thread_nodes();
+        for p in [
+            motivating(),
+            shift_by_one(),
+            DependenceProblem::single_equation(-3, vec![1, 2, 4], vec![1, 1, 1]),
+            DependenceProblem::single_equation(-1, vec![2, 4, 8], vec![5, 5, 5]),
+        ] {
+            let _ = take_thread_nodes();
+            let arena = ExactSolver::default().with_arena(true).solve(&p);
+            let arena_nodes = take_thread_nodes();
+            let legacy = ExactSolver::default().with_arena(false).solve(&p);
+            let legacy_nodes = take_thread_nodes();
+            assert_eq!(arena, legacy, "outcomes must be identical");
+            assert_eq!(arena_nodes, legacy_nodes, "search must be identical");
+        }
+        // The refinement scratch path must match too (store disabled so
+        // every query runs fresh_solve).
+        let store = SubtreeStore::disabled();
+        let p = shift_by_one();
+        let a =
+            store.solve_refined(&ExactSolver::default().with_arena(true), &p, &[Dir::Lt]).unwrap();
+        let b =
+            store.solve_refined(&ExactSolver::default().with_arena(false), &p, &[Dir::Lt]).unwrap();
+        assert_eq!(a, b);
+        reset_thread_refine();
         reset_thread_nodes();
     }
 

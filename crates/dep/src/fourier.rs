@@ -99,7 +99,7 @@ impl FourierMotzkin {
         }
         let n = problem.num_vars();
         let mut eqs: Vec<(Vec<i128>, i128)> =
-            problem.equations().iter().map(|eq| (eq.coeffs.clone(), eq.c0)).collect();
+            problem.equations().iter().map(|eq| (eq.coeffs.to_vec(), eq.c0)).collect();
         let mut rows: Vec<Row> = Vec::new();
         for iq in problem.inequalities() {
             rows.push(Row { coeffs: iq.coeffs.iter().map(|c| -c).collect(), bound: iq.c0 });

@@ -200,7 +200,7 @@ fn distance_is_constant(
         return false;
     }
     // Or with z_y - z_x <= d - 1, i.e. (d - 1) - (z_y - z_x) >= 0?
-    let below = problem.with_inequality(d - 1, diff.iter().map(|c| -c).collect());
+    let below = problem.with_inequality(d - 1, diff.iter().map(|c| -c).collect::<Vec<_>>());
     matches!(solver.solve(&below), SolveOutcome::NoSolution)
 }
 

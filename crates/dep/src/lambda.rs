@@ -26,7 +26,7 @@ fn combine<C: Coeff>(a: &LinEq<C>, l1: &C, b: &LinEq<C>, l2: &C) -> Option<LinEq
     for (x, y) in a.coeffs.iter().zip(&b.coeffs) {
         coeffs.push(x.checked_mul(l1).ok()?.checked_add(&y.checked_mul(l2).ok()?).ok()?);
     }
-    Some(LinEq { c0, coeffs })
+    Some(LinEq { c0, coeffs: coeffs.into() })
 }
 
 impl<C: Coeff> DependenceTest<C> for LambdaTest {

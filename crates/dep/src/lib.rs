@@ -49,5 +49,7 @@ pub mod verdict;
 
 pub use budget::{BudgetSpec, CancelToken, DegradeReason, ResourceBudget};
 pub use dirvec::{Dir, DirVec, DistDir, DistDirVec};
-pub use problem::{DependenceProblem, LinEq, LinIneq, ProblemBuilder, VarInfo};
+pub use problem::{
+    CoeffRow, DependenceProblem, LinEq, LinIneq, ProblemArena, ProblemBuilder, VarInfo,
+};
 pub use verdict::{DependenceTest, Verdict};

@@ -14,10 +14,212 @@
 use crate::dirvec::Dir;
 use delin_numeric::{Affine, Assumptions, Coeff, NumericError, VarId};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// The number of coefficients a row stores inline. Real loop nests are at
+/// most ~6 deep, and a dependence problem doubles the variables (source and
+/// sink copies), so 12 inline slots cover the corpus without a heap row.
+const INLINE_COEFFS: usize = 12;
+
+/// A dense coefficient row with inline storage for up to [`INLINE_COEFFS`]
+/// entries and heap spill beyond. Rows deref to `[C]`, so indexing,
+/// iteration and slice passing read exactly like the `Vec<C>` they replace;
+/// only construction changes (`Vec<C>` converts via `From`/`collect`).
+///
+/// `clone_from` reuses the receiver's storage — inline rows copy in place,
+/// spilled rows reuse the heap vector's capacity — which is what lets the
+/// solver's refinement scratch rebuild constrained problems without
+/// touching the allocator.
+#[derive(Debug)]
+pub struct CoeffRow<C> {
+    store: RowStore<C>,
+}
+
+#[derive(Debug)]
+enum RowStore<C> {
+    Inline { len: u8, slots: [C; INLINE_COEFFS] },
+    Heap(Vec<C>),
+}
+
+impl<C: Coeff> CoeffRow<C> {
+    /// An empty row.
+    pub fn new() -> CoeffRow<C> {
+        CoeffRow { store: RowStore::Inline { len: 0, slots: std::array::from_fn(|_| C::zero()) } }
+    }
+
+    /// A row of `n` zeros.
+    pub fn zeroed(n: usize) -> CoeffRow<C> {
+        let mut row = CoeffRow::new();
+        row.resize_with(n, C::zero);
+        row
+    }
+
+    /// Appends one coefficient, spilling to the heap past the inline
+    /// capacity.
+    pub fn push(&mut self, c: C) {
+        match &mut self.store {
+            RowStore::Inline { len, slots } => {
+                let n = *len as usize;
+                if n < INLINE_COEFFS {
+                    slots[n] = c;
+                    *len += 1;
+                } else {
+                    let mut v: Vec<C> = Vec::with_capacity(INLINE_COEFFS * 2);
+                    v.extend(slots.iter_mut().map(|s| std::mem::replace(s, C::zero())));
+                    v.push(c);
+                    self.store = RowStore::Heap(v);
+                }
+            }
+            RowStore::Heap(v) => v.push(c),
+        }
+    }
+
+    /// Resizes to `n` entries, filling new slots with `f()` — the same
+    /// contract as `Vec::resize_with` (truncated inline slots reset to
+    /// zero so they own no stray memory).
+    pub fn resize_with(&mut self, n: usize, mut f: impl FnMut() -> C) {
+        match &mut self.store {
+            RowStore::Inline { len, slots } => {
+                let cur = *len as usize;
+                if n <= INLINE_COEFFS {
+                    for slot in &mut slots[cur.min(n)..cur.max(n)] {
+                        *slot = if n > cur { f() } else { C::zero() };
+                    }
+                    *len = n as u8;
+                } else {
+                    let mut v: Vec<C> = Vec::with_capacity(n);
+                    v.extend(slots[..cur].iter_mut().map(|s| std::mem::replace(s, C::zero())));
+                    v.resize_with(n, f);
+                    self.store = RowStore::Heap(v);
+                }
+            }
+            RowStore::Heap(v) => v.resize_with(n, f),
+        }
+    }
+
+    /// Resets the row to `n` zero entries, reusing existing storage (a
+    /// heap row keeps its buffer; an inline row is just overwritten).
+    pub fn reset_zeroed(&mut self, n: usize) {
+        self.resize_with(n, C::zero);
+        for c in self.as_mut_slice() {
+            *c = C::zero();
+        }
+    }
+
+    /// The coefficients as a slice.
+    pub fn as_slice(&self) -> &[C] {
+        match &self.store {
+            RowStore::Inline { len, slots } => &slots[..*len as usize],
+            RowStore::Heap(v) => v,
+        }
+    }
+
+    /// The coefficients as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [C] {
+        match &mut self.store {
+            RowStore::Inline { len, slots } => &mut slots[..*len as usize],
+            RowStore::Heap(v) => v,
+        }
+    }
+}
+
+impl<C: Coeff> Default for CoeffRow<C> {
+    fn default() -> Self {
+        CoeffRow::new()
+    }
+}
+
+impl<C> Deref for CoeffRow<C> {
+    type Target = [C];
+    fn deref(&self) -> &[C] {
+        match &self.store {
+            RowStore::Inline { len, slots } => &slots[..*len as usize],
+            RowStore::Heap(v) => v,
+        }
+    }
+}
+
+impl<C> DerefMut for CoeffRow<C> {
+    fn deref_mut(&mut self) -> &mut [C] {
+        match &mut self.store {
+            RowStore::Inline { len, slots } => &mut slots[..*len as usize],
+            RowStore::Heap(v) => v,
+        }
+    }
+}
+
+impl<C: Coeff> Clone for CoeffRow<C> {
+    fn clone(&self) -> Self {
+        let mut out = CoeffRow::new();
+        for c in self.as_slice() {
+            out.push(c.clone());
+        }
+        out
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        if let (RowStore::Heap(dst), RowStore::Heap(src)) = (&mut self.store, &source.store) {
+            dst.clone_from(src);
+            return;
+        }
+        self.resize_with(source.len(), C::zero);
+        for (dst, src) in self.as_mut_slice().iter_mut().zip(source.as_slice()) {
+            dst.clone_from(src);
+        }
+    }
+}
+
+impl<C: PartialEq> PartialEq for CoeffRow<C> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<C: Eq> Eq for CoeffRow<C> {}
+
+impl<C: PartialEq> PartialEq<Vec<C>> for CoeffRow<C> {
+    fn eq(&self, other: &Vec<C>) -> bool {
+        **self == **other
+    }
+}
+
+impl<C: Coeff> From<Vec<C>> for CoeffRow<C> {
+    fn from(v: Vec<C>) -> CoeffRow<C> {
+        if v.len() <= INLINE_COEFFS {
+            let mut it = v.into_iter();
+            CoeffRow {
+                store: RowStore::Inline {
+                    len: it.len() as u8,
+                    slots: std::array::from_fn(|_| it.next().unwrap_or_else(C::zero)),
+                },
+            }
+        } else {
+            CoeffRow { store: RowStore::Heap(v) }
+        }
+    }
+}
+
+impl<C: Coeff> FromIterator<C> for CoeffRow<C> {
+    fn from_iter<T: IntoIterator<Item = C>>(iter: T) -> CoeffRow<C> {
+        let mut row = CoeffRow::new();
+        for c in iter {
+            row.push(c);
+        }
+        row
+    }
+}
+
+impl<'a, C> IntoIterator for &'a CoeffRow<C> {
+    type Item = &'a C;
+    type IntoIter = std::slice::Iter<'a, C>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deref().iter()
+    }
+}
 
 /// One variable of a dependence problem: a normalized loop variable ranging
 /// over `[0, upper]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct VarInfo<C> {
     /// Human-readable name (e.g. `i1`, `j2`).
     pub name: String,
@@ -25,13 +227,33 @@ pub struct VarInfo<C> {
     pub upper: C,
 }
 
+impl<C: Clone> Clone for VarInfo<C> {
+    fn clone(&self) -> Self {
+        VarInfo { name: self.name.clone(), upper: self.upper.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.name.clone_from(&source.name);
+        self.upper.clone_from(&source.upper);
+    }
+}
+
+/// Shared evaluation core: `c0 + Σ coeffs[k]·vals[k]`, all borrowed.
+fn eval_linear<C: Coeff>(c0: &C, coeffs: &[C], vals: &[C]) -> Result<C, NumericError> {
+    let mut acc = c0.clone();
+    for (c, v) in coeffs.iter().zip(vals) {
+        acc = acc.checked_add(&c.checked_mul(v)?)?;
+    }
+    Ok(acc)
+}
+
 /// A linear equation `c0 + Σ coeffs[k]·z_k = 0` over the problem variables.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct LinEq<C> {
     /// The constant term.
     pub c0: C,
     /// One coefficient per problem variable (dense; zeros allowed).
-    pub coeffs: Vec<C>,
+    pub coeffs: CoeffRow<C>,
 }
 
 impl<C: Coeff> LinEq<C> {
@@ -47,34 +269,57 @@ impl<C: Coeff> LinEq<C> {
 
     /// Evaluates `c0 + Σ coeffs[k]·vals[k]`.
     pub fn eval(&self, vals: &[C]) -> Result<C, NumericError> {
-        let mut acc = self.c0.clone();
-        for (c, v) in self.coeffs.iter().zip(vals) {
-            acc = acc.checked_add(&c.checked_mul(v)?)?;
-        }
-        Ok(acc)
+        eval_linear(&self.c0, &self.coeffs, vals)
+    }
+}
+
+impl<C: Coeff> Clone for LinEq<C> {
+    fn clone(&self) -> Self {
+        LinEq { c0: self.c0.clone(), coeffs: self.coeffs.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.c0.clone_from(&source.c0);
+        self.coeffs.clone_from(&source.coeffs);
     }
 }
 
 /// A linear inequality `c0 + Σ coeffs[k]·z_k ≥ 0`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct LinIneq<C> {
     /// The constant term.
     pub c0: C,
     /// One coefficient per problem variable (dense; zeros allowed).
-    pub coeffs: Vec<C>,
+    pub coeffs: CoeffRow<C>,
 }
 
 impl<C: Coeff> LinIneq<C> {
-    /// Evaluates the left-hand side `c0 + Σ coeffs[k]·vals[k]`.
+    /// Evaluates the left-hand side `c0 + Σ coeffs[k]·vals[k]` borrowed —
+    /// no clone of the constant or the coefficient row.
     pub fn eval(&self, vals: &[C]) -> Result<C, NumericError> {
-        LinEq { c0: self.c0.clone(), coeffs: self.coeffs.clone() }.eval(vals)
+        eval_linear(&self.c0, &self.coeffs, vals)
+    }
+}
+
+impl<C: Coeff> Clone for LinIneq<C> {
+    fn clone(&self) -> Self {
+        LinIneq { c0: self.c0.clone(), coeffs: self.coeffs.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.c0.clone_from(&source.c0);
+        self.coeffs.clone_from(&source.coeffs);
     }
 }
 
 /// A dependence question in constrained-equation form.
 ///
 /// Construct through [`ProblemBuilder`] or the convenience constructors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `clone_from` reuses the receiver's vectors, rows and strings, so a
+/// scratch problem repeatedly rebuilt from the same base (the refinement
+/// loop's pattern) stops allocating once it has seen the base's shape.
+#[derive(Debug, PartialEq, Eq)]
 pub struct DependenceProblem<C> {
     vars: Vec<VarInfo<C>>,
     equations: Vec<LinEq<C>>,
@@ -82,6 +327,26 @@ pub struct DependenceProblem<C> {
     /// Per common loop, the (source-variable, sink-variable) index pair.
     common: Vec<(usize, usize)>,
     assumptions: Assumptions,
+}
+
+impl<C: Coeff> Clone for DependenceProblem<C> {
+    fn clone(&self) -> Self {
+        DependenceProblem {
+            vars: self.vars.clone(),
+            equations: self.equations.clone(),
+            inequalities: self.inequalities.clone(),
+            common: self.common.clone(),
+            assumptions: self.assumptions.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.vars.clone_from(&source.vars);
+        self.equations.clone_from(&source.equations);
+        self.inequalities.clone_from(&source.inequalities);
+        self.common.clone_from(&source.common);
+        self.assumptions.clone_from(&source.assumptions);
+    }
 }
 
 impl<C: Coeff> DependenceProblem<C> {
@@ -106,7 +371,7 @@ impl<C: Coeff> DependenceProblem<C> {
             .collect();
         DependenceProblem {
             vars,
-            equations: vec![LinEq { c0, coeffs }],
+            equations: vec![LinEq { c0, coeffs: coeffs.into() }],
             inequalities: Vec::new(),
             common: Vec::new(),
             assumptions: Assumptions::new(),
@@ -144,6 +409,13 @@ impl<C: Coeff> DependenceProblem<C> {
         &self.assumptions
     }
 
+    /// Replaces the assumptions in force. This is how the engine installs
+    /// a unit's environment on a canonical problem without rebuilding the
+    /// variables and constraints through a fresh builder.
+    pub fn set_assumptions(&mut self, a: Assumptions) {
+        self.assumptions = a;
+    }
+
     /// `true` when every coefficient, constant, and bound is a concrete
     /// integer.
     pub fn is_concrete(&self) -> bool {
@@ -175,11 +447,20 @@ impl<C: Coeff> DependenceProblem<C> {
         level: usize,
         dir: Dir,
     ) -> Result<DependenceProblem<C>, NumericError> {
+        let mut out = self.clone();
+        out.impose_direction(level, dir)?;
+        Ok(out)
+    }
+
+    /// The in-place core of [`DependenceProblem::with_direction`]: appends
+    /// the predicate's constraint to this problem directly. The refinement
+    /// loop applies a whole vector to one scratch clone instead of cloning
+    /// the problem once per level.
+    pub fn impose_direction(&mut self, level: usize, dir: Dir) -> Result<(), NumericError> {
         let (x, y) = self.common[level];
         let n = self.num_vars();
-        let mut out = self.clone();
         let coeffs_xy = |cx: i128, cy: i128| {
-            let mut v: Vec<C> = (0..n).map(|_| C::zero()).collect();
+            let mut v = CoeffRow::zeroed(n);
             v[x] = C::from_i128(cx);
             v[y] = C::from_i128(cy);
             v
@@ -187,13 +468,13 @@ impl<C: Coeff> DependenceProblem<C> {
         match dir {
             Dir::Any => {}
             Dir::Lt => {
-                out.inequalities.push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(-1, 1) })
+                self.inequalities.push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(-1, 1) })
             }
-            Dir::Le => out.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(-1, 1) }),
-            Dir::Eq => out.equations.push(LinEq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
-            Dir::Ge => out.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
+            Dir::Le => self.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(-1, 1) }),
+            Dir::Eq => self.equations.push(LinEq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
+            Dir::Ge => self.inequalities.push(LinIneq { c0: C::zero(), coeffs: coeffs_xy(1, -1) }),
             Dir::Gt => {
-                out.inequalities.push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(1, -1) })
+                self.inequalities.push(LinIneq { c0: C::from_i128(-1), coeffs: coeffs_xy(1, -1) })
             }
             Dir::Ne => {
                 return Err(NumericError::NotConcrete {
@@ -201,27 +482,35 @@ impl<C: Coeff> DependenceProblem<C> {
                 })
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Returns a copy with all direction predicates of a vector imposed
-    /// (element `l` applies to common loop `l`).
+    /// (element `l` applies to common loop `l`). One clone total, not one
+    /// per level.
     ///
     /// # Errors
     ///
     /// Propagates the errors of [`DependenceProblem::with_direction`].
     pub fn with_directions(&self, dirs: &[Dir]) -> Result<DependenceProblem<C>, NumericError> {
         let mut p = self.clone();
-        for (l, &d) in dirs.iter().enumerate() {
-            p = p.with_direction(l, d)?;
-        }
+        p.impose_directions(dirs)?;
         Ok(p)
+    }
+
+    /// In-place form of [`DependenceProblem::with_directions`].
+    pub fn impose_directions(&mut self, dirs: &[Dir]) -> Result<(), NumericError> {
+        for (l, &d) in dirs.iter().enumerate() {
+            self.impose_direction(l, d)?;
+        }
+        Ok(())
     }
 
     /// Returns a copy with one extra inequality `c0 + Σ coeffs[k]·z_k ≥ 0`
     /// (zero-extended to the variable count).
-    pub fn with_inequality(&self, c0: C, mut coeffs: Vec<C>) -> DependenceProblem<C> {
+    pub fn with_inequality(&self, c0: C, coeffs: impl Into<CoeffRow<C>>) -> DependenceProblem<C> {
         let mut out = self.clone();
+        let mut coeffs = coeffs.into();
         coeffs.resize_with(self.num_vars(), C::zero);
         out.inequalities.push(LinIneq { c0, coeffs });
         out
@@ -258,14 +547,30 @@ impl<C: Coeff> DependenceProblem<C> {
 }
 
 /// Incremental builder for [`DependenceProblem`].
-#[derive(Debug, Clone)]
+///
+/// A builder can be fed retired problems through
+/// [`ProblemBuilder::recycle`]; their vectors, coefficient rows and name
+/// strings become spare storage that [`ProblemBuilder::var_args`] and
+/// [`ProblemBuilder::equation_from_subscripts`] overwrite in place, so an
+/// engine worker that rebuilds a problem per reference pair stops
+/// allocating once the builder has seen the workload's largest shape.
+#[derive(Debug)]
 pub struct ProblemBuilder<C> {
     vars: Vec<VarInfo<C>>,
     equations: Vec<LinEq<C>>,
     inequalities: Vec<LinIneq<C>>,
     common: Vec<(usize, usize)>,
     assumptions: Assumptions,
+    /// Retired variable slots; `var_args` pops and overwrites these.
+    spare_vars: Vec<VarInfo<C>>,
+    /// Retired equation slots; `equation_from_subscripts` pops and
+    /// overwrites these.
+    spare_eqs: Vec<LinEq<C>>,
 }
+
+/// Spare slots a builder retains across recycles — bounds the storage an
+/// idle builder pins while covering the deepest nests the engine builds.
+const BUILDER_SPARES: usize = 32;
 
 impl<C: Coeff> Default for ProblemBuilder<C> {
     fn default() -> Self {
@@ -282,6 +587,35 @@ impl<C: Coeff> ProblemBuilder<C> {
             inequalities: Vec::new(),
             common: Vec::new(),
             assumptions: Assumptions::new(),
+            spare_vars: Vec::new(),
+            spare_eqs: Vec::new(),
+        }
+    }
+
+    /// Reclaims a retired problem's storage: its vectors become the
+    /// builder's working vectors (when the builder's own were consumed by
+    /// a previous [`ProblemBuilder::build`]) and its variables and
+    /// equations become spare slots for in-place overwriting. Purely an
+    /// allocation-recycling hook — the built problems are identical with
+    /// or without it.
+    pub fn recycle(&mut self, mut slab: DependenceProblem<C>) {
+        self.spare_vars.append(&mut slab.vars);
+        self.spare_vars.truncate(BUILDER_SPARES);
+        self.spare_eqs.append(&mut slab.equations);
+        self.spare_eqs.truncate(BUILDER_SPARES);
+        slab.inequalities.clear();
+        slab.common.clear();
+        if self.vars.capacity() == 0 {
+            self.vars = slab.vars;
+        }
+        if self.equations.capacity() == 0 {
+            self.equations = slab.equations;
+        }
+        if self.inequalities.capacity() == 0 {
+            self.inequalities = slab.inequalities;
+        }
+        if self.common.capacity() == 0 {
+            self.common = slab.common;
         }
     }
 
@@ -291,17 +625,53 @@ impl<C: Coeff> ProblemBuilder<C> {
         self.vars.len() - 1
     }
 
+    /// Like [`ProblemBuilder::var`], but renders the name and clones the
+    /// bound into a recycled slot when one is available (see
+    /// [`ProblemBuilder::recycle`]), so a warm builder adds the variable
+    /// without allocating.
+    pub fn var_args(&mut self, name: std::fmt::Arguments<'_>, upper: &C) -> usize {
+        use std::fmt::Write as _;
+        let mut slot = self.pop_spare_var();
+        let _ = slot.name.write_fmt(name);
+        slot.upper.clone_from(upper);
+        self.vars.push(slot);
+        self.vars.len() - 1
+    }
+
+    /// Like [`ProblemBuilder::var_args`] for the `{base}{suffix}` names the
+    /// engine gives source/sink loop variables, assembled with plain string
+    /// pushes instead of the formatting machinery.
+    pub fn var_suffixed(&mut self, base: &str, suffix: char, upper: &C) -> usize {
+        let mut slot = self.pop_spare_var();
+        slot.name.push_str(base);
+        slot.name.push(suffix);
+        slot.upper.clone_from(upper);
+        self.vars.push(slot);
+        self.vars.len() - 1
+    }
+
+    /// A cleared variable slot: a recycled one when available, else fresh.
+    fn pop_spare_var(&mut self) -> VarInfo<C> {
+        match self.spare_vars.pop() {
+            Some(mut s) => {
+                s.name.clear();
+                s
+            }
+            None => VarInfo { name: String::new(), upper: C::zero() },
+        }
+    }
+
     /// Adds the equation `c0 + Σ coeffs[k]·z_k = 0`. Shorter coefficient
     /// vectors are zero-extended to the final variable count at build time.
-    pub fn equation(&mut self, c0: C, coeffs: Vec<C>) -> &mut Self {
-        self.equations.push(LinEq { c0, coeffs });
+    pub fn equation(&mut self, c0: C, coeffs: impl Into<CoeffRow<C>>) -> &mut Self {
+        self.equations.push(LinEq { c0, coeffs: coeffs.into() });
         self
     }
 
     /// Adds the inequality `c0 + Σ coeffs[k]·z_k ≥ 0` (zero-extended like
     /// equations).
-    pub fn inequality(&mut self, c0: C, coeffs: Vec<C>) -> &mut Self {
-        self.inequalities.push(LinIneq { c0, coeffs });
+    pub fn inequality(&mut self, c0: C, coeffs: impl Into<CoeffRow<C>>) -> &mut Self {
+        self.inequalities.push(LinIneq { c0, coeffs: coeffs.into() });
         self
     }
 
@@ -333,8 +703,17 @@ impl<C: Coeff> ProblemBuilder<C> {
         snk_map: &[usize],
     ) -> Result<&mut Self, NumericError> {
         let n = self.vars.len();
-        let mut coeffs: Vec<C> = (0..n).map(|_| C::zero()).collect();
-        let c0 = src.constant_part().checked_sub(snk.constant_part())?;
+        // Overwrite a recycled equation slot when one is available (see
+        // `recycle`); the fresh-slot path is the historical behavior.
+        let mut eq = match self.spare_eqs.pop() {
+            Some(mut eq) => {
+                eq.coeffs.reset_zeroed(n);
+                eq
+            }
+            None => LinEq { c0: C::zero(), coeffs: CoeffRow::zeroed(n) },
+        };
+        eq.c0 = src.constant_part().checked_sub(snk.constant_part())?;
+        let coeffs = &mut eq.coeffs;
         // Guard against maps that don't cover the subscript variables.
         for (v, c) in src.terms() {
             let VarId(idx) = v;
@@ -350,7 +729,7 @@ impl<C: Coeff> ProblemBuilder<C> {
             })?;
             coeffs[slot] = coeffs[slot].checked_sub(c)?;
         }
-        self.equations.push(LinEq { c0, coeffs });
+        self.equations.push(eq);
         Ok(self)
     }
 
@@ -370,6 +749,58 @@ impl<C: Coeff> ProblemBuilder<C> {
             common: std::mem::take(&mut self.common),
             assumptions: std::mem::take(&mut self.assumptions),
         }
+    }
+}
+
+/// A recycling arena of [`DependenceProblem`]s for the miss path.
+///
+/// Each miss clones its canonical problem (to install the unit's
+/// assumptions, to refine directions, …) and drops the clone moments later.
+/// An arena intercepts that churn: [`ProblemArena::lease_clone`] overwrites
+/// a previously-recycled problem in place via the capacity-reusing
+/// `clone_from` chain (`Vec` → [`LinEq`]/[`LinIneq`] → [`CoeffRow`] →
+/// `String`/`SymPoly`), so once warm a lease allocates only what genuinely
+/// grew. Engine workers keep one arena per thread; slabs free in one drop
+/// when the arena does.
+#[derive(Debug, Default)]
+pub struct ProblemArena<C> {
+    free: Vec<DependenceProblem<C>>,
+}
+
+/// Slabs retained per arena; enough for the deepest lease nesting the
+/// engine reaches (decision problem + refinement + probe), small enough
+/// that an idle worker pins only a few problems' worth of memory.
+const ARENA_SLABS: usize = 8;
+
+impl<C: Coeff> ProblemArena<C> {
+    /// An empty arena.
+    pub fn new() -> ProblemArena<C> {
+        ProblemArena { free: Vec::new() }
+    }
+
+    /// A copy of `template`, built into a recycled slab when one is
+    /// available (a plain clone otherwise).
+    pub fn lease_clone(&mut self, template: &DependenceProblem<C>) -> DependenceProblem<C> {
+        match self.free.pop() {
+            Some(mut slab) => {
+                slab.clone_from(template);
+                slab
+            }
+            None => template.clone(),
+        }
+    }
+
+    /// Returns a problem to the arena for later reuse. Beyond
+    /// [`ARENA_SLABS`] retained slabs the problem is simply dropped.
+    pub fn recycle(&mut self, problem: DependenceProblem<C>) {
+        if self.free.len() < ARENA_SLABS {
+            self.free.push(problem);
+        }
+    }
+
+    /// Number of recycled slabs currently held.
+    pub fn slabs(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -501,10 +932,10 @@ mod tests {
 
     #[test]
     fn lineq_eval_and_active() {
-        let eq = LinEq { c0: -5i128, coeffs: vec![1, 10, -1, -10] };
+        let eq = LinEq { c0: -5i128, coeffs: vec![1, 10, -1, -10].into() };
         assert_eq!(eq.eval(&[5, 1, 0, 1]).unwrap(), 0);
         assert_eq!(eq.active_vars().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
-        let ineq = LinIneq { c0: -1i128, coeffs: vec![1, 0, 0, 0] };
+        let ineq = LinIneq { c0: -1i128, coeffs: vec![1, 0, 0, 0].into() };
         assert_eq!(ineq.eval(&[3, 0, 0, 0]).unwrap(), 2);
     }
 }

@@ -311,7 +311,7 @@ mod tests {
 
     #[test]
     fn classification() {
-        let mk = |c0: i128, coeffs: Vec<i128>| LinEq { c0, coeffs };
+        let mk = |c0: i128, coeffs: Vec<i128>| LinEq { c0, coeffs: coeffs.into() };
         assert_eq!(classify(&mk(1, vec![0, 0])), SivKind::Ziv);
         assert_eq!(classify(&mk(1, vec![2, 0])), SivKind::WeakZero);
         assert_eq!(classify(&mk(1, vec![2, -2])), SivKind::Strong);

@@ -25,6 +25,10 @@ pub type LoopContext = Vec<NormalizedLoop>;
 
 /// One subscript: an affine function of the normalized loop variables, or
 /// opaque.
+// `SymAffine` carries inline term storage by design — the size gap to
+// `Opaque` is the point (no heap allocation per subscript), and boxing the
+// affine arm would reintroduce exactly that allocation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Subscript {
     /// Affine over the site's normalized loop variables.

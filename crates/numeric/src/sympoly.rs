@@ -141,10 +141,186 @@ impl fmt::Display for Monomial {
     }
 }
 
+/// The number of terms a polynomial stores inline before spilling to the
+/// heap. Corpus polynomials overwhelmingly have ≤4 terms (a delinearized
+/// subscript contributes one term per loop plus a constant), so arithmetic
+/// on them stays allocation-free.
+const INLINE_TERMS: usize = 4;
+
+/// The sorted term store behind [`SymPoly`]: up to [`INLINE_TERMS`] terms
+/// live inline, larger polynomials spill to a heap vector. Terms are kept
+/// in ascending graded-lex order with no zero coefficients — the same
+/// invariant the historical `BTreeMap` store maintained — so iteration
+/// order, display order and the structural hash feed are unchanged.
+///
+/// A spilled store never shrinks back inline; equality, ordering and
+/// hashing all go through the live slice, so the representation is
+/// unobservable.
+#[derive(Debug, Clone)]
+enum TermStore {
+    Inline { len: u8, slots: [(Monomial, i128); INLINE_TERMS] },
+    Heap(Vec<(Monomial, i128)>),
+}
+
+#[derive(Debug, Clone)]
+struct TermVec(TermStore);
+
+impl Default for TermVec {
+    fn default() -> TermVec {
+        TermVec(TermStore::Inline { len: 0, slots: Default::default() })
+    }
+}
+
+impl TermVec {
+    /// Capacity-reusing overwrite: a heap store keeps its spilled vector's
+    /// allocation (the scratch-problem recycling in `dep`/`vic` leans on
+    /// this through `SymPoly`'s `clone_from`).
+    fn clone_from_vec(&mut self, source: &TermVec) {
+        match (&mut self.0, &source.0) {
+            (TermStore::Heap(dst), TermStore::Heap(src)) => dst.clone_from(src),
+            (TermStore::Heap(dst), TermStore::Inline { len, slots }) => {
+                dst.clear();
+                dst.extend_from_slice(&slots[..*len as usize]);
+            }
+            _ => *self = source.clone(),
+        }
+    }
+}
+
+impl TermVec {
+    #[inline]
+    fn len(&self) -> usize {
+        match &self.0 {
+            TermStore::Inline { len, .. } => *len as usize,
+            TermStore::Heap(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[(Monomial, i128)] {
+        match &self.0 {
+            TermStore::Inline { len, slots } => &slots[..*len as usize],
+            TermStore::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [(Monomial, i128)] {
+        match &mut self.0 {
+            TermStore::Inline { len, slots } => &mut slots[..*len as usize],
+            TermStore::Heap(v) => v,
+        }
+    }
+
+    /// Binary search by monomial in the sorted term order.
+    #[inline]
+    fn search(&self, m: &Monomial) -> Result<usize, usize> {
+        self.as_slice().binary_search_by(|probe| probe.0.cmp(m))
+    }
+
+    /// Appends a term the caller guarantees sorts after every stored one.
+    #[inline]
+    fn push(&mut self, term: (Monomial, i128)) {
+        let at = self.len();
+        self.insert(at, term);
+    }
+
+    fn insert(&mut self, idx: usize, term: (Monomial, i128)) {
+        match &mut self.0 {
+            TermStore::Inline { len, slots } => {
+                let n = *len as usize;
+                if n < INLINE_TERMS {
+                    slots[idx..=n].rotate_right(1);
+                    slots[idx] = term;
+                    *len += 1;
+                } else {
+                    // Spill: move the inline terms out (dead slots become
+                    // empty monomials, which own no heap memory).
+                    let mut v: Vec<(Monomial, i128)> = Vec::with_capacity(INLINE_TERMS * 2);
+                    v.extend(slots.iter_mut().map(std::mem::take));
+                    v.insert(idx, term);
+                    self.0 = TermStore::Heap(v);
+                }
+            }
+            TermStore::Heap(v) => v.insert(idx, term),
+        }
+    }
+
+    fn remove(&mut self, idx: usize) {
+        match &mut self.0 {
+            TermStore::Inline { len, slots } => {
+                let n = *len as usize;
+                slots[idx..n].rotate_left(1);
+                slots[n - 1] = Default::default();
+                *len -= 1;
+            }
+            TermStore::Heap(v) => {
+                v.remove(idx);
+            }
+        }
+    }
+}
+
+/// Merges two sorted term slices into `out` (assumed empty), negating the
+/// right side's coefficients when `negate_b` — the shared core of
+/// [`SymPoly::checked_add`] and [`SymPoly::checked_sub`]. One linear pass,
+/// no tree rebalancing, and no allocation while the result fits inline.
+fn merge_terms(
+    out: &mut TermVec,
+    a: &[(Monomial, i128)],
+    b: &[(Monomial, i128)],
+    negate_b: bool,
+) -> Result<(), NumericError> {
+    use std::cmp::Ordering;
+    let rhs = |c: i128| {
+        if negate_b {
+            c.checked_neg().ok_or_else(|| NumericError::overflow("neg"))
+        } else {
+            Ok(c)
+        }
+    };
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            Ordering::Greater => {
+                out.push((b[j].0.clone(), rhs(b[j].1)?));
+                j += 1;
+            }
+            Ordering::Equal => {
+                let c = int::add(a[i].1, rhs(b[j].1)?)?;
+                if c != 0 {
+                    out.push((a[i].0.clone(), c));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for t in &a[i..] {
+        out.push(t.clone());
+    }
+    for t in &b[j..] {
+        out.push((t.0.clone(), rhs(t.1)?));
+    }
+    Ok(())
+}
+
 /// A multivariate polynomial with exact `i128` coefficients over symbolic
 /// parameters.
 ///
 /// Zero coefficients are never stored; the zero polynomial has no terms.
+/// Terms live in a sorted inline small-vec ([`INLINE_TERMS`] inline slots,
+/// heap spill beyond), so the ≤4-term polynomials the corpus produces are
+/// built, added and multiplied without touching the allocator.
 ///
 /// ```
 /// use delin_numeric::SymPoly;
@@ -153,9 +329,36 @@ impl fmt::Display for Monomial {
 /// assert_eq!(p.to_string(), "N^2 + N");
 /// assert_eq!(p.div_rem_by(&n).unwrap(), (&n + &SymPoly::constant(1), SymPoly::zero()));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Default)]
 pub struct SymPoly {
-    terms: BTreeMap<Monomial, i128>,
+    terms: TermVec,
+}
+
+impl Clone for SymPoly {
+    fn clone(&self) -> SymPoly {
+        SymPoly { terms: self.terms.clone() }
+    }
+
+    /// Overwrites in place, reusing a spilled term store's allocation —
+    /// scratch polynomials recycled across dependence pairs stop
+    /// allocating once warm.
+    fn clone_from(&mut self, source: &SymPoly) {
+        self.terms.clone_from_vec(&source.terms);
+    }
+}
+
+impl PartialEq for SymPoly {
+    fn eq(&self, other: &SymPoly) -> bool {
+        self.terms.as_slice() == other.terms.as_slice()
+    }
+}
+
+impl Eq for SymPoly {}
+
+impl std::hash::Hash for SymPoly {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.terms.as_slice().hash(state);
+    }
 }
 
 impl SymPoly {
@@ -171,11 +374,7 @@ impl SymPoly {
 
     /// A constant polynomial.
     pub fn constant(c: i128) -> SymPoly {
-        let mut terms = BTreeMap::new();
-        if c != 0 {
-            terms.insert(Monomial::unit(), c);
-        }
-        SymPoly { terms }
+        SymPoly::term(c, Monomial::unit())
     }
 
     /// The polynomial consisting of a single symbol.
@@ -185,11 +384,11 @@ impl SymPoly {
 
     /// A single term `c·m`.
     pub fn term(c: i128, m: Monomial) -> SymPoly {
-        let mut terms = BTreeMap::new();
+        let mut p = SymPoly::zero();
         if c != 0 {
-            terms.insert(m, c);
+            p.terms.push((m, c));
         }
-        SymPoly { terms }
+        p
     }
 
     /// `true` for the zero polynomial.
@@ -199,18 +398,19 @@ impl SymPoly {
 
     /// `true` when the polynomial is a constant (possibly zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty()
-            || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_unit())
+        match self.terms.as_slice() {
+            [] => true,
+            [(m, _)] => m.is_unit(),
+            _ => false,
+        }
     }
 
     /// The constant value, if the polynomial is constant.
     pub fn as_constant(&self) -> Option<i128> {
-        if self.terms.is_empty() {
-            Some(0)
-        } else if self.is_constant() {
-            self.terms.values().next().copied()
-        } else {
-            None
+        match self.terms.as_slice() {
+            [] => Some(0),
+            [(m, c)] if m.is_unit() => Some(*c),
+            _ => None,
         }
     }
 
@@ -221,66 +421,72 @@ impl SymPoly {
 
     /// Total degree; `0` for constants (including zero).
     pub fn degree(&self) -> u32 {
-        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+        self.terms.as_slice().iter().map(|(m, _)| m.degree()).max().unwrap_or(0)
     }
 
     /// Iterates `(monomial, coefficient)` in ascending graded-lex order.
     pub fn iter(&self) -> impl Iterator<Item = (&Monomial, i128)> {
-        self.terms.iter().map(|(m, &c)| (m, c))
+        self.terms.as_slice().iter().map(|(m, c)| (m, *c))
     }
 
     /// The coefficient of a monomial (zero if absent).
     pub fn coeff_of(&self, m: &Monomial) -> i128 {
-        self.terms.get(m).copied().unwrap_or(0)
+        match self.terms.search(m) {
+            Ok(i) => self.terms.as_slice()[i].1,
+            Err(_) => 0,
+        }
     }
 
     fn insert_term(&mut self, m: Monomial, c: i128) -> Result<(), NumericError> {
-        use std::collections::btree_map::Entry;
-        match self.terms.entry(m) {
-            Entry::Vacant(v) => {
-                if c != 0 {
-                    v.insert(c);
+        match self.terms.search(&m) {
+            Ok(i) => {
+                let slot = &mut self.terms.as_mut_slice()[i].1;
+                let new = int::add(*slot, c)?;
+                if new == 0 {
+                    self.terms.remove(i);
+                } else {
+                    *slot = new;
                 }
             }
-            Entry::Occupied(mut o) => {
-                let new = int::add(*o.get(), c)?;
-                if new == 0 {
-                    o.remove();
-                } else {
-                    *o.get_mut() = new;
+            Err(i) => {
+                if c != 0 {
+                    self.terms.insert(i, (m, c));
                 }
             }
         }
         Ok(())
     }
 
-    /// Checked addition.
+    /// Checked addition: one merge pass over the two sorted term lists.
     pub fn checked_add(&self, other: &SymPoly) -> Result<SymPoly, NumericError> {
-        let mut out = self.clone();
-        for (m, &c) in &other.terms {
-            out.insert_term(m.clone(), c)?;
-        }
+        let mut out = SymPoly::zero();
+        merge_terms(&mut out.terms, self.terms.as_slice(), other.terms.as_slice(), false)?;
         Ok(out)
     }
 
-    /// Checked subtraction.
+    /// Checked subtraction: one merge pass over the two sorted term lists.
     pub fn checked_sub(&self, other: &SymPoly) -> Result<SymPoly, NumericError> {
-        let mut out = self.clone();
-        for (m, &c) in &other.terms {
-            out.insert_term(
-                m.clone(),
-                c.checked_neg().ok_or_else(|| NumericError::overflow("neg"))?,
-            )?;
-        }
+        let mut out = SymPoly::zero();
+        merge_terms(&mut out.terms, self.terms.as_slice(), other.terms.as_slice(), true)?;
         Ok(out)
+    }
+
+    /// In-place checked addition, merging into the receiver's existing
+    /// storage (inline slots or already-spilled heap capacity) instead of
+    /// building a fresh polynomial.
+    pub fn checked_add_assign(&mut self, other: &SymPoly) -> Result<(), NumericError> {
+        for (m, c) in other.terms.as_slice() {
+            self.insert_term(m.clone(), *c)?;
+        }
+        Ok(())
     }
 
     /// Checked multiplication.
     pub fn checked_mul(&self, other: &SymPoly) -> Result<SymPoly, NumericError> {
         let mut out = SymPoly::zero();
-        for (m1, &c1) in &self.terms {
-            for (m2, &c2) in &other.terms {
-                out.insert_term(m1.mul(m2), int::mul(c1, c2)?)?;
+        for (m1, c1) in self.terms.as_slice() {
+            for (m2, c2) in other.terms.as_slice() {
+                out.insert_term(m1.mul(m2), int::mul(*c1, *c2)?)?;
             }
         }
         Ok(out)
@@ -299,16 +505,16 @@ impl SymPoly {
     /// The *content*: gcd of all integer coefficients (non-negative; zero
     /// only for the zero polynomial).
     pub fn content(&self) -> i128 {
-        int::gcd_slice(&self.terms.values().copied().collect::<Vec<_>>())
+        self.terms.as_slice().iter().fold(0, |g, (_, c)| int::gcd(g, *c))
     }
 
     /// The gcd of all monomials in the polynomial (componentwise min).
     pub fn monomial_gcd(&self) -> Monomial {
-        let mut it = self.terms.keys();
-        let Some(first) = it.next() else {
+        let mut it = self.terms.as_slice().iter();
+        let Some((first, _)) = it.next() else {
             return Monomial::unit();
         };
-        it.fold(first.clone(), |acc, m| acc.gcd(m))
+        it.fold(first.clone(), |acc, (m, _)| acc.gcd(m))
     }
 
     /// A conservative symbolic gcd: `gcd(contents) · gcd(monomials)`.
@@ -333,8 +539,8 @@ impl SymPoly {
     /// Flips the sign so the leading (graded-lex greatest) coefficient is
     /// positive. The zero polynomial is returned unchanged.
     pub fn normalize_sign(&self) -> SymPoly {
-        match self.terms.iter().next_back() {
-            Some((_, &c)) if c < 0 => self.checked_neg().expect("negation of in-range poly"),
+        match self.terms.as_slice().last() {
+            Some((_, c)) if *c < 0 => self.checked_neg().expect("negation of in-range poly"),
             _ => self.clone(),
         }
     }
@@ -346,12 +552,12 @@ impl SymPoly {
         if d.is_zero() {
             return None;
         }
-        let (lead_m, lead_c) = d.terms.iter().next_back().map(|(m, &c)| (m.clone(), c))?;
+        let (lead_m, lead_c) = d.terms.as_slice().last().map(|(m, c)| (m.clone(), *c))?;
         let mut rem = self.clone();
         let mut quot = SymPoly::zero();
         // Repeatedly eliminate the leading term of the remainder.
         while !rem.is_zero() {
-            let (rm, rc) = rem.terms.iter().next_back().map(|(m, &c)| (m.clone(), c))?;
+            let (rm, rc) = rem.terms.as_slice().last().map(|(m, c)| (m.clone(), *c))?;
             let qm = rm.try_div(&lead_m)?;
             if rc % lead_c != 0 {
                 return None;
@@ -387,10 +593,13 @@ impl SymPoly {
             }
             return Err(NumericError::NotConcrete { what: format!("multi-term divisor {d}") });
         }
-        let (dm, &dc) = d.terms.iter().next().expect("single term");
+        let (dm, dc) = {
+            let (m, c) = &d.terms.as_slice()[0];
+            (m, *c)
+        };
         let mut q = SymPoly::zero();
         let mut r = SymPoly::zero();
-        for (m, &c) in &self.terms {
+        for (m, c) in self.iter() {
             match m.try_div(dm) {
                 Some(qm) => {
                     let qc = int::floor_div(c, dc)?;
@@ -414,7 +623,7 @@ impl SymPoly {
     /// overflow error if the result does not fit in `i128`.
     pub fn eval(&self, values: &BTreeMap<Sym, i128>) -> Result<i128, NumericError> {
         let mut total = 0i128;
-        for (m, &c) in &self.terms {
+        for (m, c) in self.iter() {
             let mut t = c;
             for (s, e) in m.iter() {
                 let v = *values
@@ -432,7 +641,7 @@ impl SymPoly {
     /// Substitutes `sym := replacement` and expands.
     pub fn substitute(&self, sym: &Sym, replacement: &SymPoly) -> Result<SymPoly, NumericError> {
         let mut out = SymPoly::zero();
-        for (m, &c) in &self.terms {
+        for (m, c) in self.iter() {
             let mut factor = SymPoly::constant(c);
             for (s, e) in m.iter() {
                 let base = if s == sym { replacement.clone() } else { SymPoly::symbol(s.clone()) };
@@ -440,7 +649,7 @@ impl SymPoly {
                     factor = factor.checked_mul(&base)?;
                 }
             }
-            out = out.checked_add(&factor)?;
+            out.checked_add_assign(&factor)?;
         }
         Ok(out)
     }
@@ -448,7 +657,7 @@ impl SymPoly {
     /// The set of symbols occurring in the polynomial.
     pub fn symbols(&self) -> Vec<Sym> {
         let mut syms: Vec<Sym> = Vec::new();
-        for m in self.terms.keys() {
+        for (m, _) in self.terms.as_slice() {
             for (s, _) in m.iter() {
                 if !syms.contains(s) {
                     syms.push(s.clone());
@@ -463,7 +672,7 @@ impl SymPoly {
     /// caller dedups if it needs a set. This is the borrow-only walk the
     /// cache's environment-projection fingerprint is built on.
     pub fn for_each_symbol<'a>(&'a self, f: &mut impl FnMut(&'a Sym)) {
-        for m in self.terms.keys() {
+        for (m, _) in self.terms.as_slice() {
             for (s, _) in m.iter() {
                 f(s);
             }
@@ -480,7 +689,7 @@ impl SymPoly {
     /// insertion histories.
     pub fn hash_into<H: Hasher>(&self, state: &mut H) {
         state.write_usize(self.terms.len());
-        for (m, &c) in &self.terms {
+        for (m, c) in self.iter() {
             m.hash_into(state);
             state.write_u128(c as u128);
         }
@@ -512,9 +721,9 @@ impl SymPoly {
                 if p.is_zero() {
                     return Trilean::True;
                 }
-                if p.terms.values().all(|&c| c >= 0) {
+                if p.terms.as_slice().iter().all(|(_, c)| *c >= 0) {
                     Trilean::True
-                } else if p.terms.values().all(|&c| c <= 0) {
+                } else if p.terms.as_slice().iter().all(|(_, c)| *c <= 0) {
                     // Strictly negative somewhere only if some admissible
                     // assignment makes it nonzero; the all-zero assignment
                     // gives exactly the constant term.
@@ -539,9 +748,9 @@ impl SymPoly {
                     return Trilean::False;
                 }
                 let c0 = p.coeff_of(&Monomial::unit());
-                if p.terms.values().all(|&c| c >= 0) && c0 > 0 {
+                if p.terms.as_slice().iter().all(|(_, c)| *c >= 0) && c0 > 0 {
                     Trilean::True
-                } else if p.terms.values().all(|&c| c <= 0) {
+                } else if p.terms.as_slice().iter().all(|(_, c)| *c <= 0) {
                     Trilean::False
                 } else {
                     Trilean::Unknown
@@ -629,7 +838,8 @@ impl fmt::Display for SymPoly {
         if self.terms.is_empty() {
             return write!(f, "0");
         }
-        for (i, (m, &c)) in self.terms.iter().rev().enumerate() {
+        for (i, (m, c)) in self.terms.as_slice().iter().rev().enumerate() {
+            let c = *c;
             let mag = c.unsigned_abs();
             if i == 0 {
                 if c < 0 {
@@ -852,6 +1062,69 @@ mod tests {
         let mut count = 0;
         SymPoly::constant(5).for_each_symbol(&mut |_| count += 1);
         assert_eq!(count, 0, "concrete polynomials visit nothing");
+    }
+
+    /// Polynomials past [`INLINE_TERMS`] terms spill to the heap; spilling
+    /// must be unobservable through equality, hashing, display order and
+    /// arithmetic (a spilled store that shrinks back under the inline
+    /// capacity stays on the heap but still compares equal).
+    #[test]
+    fn inline_spill_is_unobservable() {
+        // 6 distinct monomials: 1, M, N, M·N, N², M·N².
+        let terms = [
+            (Monomial::unit(), 7),
+            (Monomial::symbol("M"), 2),
+            (Monomial::symbol("N"), 3),
+            (Monomial::symbol("M").mul(&Monomial::symbol("N")), 5),
+            (Monomial::symbol("N").mul(&Monomial::symbol("N")), 11),
+            (Monomial::symbol("M").mul(&Monomial::symbol("N")).mul(&Monomial::symbol("N")), 13),
+        ];
+        // Built ascending vs descending: same polynomial.
+        let mut asc = SymPoly::zero();
+        for (m, c) in &terms {
+            asc = asc.checked_add(&SymPoly::term(*c, m.clone())).unwrap();
+        }
+        let mut desc = SymPoly::zero();
+        for (m, c) in terms.iter().rev() {
+            desc = desc.checked_add(&SymPoly::term(*c, m.clone())).unwrap();
+        }
+        assert_eq!(asc, desc);
+        assert_eq!(asc.num_terms(), 6);
+        let fp = |p: &SymPoly| {
+            let mut h = crate::fp128::Fp128::new();
+            p.hash_into(&mut h);
+            h.finish128()
+        };
+        assert_eq!(fp(&asc), fp(&desc));
+        // Ascending graded-lex iteration regardless of representation.
+        let mons: Vec<&Monomial> = asc.iter().map(|(m, _)| m).collect();
+        assert!(mons.windows(2).all(|w| w[0] < w[1]));
+        // Shrink a spilled polynomial back under the inline capacity: it
+        // must equal (and hash like) a never-spilled twin.
+        let spilled_small = asc.checked_sub(&desc.checked_sub(&(&n() + &m())).unwrap()).unwrap();
+        let inline_small = &n() + &m();
+        assert_eq!(spilled_small, inline_small);
+        assert_eq!(fp(&spilled_small), fp(&inline_small));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let std_hash = |p: &SymPoly| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(std_hash(&spilled_small), std_hash(&inline_small));
+    }
+
+    #[test]
+    fn checked_add_assign_matches_checked_add() {
+        let p = &(&n() * &n()) + &(&c(3) * &m());
+        let q = &m() - &c(9);
+        let mut acc = p.clone();
+        acc.checked_add_assign(&q).unwrap();
+        assert_eq!(acc, p.checked_add(&q).unwrap());
+        let mut zero_acc = SymPoly::zero();
+        zero_acc.checked_add_assign(&p).unwrap();
+        assert_eq!(zero_acc, p);
     }
 
     fn arb_poly() -> impl Strategy<Value = SymPoly> {

@@ -185,6 +185,11 @@ pub struct BatchConfig {
     /// are identical either way. The default reads `DELIN_INCREMENTAL`
     /// (`0` disables, the A/B baseline).
     pub incremental: bool,
+    /// Arena miss path (see [`crate::deps::EngineConfig::arena`]):
+    /// per-worker scratch reuse for decision problems and solver buffers.
+    /// A pure perf knob — every report is byte-identical either way. The
+    /// default reads `DELIN_ARENA` (`0` disables, the A/B baseline).
+    pub arena: bool,
     /// Apply induction-variable substitution.
     pub induction: bool,
     /// Linearize `EQUIVALENCE`-aliased arrays first.
@@ -226,6 +231,7 @@ impl Default for BatchConfig {
             cache: true,
             keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
+            arena: delin_dep::exact::arena_from_env(),
             induction: true,
             linearize: true,
             infer_loop_assumptions: true,
@@ -793,6 +799,7 @@ impl BatchRunner {
             cache: self.config.cache,
             keying: self.config.keying,
             incremental: self.config.incremental,
+            arena: self.config.arena,
             cache_cap: self.config.cache_cap,
             budget,
             chaos,

@@ -103,9 +103,12 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 
-/// Number of independent lock shards. A small power of two is plenty: the
-/// critical sections only insert/lookup an `Arc`, never solve.
-const SHARDS: usize = 16;
+/// Number of independent lock shards. The critical sections only
+/// insert/lookup an `Arc`, never solve — but every read still bumps its
+/// shard lock's reader count, so with a dozen workers streaming lookups the
+/// shard count is really about keeping two threads off the same reader
+/// cacheline. 64 makes same-shard collisions the exception.
+const SHARDS: usize = 64;
 
 /// The default cache capacity: the `DELIN_CACHE_CAP` environment variable
 /// when set to a number of entries, else `0` — unbounded, bit-compatible
@@ -193,6 +196,12 @@ pub struct CachedOutcome {
 struct ComputeCell {
     state: Mutex<CellState>,
     cond: Condvar,
+    /// Lock-free mirror of [`CellState::Ready`]: set exactly when the state
+    /// transitions to `Ready` (which is terminal), so hits read an atomic
+    /// pointer instead of serializing on the state mutex. A popular cell —
+    /// one canonical problem shared by thousands of pairs — is otherwise a
+    /// mutex every worker thread hammers.
+    ready: OnceLock<Arc<CachedOutcome>>,
     /// The rendered canonical string key, set by the first compute under
     /// fingerprint keying (string keying keeps the key in the shard map
     /// instead). Exists for debug dumps and the keying A/B verification —
@@ -227,6 +236,7 @@ impl ComputeCell {
         ComputeCell {
             state: Mutex::new(CellState::Idle),
             cond: Condvar::new(),
+            ready: OnceLock::new(),
             rendered: OnceLock::new(),
             from_disk: false,
         }
@@ -235,12 +245,15 @@ impl ComputeCell {
     /// A cell seeded from the persistent tier: born `Ready` with its
     /// rendered key attached and marked so hits on it count as persistent.
     fn seeded(rendered: String, outcome: CachedOutcome) -> ComputeCell {
+        let outcome = Arc::new(outcome);
         let cell = ComputeCell {
-            state: Mutex::new(CellState::Ready(Arc::new(outcome))),
+            state: Mutex::new(CellState::Ready(Arc::clone(&outcome))),
             cond: Condvar::new(),
+            ready: OnceLock::new(),
             rendered: OnceLock::new(),
             from_disk: true,
         };
+        let _ = cell.ready.set(outcome);
         let _ = cell.rendered.set(rendered);
         cell
     }
@@ -264,6 +277,9 @@ impl ComputeCell {
         &self,
         compute: impl FnOnce() -> CachedOutcome,
     ) -> (Arc<CachedOutcome>, bool) {
+        if let Some(out) = self.ready.get() {
+            return (Arc::clone(out), false);
+        }
         {
             let mut state = lock_recover(&self.state);
             loop {
@@ -285,6 +301,7 @@ impl ComputeCell {
         let outcome = Arc::new(compute());
         if outcome.degraded.is_none() {
             *lock_recover(&self.state) = CellState::Ready(Arc::clone(&outcome));
+            let _ = self.ready.set(Arc::clone(&outcome));
             self.cond.notify_all();
             guard.disarm = true;
         }
@@ -655,13 +672,20 @@ impl VerdictCache {
         cell
     }
 
-    /// Refreshes a slot's LRU stamp.
+    /// Refreshes a slot's LRU stamp. Unbounded caches never evict, so they
+    /// skip the stamp — the clock `fetch_add` is a shared atomic every
+    /// worker's hit path would otherwise contend on for nothing.
     fn touch(&self, slot: &Slot) {
+        if self.shard_cap == 0 {
+            return;
+        }
         slot.last_use.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
     }
 
     fn new_slot(&self, cell: Arc<ComputeCell>) -> Slot {
-        Slot { cell, last_use: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)) }
+        let stamp =
+            if self.shard_cap == 0 { 0 } else { self.clock.fetch_add(1, Ordering::Relaxed) };
+        Slot { cell, last_use: AtomicU64::new(stamp) }
     }
 
     /// Evicts least-recently-touched entries until the shard is back under
@@ -775,8 +799,10 @@ fn fingerprint(key: &str) -> u64 {
 ///   environments.
 ///
 /// Every section is length-prefixed and tagged, so sections cannot bleed
-/// into one another. For a concrete problem this function performs no heap
-/// allocation at all (the symbol scratch vector never grows past zero).
+/// into one another. This function performs no heap allocation unless the
+/// problem mentions more than a handful of distinct symbols (the symbol
+/// set is gathered in a fixed inline array, spilling to a sort+dedup
+/// vector only on overflow).
 pub fn fingerprint_problem(
     problem: &DependenceProblem<SymPoly>,
     assumptions: &Assumptions,
@@ -784,36 +810,79 @@ pub fn fingerprint_problem(
     let mut h = Fp128::new();
 
     // Environment projection (tag 1): sorted deduped symbols with bounds.
-    fn collect_symbols<'a>(p: &'a DependenceProblem<SymPoly>, syms: &mut Vec<&'a Sym>) {
-        let mut add = |s: &'a Sym| syms.push(s);
+    fn walk_symbols<'a>(p: &'a DependenceProblem<SymPoly>, add: &mut impl FnMut(&'a Sym)) {
         for v in p.vars() {
-            v.upper.for_each_symbol(&mut add);
+            v.upper.for_each_symbol(add);
         }
         for eq in p.equations() {
-            eq.c0.for_each_symbol(&mut add);
+            eq.c0.for_each_symbol(add);
             for c in &eq.coeffs {
-                c.for_each_symbol(&mut add);
+                c.for_each_symbol(add);
             }
         }
         for iq in p.inequalities() {
-            iq.c0.for_each_symbol(&mut add);
+            iq.c0.for_each_symbol(add);
             for c in &iq.coeffs {
-                c.for_each_symbol(&mut add);
+                c.for_each_symbol(add);
             }
         }
     }
-    let mut syms: Vec<&Sym> = Vec::new();
-    collect_symbols(problem, &mut syms);
-    syms.sort_unstable();
-    syms.dedup();
+    // The sorted deduped symbol set is built in a fixed inline array by
+    // insertion — real problems mention a handful of symbols, and this
+    // function runs once per pair, so the common case must not allocate a
+    // scratch vector or call the sorter. Overflowing problems spill to a
+    // vector and take the classic sort+dedup path; the emitted byte stream
+    // is identical either way.
+    const INLINE_SYMS: usize = 8;
+    let mut inline: [Option<&Sym>; INLINE_SYMS] = [None; INLINE_SYMS];
+    let mut len = 0usize;
+    let mut spill: Vec<&Sym> = Vec::new();
+    walk_symbols(problem, &mut |s| {
+        if !spill.is_empty() {
+            spill.push(s);
+            return;
+        }
+        let mut i = 0;
+        while i < len {
+            let Some(cur) = inline[i] else { break };
+            match cur.cmp(s) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Equal => return,
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        if len < INLINE_SYMS {
+            let mut j = len;
+            while j > i {
+                inline[j] = inline[j - 1];
+                j -= 1;
+            }
+            inline[i] = Some(s);
+            len += 1;
+        } else {
+            spill.extend(inline.iter().flatten().copied());
+            spill.push(s);
+        }
+    });
     h.write_u8(1);
-    if !syms.is_empty() {
-        h.write_usize(syms.len());
-        for s in &syms {
-            let name = s.name().as_bytes();
-            h.write_usize(name.len());
-            h.write(name);
-            h.write_u128(assumptions.lower_bound(s) as u128);
+    let emit = |h: &mut Fp128, s: &Sym| {
+        let name = s.name().as_bytes();
+        h.write_usize(name.len());
+        h.write(name);
+        h.write_u128(assumptions.lower_bound(s) as u128);
+    };
+    if !spill.is_empty() {
+        spill.sort_unstable();
+        spill.dedup();
+        h.write_usize(spill.len());
+        for s in &spill {
+            emit(&mut h, s);
+        }
+        h.write_u128(assumptions.default_lower_bound() as u128);
+    } else if len > 0 {
+        h.write_usize(len);
+        for o in inline[..len].iter().flatten() {
+            emit(&mut h, o);
         }
         h.write_u128(assumptions.default_lower_bound() as u128);
     }
@@ -1278,13 +1347,13 @@ mod tests {
             let cache = VerdictCache::shared_with_cap(KeyMode::Fp, 1);
             assert_eq!(cache.capacity(), 1);
             let env = Assumptions::new();
-            for c in 0..50 {
+            for c in 0..200 {
                 let l = cache.lookup(&env, &problem(c), |_| outcome(c as u64));
                 assert!(l.computed, "distinct structures always miss");
             }
             // Capacity 1 rounds up to one entry per shard.
             assert!(cache.len() <= SHARDS, "cache must stay bounded, got {}", cache.len());
-            assert!(cache.evictions() >= (50 - SHARDS) as u64);
+            assert!(cache.evictions() >= (200 - SHARDS) as u64);
             // Evicted keys recompute and still answer correctly.
             let l = cache.lookup(&env, &problem(0), |_| outcome(0));
             assert_eq!(l.outcome.solver_nodes, 0);
@@ -1318,7 +1387,7 @@ mod tests {
         let env = Assumptions::new();
         let l = cache.lookup(&env, &problem(1000), |_| {
             // While this cell is `Computing`, flood every shard.
-            for c in 0..50 {
+            for c in 0..200 {
                 let _ = cache.lookup(&env, &problem(c), |_| outcome(0));
             }
             outcome(77)
@@ -1334,7 +1403,7 @@ mod tests {
     fn string_keyed_caches_evict_too() {
         let cache = VerdictCache::shared_with_cap(KeyMode::Str, 1);
         let env = Assumptions::new();
-        for c in 0..50 {
+        for c in 0..200 {
             let mut b = DependenceProblem::<SymPoly>::builder();
             b.var("x", poly(4));
             b.var("y", poly(9));

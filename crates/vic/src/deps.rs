@@ -23,10 +23,10 @@ use delin_dep::acyclic::AcyclicTest;
 use delin_dep::banerjee::BanerjeeTest;
 use delin_dep::budget::{BudgetSpec, DegradeReason, ResourceBudget};
 use delin_dep::dirvec::{summarize, Dir, DirVec};
-use delin_dep::exact::SubtreeStore;
+use delin_dep::exact::{arena_from_env, SubtreeStore};
 use delin_dep::gcd::GcdTest;
 use delin_dep::hierarchy;
-use delin_dep::problem::DependenceProblem;
+use delin_dep::problem::{DependenceProblem, ProblemArena, ProblemBuilder};
 use delin_dep::residue::LoopResidueTest;
 use delin_dep::siv::SivTest;
 use delin_dep::svpc::SvpcTest;
@@ -34,6 +34,7 @@ use delin_dep::verdict::{DependenceTest, Verdict};
 use delin_frontend::access::{AccessKind, AccessSite, Subscript};
 use delin_frontend::ast::{Program, StmtId};
 use delin_numeric::{Assumptions, SymPoly};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -411,6 +412,14 @@ pub struct EngineConfig {
     /// Ignored when a shared cache is passed in (the cache carries its own
     /// capacity).
     pub cache_cap: usize,
+    /// The arena miss path: decisions lease their working problems from a
+    /// per-worker [`ProblemArena`] (capacity-reusing `clone_from` instead
+    /// of builder rebuilds) and the exact solvers reuse per-worker DFS
+    /// scratch. Off reproduces the allocate-per-step engine — the
+    /// `DELIN_ARENA=0` A/B baseline; edges, verdicts, node counts and every
+    /// determinism-checked statistic are identical either way. Defaults to
+    /// [`arena_from_env`].
+    pub arena: bool,
     /// Resource budget specification. Armed once per graph construction
     /// (the deadline covers the whole run); each pair then observes the
     /// armed limits through a fresh trip flag, so exhaustion degrades that
@@ -430,6 +439,7 @@ impl Default for EngineConfig {
             cache: true,
             keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
+            arena: arena_from_env(),
             cache_cap: crate::cache::cache_cap_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
@@ -571,14 +581,30 @@ pub fn build_dependence_graph_in(
         choice: config.choice,
         cache,
         incremental: config.incremental,
+        arena: config.arena,
         budget: &budget,
         chaos: config.chaos.as_ref(),
     };
 
+    // Site-pair blocks: maximal runs of worklist entries sharing a source
+    // site. The sharded path hands out whole blocks, so one worker tests a
+    // block's pairs back to back — consecutive misses share subscript
+    // structure, and the canonicalizer/fingerprint pass streams over one
+    // block's similarly-shaped problems instead of ping-ponging between
+    // unrelated sites. (The serial path already walks blocks in order.)
+    let mut blocks: Vec<(usize, usize)> = Vec::new();
+    let mut block_start = 0;
+    for k in 1..=worklist.len() {
+        if k == worklist.len() || worklist[k].0 != worklist[block_start].0 {
+            blocks.push((block_start, k));
+            block_start = k;
+        }
+    }
+
     let outcomes: Vec<PairOutcome> = if workers <= 1 {
         worklist.iter().map(|&(i, j)| test_pair(&sites[i], &sites[j], (i, j), &ctx)).collect()
     } else {
-        run_sharded(&sites, &worklist, &ctx, workers)
+        run_sharded(&sites, &worklist, &blocks, &ctx, workers)
     };
 
     let mut seen_keys: HashSet<u64> = HashSet::new();
@@ -603,15 +629,19 @@ struct PairCtx<'a> {
     choice: TestChoice,
     cache: Option<&'a VerdictCache>,
     incremental: bool,
+    arena: bool,
     /// The run-armed budget; pairs observe it via `fresh()`.
     budget: &'a ResourceBudget,
     chaos: Option<&'a ChaosCtx>,
 }
 
 /// Runs the worklist on `workers` scoped threads with work stealing: an
-/// atomic cursor hands out pair indices, each worker keeps `(index,
-/// outcome)` locally, and the merged results are re-ordered by index so the
-/// fold is independent of scheduling.
+/// atomic cursor hands out site-pair *blocks* (runs of pairs sharing a
+/// source site — see the block construction in
+/// [`build_dependence_graph_in`]), each worker keeps `(index, outcome)`
+/// locally, and the merged results are re-ordered by index so the fold is
+/// independent of scheduling (block handout changes who computes, never
+/// what is computed).
 ///
 /// A panicking worker (a bug in a dependence test, or an injected chaos
 /// fault) does not bring the process down here: every worker is joined
@@ -622,6 +652,7 @@ struct PairCtx<'a> {
 fn run_sharded(
     sites: &[AccessSite],
     worklist: &[(usize, usize)],
+    blocks: &[(usize, usize)],
     ctx: &PairCtx<'_>,
     workers: usize,
 ) -> Vec<PairOutcome> {
@@ -637,13 +668,15 @@ fn run_sharded(
                 scope.spawn(|| {
                     let mut local: Vec<(usize, PairOutcome)> = Vec::new();
                     loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        if k >= worklist.len() {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= blocks.len() {
                             break;
                         }
-                        let (i, j) = worklist[k];
-                        let outcome = test_pair(&sites[i], &sites[j], (i, j), ctx);
-                        local.push((k, outcome));
+                        let (start, end) = blocks[b];
+                        for (off, &(i, j)) in worklist[start..end].iter().enumerate() {
+                            let outcome = test_pair(&sites[i], &sites[j], (i, j), ctx);
+                            local.push((start + off, outcome));
+                        }
                     }
                     local
                 })
@@ -723,6 +756,7 @@ fn test_pair(
                     ctx.choice,
                     &spec.arm(),
                     ctx.incremental,
+                    ctx.arena,
                 );
                 return PairOutcome {
                     outcome: Arc::new(computed),
@@ -733,23 +767,41 @@ fn test_pair(
             None => {}
         }
     }
-    let budget = ctx.budget.fresh();
-    let problem = pair_problem(a, b);
+    let problem = if ctx.arena { pair_problem_pooled(a, b) } else { pair_problem(a, b) };
     let outcome = match ctx.cache {
         Some(cache) => {
             let CacheLookup { outcome, key_fp, .. } =
                 cache.lookup(ctx.assumptions, &problem, |canonical| {
-                    decide_counted(canonical, ctx.assumptions, ctx.choice, &budget, ctx.incremental)
+                    // The per-pair budget is armed inside the compute slot:
+                    // only a miss spends solver effort, so a hit never pays
+                    // for the tracker.
+                    decide_counted(
+                        canonical,
+                        ctx.assumptions,
+                        ctx.choice,
+                        &ctx.budget.fresh(),
+                        ctx.incremental,
+                        ctx.arena,
+                    )
                 });
             // A hit shares the cache entry's `Arc` — no payload clone.
             PairOutcome { outcome, nanos: 0, key_fp: Some(key_fp) }
         }
         None => {
-            let computed =
-                decide_counted(&problem, ctx.assumptions, ctx.choice, &budget, ctx.incremental);
+            let computed = decide_counted(
+                &problem,
+                ctx.assumptions,
+                ctx.choice,
+                &ctx.budget.fresh(),
+                ctx.incremental,
+                ctx.arena,
+            );
             PairOutcome { outcome: Arc::new(computed), nanos: 0, key_fp: None }
         }
     };
+    if ctx.arena {
+        recycle_pair_problem(problem);
+    }
     PairOutcome { nanos: started.elapsed().as_nanos(), ..outcome }
 }
 
@@ -768,12 +820,13 @@ fn decide_counted(
     choice: TestChoice,
     budget: &ResourceBudget,
     incremental: bool,
+    arena: bool,
 ) -> CachedOutcome {
     let _ = delin_dep::exact::take_thread_nodes();
     delin_dep::exact::reset_thread_refine();
     let store = incremental.then(|| Arc::new(SubtreeStore::new()));
     let (verdict, tested_by, attempts) =
-        decide(problem, assumptions, choice, budget, incremental, store.as_ref());
+        decide(problem, assumptions, choice, budget, incremental, arena, store.as_ref());
     let refine = delin_dep::exact::take_thread_refine();
     CachedOutcome {
         verdict,
@@ -807,6 +860,72 @@ pub fn pair_problem(a: &AccessSite, b: &AccessSite) -> DependenceProblem<SymPoly
         }
     }
     builder.build()
+}
+
+/// The worker's recycled storage for per-pair problem construction (arena
+/// path): a builder that overwrites retired slots in place plus the pool
+/// of retired problems feeding it. Per thread, so no locking on the pair
+/// hot path.
+#[derive(Default)]
+struct PairScratch {
+    builder: ProblemBuilder<SymPoly>,
+    free: Vec<DependenceProblem<SymPoly>>,
+    src_vars: Vec<usize>,
+    snk_vars: Vec<usize>,
+}
+
+/// Retired problems a worker keeps for pair construction; one is in
+/// flight at a time, the rest cover shape churn across site-pair blocks.
+const PAIR_SLABS: usize = 4;
+
+thread_local! {
+    static PAIR_SCRATCH: RefCell<PairScratch> = RefCell::new(PairScratch::default());
+}
+
+/// [`pair_problem`] through the worker's recycled storage: byte-identical
+/// problems, but the builder overwrites the previous pair's vectors, rows
+/// and name strings instead of allocating fresh ones. Falls back to the
+/// allocating path if the scratch is unavailable (re-entrancy).
+fn pair_problem_pooled(a: &AccessSite, b: &AccessSite) -> DependenceProblem<SymPoly> {
+    PAIR_SCRATCH.with(|cell| {
+        let Ok(mut scratch) = cell.try_borrow_mut() else {
+            return pair_problem(a, b);
+        };
+        let s = &mut *scratch;
+        if let Some(slab) = s.free.pop() {
+            s.builder.recycle(slab);
+        }
+        let common = a.common_loops_with(b);
+        s.src_vars.clear();
+        s.snk_vars.clear();
+        for l in &a.loops {
+            s.src_vars.push(s.builder.var_suffixed(&l.var, '1', &l.upper));
+        }
+        for l in &b.loops {
+            s.snk_vars.push(s.builder.var_suffixed(&l.var, '2', &l.upper));
+        }
+        for k in 0..common {
+            s.builder.common_pair(s.src_vars[k], s.snk_vars[k]);
+        }
+        for (sa, sb) in a.subscripts.iter().zip(&b.subscripts) {
+            if let (Subscript::Affine(fa), Subscript::Affine(fb)) = (sa, sb) {
+                let _ = s.builder.equation_from_subscripts(fa, &s.src_vars, fb, &s.snk_vars);
+            }
+        }
+        s.builder.build()
+    })
+}
+
+/// Returns a pair problem's storage to the worker's pool once its verdict
+/// is in, closing the recycle loop of [`pair_problem_pooled`].
+fn recycle_pair_problem(problem: DependenceProblem<SymPoly>) {
+    PAIR_SCRATCH.with(|cell| {
+        if let Ok(mut s) = cell.try_borrow_mut() {
+            if s.free.len() < PAIR_SLABS {
+                s.free.push(problem);
+            }
+        }
+    });
 }
 
 /// Converts a symbolic problem to a concrete one when every quantity is a
@@ -845,14 +964,24 @@ fn decide(
     choice: TestChoice,
     budget: &ResourceBudget,
     incremental: bool,
+    arena: bool,
     store: Option<&Arc<SubtreeStore>>,
 ) -> (Verdict, &'static str, Vec<&'static str>) {
     if budget.exhausted().is_some() {
         return (Verdict::Unknown, "degraded", Vec::new());
     }
-    let mut sym = problem.clone();
-    {
-        // Install assumptions (the builder clears them on build()).
+    // The decision works on a copy of the canonical problem with this
+    // unit's assumptions installed. The arena path leases that copy from
+    // the worker's recycled pool and installs the assumptions in place;
+    // the legacy path reproduces the old engine — a clone followed by a
+    // full rebuild through a fresh builder (the builder clears assumptions
+    // on build(), hence the round trip).
+    let sym = if arena {
+        let mut sym = DECIDE_ARENA.with(|a| a.borrow_mut().lease_clone(problem));
+        sym.set_assumptions(assumptions.clone());
+        sym
+    } else {
+        let sym = problem.clone();
         let mut b = DependenceProblem::<SymPoly>::builder();
         for v in sym.vars() {
             b.var(v.name.clone(), v.upper.clone());
@@ -864,12 +993,13 @@ fn decide(
             b.common_pair(*x, *y);
         }
         b.assumptions(assumptions.clone());
-        sym = b.build();
-    }
+        b.build()
+    };
     let concrete = concretize(&sym);
 
     let mut delin = DelinearizationTest::with_budget(budget.clone());
     delin.config.incremental = incremental;
+    delin.config.arena = arena;
     delin.config.solve_store = store.map(Arc::clone);
     let delin = delin;
     let run_delin =
@@ -947,7 +1077,18 @@ fn decide(
             }
         }
     };
+    if arena {
+        DECIDE_ARENA.with(|a| a.borrow_mut().recycle(sym));
+    }
     (verdict, tested_by, attempts)
+}
+
+thread_local! {
+    /// The worker's recycled pool for [`decide`]'s working problems (arena
+    /// path): each decision leases its assumption-installed copy of the
+    /// canonical problem here and returns it on exit, so after warmup the
+    /// install step reuses the previous decision's buffers.
+    static DECIDE_ARENA: RefCell<ProblemArena<SymPoly>> = RefCell::new(ProblemArena::new());
 }
 
 /// Applies one pair's outcome to the graph: bumps verdict counters and

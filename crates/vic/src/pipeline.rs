@@ -12,6 +12,7 @@ use crate::deps::{
     EngineConfig, TestChoice,
 };
 use delin_dep::budget::BudgetSpec;
+use delin_dep::exact::arena_from_env;
 use delin_frontend::induction::{substitute_inductions, InductionReport};
 use delin_frontend::linearize::{linearize_aliased, LinearizeReport};
 use delin_frontend::parser::{parse_program, ParseError};
@@ -47,6 +48,11 @@ pub struct PipelineConfig {
     /// pure perf knob, identical edges and verdicts either way. The
     /// default reads `DELIN_INCREMENTAL` (`0` disables).
     pub incremental: bool,
+    /// Arena miss path (see [`EngineConfig::arena`]): per-worker scratch
+    /// reuse for problems and solver buffers. Pure perf knob, identical
+    /// edges and verdicts either way. The default reads `DELIN_ARENA`
+    /// (`0` disables).
+    pub arena: bool,
     /// Verdict-cache entry capacity (see [`EngineConfig::cache_cap`]);
     /// `0` = unbounded. The default reads `DELIN_CACHE_CAP`. Ignored when
     /// a shared cache is passed in.
@@ -71,6 +77,7 @@ impl Default for PipelineConfig {
             cache: true,
             keying: KeyMode::from_env(),
             incremental: incremental_from_env(),
+            arena: arena_from_env(),
             cache_cap: crate::cache::cache_cap_from_env(),
             budget: BudgetSpec::default(),
             chaos: None,
@@ -172,6 +179,7 @@ pub fn run_pipeline_in(
         cache: config.cache,
         keying: config.keying,
         incremental: config.incremental,
+        arena: config.arena,
         cache_cap: config.cache_cap,
         budget: config.budget.clone(),
         chaos: config.chaos.clone(),

@@ -33,6 +33,7 @@ fn pinned_report() -> String {
         cache: true,
         keying: KeyMode::Fp,
         incremental: true,
+        arena: true,
         induction: true,
         linearize: true,
         infer_loop_assumptions: true,

@@ -1,0 +1,148 @@
+//! Allocation regression pin for the solve *miss* path.
+//!
+//! Sibling of `hotpath_alloc.rs` (which pins the cache-hit path at zero):
+//! this file pins the cold side. A full dependence-graph build over a
+//! fixed nest — every pair a cache miss — is measured under a counting
+//! global allocator twice: once with the legacy allocating miss path
+//! (`arena: false`) and once with the arena rebuild (`arena: true`,
+//! pooled pair problems, recycled builder slabs, scratch-reusing
+//! solvers). The arena leg must allocate strictly less than the legacy
+//! leg *and* stay under a pinned absolute budget, so an accidental
+//! clone or per-pair `Vec` sneaking back into the pooled path fails the
+//! build instead of silently eating the PR's win. One `#[test]` per
+//! file — the allocator counter is global.
+
+use delinearization::frontend::parse_program;
+use delinearization::numeric::Assumptions;
+use delinearization::vic::cache::KeyMode;
+use delinearization::vic::deps::{
+    build_dependence_graph_with, pair_problem, DepGraph, EngineConfig, TestChoice,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation; frees are not interesting.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The Fig. 3 nest (Allen–Kennedy 1987): three loop levels, several
+/// arrays, a healthy mix of dependence shapes — all concrete bounds, so
+/// every pair rides the full miss path (parse, pair problem, fingerprint,
+/// techniques, exact solver) with no symbolic special cases.
+const FIG3: &str = "
+    REAL X(200), Y(200), B(100)
+    REAL A(100,100), C(100,100)
+    DO 30 i = 1, 100
+      X(i) = Y(i) + 10
+      DO 20 j = 1, 99
+        B(j) = A(j, 20)
+        DO 10 k = 1, 100
+          A(j+1, k) = B(j) + C(j, k)
+    10  CONTINUE
+        Y(i+j) = A(j+1, 20)
+    20  CONTINUE
+    30 CONTINUE
+    END
+    ";
+
+/// The pinned ceiling for one arena-path cold graph build of [`FIG3`]
+/// (serial, caching on, incremental on). Measured at 1633 (legacy: 2853) on the
+/// container toolchain; headroom absorbs allocator-library drift, not
+/// design regressions — a per-pair allocation leak blows straight past it.
+const ARENA_COLD_BUDGET: u64 = 2200;
+
+fn cold_build(arena: bool) -> (DepGraph, u64) {
+    let program = parse_program(FIG3).expect("test program parses");
+    let assumptions = Assumptions::new();
+    let config = EngineConfig {
+        choice: TestChoice::DelinearizationFirst,
+        workers: 1,
+        cache: true,
+        arena,
+        ..EngineConfig::default()
+    };
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let graph = build_dependence_graph_with(&program, &assumptions, &config);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (graph, after - before)
+}
+
+#[test]
+fn arena_miss_path_allocates_under_budget_and_below_legacy() {
+    // Warm-up builds: first call touches lazy runtime state (thread-locals,
+    // the pair-scratch pool) that should not be charged to either leg.
+    let (warm_legacy, _) = cold_build(false);
+    let (warm_arena, _) = cold_build(true);
+    assert_eq!(warm_legacy.edges, warm_arena.edges, "legs must agree on the graph");
+
+    // Min over several measured cold builds per leg, interleaved: each
+    // build runs a private cache, so every pair misses every time.
+    let mut legacy_allocs = u64::MAX;
+    let mut arena_allocs = u64::MAX;
+    for _ in 0..3 {
+        legacy_allocs = legacy_allocs.min(cold_build(false).1);
+        arena_allocs = arena_allocs.min(cold_build(true).1);
+    }
+
+    assert!(
+        arena_allocs <= ARENA_COLD_BUDGET,
+        "arena cold build allocated {arena_allocs} times (budget {ARENA_COLD_BUDGET}); \
+         a per-pair allocation crept back into the pooled miss path"
+    );
+    assert!(
+        arena_allocs * 4 <= legacy_allocs * 3,
+        "arena cold build ({arena_allocs} allocs) must undercut the legacy \
+         path ({legacy_allocs} allocs) by at least a quarter; the pooled \
+         pair problems / recycled builder slabs are not being reused"
+    );
+
+    // And the hit side of the same problems stays allocation-free: the
+    // arena only changes who owns miss-path storage, never the hit path.
+    let cache =
+        delinearization::vic::cache::VerdictCache::new_with(&Assumptions::new(), KeyMode::Fp);
+    let program = parse_program(FIG3).expect("test program parses");
+    let sites = delinearization::frontend::collect_accesses(&program, &Assumptions::new());
+    let problem = pair_problem(&sites[0], &sites[0]);
+    let (_, hit) = cache.get_or_compute(&problem, |_| delinearization::vic::cache::CachedOutcome {
+        verdict: delinearization::dep::verdict::Verdict::Independent,
+        tested_by: "pin",
+        attempts: vec!["pin"],
+        solver_nodes: 0,
+        refine_queries: 0,
+        subtree_reuses: 0,
+        nodes_saved: 0,
+        solver_state: None,
+        degraded: None,
+    });
+    assert!(!hit, "first lookup must miss");
+    let mut min_hit_allocs = u64::MAX;
+    for _ in 0..10 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let (shared, hit) = cache.get_or_compute(&problem, |_| unreachable!("must hit"));
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert!(hit, "steady-state lookup must hit");
+        drop(shared);
+        min_hit_allocs = min_hit_allocs.min(after - before);
+    }
+    assert_eq!(min_hit_allocs, 0, "a fingerprint-keyed concrete cache hit must not allocate");
+}

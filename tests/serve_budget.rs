@@ -32,6 +32,7 @@ fn config_with(cache_file: Option<PathBuf>) -> ServeConfig {
             cache: true,
             keying: KeyMode::Fp,
             incremental: true,
+            arena: true,
             induction: true,
             linearize: true,
             infer_loop_assumptions: true,

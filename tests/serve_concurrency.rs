@@ -35,6 +35,7 @@ fn pinned_serve(workers: usize) -> ServeConfig {
             cache: true,
             keying: KeyMode::Fp,
             incremental: true,
+            arena: true,
             induction: true,
             linearize: true,
             infer_loop_assumptions: true,

@@ -35,6 +35,7 @@ fn pinned_config(workers: usize) -> ServeConfig {
             cache: true,
             keying: KeyMode::Fp,
             incremental: true,
+            arena: true,
             induction: true,
             linearize: true,
             infer_loop_assumptions: true,
@@ -182,6 +183,13 @@ fn overloaded_daemon_rejects_instead_of_queueing() {
     let mut session = Session::spawn_rendezvous(config);
     session.send(&analyze_request("r1", RECURRENCE));
     session.send(&analyze_request("r2", RECURRENCE));
+    // Until the first `recv`, r1's response write is rendezvous-blocked,
+    // so its admission slot *cannot* free — but nothing yet proves the
+    // daemon's reader has dequeued r2. Wait before receiving: the slot
+    // stays pinned for the whole pause, and the reader only needs to
+    // parse one line to reach r2's admission check within it. Receiving
+    // immediately races the reader against r1's slot release.
+    std::thread::sleep(std::time::Duration::from_millis(300));
     // Two lines are owed: r1's result and r2's rejection. Their relative
     // order depends on which thread wins the output lock — distinguish by
     // id, not position.
